@@ -1,0 +1,67 @@
+// F4 — Streaming window join throughput vs window size, and the effect of
+// allowed lateness (DESIGN.md). Two 100k-event streams joined on key over
+// tumbling windows from 100 ms to 10 s. Expected shape: throughput falls
+// with window size (per-window hash state grows, more pairs match);
+// buffered state grows ~linearly with window size; larger allowed lateness
+// admits out-of-order events at the cost of holding state longer.
+
+#include <iostream>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/stopwatch.hpp"
+#include "dataflow/stream.hpp"
+
+int main() {
+  using namespace hpbdc;
+  using namespace hpbdc::dataflow::stream;
+
+  constexpr std::size_t kEvents = 50000;
+  constexpr int kKeys = 256;
+  constexpr double kRate = 10000.0;  // events/sec of event time
+
+  struct Payload {
+    int key;
+  };
+  auto key_fn = [](const Payload& p) { return p.key; };
+  using Join = WindowJoin<Payload, Payload, int, decltype(key_fn), decltype(key_fn)>;
+
+  // Two interleaved streams with mild disorder (up to 20 ms).
+  Rng rng(12);
+  std::vector<std::pair<bool, Event<Payload>>> events;  // (is_left, event)
+  events.reserve(2 * kEvents);
+  double t = 0;
+  for (std::size_t i = 0; i < 2 * kEvents; ++i) {
+    t += rng.next_exponential(2 * kRate);
+    const double jitter = rng.next_double() * 0.02;
+    events.push_back({(i & 1) == 0,
+                      {t - jitter, Payload{static_cast<int>(rng.next_below(kKeys))}}});
+  }
+
+  std::cout << "F4: windowed stream join, 2 x " << kEvents << " events, "
+            << kKeys << " keys, " << kRate << " ev/s per stream\n\n";
+  Table tbl({"window (s)", "lateness (s)", "Mev/s", "matches", "late dropped",
+             "peak buffered"});
+  for (double window : {0.1, 0.5, 1.0, 2.0, 5.0}) {
+    for (double lateness : {0.0, 0.1, 1.0}) {
+      Join join(window, lateness, key_fn, key_fn);
+      std::size_t peak = 0;
+      Stopwatch sw;
+      for (const auto& [is_left, ev] : events) {
+        if (is_left) join.on_left(ev);
+        else join.on_right(ev);
+        peak = std::max(peak, join.buffered());
+      }
+      const double sec = sw.elapsed_sec();
+      tbl.row({Table::num(window, 1), Table::num(lateness, 1),
+               Table::num(static_cast<double>(2 * kEvents) / sec / 1e6),
+               std::to_string(join.take_results().size()),
+               std::to_string(join.late_dropped()), std::to_string(peak)});
+    }
+  }
+  tbl.print(std::cout);
+  std::cout << "\nexpected shape: matches and buffered state grow ~linearly "
+               "with window size while Mev/s falls; lateness 0 drops the "
+               "20 ms-jittered stragglers, 0.1 s admits nearly all.\n";
+  return 0;
+}

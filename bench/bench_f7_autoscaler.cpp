@@ -1,0 +1,53 @@
+// F7 — Autoscaling vs static provisioning on a diurnal trace with a flash
+// crowd (DESIGN.md extension). Expected shape: the reactive policy tracks
+// the diurnal curve at a fraction of peak-static cost with small drop
+// fractions concentrated in boot-lag windows (trace start and the flash
+// crowd); under-provisioned static fleets drop heavily at peak.
+
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+
+#include "cluster/autoscaler.hpp"
+#include "common/stats.hpp"
+
+int main() {
+  using namespace hpbdc;
+  using namespace hpbdc::cluster;
+
+  Rng rng(77);
+  LoadTraceConfig lcfg;
+  lcfg.periods = 960;  // 8 hours at 30 s
+  lcfg.base_rps = 2000;
+  auto load = generate_load_trace(lcfg, rng);
+  const double peak = *std::max_element(load.begin(), load.end());
+
+  AutoscalerConfig cfg;
+  cfg.capacity_per_instance = 100;
+  cfg.target_utilization = 0.7;
+  cfg.boot_time = 120;
+
+  std::cout << "F7: 8-hour diurnal trace with flash crowd, peak "
+            << Table::num(peak, 0) << " rps\n\n";
+
+  const auto peak_fleet = static_cast<std::size_t>(
+      std::ceil(peak / (cfg.capacity_per_instance * cfg.target_utilization)));
+  const auto mean_fleet = peak_fleet / 2;
+
+  Table tbl({"strategy", "instance-hours", "mean util", "dropped %", "scale ops"});
+  auto add = [&tbl](const char* name, const AutoscaleResult& r) {
+    tbl.row({name, Table::num(r.instance_seconds / 3600.0, 1),
+             Table::num(r.mean_utilization, 2),
+             Table::num(100.0 * r.dropped_fraction, 2),
+             std::to_string(r.scale_ups + r.scale_downs)});
+  };
+  add("reactive autoscaler", simulate_autoscaler(cfg, load));
+  add("static @ peak", simulate_static_fleet(cfg, peak_fleet, load));
+  add("static @ peak/2", simulate_static_fleet(cfg, mean_fleet, load));
+  add("static @ min", simulate_static_fleet(cfg, 5, load));
+  tbl.print(std::cout);
+  std::cout << "\nexpected shape: autoscaler ~half the instance-hours of "
+               "static-at-peak with <2% drops; static-at-peak/2 drops at the "
+               "flash crowd; static-at-min drops most traffic.\n";
+  return 0;
+}

@@ -1,0 +1,48 @@
+// F8 — Speculative execution vs stragglers (DESIGN.md extension): job
+// makespan with and without backup tasks, swept over straggler fraction
+// and severity, in both the single-wave regime (tasks == nodes, where one
+// slow task gates the job) and the multi-wave regime (tasks >> nodes,
+// where only the final wave can be rescued). Expected shape: dramatic
+// (>2x) wins single-wave, tail-sized (~10%) wins multi-wave, at a small
+// wasted-work cost.
+
+#include <iostream>
+
+#include "cluster/speculation.hpp"
+#include "common/stats.hpp"
+
+int main() {
+  using namespace hpbdc;
+  using namespace hpbdc::cluster;
+
+  std::cout << "F8: speculative execution, 20 nodes, stragglers at 0.2x speed\n\n";
+  Table tbl({"regime", "straggler %", "makespan off (s)", "makespan on (s)",
+             "speedup", "backups", "wasted %"});
+  struct Regime {
+    const char* name;
+    std::size_t tasks;
+  };
+  for (const auto& regime : {Regime{"single-wave", 20}, Regime{"multi-wave", 200}}) {
+    for (double frac : {0.05, 0.15, 0.30}) {
+      SpeculationConfig cfg;
+      cfg.nodes = 20;
+      cfg.tasks = regime.tasks;
+      cfg.task_work = 10.0;
+      cfg.straggler_fraction = frac;
+      cfg.straggler_speed = 0.2;
+      cfg.speculate = false;
+      const auto off = simulate_speculation(cfg);
+      cfg.speculate = true;
+      const auto on = simulate_speculation(cfg);
+      tbl.row({regime.name, Table::num(100 * frac, 0), Table::num(off.makespan, 1),
+               Table::num(on.makespan, 1), Table::num(off.makespan / on.makespan, 2),
+               std::to_string(on.backups_launched),
+               Table::num(100 * on.wasted_seconds / on.total_node_seconds, 1)});
+    }
+  }
+  tbl.print(std::cout);
+  std::cout << "\nexpected shape: single-wave speedup ~2-2.5x (50 s straggler "
+               "task cut to ~20 s); multi-wave ~1.1x (only the tail is "
+               "rescuable); waste stays under a few percent of node-seconds.\n";
+  return 0;
+}

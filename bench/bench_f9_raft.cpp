@@ -1,0 +1,108 @@
+// F9 — Raft consensus (DESIGN.md extension): election latency and commit
+// latency/throughput vs cluster size, plus behaviour under packet loss.
+// Expected shape: election latency ~ one randomized timeout (150-300 ms)
+// regardless of size; commit latency ~ 1 RTT to the median replica, rising
+// mildly with size (leader fan-out serialization); loss slows elections
+// (retries) and commits (missed appends until the next heartbeat) but
+// safety holds throughout.
+
+#include <iostream>
+#include <memory>
+
+#include "common/stats.hpp"
+#include "kvstore/raft.hpp"
+
+namespace {
+
+using namespace hpbdc;
+using namespace hpbdc::kvstore;
+
+struct RunResult {
+  double election_ms = 0;
+  double commit_p50_us = 0;
+  double commit_p99_us = 0;
+  double commits_per_sec = 0;
+  std::uint64_t elections = 0;
+};
+
+RunResult run(std::size_t nodes, double loss) {
+  sim::Simulator sim;
+  sim::NetworkConfig nc;
+  nc.nodes = nodes;
+  nc.loss_probability = loss;
+  sim::Network net(sim, nc);
+  sim::Comm comm(sim, net);
+  RaftCluster raft(comm);
+  raft.start();
+
+  // Election latency: first leader to emerge.
+  double elected_at = -1;
+  double t = 0;
+  while (elected_at < 0 && t < 30.0) {
+    t += 0.05;
+    sim.run_until(t);
+    if (raft.leader()) elected_at = sim.now();
+  }
+
+  RunResult res;
+  res.election_ms = elected_at * 1e3;
+
+  // Commit latency: closed-loop proposer, 200 commands. Latencies in us
+  // (the histogram buckets integers; ms would truncate to zero).
+  Histogram lat_us;
+  constexpr int kCmds = 200;
+  int done = 0;
+  const double bench_start = sim.now();
+  double last_commit = bench_start;
+  auto next = std::make_shared<std::function<void(int)>>();
+  *next = [&](int i) {
+    if (i >= kCmds) return;
+    const double start = sim.now();
+    raft.propose("cmd" + std::to_string(i), [&, i, start](bool ok, std::uint64_t) {
+      if (ok) {
+        lat_us.add((sim.now() - start) * 1e6);
+        ++done;
+        last_commit = sim.now();
+      }
+      (*next)(i + 1);  // on failure, move on (leadership churn under loss)
+    });
+  };
+  (*next)(0);
+  sim.run_until(sim.now() + 60.0);  // heartbeats run forever: bounded horizon
+  const double elapsed = last_commit - bench_start;
+
+  res.commit_p50_us = lat_us.p50();
+  res.commit_p99_us = lat_us.p99();
+  res.commits_per_sec = elapsed > 0 ? done / elapsed : 0;
+  res.elections = raft.stats().elections_started;
+  raft.stop();
+  sim.run_until(sim.now() + 1.0);
+  return res;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "F9: Raft on the simulated cluster (150-300 ms election "
+               "timeouts, 50 ms heartbeats)\n\n";
+  Table tbl({"nodes", "loss %", "election (ms)", "commit p50 (us)",
+             "commit p99 (us)", "commits/s", "elections"});
+  for (std::size_t nodes : {3, 5, 7, 9}) {
+    const auto r = run(nodes, 0.0);
+    tbl.row({std::to_string(nodes), "0", Table::num(r.election_ms, 0),
+             Table::num(r.commit_p50_us, 1), Table::num(r.commit_p99_us, 1),
+             Table::num(r.commits_per_sec, 0), std::to_string(r.elections)});
+  }
+  for (double loss : {0.01, 0.05, 0.20}) {
+    const auto r = run(5, loss);
+    tbl.row({"5", Table::num(100 * loss, 0), Table::num(r.election_ms, 0),
+             Table::num(r.commit_p50_us, 1), Table::num(r.commit_p99_us, 1),
+             Table::num(r.commits_per_sec, 0), std::to_string(r.elections)});
+  }
+  tbl.print(std::cout);
+  std::cout << "\nexpected shape: election within ~1-2 timeout periods at any "
+               "size; commit latency ~RTT and throughput its inverse (closed "
+               "loop); loss inflates elections and the commit tail, but every "
+               "run still commits.\n";
+  return 0;
+}

@@ -1,0 +1,148 @@
+// T1 — Structured parallel primitives vs serial baselines (DESIGN.md).
+// google-benchmark microbenchmarks over 1M-4M element arrays. On a 1-core
+// host the parallel variants show scheduling overhead rather than speedup;
+// the *shape* claim (parallel >= serial/threads) is evaluated in
+// EXPERIMENTS.md against the recorded thread count.
+
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "common/rng.hpp"
+#include "exec/parallel.hpp"
+#include "exec/thread_pool.hpp"
+
+namespace {
+
+hpbdc::ThreadPool& pool() {
+  static hpbdc::ThreadPool p;  // hardware concurrency
+  return p;
+}
+
+std::vector<double> make_data(std::size_t n) {
+  hpbdc::Rng rng(42);
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng.next_double();
+  return v;
+}
+
+void BM_SerialForSum(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto data = make_data(n);
+  for (auto _ : state) {
+    double sum = 0;
+    for (double x : data) sum += x * x;
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SerialForSum)->Arg(1 << 20)->Arg(1 << 22)->Unit(benchmark::kMillisecond);
+
+void BM_ParallelReduceSum(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto data = make_data(n);
+  for (auto _ : state) {
+    const double sum = hpbdc::parallel_reduce<double>(
+        pool(), 0, n, 0.0, [&data](std::size_t i) { return data[i] * data[i]; },
+        [](double a, double b) { return a + b; });
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ParallelReduceSum)->Arg(1 << 20)->Arg(1 << 22)->Unit(benchmark::kMillisecond);
+
+void BM_SerialTransform(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto data = make_data(n);
+  std::vector<double> out(n);
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = data[i] * 2.0 + 1.0;
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SerialTransform)->Arg(1 << 20)->Unit(benchmark::kMillisecond);
+
+void BM_ParallelForTransform(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto data = make_data(n);
+  std::vector<double> out(n);
+  for (auto _ : state) {
+    hpbdc::parallel_for_blocked(pool(), 0, n, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) out[i] = data[i] * 2.0 + 1.0;
+    });
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ParallelForTransform)->Arg(1 << 20)->Unit(benchmark::kMillisecond);
+
+void BM_StdSort(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  hpbdc::Rng rng(7);
+  std::vector<std::uint64_t> base(n);
+  for (auto& x : base) x = rng();
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto v = base;
+    state.ResumeTiming();
+    std::sort(v.begin(), v.end());
+    benchmark::DoNotOptimize(v.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_StdSort)->Arg(1 << 20)->Unit(benchmark::kMillisecond);
+
+void BM_ParallelSort(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  hpbdc::Rng rng(7);
+  std::vector<std::uint64_t> base(n);
+  for (auto& x : base) x = rng();
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto v = base;
+    state.ResumeTiming();
+    hpbdc::parallel_sort(pool(), v.begin(), v.end());
+    benchmark::DoNotOptimize(v.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ParallelSort)->Arg(1 << 20)->Unit(benchmark::kMillisecond);
+
+void BM_SerialScan(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto data = make_data(n);
+  std::vector<double> out(n);
+  for (auto _ : state) {
+    double acc = 0;
+    for (std::size_t i = 0; i < n; ++i) out[i] = acc += data[i];
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SerialScan)->Arg(1 << 20)->Unit(benchmark::kMillisecond);
+
+void BM_ParallelScan(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto data = make_data(n);
+  std::vector<double> out;
+  for (auto _ : state) {
+    hpbdc::parallel_inclusive_scan(pool(), data, out,
+                                   [](double a, double b) { return a + b; }, 0.0);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ParallelScan)->Arg(1 << 20)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,102 @@
+// T2 — Shuffle throughput vs partition count; effect of map-side combine
+// (DESIGN.md). Workload: 1M zipf-keyed records, reduce_by_key-style
+// aggregation. Expected shape: records_moved collapses when combining on a
+// skewed key distribution; runtime peaks near partitions ~= threads.
+
+#include <iostream>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/stopwatch.hpp"
+#include "dataflow/shuffle.hpp"
+#include "exec/thread_pool.hpp"
+
+int main() {
+  using namespace hpbdc;
+  constexpr std::size_t kRecords = 1'000'000;
+  constexpr std::size_t kKeys = 10'000;
+  constexpr double kTheta = 0.99;
+
+  ThreadPool pool;
+  std::cout << "T2: shuffle of " << kRecords << " records, " << kKeys
+            << " zipf(" << kTheta << ") keys, " << pool.num_threads()
+            << " threads\n\n";
+
+  // Pre-generate input partitions (8 map tasks).
+  Rng rng(1);
+  ZipfGenerator zipf(kKeys, kTheta);
+  dataflow::Partitions<std::pair<std::uint64_t, std::uint64_t>> input(8);
+  for (std::size_t i = 0; i < kRecords; ++i) {
+    input[i % 8].emplace_back(zipf.next(rng), 1);
+  }
+
+  Table tbl({"partitions", "combine", "time (ms)", "Mrec/s", "records moved",
+             "reduction"});
+  for (std::size_t parts : {1, 2, 4, 8, 16, 32}) {
+    for (bool combine : {false, true}) {
+      dataflow::ShuffleStats stats;
+      Stopwatch sw;
+      auto out = dataflow::combining_shuffle(
+          pool, input, parts, [](std::uint64_t a, std::uint64_t b) { return a + b; },
+          combine, &stats);
+      const double ms = sw.elapsed_ms();
+      // Correctness guard: total count preserved.
+      std::uint64_t total = 0;
+      for (const auto& p : out) {
+        for (const auto& kv : p) total += kv.second;
+      }
+      if (total != kRecords) {
+        std::cerr << "BUG: lost records in shuffle\n";
+        return 1;
+      }
+      tbl.row({std::to_string(parts), combine ? "yes" : "no", Table::num(ms),
+               Table::num(static_cast<double>(kRecords) / ms / 1e3),
+               std::to_string(stats.records_moved),
+               Table::num(static_cast<double>(stats.records_in) /
+                          static_cast<double>(stats.records_moved), 1) + "x"});
+    }
+  }
+  tbl.print(std::cout);
+
+  // Hot-key ablation: one key holds half the records. Salting spreads its
+  // reduction over many reducers; with map-side combine already collapsing
+  // per-map duplicates the benefit is pipeline balance, measured here as
+  // the size of the largest reduce partition.
+  std::cout << "\nhot-key ablation (50% of records share one key, combine off):\n\n";
+  dataflow::Partitions<std::pair<std::uint64_t, std::uint64_t>> hot(8);
+  for (std::size_t i = 0; i < kRecords; ++i) {
+    const std::uint64_t key = (i % 2 == 0) ? 0 : 1 + zipf.next(rng);
+    hot[i % 8].emplace_back(key, 1);
+  }
+  auto largest_partition = [](const auto& parts) {
+    std::size_t best = 0;
+    for (const auto& p : parts) best = std::max(best, p.size());
+    return best;
+  };
+  {
+    Table skew({"strategy", "time (ms)", "largest reduce input"});
+    Stopwatch sw;
+    auto plain = dataflow::hash_shuffle(pool, hot, 8);
+    skew.row({"plain shuffle", Table::num(sw.elapsed_ms()),
+              std::to_string(largest_partition(plain))});
+    // Salted: add an 8-way salt to the key before shuffling.
+    dataflow::Partitions<std::pair<std::pair<std::uint64_t, std::uint32_t>, std::uint64_t>>
+        salted(8);
+    Stopwatch sw2;
+    for (std::size_t p = 0; p < 8; ++p) {
+      std::uint32_t i = 0;
+      for (const auto& kv : hot[p]) {
+        salted[p].emplace_back(std::make_pair(kv.first, i++ % 32), kv.second);
+      }
+    }
+    auto spread = dataflow::hash_shuffle(pool, salted, 8);
+    skew.row({"salted (32 salts)", Table::num(sw2.elapsed_ms()),
+              std::to_string(largest_partition(spread))});
+    skew.print(std::cout);
+  }
+  std::cout << "\nexpected shape: map-side combine cuts records moved by >10x "
+               "on this skew; throughput flattens once partitions >= threads; "
+               "salting shrinks the largest reduce input by ~salts x on the "
+               "hot-key workload.\n";
+  return 0;
+}

@@ -1,0 +1,39 @@
+// T3 — Batch scheduling policy comparison (DESIGN.md). 1000-job synthetic
+// trace (Poisson arrivals, log-normal runtimes, power-of-two node counts)
+// on a 64-node cluster. Expected shape: EASY backfill dominates FIFO on
+// mean/p95 wait at equal makespan; SJF minimizes mean wait but with worse
+// tail fairness; fair-share sits between.
+
+#include <iostream>
+
+#include "cluster/batch_scheduler.hpp"
+#include "common/stats.hpp"
+
+int main() {
+  using namespace hpbdc;
+  using namespace hpbdc::cluster;
+
+  constexpr std::size_t kNodes = 64;
+  Rng rng(20240501);
+  TraceConfig tcfg;
+  tcfg.jobs = 1000;
+  tcfg.arrival_rate = 0.05;
+  auto jobs = generate_trace(tcfg, rng, kNodes);
+
+  std::cout << "T3: " << tcfg.jobs << " jobs on " << kNodes
+            << " nodes (Poisson arrivals, log-normal runtimes)\n\n";
+  Table tbl({"policy", "makespan (h)", "mean wait (min)", "p95 wait (min)",
+             "bounded slowdown", "utilization", "backfilled"});
+  for (auto policy : {SchedPolicy::kFifo, SchedPolicy::kSjf,
+                      SchedPolicy::kEasyBackfill, SchedPolicy::kFairShare}) {
+    const auto res = simulate_schedule(kNodes, policy, jobs);
+    tbl.row({sched_policy_name(policy), Table::num(res.makespan / 3600.0),
+             Table::num(res.mean_wait / 60.0), Table::num(res.p95_wait / 60.0),
+             Table::num(res.mean_bounded_slowdown), Table::num(res.utilization, 3),
+             std::to_string(res.backfilled)});
+  }
+  tbl.print(std::cout);
+  std::cout << "\nexpected shape: backfill < fifo on waits at ~equal makespan; "
+               "sjf best mean wait, worst for wide/long jobs.\n";
+  return 0;
+}

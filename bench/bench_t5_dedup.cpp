@@ -1,0 +1,72 @@
+// T5 — Deduplication ratio: content-defined vs fixed-size chunking on a
+// versioned corpus (DESIGN.md). Workload: 10 generations of a 4 MiB
+// object, each derived from the last by scattered in-place edits plus one
+// small insertion (the insertion is what shifts fixed-size boundaries).
+// Expected shape: CDC ratio near the theoretical maximum, fixed-size near
+// 1.0 once an insertion occurs.
+
+#include <iostream>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/stopwatch.hpp"
+#include "storage/chunker.hpp"
+#include "storage/dedup.hpp"
+
+int main() {
+  using namespace hpbdc;
+  using namespace hpbdc::storage;
+
+  constexpr std::size_t kObject = 4ULL << 20;
+  constexpr int kGenerations = 10;
+
+  // Build the generation chain once.
+  Rng rng(6);
+  std::vector<std::vector<std::uint8_t>> generations;
+  generations.emplace_back(kObject);
+  for (auto& b : generations.back()) b = static_cast<std::uint8_t>(rng());
+  for (int g = 1; g < kGenerations; ++g) {
+    auto next = generations.back();
+    for (int e = 0; e < 30; ++e) {  // scattered in-place edits
+      next[rng.next_below(next.size())] ^= 0x5a;
+    }
+    // One small insertion: shifts all later offsets.
+    const std::size_t pos = rng.next_below(next.size());
+    next.insert(next.begin() + static_cast<std::ptrdiff_t>(pos),
+                {1, 2, 3, 4, 5});
+    generations.push_back(std::move(next));
+  }
+
+  std::cout << "T5: " << kGenerations << " generations of a "
+            << (kObject >> 20) << " MiB object (30 edits + 1 insert each)\n\n";
+
+  Table tbl({"chunking", "dedup ratio", "unique chunks", "ingest MB/s"});
+  auto run = [&](const char* name, auto&& chunker) {
+    DedupStore store;
+    Stopwatch sw;
+    std::uint64_t logical = 0;
+    for (const auto& gen : generations) {
+      auto recipe = store.put(gen, chunker);
+      logical += gen.size();
+      // Round-trip correctness on every generation.
+      if (store.get(recipe) != gen) {
+        std::cerr << "BUG: dedup round-trip mismatch\n";
+        std::exit(1);
+      }
+    }
+    const double sec = sw.elapsed_sec();
+    tbl.row({name, Table::num(store.stats().ratio()),
+             std::to_string(store.stats().chunks_unique),
+             Table::num(static_cast<double>(logical) / 1e6 / sec, 0)});
+  };
+
+  run("fixed 4K", FixedChunker(4096));
+  run("fixed 8K", FixedChunker(8192));
+  run("CDC avg 4K", CdcChunker(4096, 1024, 16384));
+  run("CDC avg 8K", CdcChunker(8192, 2048, 32768));
+  tbl.print(std::cout);
+  std::cout << "\nexpected shape: CDC ratio approaches " << kGenerations
+            << "x (every generation shares almost all chunks); fixed-size "
+               "collapses to ~1x after the first insertion.\n";
+  return 0;
+}

@@ -1,0 +1,91 @@
+// T6 — Work stealing ablation (DESIGN.md): the Chase–Lev ThreadPool vs the
+// CentralQueuePool on (a) many uniform micro-tasks, where the central lock
+// is the bottleneck, and (b) zipf-skewed task sizes submitted from inside a
+// worker, where stealing must rebalance. google-benchmark, items = tasks.
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+
+#include "common/rng.hpp"
+#include "exec/central_pool.hpp"
+#include "exec/thread_pool.hpp"
+
+namespace {
+
+// Busy-work of roughly `units` * ~50ns on this host.
+void spin_work(std::uint64_t units) {
+  std::uint64_t acc = 0;
+  for (std::uint64_t i = 0; i < units * 8; ++i) acc += i * i;
+  benchmark::DoNotOptimize(acc);
+}
+
+template <typename Pool>
+void run_uniform(Pool& pool, int tasks) {
+  hpbdc::TaskGroup tg(pool);
+  std::atomic<int> done{0};
+  for (int i = 0; i < tasks; ++i) {
+    tg.run([&done] {
+      spin_work(4);
+      done.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  tg.wait();
+  if (done.load() != tasks) std::abort();
+}
+
+template <typename Pool>
+void run_skewed(Pool& pool, int tasks) {
+  // Submit from inside one worker: without stealing, everything runs there.
+  hpbdc::Rng rng(9);
+  hpbdc::ZipfGenerator zipf(64, 1.1);
+  std::vector<std::uint64_t> sizes(static_cast<std::size_t>(tasks));
+  for (auto& s : sizes) s = 1 + zipf.next(rng) * 4;
+  hpbdc::TaskGroup outer(pool);
+  outer.run([&pool, &sizes] {
+    hpbdc::TaskGroup inner(pool);
+    for (auto s : sizes) {
+      inner.run([s] { spin_work(s); });
+    }
+    inner.wait();
+  });
+  outer.wait();
+}
+
+void BM_UniformTasks_WorkStealing(benchmark::State& state) {
+  hpbdc::ThreadPool pool;
+  const int tasks = static_cast<int>(state.range(0));
+  for (auto _ : state) run_uniform(pool, tasks);
+  state.SetItemsProcessed(state.iterations() * tasks);
+  state.counters["stolen"] = static_cast<double>(pool.tasks_stolen());
+}
+BENCHMARK(BM_UniformTasks_WorkStealing)->Arg(20000)->Unit(benchmark::kMillisecond);
+
+void BM_UniformTasks_CentralQueue(benchmark::State& state) {
+  hpbdc::CentralQueuePool pool;
+  const int tasks = static_cast<int>(state.range(0));
+  for (auto _ : state) run_uniform(pool, tasks);
+  state.SetItemsProcessed(state.iterations() * tasks);
+}
+BENCHMARK(BM_UniformTasks_CentralQueue)->Arg(20000)->Unit(benchmark::kMillisecond);
+
+void BM_SkewedTasks_WorkStealing(benchmark::State& state) {
+  hpbdc::ThreadPool pool;
+  const int tasks = static_cast<int>(state.range(0));
+  for (auto _ : state) run_skewed(pool, tasks);
+  state.SetItemsProcessed(state.iterations() * tasks);
+  state.counters["stolen"] = static_cast<double>(pool.tasks_stolen());
+}
+BENCHMARK(BM_SkewedTasks_WorkStealing)->Arg(5000)->Unit(benchmark::kMillisecond);
+
+void BM_SkewedTasks_CentralQueue(benchmark::State& state) {
+  hpbdc::CentralQueuePool pool;
+  const int tasks = static_cast<int>(state.range(0));
+  for (auto _ : state) run_skewed(pool, tasks);
+  state.SetItemsProcessed(state.iterations() * tasks);
+}
+BENCHMARK(BM_SkewedTasks_CentralQueue)->Arg(5000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,72 @@
+// Cloud operations demo: place a fleet of VMs under each placement policy,
+// compare packing quality, then evaluate live-migration strategies for a
+// maintenance drain of the most-loaded host.
+//
+//   $ ./cloud_sim [vms]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "cluster/migration.hpp"
+#include "cluster/placement.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hpbdc;
+  using namespace hpbdc::cluster;
+  const std::size_t n_vms = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 200;
+  constexpr std::uint64_t GiB = 1ULL << 30;
+
+  // A fleet request mix: small/medium/large instances.
+  Rng rng(2024);
+  std::vector<VmSpec> vms;
+  for (std::size_t i = 0; i < n_vms; ++i) {
+    const int size_class = static_cast<int>(rng.next_below(3));
+    const double cpu = size_class == 0 ? 1 : size_class == 1 ? 4 : 8;
+    const std::uint64_t ram = (size_class == 0 ? 2 : size_class == 1 ? 8 : 32) * GiB;
+    vms.push_back(VmSpec{i, Resources{cpu, ram}});
+  }
+
+  std::cout << "placing " << n_vms << " VMs on 40 hosts (16 cores / 64 GiB each)\n\n";
+  Table tbl({"policy", "placed", "rejected", "hosts used", "mean load", "load stddev"});
+  for (auto policy : {PlacementPolicy::kFirstFit, PlacementPolicy::kBestFit,
+                      PlacementPolicy::kWorstFit, PlacementPolicy::kRandom}) {
+    std::vector<Host> hosts;
+    for (std::uint64_t h = 0; h < 40; ++h) hosts.emplace_back(h, Resources{16, 64 * GiB});
+    Placer placer(policy, 99);
+    auto res = placer.place_all(hosts, vms);
+    tbl.row({placement_policy_name(policy), std::to_string(res.placed),
+             std::to_string(res.rejected), std::to_string(res.hosts_used),
+             Table::num(res.mean_load), Table::num(res.load_stddev, 3)});
+  }
+  tbl.print(std::cout);
+
+  // Maintenance drain: migrate a busy 8 GiB VM off a host under three
+  // strategies at two workload intensities.
+  std::cout << "\nlive migration of an 8 GiB VM over a 10 Gbit/s link\n\n";
+  Table mig({"strategy", "dirty rate", "total (s)", "downtime (ms)", "moved (GiB)"});
+  for (double dirty_mbps : {50.0, 800.0}) {
+    MigrationConfig cfg;
+    cfg.vm_memory = 8 * GiB;
+    cfg.bandwidth_bps = 1.25e9;
+    cfg.dirty_rate_bps = dirty_mbps * 1e6;
+    struct Row {
+      const char* name;
+      MigrationResult r;
+    } rows[] = {
+        {"stop-and-copy", migrate_stop_and_copy(cfg)},
+        {"pre-copy", migrate_pre_copy(cfg)},
+        {"post-copy", migrate_post_copy(cfg)},
+    };
+    for (const auto& row : rows) {
+      mig.row({row.name, Table::num(dirty_mbps, 0) + " MB/s",
+               Table::num(row.r.total_time, 2), Table::num(row.r.downtime * 1e3, 2),
+               Table::num(static_cast<double>(row.r.transferred) / static_cast<double>(GiB), 2)});
+    }
+  }
+  mig.print(std::cout);
+  std::cout << "\npre-copy keeps downtime in milliseconds while the VM dirties "
+               "pages slower than the link; post-copy's downtime is constant.\n";
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Distributed KV store demo on the simulated cluster: quorum tuning, a node
+// failure mid-workload, and read repair in action.
+//
+//   $ ./kv_demo
+
+#include <iostream>
+
+#include "common/stats.hpp"
+#include "kvstore/kv_cluster.hpp"
+#include "kvstore/ycsb.hpp"
+
+int main() {
+  using namespace hpbdc;
+  using namespace hpbdc::kvstore;
+
+  std::cout << "8-node simulated cluster, 10 Gbit/s star fabric\n\n";
+
+  // 1. Quorum tuning: latency/consistency trade-off under YCSB-A.
+  Table tbl({"(N,R,W)", "consistency", "put p50 (us)", "get p50 (us)", "ops/s (sim)"});
+  struct Quorum {
+    std::size_t n, r, w;
+    const char* label;
+  };
+  for (const auto& q : {Quorum{1, 1, 1, "none (single copy)"},
+                        Quorum{3, 1, 1, "eventual"},
+                        Quorum{3, 2, 2, "read-your-writes"},
+                        Quorum{3, 3, 3, "strong (all replicas)"}}) {
+    sim::Simulator sim;
+    sim::NetworkConfig nc;
+    nc.nodes = 8;
+    sim::Network net(sim, nc);
+    sim::Comm comm(sim, net);
+    KvConfig cfg;
+    cfg.replication = q.n;
+    cfg.read_quorum = q.r;
+    cfg.write_quorum = q.w;
+    KvCluster kv(comm, cfg);
+    YcsbConfig ycfg;
+    ycfg.workload = YcsbWorkload::kA;
+    ycfg.records = 1000;
+    ycfg.operations = 5000;
+    ycfg.clients = 8;
+    auto res = run_ycsb(sim, kv, ycfg);
+    tbl.row({"(" + std::to_string(q.n) + "," + std::to_string(q.r) + "," +
+                 std::to_string(q.w) + ")",
+             q.label, Table::num(res.stats.put_latency_us.p50(), 1),
+             Table::num(res.stats.get_latency_us.p50(), 1),
+             Table::num(res.throughput_ops, 0)});
+  }
+  tbl.print(std::cout);
+
+  // 2. Failure drill: N=3 R=W=2 survives one node loss.
+  std::cout << "\nfailure drill: kill node 5 mid-workload (N=3, R=W=2)\n";
+  sim::Simulator sim;
+  sim::NetworkConfig nc;
+  nc.nodes = 8;
+  sim::Network net(sim, nc);
+  sim::Comm comm(sim, net);
+  KvConfig cfg;
+  KvCluster kv(comm, cfg);
+
+  int write_fail = 0, read_fail = 0, stale = 0;
+  for (int i = 0; i < 200; ++i) {
+    kv.client_put(0, "key" + std::to_string(i), "v1", [&](bool ok) {
+      if (!ok) ++write_fail;
+    });
+  }
+  sim.run();
+  kv.fail_node(5);
+  for (int i = 0; i < 200; ++i) {
+    kv.client_put(0, "key" + std::to_string(i), "v2", [&](bool ok) {
+      if (!ok) ++write_fail;
+    });
+  }
+  sim.run();
+  kv.recover_node(5);  // node returns with stale data
+  for (int i = 0; i < 200; ++i) {
+    kv.client_get(1, "key" + std::to_string(i), [&](const GetResult& r) {
+      if (!r.ok) ++read_fail;
+      else if (r.value != "v2") ++stale;
+    });
+  }
+  sim.run();
+  std::cout << "  writes failed during outage: " << write_fail << "\n"
+            << "  reads failed after recovery: " << read_fail << "\n"
+            << "  stale reads served:          " << stale << "\n"
+            << "  read repairs issued:         " << kv.stats().read_repairs << "\n";
+  std::cout << "\nquorum overlap (R+W>N) hides the failure; read repair "
+               "re-converges the recovered node.\n";
+  return 0;
+}

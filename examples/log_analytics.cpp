@@ -1,0 +1,145 @@
+// Log analytics: a realistic multi-stage batch pipeline over synthetic web
+// access logs —
+//   parse -> filter errors -> join with a user table -> aggregate by country
+//   -> top-k hottest pages -> per-user sessionization via group_by_key.
+// Exercises joins, shuffles, and aggregate actions on the public API.
+//
+//   $ ./log_analytics [events]
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/stopwatch.hpp"
+#include "dataflow/pair_ops.hpp"
+#include "exec/thread_pool.hpp"
+
+namespace {
+
+struct LogEvent {
+  std::uint32_t user = 0;
+  std::uint32_t page = 0;
+  double time = 0;
+  int status = 200;
+  std::uint32_t bytes = 0;
+};
+
+std::vector<std::string> generate_raw_logs(std::size_t n, hpbdc::Rng& rng) {
+  hpbdc::ZipfGenerator page_pop(500, 1.0);   // hot pages
+  hpbdc::ZipfGenerator user_pop(2000, 0.7);  // heavy users
+  std::vector<std::string> lines;
+  lines.reserve(n);
+  double t = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    t += rng.next_exponential(100.0);
+    const auto user = user_pop.next(rng);
+    const auto page = page_pop.next(rng);
+    const int status = rng.next_bool(0.02) ? 500 : (rng.next_bool(0.05) ? 404 : 200);
+    const auto bytes = 200 + rng.next_below(20000);
+    std::ostringstream os;
+    os << t << ' ' << user << " /page/" << page << ' ' << status << ' ' << bytes;
+    lines.push_back(os.str());
+  }
+  return lines;
+}
+
+LogEvent parse_line(const std::string& line) {
+  LogEvent ev;
+  std::istringstream is(line);
+  std::string url;
+  is >> ev.time >> ev.user >> url >> ev.status >> ev.bytes;
+  ev.page = static_cast<std::uint32_t>(std::strtoul(url.c_str() + 6, nullptr, 10));
+  return ev;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hpbdc;
+  using dataflow::Dataset;
+  const std::size_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 200000;
+
+  ThreadPool pool;
+  dataflow::Context ctx(pool);
+  Rng rng(7);
+
+  std::cout << "generating " << n << " log lines...\n";
+  auto raw = generate_raw_logs(n, rng);
+
+  // User table: user id -> country (8 regions, zipf-weighted).
+  std::vector<std::pair<std::uint32_t, std::string>> user_table;
+  const char* kCountries[] = {"US", "CN", "IN", "DE", "BR", "JP", "GB", "FR"};
+  for (std::uint32_t u = 0; u < 2000; ++u) {
+    user_table.emplace_back(u, kCountries[u % 8]);
+  }
+
+  Stopwatch sw;
+  // Stage 1: parse.
+  auto events = Dataset<std::string>::parallelize(ctx, std::move(raw))
+                    .map([](const std::string& line) { return parse_line(line); })
+                    .cache();
+
+  // Stage 2: error-rate report.
+  const auto errors = events.filter([](const LogEvent& e) { return e.status >= 500; }).count();
+
+  // Stage 3: join traffic with the user table, aggregate bytes per country.
+  auto per_user = events.map([](const LogEvent& e) {
+    return std::pair<std::uint32_t, std::uint64_t>(e.user, e.bytes);
+  });
+  auto user_bytes =
+      dataflow::reduce_by_key(per_user, [](std::uint64_t a, std::uint64_t b) { return a + b; });
+  auto users = Dataset<std::pair<std::uint32_t, std::string>>::parallelize(ctx, user_table);
+  auto joined = dataflow::join(user_bytes, users);
+  auto by_country = dataflow::reduce_by_key(
+      joined.map([](const std::pair<std::uint32_t, std::pair<std::uint64_t, std::string>>& kv) {
+        return std::pair<std::string, std::uint64_t>(kv.second.second, kv.second.first);
+      }),
+      [](std::uint64_t a, std::uint64_t b) { return a + b; });
+
+  // Stage 4: hottest pages.
+  auto page_hits = events.map([](const LogEvent& e) {
+    return std::pair<std::uint32_t, std::uint64_t>(e.page, 1);
+  });
+  auto top_pages = dataflow::top_k_by_value(
+      dataflow::reduce_by_key(page_hits, [](std::uint64_t a, std::uint64_t b) { return a + b; }),
+      5);
+
+  // Stage 5: sessionization — events per user, gap > 30s splits sessions.
+  auto by_user = dataflow::group_by_key(events.map([](const LogEvent& e) {
+    return std::pair<std::uint32_t, double>(e.user, e.time);
+  }));
+  auto session_counts = by_user.map([](const std::pair<std::uint32_t, std::vector<double>>& kv) {
+    auto times = kv.second;
+    std::sort(times.begin(), times.end());
+    std::size_t sessions = times.empty() ? 0 : 1;
+    for (std::size_t i = 1; i < times.size(); ++i) {
+      if (times[i] - times[i - 1] > 30.0) ++sessions;
+    }
+    return sessions;
+  });
+  const auto total_sessions =
+      session_counts.reduce(std::size_t{0}, [](std::size_t a, std::size_t b) { return a + b; });
+  const double elapsed = sw.elapsed_ms();
+
+  std::cout << "pipeline finished in " << elapsed << " ms\n\n";
+  std::cout << "5xx errors: " << errors << " ("
+            << 100.0 * static_cast<double>(errors) / static_cast<double>(n) << "%)\n";
+  std::cout << "total sessions: " << total_sessions << "\n\n";
+
+  Table country_tbl({"country", "bytes"});
+  auto rows = by_country.collect();
+  std::sort(rows.begin(), rows.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  for (const auto& [country, bytes] : rows) {
+    country_tbl.row({country, std::to_string(bytes)});
+  }
+  country_tbl.print(std::cout);
+
+  std::cout << "\ntop pages:\n";
+  for (const auto& [page, hits] : top_pages) {
+    std::cout << "  /page/" << page << "  " << hits << " hits\n";
+  }
+  return 0;
+}

@@ -1,0 +1,92 @@
+#pragma once
+// Connected components on undirected graphs, two ways:
+//  - cc_dataflow: label propagation on the Dataset API — every node adopts
+//    the smallest label among itself and its neighbours until a fixed point.
+//  - cc_serial: union-find baseline (near-linear, exact).
+// Both return one label per node; nodes share a label iff connected.
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "algos/graph.hpp"
+#include "dataflow/pair_ops.hpp"
+
+namespace hpbdc::algos {
+
+/// Label propagation. Treats edges as undirected. Converges in O(diameter)
+/// supersteps, each one shuffle — the standard BSP formulation.
+inline std::vector<NodeId> cc_dataflow(dataflow::Context& ctx, NodeId nodes,
+                                       const std::vector<Edge>& edges,
+                                       std::size_t max_iters = 100) {
+  using dataflow::Dataset;
+  // Symmetrize once.
+  std::vector<std::pair<NodeId, NodeId>> sym;
+  sym.reserve(edges.size() * 2);
+  for (const auto& e : edges) {
+    sym.emplace_back(e.src, e.dst);
+    sym.emplace_back(e.dst, e.src);
+  }
+  auto adj = dataflow::group_by_key(
+                 Dataset<std::pair<NodeId, NodeId>>::parallelize(ctx, std::move(sym)))
+                 .cache();
+
+  std::vector<NodeId> labels(nodes);
+  std::iota(labels.begin(), labels.end(), 0);
+
+  for (std::size_t it = 0; it < max_iters; ++it) {
+    // Each node proposes its label to its neighbours; a node keeps the min
+    // of its own label and all proposals.
+    auto proposals = adj.flat_map(
+        [&labels](const std::pair<NodeId, std::vector<NodeId>>& kv) {
+          std::vector<std::pair<NodeId, NodeId>> out;
+          out.reserve(kv.second.size());
+          const NodeId l = labels[kv.first];
+          for (NodeId nb : kv.second) out.emplace_back(nb, l);
+          return out;
+        });
+    auto mins = dataflow::reduce_by_key(
+        proposals, [](NodeId a, NodeId b) { return a < b ? a : b; });
+    bool changed = false;
+    for (const auto& [u, l] : mins.collect()) {
+      if (l < labels[u]) {
+        labels[u] = l;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+  return labels;
+}
+
+/// Union-find with path halving + union by size.
+inline std::vector<NodeId> cc_serial(NodeId nodes, const std::vector<Edge>& edges) {
+  std::vector<NodeId> parent(nodes);
+  std::vector<NodeId> size(nodes, 1);
+  std::iota(parent.begin(), parent.end(), 0);
+  auto find = [&](NodeId x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (const auto& e : edges) {
+    NodeId a = find(e.src), b = find(e.dst);
+    if (a == b) continue;
+    if (size[a] < size[b]) std::swap(a, b);
+    parent[b] = a;
+    size[a] += size[b];
+  }
+  // Canonical label: the minimum node id in each component.
+  std::vector<NodeId> label(nodes);
+  std::vector<NodeId> min_of_root(nodes, nodes);
+  for (NodeId u = 0; u < nodes; ++u) {
+    const NodeId r = find(u);
+    min_of_root[r] = std::min(min_of_root[r], u);
+  }
+  for (NodeId u = 0; u < nodes; ++u) label[u] = min_of_root[find(u)];
+  return label;
+}
+
+}  // namespace hpbdc::algos

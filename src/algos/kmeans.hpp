@@ -1,0 +1,153 @@
+#pragma once
+// k-means clustering (Lloyd's algorithm) on the dataflow API, plus a serial
+// baseline and a Gaussian-mixture point generator. Each iteration is one
+// map (assign to nearest centroid) + one reduce_by_key (per-cluster sums),
+// the standard iterative-MapReduce formulation.
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dataflow/pair_ops.hpp"
+
+namespace hpbdc::algos {
+
+inline constexpr std::size_t kKmeansDim = 4;
+using Point = std::array<double, kKmeansDim>;
+
+inline double sq_dist(const Point& a, const Point& b) noexcept {
+  double s = 0;
+  for (std::size_t i = 0; i < kKmeansDim; ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+inline std::size_t nearest_centroid(const Point& p, const std::vector<Point>& cs) noexcept {
+  std::size_t best = 0;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (std::size_t c = 0; c < cs.size(); ++c) {
+    const double d = sq_dist(p, cs[c]);
+    if (d < best_d) {
+      best_d = d;
+      best = c;
+    }
+  }
+  return best;
+}
+
+/// Points drawn from k spherical Gaussians with well-separated means.
+inline std::vector<Point> generate_clustered_points(std::size_t n, std::size_t k,
+                                                    Rng& rng, double spread = 0.5) {
+  std::vector<Point> centers(k);
+  for (std::size_t c = 0; c < k; ++c) {
+    for (auto& x : centers[c]) x = rng.next_double() * 100.0;
+  }
+  std::vector<Point> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // The first k points cover each cluster once, so the common practice of
+    // seeding k-means with the first k points is well-posed on this data.
+    const auto c = i < k ? i : rng.next_below(k);
+    Point p;
+    for (std::size_t d = 0; d < kKmeansDim; ++d) {
+      p[d] = centers[c][d] + rng.next_gaussian() * spread;
+    }
+    out.push_back(p);
+  }
+  return out;
+}
+
+struct KmeansResult {
+  std::vector<Point> centroids;
+  std::size_t iterations = 0;
+  double inertia = 0;  // sum of squared distances to assigned centroid
+};
+
+/// Dataflow k-means. Initial centroids are the first k points.
+inline KmeansResult kmeans_dataflow(dataflow::Context& ctx,
+                                    const std::vector<Point>& points, std::size_t k,
+                                    std::size_t max_iters, double tol = 1e-6) {
+  using dataflow::Dataset;
+  struct Acc {
+    Point sum{};
+    std::uint64_t count = 0;
+  };
+  auto data = Dataset<Point>::parallelize(ctx, points).cache();
+  std::vector<Point> centroids(points.begin(),
+                               points.begin() + static_cast<std::ptrdiff_t>(
+                                                    std::min(k, points.size())));
+  KmeansResult res;
+  for (std::size_t it = 0; it < max_iters; ++it) {
+    ++res.iterations;
+    auto assigned = data.map([centroids](const Point& p) {
+      Acc a;
+      a.sum = p;
+      a.count = 1;
+      return std::pair<std::size_t, Acc>(nearest_centroid(p, centroids), a);
+    });
+    auto merged = dataflow::reduce_by_key(assigned, [](Acc a, const Acc& b) {
+      for (std::size_t d = 0; d < kKmeansDim; ++d) a.sum[d] += b.sum[d];
+      a.count += b.count;
+      return a;
+    });
+    double shift = 0;
+    auto next = centroids;
+    for (const auto& [c, acc] : merged.collect()) {
+      Point mean;
+      for (std::size_t d = 0; d < kKmeansDim; ++d) {
+        mean[d] = acc.sum[d] / static_cast<double>(acc.count);
+      }
+      shift += std::sqrt(sq_dist(mean, centroids[c]));
+      next[c] = mean;
+    }
+    centroids = std::move(next);
+    if (shift < tol) break;
+  }
+  res.centroids = centroids;
+  res.inertia = data.map([centroids](const Point& p) {
+                      return sq_dist(p, centroids[nearest_centroid(p, centroids)]);
+                    }).reduce(0.0, [](double a, double b) { return a + b; });
+  return res;
+}
+
+/// Serial baseline with identical initialization and update rule.
+inline KmeansResult kmeans_serial(const std::vector<Point>& points, std::size_t k,
+                                  std::size_t max_iters, double tol = 1e-6) {
+  std::vector<Point> centroids(points.begin(),
+                               points.begin() + static_cast<std::ptrdiff_t>(
+                                                    std::min(k, points.size())));
+  KmeansResult res;
+  for (std::size_t it = 0; it < max_iters; ++it) {
+    ++res.iterations;
+    std::vector<Point> sum(centroids.size(), Point{});
+    std::vector<std::uint64_t> count(centroids.size(), 0);
+    for (const auto& p : points) {
+      const auto c = nearest_centroid(p, centroids);
+      for (std::size_t d = 0; d < kKmeansDim; ++d) sum[c][d] += p[d];
+      ++count[c];
+    }
+    double shift = 0;
+    for (std::size_t c = 0; c < centroids.size(); ++c) {
+      if (count[c] == 0) continue;
+      Point mean;
+      for (std::size_t d = 0; d < kKmeansDim; ++d) {
+        mean[d] = sum[c][d] / static_cast<double>(count[c]);
+      }
+      shift += std::sqrt(sq_dist(mean, centroids[c]));
+      centroids[c] = mean;
+    }
+    if (shift < tol) break;
+  }
+  res.centroids = centroids;
+  for (const auto& p : points) {
+    res.inertia += sq_dist(p, centroids[nearest_centroid(p, centroids)]);
+  }
+  return res;
+}
+
+}  // namespace hpbdc::algos

@@ -1,0 +1,42 @@
+#pragma once
+// TeraSort-style distributed sort: fixed-size records with a random binary
+// key, globally ordered via the engine's sample-based range partitioning
+// (Dataset::sort_by) — the same sampling + range-shuffle + local-sort
+// structure as the Hadoop TeraSort that popularized the benchmark.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dataflow/dataset.hpp"
+
+namespace hpbdc::algos {
+
+struct TeraRecord {
+  std::uint64_t key = 0;
+  std::array<std::uint8_t, 16> payload{};  // stand-in for the 90-byte body
+  bool operator==(const TeraRecord&) const = default;
+};
+
+inline std::vector<TeraRecord> generate_tera_records(std::size_t n, Rng& rng) {
+  std::vector<TeraRecord> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    TeraRecord r;
+    r.key = rng();
+    for (auto& b : r.payload) b = static_cast<std::uint8_t>(rng());
+    out.push_back(r);
+  }
+  return out;
+}
+
+/// Globally sort records by key; collect() on the result is sorted.
+inline dataflow::Dataset<TeraRecord> terasort(dataflow::Context& ctx,
+                                              std::vector<TeraRecord> records,
+                                              std::size_t nparts = 0) {
+  auto ds = dataflow::Dataset<TeraRecord>::parallelize(ctx, std::move(records), nparts);
+  return ds.sort_by([](const TeraRecord& r) { return r.key; }, nparts);
+}
+
+}  // namespace hpbdc::algos

@@ -1,0 +1,45 @@
+#pragma once
+// WordCount and grep — the canonical dataflow programs, written entirely
+// against the public Dataset API. Both a parallel dataflow version and a
+// single-threaded baseline (for speedup measurements) are provided.
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "algos/textgen.hpp"
+#include "dataflow/pair_ops.hpp"
+
+namespace hpbdc::algos {
+
+/// (word, count) for every distinct word, via flat_map + reduce_by_key.
+inline dataflow::Dataset<std::pair<std::string, std::uint64_t>> word_count(
+    const dataflow::Dataset<std::string>& lines, std::size_t nparts = 0) {
+  auto words = lines.flat_map([](const std::string& line) { return tokenize(line); });
+  auto pairs = words.map([](const std::string& w) {
+    return std::pair<std::string, std::uint64_t>(w, 1);
+  });
+  return dataflow::reduce_by_key(
+      pairs, [](std::uint64_t a, std::uint64_t b) { return a + b; }, nparts);
+}
+
+/// Single-threaded reference implementation.
+inline std::unordered_map<std::string, std::uint64_t> word_count_serial(
+    const std::vector<std::string>& lines) {
+  std::unordered_map<std::string, std::uint64_t> counts;
+  for (const auto& line : lines) {
+    for (auto& w : tokenize(line)) ++counts[std::move(w)];
+  }
+  return counts;
+}
+
+/// Lines containing `needle` (plain substring match).
+inline dataflow::Dataset<std::string> grep(const dataflow::Dataset<std::string>& lines,
+                                           std::string needle) {
+  return lines.filter([needle = std::move(needle)](const std::string& line) {
+    return line.find(needle) != std::string::npos;
+  });
+}
+
+}  // namespace hpbdc::algos

@@ -1,0 +1,108 @@
+#include "cluster/placement.hpp"
+
+#include <cmath>
+
+#include "common/stats.hpp"
+
+namespace hpbdc::cluster {
+
+const char* placement_policy_name(PlacementPolicy p) noexcept {
+  switch (p) {
+    case PlacementPolicy::kFirstFit: return "first-fit";
+    case PlacementPolicy::kBestFit: return "best-fit";
+    case PlacementPolicy::kWorstFit: return "worst-fit";
+    case PlacementPolicy::kRandom: return "random";
+  }
+  return "?";
+}
+
+std::optional<std::size_t> Placer::choose(const std::vector<Host>& hosts,
+                                          const VmSpec& vm) {
+  switch (policy_) {
+    case PlacementPolicy::kFirstFit: {
+      for (std::size_t i = 0; i < hosts.size(); ++i) {
+        if (hosts[i].can_host(vm)) return i;
+      }
+      return std::nullopt;
+    }
+    case PlacementPolicy::kBestFit: {
+      std::optional<std::size_t> best;
+      double best_leftover = 0;
+      for (std::size_t i = 0; i < hosts.size(); ++i) {
+        if (!hosts[i].can_host(vm)) continue;
+        // Leftover bottleneck capacity after hypothetical placement.
+        const auto fr = hosts[i].free();
+        const double cpu_left = (fr.cpu - vm.demand.cpu) /
+                                std::max(1.0, hosts[i].capacity().cpu);
+        const double ram_left =
+            static_cast<double>(fr.ram - vm.demand.ram) /
+            std::max<double>(1.0, static_cast<double>(hosts[i].capacity().ram));
+        const double leftover = std::max(cpu_left, ram_left);
+        if (!best || leftover < best_leftover) {
+          best = i;
+          best_leftover = leftover;
+        }
+      }
+      return best;
+    }
+    case PlacementPolicy::kWorstFit: {
+      std::optional<std::size_t> best;
+      double best_leftover = -1;
+      for (std::size_t i = 0; i < hosts.size(); ++i) {
+        if (!hosts[i].can_host(vm)) continue;
+        const auto fr = hosts[i].free();
+        const double cpu_left = (fr.cpu - vm.demand.cpu) /
+                                std::max(1.0, hosts[i].capacity().cpu);
+        const double ram_left =
+            static_cast<double>(fr.ram - vm.demand.ram) /
+            std::max<double>(1.0, static_cast<double>(hosts[i].capacity().ram));
+        const double leftover = std::min(cpu_left, ram_left);
+        if (leftover > best_leftover) {
+          best = i;
+          best_leftover = leftover;
+        }
+      }
+      return best;
+    }
+    case PlacementPolicy::kRandom: {
+      std::vector<std::size_t> feasible;
+      for (std::size_t i = 0; i < hosts.size(); ++i) {
+        if (hosts[i].can_host(vm)) feasible.push_back(i);
+      }
+      if (feasible.empty()) return std::nullopt;
+      return feasible[rng_.next_below(feasible.size())];
+    }
+  }
+  return std::nullopt;
+}
+
+PlacementResult Placer::place_all(std::vector<Host>& hosts,
+                                  const std::vector<VmSpec>& vms) {
+  PlacementResult res;
+  res.assignment.reserve(vms.size());
+  for (const auto& vm : vms) {
+    auto h = choose(hosts, vm);
+    if (h) {
+      hosts[*h].place(vm);
+      ++res.placed;
+    } else {
+      ++res.rejected;
+    }
+    res.assignment.push_back(h);
+  }
+  RunningStat loads;
+  RunningStat used_loads;
+  for (const auto& h : hosts) {
+    loads.add(h.load());
+    if (!h.vms().empty()) {
+      ++res.hosts_used;
+      used_loads.add(h.load());
+    }
+  }
+  res.mean_load = used_loads.mean();
+  res.max_load = loads.max();
+  res.load_stddev = loads.stddev();
+  return res;
+}
+
+}  // namespace hpbdc::cluster

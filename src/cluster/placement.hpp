@@ -1,0 +1,49 @@
+#pragma once
+// VM placement (online vector bin packing). Policies:
+//   FirstFit — lowest-id host with room (packs left, minimizes hosts used)
+//   BestFit  — feasible host with least remaining bottleneck capacity
+//   WorstFit — feasible host with most remaining capacity (load spreading)
+//   Random   — uniformly random feasible host (baseline)
+// place_all returns the assignment plus standard packing metrics.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "cluster/vm.hpp"
+#include "common/rng.hpp"
+
+namespace hpbdc::cluster {
+
+enum class PlacementPolicy { kFirstFit, kBestFit, kWorstFit, kRandom };
+
+const char* placement_policy_name(PlacementPolicy p) noexcept;
+
+struct PlacementResult {
+  /// host index per VM; nullopt = rejected (no feasible host).
+  std::vector<std::optional<std::size_t>> assignment;
+  std::size_t placed = 0;
+  std::size_t rejected = 0;
+  std::size_t hosts_used = 0;       // hosts with >=1 VM
+  double mean_load = 0.0;           // over used hosts
+  double max_load = 0.0;
+  double load_stddev = 0.0;         // imbalance measure over all hosts
+};
+
+class Placer {
+ public:
+  Placer(PlacementPolicy policy, std::uint64_t seed = 42)
+      : policy_(policy), rng_(seed) {}
+
+  /// Choose a host for one VM; nullopt if none fits. Does not mutate hosts.
+  std::optional<std::size_t> choose(const std::vector<Host>& hosts, const VmSpec& vm);
+
+  /// Place a stream of VMs onto hosts (mutating them), in order.
+  PlacementResult place_all(std::vector<Host>& hosts, const std::vector<VmSpec>& vms);
+
+ private:
+  PlacementPolicy policy_;
+  Rng rng_;
+};
+
+}  // namespace hpbdc::cluster

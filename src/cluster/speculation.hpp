@@ -1,0 +1,41 @@
+#pragma once
+// Speculative execution for MapReduce-style jobs (experiment F8): a job of
+// independent tasks runs on a cluster where some nodes are stragglers
+// (degraded to a fraction of nominal speed). Without mitigation, job
+// completion is gated by the slowest task instance; with speculation, a
+// backup copy of a slow task is launched on a free node once the task's
+// expected remaining time (at its node's speed) exceeds the typical task
+// duration by a threshold — the MapReduce/LATE policy shape. First copy to
+// finish wins; the other is killed.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace hpbdc::cluster {
+
+struct SpeculationConfig {
+  std::size_t nodes = 20;
+  std::size_t tasks = 200;
+  double task_work = 10.0;          // seconds at nominal speed
+  double task_work_cv = 0.2;        // per-task size variation (lognormal-ish)
+  double straggler_fraction = 0.1;  // fraction of nodes degraded
+  double straggler_speed = 0.2;     // degraded nodes run at this speed
+  bool speculate = true;
+  double speculation_threshold = 1.5;  // backup when remaining > thr * median task time
+  std::uint64_t seed = 1;
+};
+
+struct SpeculationResult {
+  double makespan = 0;
+  double total_node_seconds = 0;  // work actually executed (incl. killed copies)
+  std::size_t backups_launched = 0;
+  std::size_t backups_won = 0;    // backup finished before the original
+  double wasted_seconds = 0;      // execution time of losing copies
+};
+
+/// Run the job to completion under the configured policy.
+SpeculationResult simulate_speculation(const SpeculationConfig& cfg);
+
+}  // namespace hpbdc::cluster

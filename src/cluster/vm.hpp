@@ -1,0 +1,83 @@
+#pragma once
+// Host/VM capacity model used by placement and migration. Resources are
+// two-dimensional (CPU cores, RAM bytes); extending to more dimensions only
+// requires touching Resources.
+
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace hpbdc::cluster {
+
+struct Resources {
+  double cpu = 0;           // cores
+  std::uint64_t ram = 0;    // bytes
+
+  bool fits_in(const Resources& cap) const noexcept {
+    return cpu <= cap.cpu && ram <= cap.ram;
+  }
+  Resources& operator+=(const Resources& o) noexcept {
+    cpu += o.cpu;
+    ram += o.ram;
+    return *this;
+  }
+  Resources& operator-=(const Resources& o) noexcept {
+    cpu -= o.cpu;
+    ram -= o.ram;
+    return *this;
+  }
+};
+
+struct VmSpec {
+  std::uint64_t id = 0;
+  Resources demand;
+};
+
+class Host {
+ public:
+  Host(std::uint64_t id, Resources capacity) : id_(id), capacity_(capacity) {}
+
+  std::uint64_t id() const noexcept { return id_; }
+  const Resources& capacity() const noexcept { return capacity_; }
+  const Resources& used() const noexcept { return used_; }
+
+  Resources free() const noexcept {
+    return Resources{capacity_.cpu - used_.cpu, capacity_.ram - used_.ram};
+  }
+
+  bool can_host(const VmSpec& vm) const noexcept { return vm.demand.fits_in(free()); }
+
+  void place(const VmSpec& vm) {
+    if (!can_host(vm)) throw std::runtime_error("Host: capacity exceeded");
+    used_ += vm.demand;
+    vms_.push_back(vm.id);
+  }
+
+  void evict(const VmSpec& vm) {
+    auto it = std::find(vms_.begin(), vms_.end(), vm.id);
+    if (it == vms_.end()) throw std::runtime_error("Host: VM not present");
+    vms_.erase(it);
+    used_ -= vm.demand;
+  }
+
+  const std::vector<std::uint64_t>& vms() const noexcept { return vms_; }
+
+  /// Scalar load in [0,1]: max over resource dimensions (bottleneck view).
+  double load() const noexcept {
+    const double c = capacity_.cpu > 0 ? used_.cpu / capacity_.cpu : 0.0;
+    const double r = capacity_.ram > 0
+                         ? static_cast<double>(used_.ram) / static_cast<double>(capacity_.ram)
+                         : 0.0;
+    return c > r ? c : r;
+  }
+
+ private:
+  std::uint64_t id_;
+  Resources capacity_;
+  Resources used_{};
+  std::vector<std::uint64_t> vms_;
+};
+
+}  // namespace hpbdc::cluster

@@ -1,0 +1,104 @@
+#pragma once
+// Sharded concurrent hash map. Striped locking over S shards bounds
+// contention to 1/S of a single global lock; shard choice reuses the same
+// stable hash the shuffle partitioner uses so keys that collide here would
+// also co-locate in a shuffle (useful when reasoning about skew tests).
+
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/hash.hpp"
+
+namespace hpbdc {
+
+template <typename K, typename V, std::size_t Shards = 16>
+class ConcurrentMap {
+  static_assert((Shards & (Shards - 1)) == 0, "Shards must be a power of two");
+
+ public:
+  /// Insert or overwrite.
+  void put(const K& k, V v) {
+    auto& s = shard(k);
+    std::unique_lock lk(s.mu);
+    s.map[k] = std::move(v);
+  }
+
+  /// Insert only if absent; returns true on insert.
+  bool put_if_absent(const K& k, V v) {
+    auto& s = shard(k);
+    std::unique_lock lk(s.mu);
+    return s.map.emplace(k, std::move(v)).second;
+  }
+
+  std::optional<V> get(const K& k) const {
+    const auto& s = shard(k);
+    std::shared_lock lk(s.mu);
+    auto it = s.map.find(k);
+    if (it == s.map.end()) return std::nullopt;
+    return it->second;
+  }
+
+  bool contains(const K& k) const {
+    const auto& s = shard(k);
+    std::shared_lock lk(s.mu);
+    return s.map.contains(k);
+  }
+
+  bool erase(const K& k) {
+    auto& s = shard(k);
+    std::unique_lock lk(s.mu);
+    return s.map.erase(k) > 0;
+  }
+
+  /// Read-modify-write under the shard lock. fn receives a reference to the
+  /// (default-constructed if absent) mapped value.
+  template <typename Fn>
+  void update(const K& k, Fn&& fn) {
+    auto& s = shard(k);
+    std::unique_lock lk(s.mu);
+    fn(s.map[k]);
+  }
+
+  std::size_t size() const {
+    std::size_t n = 0;
+    for (const auto& s : shards_) {
+      std::shared_lock lk(s.mu);
+      n += s.map.size();
+    }
+    return n;
+  }
+
+  /// Snapshot all entries (consistent per shard, not globally atomic).
+  std::vector<std::pair<K, V>> entries() const {
+    std::vector<std::pair<K, V>> out;
+    for (const auto& s : shards_) {
+      std::shared_lock lk(s.mu);
+      out.insert(out.end(), s.map.begin(), s.map.end());
+    }
+    return out;
+  }
+
+  void clear() {
+    for (auto& s : shards_) {
+      std::unique_lock lk(s.mu);
+      s.map.clear();
+    }
+  }
+
+ private:
+  struct Shard {
+    mutable std::shared_mutex mu;
+    std::unordered_map<K, V> map;
+  };
+
+  Shard& shard(const K& k) { return shards_[Hasher<K>{}(k) & (Shards - 1)]; }
+  const Shard& shard(const K& k) const { return shards_[Hasher<K>{}(k) & (Shards - 1)]; }
+
+  mutable std::vector<Shard> shards_{Shards};
+};
+
+}  // namespace hpbdc

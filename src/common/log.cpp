@@ -1,0 +1,25 @@
+#include "common/log.hpp"
+
+#include <chrono>
+#include <cstdio>
+
+namespace hpbdc {
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::log(LogLevel lvl, std::string_view component, std::string_view msg) {
+  static constexpr const char* kNames[] = {"DEBUG", "INFO", "WARN", "ERROR"};
+  const auto now = std::chrono::duration_cast<std::chrono::milliseconds>(
+                       std::chrono::steady_clock::now().time_since_epoch())
+                       .count();
+  std::lock_guard lk(mu_);
+  std::fprintf(stderr, "[%10lld.%03lld] %-5s %.*s: %.*s\n",
+               static_cast<long long>(now / 1000), static_cast<long long>(now % 1000),
+               kNames[static_cast<int>(lvl)], static_cast<int>(component.size()),
+               component.data(), static_cast<int>(msg.size()), msg.data());
+}
+
+}  // namespace hpbdc

@@ -1,0 +1,51 @@
+#pragma once
+// Minimal leveled logger. Thread-safe line-at-a-time output; level filtering
+// is a relaxed atomic load so disabled log sites cost one branch.
+
+#include <atomic>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace hpbdc {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel lvl) noexcept { level_.store(static_cast<int>(lvl), std::memory_order_relaxed); }
+  LogLevel level() const noexcept { return static_cast<LogLevel>(level_.load(std::memory_order_relaxed)); }
+  bool enabled(LogLevel lvl) const noexcept { return static_cast<int>(lvl) >= level_.load(std::memory_order_relaxed); }
+
+  void log(LogLevel lvl, std::string_view component, std::string_view msg);
+
+ private:
+  Logger() = default;
+  std::atomic<int> level_{static_cast<int>(LogLevel::kWarn)};
+  std::mutex mu_;
+};
+
+namespace detail {
+template <typename... Args>
+std::string concat(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << std::forward<Args>(args));
+  return os.str();
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_at(LogLevel lvl, std::string_view component, Args&&... args) {
+  auto& lg = Logger::instance();
+  if (lg.enabled(lvl)) lg.log(lvl, component, detail::concat(std::forward<Args>(args)...));
+}
+
+#define HPBDC_LOG_DEBUG(component, ...) ::hpbdc::log_at(::hpbdc::LogLevel::kDebug, component, __VA_ARGS__)
+#define HPBDC_LOG_INFO(component, ...) ::hpbdc::log_at(::hpbdc::LogLevel::kInfo, component, __VA_ARGS__)
+#define HPBDC_LOG_WARN(component, ...) ::hpbdc::log_at(::hpbdc::LogLevel::kWarn, component, __VA_ARGS__)
+#define HPBDC_LOG_ERROR(component, ...) ::hpbdc::log_at(::hpbdc::LogLevel::kError, component, __VA_ARGS__)
+
+}  // namespace hpbdc

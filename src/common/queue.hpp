@@ -1,0 +1,140 @@
+#pragma once
+// Concurrent queues used by the execution engine and streaming sources:
+//  - MpmcQueue: bounded blocking multi-producer/multi-consumer queue
+//    (mutex+condvar; the contended fallback path of the scheduler).
+//  - SpscRing: lock-free single-producer/single-consumer ring buffer with
+//    acquire/release publication, used on hot streaming paths.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace hpbdc {
+
+/// Bounded blocking MPMC queue. close() wakes all waiters; pop() returns
+/// nullopt once the queue is closed and drained.
+template <typename T>
+class MpmcQueue {
+ public:
+  explicit MpmcQueue(std::size_t capacity = 0) : capacity_(capacity) {}
+
+  /// Blocks while full (if bounded). Returns false if the queue was closed.
+  bool push(T v) {
+    std::unique_lock lk(mu_);
+    not_full_.wait(lk, [&] { return closed_ || capacity_ == 0 || q_.size() < capacity_; });
+    if (closed_) return false;
+    q_.push_back(std::move(v));
+    lk.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push; false when full or closed.
+  bool try_push(T v) {
+    {
+      std::lock_guard lk(mu_);
+      if (closed_ || (capacity_ != 0 && q_.size() >= capacity_)) return false;
+      q_.push_back(std::move(v));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks while empty; nullopt once closed and drained.
+  std::optional<T> pop() {
+    std::unique_lock lk(mu_);
+    not_empty_.wait(lk, [&] { return closed_ || !q_.empty(); });
+    if (q_.empty()) return std::nullopt;
+    T v = std::move(q_.front());
+    q_.pop_front();
+    lk.unlock();
+    not_full_.notify_one();
+    return v;
+  }
+
+  std::optional<T> try_pop() {
+    std::unique_lock lk(mu_);
+    if (q_.empty()) return std::nullopt;
+    T v = std::move(q_.front());
+    q_.pop_front();
+    lk.unlock();
+    not_full_.notify_one();
+    return v;
+  }
+
+  void close() {
+    {
+      std::lock_guard lk(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard lk(mu_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard lk(mu_);
+    return q_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_, not_full_;
+  std::deque<T> q_;
+  std::size_t capacity_;
+  bool closed_ = false;
+};
+
+/// Lock-free SPSC ring. Capacity is rounded up to a power of two; one slot
+/// is sacrificed to distinguish full from empty.
+template <typename T>
+class SpscRing {
+ public:
+  explicit SpscRing(std::size_t capacity) {
+    std::size_t cap = 2;
+    while (cap < capacity + 1) cap <<= 1;
+    buf_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  bool try_push(T v) {
+    const auto head = head_.load(std::memory_order_relaxed);
+    const auto next = (head + 1) & mask_;
+    if (next == tail_.load(std::memory_order_acquire)) return false;  // full
+    buf_[head] = std::move(v);
+    head_.store(next, std::memory_order_release);
+    return true;
+  }
+
+  std::optional<T> try_pop() {
+    const auto tail = tail_.load(std::memory_order_relaxed);
+    if (tail == head_.load(std::memory_order_acquire)) return std::nullopt;  // empty
+    T v = std::move(buf_[tail]);
+    tail_.store((tail + 1) & mask_, std::memory_order_release);
+    return v;
+  }
+
+  bool empty() const {
+    return tail_.load(std::memory_order_acquire) ==
+           head_.load(std::memory_order_acquire);
+  }
+
+  std::size_t capacity() const noexcept { return buf_.size() - 1; }
+
+ private:
+  std::vector<T> buf_;
+  std::size_t mask_ = 0;
+  alignas(64) std::atomic<std::size_t> head_{0};
+  alignas(64) std::atomic<std::size_t> tail_{0};
+};
+
+}  // namespace hpbdc

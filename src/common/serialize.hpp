@@ -1,0 +1,194 @@
+#pragma once
+// Compact binary serialization used by the shuffle spill path, the simulated
+// network payloads, and the storage substrate. Little-endian, varint-coded
+// lengths. The format is framework-internal (not a wire standard), but is
+// stable within a build, which is all the simulator and tests require.
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+namespace hpbdc {
+
+using Bytes = std::vector<std::byte>;
+
+/// Append-only binary writer.
+class BufWriter {
+ public:
+  BufWriter() = default;
+  explicit BufWriter(std::size_t reserve) { buf_.reserve(reserve); }
+
+  const Bytes& bytes() const noexcept { return buf_; }
+  Bytes take() noexcept { return std::move(buf_); }
+  std::size_t size() const noexcept { return buf_.size(); }
+
+  void write_raw(const void* data, std::size_t len) {
+    const auto* p = static_cast<const std::byte*>(data);
+    buf_.insert(buf_.end(), p, p + len);
+  }
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void write_pod(const T& v) {
+    write_raw(&v, sizeof(T));
+  }
+
+  /// LEB128 unsigned varint.
+  void write_varint(std::uint64_t v) {
+    while (v >= 0x80) {
+      buf_.push_back(static_cast<std::byte>((v & 0x7f) | 0x80));
+      v >>= 7;
+    }
+    buf_.push_back(static_cast<std::byte>(v));
+  }
+
+  void write_string(std::string_view s) {
+    write_varint(s.size());
+    write_raw(s.data(), s.size());
+  }
+
+  void write_bytes(std::span<const std::byte> b) {
+    write_varint(b.size());
+    write_raw(b.data(), b.size());
+  }
+
+ private:
+  Bytes buf_;
+};
+
+/// Bounds-checked binary reader over a borrowed byte span.
+class BufReader {
+ public:
+  explicit BufReader(std::span<const std::byte> data) noexcept : data_(data) {}
+  explicit BufReader(const Bytes& data) noexcept : data_(data) {}
+
+  std::size_t remaining() const noexcept { return data_.size() - pos_; }
+  bool done() const noexcept { return pos_ == data_.size(); }
+
+  void read_raw(void* out, std::size_t len) {
+    require(len);
+    std::memcpy(out, data_.data() + pos_, len);
+    pos_ += len;
+  }
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  T read_pod() {
+    T v;
+    read_raw(&v, sizeof(T));
+    return v;
+  }
+
+  std::uint64_t read_varint() {
+    std::uint64_t v = 0;
+    int shift = 0;
+    while (true) {
+      require(1);
+      const auto b = static_cast<std::uint8_t>(data_[pos_++]);
+      if (shift >= 64 || (shift == 63 && (b & 0x7e) != 0)) {
+        throw std::runtime_error("varint overflow");
+      }
+      v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+      if ((b & 0x80) == 0) return v;
+      shift += 7;
+    }
+  }
+
+  std::string read_string() {
+    const auto len = read_varint();
+    require(len);
+    std::string s(reinterpret_cast<const char*>(data_.data() + pos_), len);
+    pos_ += len;
+    return s;
+  }
+
+  Bytes read_bytes() {
+    const auto len = read_varint();
+    require(len);
+    Bytes b(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+            data_.begin() + static_cast<std::ptrdiff_t>(pos_ + len));
+    pos_ += len;
+    return b;
+  }
+
+ private:
+  void require(std::uint64_t len) const {
+    if (len > remaining()) throw std::runtime_error("BufReader: truncated input");
+  }
+
+  std::span<const std::byte> data_;
+  std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Generic Serde<T>: the dataflow engine serializes records through this trait
+// when they cross a (simulated) machine boundary or a shuffle spill. Users
+// extend it by specializing Serde for their record types.
+// ---------------------------------------------------------------------------
+
+template <typename T, typename Enable = void>
+struct Serde;  // undefined primary: specializations below
+
+template <typename T>
+struct Serde<T, std::enable_if_t<std::is_arithmetic_v<T> || std::is_enum_v<T>>> {
+  static void write(BufWriter& w, const T& v) { w.write_pod(v); }
+  static T read(BufReader& r) { return r.read_pod<T>(); }
+};
+
+template <>
+struct Serde<std::string> {
+  static void write(BufWriter& w, const std::string& v) { w.write_string(v); }
+  static std::string read(BufReader& r) { return r.read_string(); }
+};
+
+template <typename A, typename B>
+struct Serde<std::pair<A, B>> {
+  static void write(BufWriter& w, const std::pair<A, B>& v) {
+    Serde<A>::write(w, v.first);
+    Serde<B>::write(w, v.second);
+  }
+  static std::pair<A, B> read(BufReader& r) {
+    A a = Serde<A>::read(r);
+    B b = Serde<B>::read(r);
+    return {std::move(a), std::move(b)};
+  }
+};
+
+template <typename T>
+struct Serde<std::vector<T>> {
+  static void write(BufWriter& w, const std::vector<T>& v) {
+    w.write_varint(v.size());
+    for (const auto& e : v) Serde<T>::write(w, e);
+  }
+  static std::vector<T> read(BufReader& r) {
+    const auto n = r.read_varint();
+    std::vector<T> v;
+    v.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) v.push_back(Serde<T>::read(r));
+    return v;
+  }
+};
+
+/// Serialize one value to a fresh byte buffer.
+template <typename T>
+Bytes to_bytes(const T& v) {
+  BufWriter w;
+  Serde<T>::write(w, v);
+  return w.take();
+}
+
+/// Deserialize one value that occupies the entire buffer.
+template <typename T>
+T from_bytes(std::span<const std::byte> b) {
+  BufReader r(b);
+  T v = Serde<T>::read(r);
+  if (!r.done()) throw std::runtime_error("from_bytes: trailing garbage");
+  return v;
+}
+
+}  // namespace hpbdc

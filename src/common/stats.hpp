@@ -1,0 +1,177 @@
+#pragma once
+// Statistics primitives used by every benchmark and by the simulator's
+// metric collection: Welford running moments, an HdrHistogram-style
+// log-bucketed histogram for latency percentiles, and a tiny fixed-format
+// table printer so bench binaries emit aligned, diff-able rows.
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace hpbdc {
+
+/// Numerically stable running mean/variance (Welford) with min/max.
+class RunningStat {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = n_ == 1 ? x : std::min(min_, x);
+    max_ = n_ == 1 ? x : std::max(max_, x);
+    sum_ += x;
+  }
+
+  std::uint64_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  double sum() const noexcept { return sum_; }
+  double variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const noexcept { return std::sqrt(variance()); }
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+
+  void merge(const RunningStat& o) noexcept {
+    if (o.n_ == 0) return;
+    if (n_ == 0) { *this = o; return; }
+    const double delta = o.mean_ - mean_;
+    const auto n = static_cast<double>(n_ + o.n_);
+    m2_ += o.m2_ + delta * delta * static_cast<double>(n_) *
+                       static_cast<double>(o.n_) / n;
+    mean_ += delta * static_cast<double>(o.n_) / n;
+    n_ += o.n_;
+    min_ = std::min(min_, o.min_);
+    max_ = std::max(max_, o.max_);
+    sum_ += o.sum_;
+  }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0, m2_ = 0.0, min_ = 0.0, max_ = 0.0, sum_ = 0.0;
+};
+
+/// Log-bucketed histogram for non-negative values (latencies, sizes).
+/// Buckets are powers of two subdivided into 16 linear sub-buckets, giving
+/// ~6% relative error on percentile queries over a 2^0..2^62 range.
+class Histogram {
+ public:
+  void add(double v) noexcept {
+    if (v < 0) v = 0;
+    stat_.add(v);
+    buckets_[index(v)]++;
+  }
+
+  std::uint64_t count() const noexcept { return stat_.count(); }
+  double mean() const noexcept { return stat_.mean(); }
+  double max() const noexcept { return stat_.max(); }
+  double min() const noexcept { return stat_.min(); }
+
+  /// Value at quantile q in [0,1]; returns bucket upper bound.
+  double quantile(double q) const noexcept {
+    if (stat_.count() == 0) return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    const auto target = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(stat_.count())));
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+      seen += buckets_[i];
+      if (seen >= target && buckets_[i] > 0) return upper_bound(i);
+    }
+    return stat_.max();
+  }
+
+  double p50() const noexcept { return quantile(0.50); }
+  double p90() const noexcept { return quantile(0.90); }
+  double p99() const noexcept { return quantile(0.99); }
+
+  void merge(const Histogram& o) noexcept {
+    stat_.merge(o.stat_);
+    for (std::size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += o.buckets_[i];
+  }
+
+ private:
+  static constexpr int kSubBits = 4;                      // 16 sub-buckets
+  static constexpr int kExpBuckets = 63;
+  static constexpr std::size_t kNumBuckets = kExpBuckets << kSubBits;
+
+  // Bucket layout: values < 2^kSubBits map directly (idx = value); a value
+  // with most-significant bit `msb` lands in the 16-slot group for octave
+  // [2^msb, 2^(msb+1)), subdivided linearly. Group g >= 1 starts at index
+  // g << kSubBits with msb = g + kSubBits - 1.
+  static std::size_t index(double v) noexcept {
+    const auto u = static_cast<std::uint64_t>(v);
+    if (u < (1ULL << kSubBits)) return static_cast<std::size_t>(u);
+    const int msb = 63 - __builtin_clzll(u);
+    const int shift = msb - kSubBits;
+    const auto sub = static_cast<std::size_t>((u >> shift) & ((1ULL << kSubBits) - 1));
+    const auto group = static_cast<std::size_t>(msb - kSubBits + 1);
+    return std::min((group << kSubBits) | sub, kNumBuckets - 1);
+  }
+
+  static double upper_bound(std::size_t idx) noexcept {
+    const auto group = idx >> kSubBits;
+    const auto sub = idx & ((1ULL << kSubBits) - 1);
+    if (group == 0) return static_cast<double>(sub);
+    const int msb = static_cast<int>(group) + kSubBits - 1;
+    const std::uint64_t base = 1ULL << msb;
+    const std::uint64_t step = base >> kSubBits;
+    return static_cast<double>(base + (sub + 1) * step - 1);
+  }
+
+  RunningStat stat_;
+  std::array<std::uint64_t, kNumBuckets> buckets_{};
+};
+
+/// Minimal aligned-column table printer for benchmark reports.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+  Table& row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+    return *this;
+  }
+
+  /// Format a double with fixed precision — convenience for row building.
+  static std::string num(double v, int prec = 2) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(prec) << v;
+    return os.str();
+  }
+
+  void print(std::ostream& os) const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+    for (const auto& r : rows_) {
+      for (std::size_t c = 0; c < r.size() && c < widths.size(); ++c) {
+        widths[c] = std::max(widths[c], r[c].size());
+      }
+    }
+    auto line = [&](const std::vector<std::string>& cells) {
+      for (std::size_t c = 0; c < widths.size(); ++c) {
+        os << std::left << std::setw(static_cast<int>(widths[c]) + 2)
+           << (c < cells.size() ? cells[c] : "");
+      }
+      os << '\n';
+    };
+    line(headers_);
+    std::string sep;
+    for (auto w : widths) sep += std::string(w, '-') + "  ";
+    os << sep << '\n';
+    for (const auto& r : rows_) line(r);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hpbdc

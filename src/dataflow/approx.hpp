@@ -1,0 +1,108 @@
+#pragma once
+// Approximate aggregations on Datasets, built from the sketches in
+// common/sketch.hpp: per-partition sketches computed in parallel, merged on
+// the driver — the standard "approx_count_distinct" / heavy-hitters path of
+// big-data engines, trading bounded error for constant memory.
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "common/serialize.hpp"
+#include "common/sketch.hpp"
+#include "dataflow/dataset.hpp"
+
+namespace hpbdc::dataflow {
+
+/// Approximate number of distinct elements (HyperLogLog): relative error
+/// ~1.04/sqrt(2^precision), constant memory, single pass.
+template <typename T>
+double approx_distinct(const Dataset<T>& ds, int precision = 12) {
+  const auto& parts = ds.partitions();
+  std::vector<HyperLogLog> local(parts.size(), HyperLogLog(precision));
+  parallel_for(ds.context().pool(), 0, parts.size(), [&](std::size_t p) {
+    for (const auto& v : parts[p]) local[p].add(Hasher<T>{}(v));
+  });
+  HyperLogLog merged(precision);
+  for (const auto& h : local) merged.merge(h);
+  return merged.estimate();
+}
+
+struct HeavyHitter {
+  std::uint64_t key_hash = 0;
+  std::uint64_t estimate = 0;  // upper bound on the true count
+};
+
+/// Approximate heavy hitters via count-min: every element with true count
+/// >= threshold appears in the result (no false negatives); counts are
+/// one-sided overestimates. Returns (key hash, estimate) pairs because the
+/// sketch cannot invert hashes; callers join back against candidate keys.
+template <typename T>
+std::vector<HeavyHitter> approx_heavy_hitters(const Dataset<T>& ds,
+                                              std::uint64_t threshold,
+                                              double eps = 0.0005) {
+  const auto& parts = ds.partitions();
+  std::vector<CountMinSketch> local(parts.size(), CountMinSketch(eps, 0.01));
+  // Candidate tracking: any element whose *local* estimate crosses the
+  // scaled threshold is a candidate; exact membership is resolved on the
+  // merged sketch. A per-partition candidate set bounds memory.
+  std::vector<std::unordered_set<std::uint64_t>> candidates(parts.size());
+  parallel_for(ds.context().pool(), 0, parts.size(), [&](std::size_t p) {
+    const std::uint64_t local_thr =
+        std::max<std::uint64_t>(1, threshold / (parts.size() + 1));
+    for (const auto& v : parts[p]) {
+      const auto h = Hasher<T>{}(v);
+      local[p].add(h);
+      if (local[p].estimate(h) >= local_thr) candidates[p].insert(h);
+    }
+  });
+  CountMinSketch merged = local.empty() ? CountMinSketch(eps, 0.01) : local[0];
+  for (std::size_t p = 1; p < local.size(); ++p) merged.merge(local[p]);
+
+  std::vector<HeavyHitter> out;
+  std::vector<std::uint64_t> all;
+  for (auto& c : candidates) all.insert(all.end(), c.begin(), c.end());
+  std::sort(all.begin(), all.end());
+  all.erase(std::unique(all.begin(), all.end()), all.end());
+  for (auto h : all) {
+    const auto est = merged.estimate(h);
+    if (est >= threshold) out.push_back(HeavyHitter{h, est});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const HeavyHitter& a, const HeavyHitter& b) {
+              return a.estimate > b.estimate;
+            });
+  return out;
+}
+
+/// Serialize every partition of a dataset (the spill/checkpoint path).
+/// Requires Serde<T>.
+template <typename T>
+std::vector<Bytes> spill(const Dataset<T>& ds) {
+  const auto& parts = ds.partitions();
+  std::vector<Bytes> out(parts.size());
+  parallel_for(ds.context().pool(), 0, parts.size(), [&](std::size_t p) {
+    BufWriter w;
+    Serde<std::vector<T>>::write(w, parts[p]);
+    out[p] = w.take();
+  });
+  return out;
+}
+
+/// Rehydrate a dataset spilled with spill(). Partition structure is
+/// preserved exactly.
+template <typename T>
+Dataset<T> restore(Context& ctx, const std::vector<Bytes>& blobs) {
+  auto shared = std::make_shared<std::vector<Bytes>>(blobs);
+  Context* c = &ctx;
+  return Dataset<T>::from_thunk(ctx, [c, shared]() {
+    Partitions<T> parts(shared->size());
+    parallel_for(c->pool(), 0, shared->size(), [&](std::size_t p) {
+      BufReader r((*shared)[p]);
+      parts[p] = Serde<std::vector<T>>::read(r);
+    });
+    return parts;
+  });
+}
+
+}  // namespace hpbdc::dataflow

@@ -1,0 +1,250 @@
+#include "dataflow/column.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+namespace hpbdc::dataflow::columnar {
+
+namespace {
+
+template <typename T>
+bool compare(CmpOp op, T lhs, T rhs) {
+  switch (op) {
+    case CmpOp::kEq: return lhs == rhs;
+    case CmpOp::kNe: return lhs != rhs;
+    case CmpOp::kLt: return lhs < rhs;
+    case CmpOp::kLe: return lhs <= rhs;
+    case CmpOp::kGt: return lhs > rhs;
+    case CmpOp::kGe: return lhs >= rhs;
+  }
+  return false;
+}
+
+struct AggState {
+  double sum = 0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+  std::uint64_t count = 0;
+
+  void add(double v) noexcept {
+    sum += v;
+    min = std::min(min, v);
+    max = std::max(max, v);
+    ++count;
+  }
+  void merge(const AggState& o) noexcept {
+    sum += o.sum;
+    min = std::min(min, o.min);
+    max = std::max(max, o.max);
+    count += o.count;
+  }
+  double finish(AggOp op) const noexcept {
+    switch (op) {
+      case AggOp::kSum: return sum;
+      case AggOp::kCount: return static_cast<double>(count);
+      case AggOp::kMin: return count ? min : 0;
+      case AggOp::kMax: return count ? max : 0;
+      case AggOp::kAvg: return count ? sum / static_cast<double>(count) : 0;
+    }
+    return 0;
+  }
+};
+
+}  // namespace
+
+Selection Table::scan(Executor& pool, const std::vector<Predicate>& predicates) const {
+  // Resolve each predicate to a typed column-wise filter ONCE, so the per-
+  // row loop is a tight typed comparison over contiguous column storage
+  // (the vectorized-execution property that makes columnar scans memory-
+  // bound instead of dispatch-bound).
+  //
+  // first(lo, hi, out): append matching rows of [lo, hi) to out.
+  // refine(sel): keep only matching rows of sel, in place.
+  using FirstFn = std::function<void(std::uint32_t, std::uint32_t, Selection&)>;
+  using RefineFn = std::function<void(Selection&)>;
+  std::vector<FirstFn> firsts;
+  std::vector<RefineFn> refines;
+
+  auto make_filters = [&](const Predicate& p, bool is_first) {
+    const Column& c = column(p.column);
+    auto emit = [&](auto&& match) {
+      using Match = std::decay_t<decltype(match)>;
+      if (is_first) {
+        firsts.push_back([match = Match(match)](std::uint32_t lo, std::uint32_t hi,
+                                                Selection& out) {
+          for (std::uint32_t row = lo; row < hi; ++row) {
+            if (match(row)) out.push_back(row);
+          }
+        });
+      } else {
+        refines.push_back([match = Match(match)](Selection& sel) {
+          std::size_t w = 0;
+          for (std::size_t i = 0; i < sel.size(); ++i) {
+            if (match(sel[i])) sel[w++] = sel[i];
+          }
+          sel.resize(w);
+        });
+      }
+    };
+    switch (c.type()) {
+      case ColumnType::kInt64: {
+        const auto* data = c.ints().data();
+        const auto op = p.op;
+        const auto v = p.int_value;
+        emit([data, op, v](std::uint32_t row) { return compare(op, data[row], v); });
+        break;
+      }
+      case ColumnType::kDouble: {
+        const auto* data = c.doubles().data();
+        const auto op = p.op;
+        const auto v = p.double_value;
+        emit([data, op, v](std::uint32_t row) { return compare(op, data[row], v); });
+        break;
+      }
+      case ColumnType::kString: {
+        if (p.op != CmpOp::kEq && p.op != CmpOp::kNe) {
+          throw std::invalid_argument("Table: string predicates support ==/!= only");
+        }
+        const auto* codes = c.strings().codes.data();
+        const auto code = c.strings().code_of(p.string_value);
+        const bool want_eq = p.op == CmpOp::kEq;
+        // Absent dictionary entry: == matches nothing, != matches all.
+        const std::uint32_t target = code.value_or(~std::uint32_t{0});
+        emit([codes, target, want_eq](std::uint32_t row) {
+          return (codes[row] == target) == want_eq;
+        });
+        break;
+      }
+    }
+  };
+  for (std::size_t i = 0; i < predicates.size(); ++i) {
+    make_filters(predicates[i], i == 0);
+  }
+
+  // Chunked parallel scan with per-chunk outputs, concatenated in order so
+  // the selection stays sorted.
+  const std::size_t n = rows_;
+  const std::size_t threads = pool.num_threads();
+  const std::size_t chunk = std::max<std::size_t>(4096, (n + threads * 4) / (threads * 4 + 1));
+  const std::size_t nchunks = n == 0 ? 0 : (n + chunk - 1) / chunk;
+  std::vector<Selection> partial(nchunks);
+  parallel_for(pool, 0, nchunks, [&](std::size_t ci) {
+    const auto lo = static_cast<std::uint32_t>(ci * chunk);
+    const auto hi = static_cast<std::uint32_t>(std::min(ci * chunk + chunk, n));
+    auto& out = partial[ci];
+    if (firsts.empty()) {
+      out.reserve(hi - lo);
+      for (std::uint32_t row = lo; row < hi; ++row) out.push_back(row);
+    } else {
+      firsts[0](lo, hi, out);
+      for (const auto& refine : refines) {
+        if (out.empty()) break;
+        refine(out);
+      }
+    }
+  });
+  Selection sel;
+  std::size_t total = 0;
+  for (const auto& p : partial) total += p.size();
+  sel.reserve(total);
+  for (const auto& p : partial) sel.insert(sel.end(), p.begin(), p.end());
+  return sel;
+}
+
+AggResult Table::aggregate(Executor& pool, const std::string& group_column,
+                           const std::string& agg_column, AggOp op,
+                           const Selection& sel) const {
+  const Column& gcol = column(group_column);
+  const Column* acol = op == AggOp::kCount ? nullptr : &column(agg_column);
+
+  const std::size_t threads = pool.num_threads();
+  const std::size_t nchunks = std::max<std::size_t>(1, threads * 4);
+  const std::size_t chunk = (sel.size() + nchunks - 1) / std::max<std::size_t>(1, nchunks);
+  std::vector<std::unordered_map<std::uint64_t, AggState>> partial(
+      chunk == 0 ? 1 : (sel.size() + chunk - 1) / std::max<std::size_t>(1, chunk));
+  if (!sel.empty()) {
+    parallel_for(pool, 0, partial.size(), [&](std::size_t ci) {
+      const std::size_t lo = ci * chunk;
+      const std::size_t hi = std::min(lo + chunk, sel.size());
+      auto& local = partial[ci];
+      for (std::size_t i = lo; i < hi; ++i) {
+        const std::size_t row = sel[i];
+        const double v = acol != nullptr ? acol->as_double(row) : 0.0;
+        local[gcol.group_key(row)].add(v);
+      }
+    });
+  }
+  std::unordered_map<std::uint64_t, AggState> merged;
+  for (const auto& local : partial) {
+    for (const auto& [k, st] : local) merged[k].merge(st);
+  }
+
+  AggResult res;
+  res.raw_keys.reserve(merged.size());
+  for (const auto& [k, st] : merged) res.raw_keys.push_back(k);
+  std::sort(res.raw_keys.begin(), res.raw_keys.end());
+  res.keys.reserve(merged.size());
+  res.values.reserve(merged.size());
+  for (auto k : res.raw_keys) {
+    res.keys.push_back(gcol.key_to_string(k));
+    res.values.push_back(merged[k].finish(op));
+  }
+  return res;
+}
+
+double Table::aggregate_scalar(Executor& pool, const std::string& agg_column, AggOp op,
+                               const Selection& sel) const {
+  const Column* acol = op == AggOp::kCount ? nullptr : &column(agg_column);
+  if (op == AggOp::kCount) return static_cast<double>(sel.size());
+  const std::size_t nchunks = std::max<std::size_t>(1, pool.num_threads() * 4);
+  const std::size_t chunk = (sel.size() + nchunks - 1) / nchunks;
+  std::vector<AggState> partial(chunk == 0 ? 1 : (sel.size() + chunk - 1) / chunk);
+  if (!sel.empty()) {
+    parallel_for(pool, 0, partial.size(), [&](std::size_t ci) {
+      const std::size_t lo = ci * chunk;
+      const std::size_t hi = std::min(lo + chunk, sel.size());
+      for (std::size_t i = lo; i < hi; ++i) {
+        partial[ci].add(acol->as_double(sel[i]));
+      }
+    });
+  }
+  AggState all;
+  for (const auto& p : partial) all.merge(p);
+  return all.finish(op);
+}
+
+Table Table::materialize(const std::vector<std::string>& names,
+                         const Selection& sel) const {
+  Table out;
+  for (const auto& name : names) {
+    const Column& c = column(name);
+    switch (c.type()) {
+      case ColumnType::kInt64: {
+        std::vector<std::int64_t> v;
+        v.reserve(sel.size());
+        for (auto r : sel) v.push_back(c.ints()[r]);
+        out.add_column(name, Column::int64(std::move(v)));
+        break;
+      }
+      case ColumnType::kDouble: {
+        std::vector<double> v;
+        v.reserve(sel.size());
+        for (auto r : sel) v.push_back(c.doubles()[r]);
+        out.add_column(name, Column::f64(std::move(v)));
+        break;
+      }
+      case ColumnType::kString: {
+        std::vector<std::string> v;
+        v.reserve(sel.size());
+        const auto& d = c.strings();
+        for (auto r : sel) v.push_back(d.dict[d.codes[r]]);
+        out.add_column(name, Column::string(v));
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace hpbdc::dataflow::columnar

@@ -1,0 +1,29 @@
+#pragma once
+// Execution context for the batch dataflow engine: binds datasets to an
+// Executor and carries engine-wide defaults. One Context typically lives
+// for the duration of an application ("driver" in Spark terms).
+
+#include <cstddef>
+
+#include "exec/executor.hpp"
+
+namespace hpbdc::dataflow {
+
+class Context {
+ public:
+  /// default_partitions == 0 selects 4 partitions per pool thread, which
+  /// gives the work-stealing scheduler enough slack to absorb skew.
+  explicit Context(Executor& pool, std::size_t default_partitions = 0)
+      : pool_(pool),
+        default_partitions_(default_partitions != 0 ? default_partitions
+                                                    : pool.num_threads() * 4) {}
+
+  Executor& pool() const noexcept { return pool_; }
+  std::size_t default_partitions() const noexcept { return default_partitions_; }
+
+ private:
+  Executor& pool_;
+  std::size_t default_partitions_;
+};
+
+}  // namespace hpbdc::dataflow

@@ -1,0 +1,300 @@
+#pragma once
+// Key-value operations over Dataset<std::pair<K, V>>: the wide
+// transformations (reduce_by_key, group_by_key, joins, cogroup) built on
+// hash_shuffle, plus narrow conveniences (map_values, keys, values) and
+// aggregate actions (count_by_key, top_k_by_value). All are lazy except the
+// actions, matching dataset.hpp semantics.
+
+#include <optional>
+#include <queue>
+#include <unordered_map>
+
+#include "dataflow/dataset.hpp"
+#include "dataflow/shuffle.hpp"
+
+namespace hpbdc::dataflow {
+
+/// Merge all values per key with an associative combine. One output record
+/// per distinct key; map-side combining is on by default.
+template <typename K, typename V, typename Combine>
+Dataset<std::pair<K, V>> reduce_by_key(const Dataset<std::pair<K, V>>& ds,
+                                       Combine combine, std::size_t nparts = 0,
+                                       bool map_side_combine = true) {
+  Context& ctx = ds.context();
+  const std::size_t n = nparts != 0 ? nparts : ctx.default_partitions();
+  return Dataset<std::pair<K, V>>::from_thunk(ctx, [ds, combine, n, map_side_combine]() {
+    return combining_shuffle(ds.context().pool(), ds.partitions(), n, combine,
+                             map_side_combine);
+  });
+}
+
+/// Gather all values per key: (k, [v...]). No map-side combine possible.
+template <typename K, typename V>
+Dataset<std::pair<K, std::vector<V>>> group_by_key(const Dataset<std::pair<K, V>>& ds,
+                                                   std::size_t nparts = 0) {
+  Context& ctx = ds.context();
+  const std::size_t n = nparts != 0 ? nparts : ctx.default_partitions();
+  return Dataset<std::pair<K, std::vector<V>>>::from_thunk(ctx, [ds, n]() {
+    auto shuffled = hash_shuffle(ds.context().pool(), ds.partitions(), n);
+    Partitions<std::pair<K, std::vector<V>>> out(shuffled.size());
+    parallel_for(ds.context().pool(), 0, shuffled.size(), [&](std::size_t p) {
+      std::unordered_map<K, std::vector<V>, Hasher<K>> groups;
+      for (auto& kv : shuffled[p]) {
+        groups[kv.first].push_back(std::move(kv.second));
+      }
+      out[p].assign(std::make_move_iterator(groups.begin()),
+                    std::make_move_iterator(groups.end()));
+    });
+    return out;
+  });
+}
+
+template <typename K, typename V, typename Fn,
+          typename U = std::invoke_result_t<Fn, const V&>>
+Dataset<std::pair<K, U>> map_values(const Dataset<std::pair<K, V>>& ds, Fn fn) {
+  return ds.map([fn](const std::pair<K, V>& kv) {
+    return std::pair<K, U>(kv.first, fn(kv.second));
+  });
+}
+
+template <typename K, typename V>
+Dataset<K> keys(const Dataset<std::pair<K, V>>& ds) {
+  return ds.map([](const std::pair<K, V>& kv) { return kv.first; });
+}
+
+template <typename K, typename V>
+Dataset<V> values(const Dataset<std::pair<K, V>>& ds) {
+  return ds.map([](const std::pair<K, V>& kv) { return kv.second; });
+}
+
+/// Inner hash join: one output record per matching (left, right) pair.
+/// Both sides are co-partitioned by key hash, then each partition builds a
+/// hash table on the right side and streams the left side through it.
+template <typename K, typename V, typename W>
+Dataset<std::pair<K, std::pair<V, W>>> join(const Dataset<std::pair<K, V>>& left,
+                                            const Dataset<std::pair<K, W>>& right,
+                                            std::size_t nparts = 0) {
+  Context& ctx = left.context();
+  const std::size_t n = nparts != 0 ? nparts : ctx.default_partitions();
+  using Out = std::pair<K, std::pair<V, W>>;
+  return Dataset<Out>::from_thunk(ctx, [left, right, n]() {
+    Executor& pool = left.context().pool();
+    auto l = hash_shuffle(pool, left.partitions(), n);
+    auto r = hash_shuffle(pool, right.partitions(), n);
+    Partitions<Out> out(n);
+    parallel_for(pool, 0, n, [&](std::size_t p) {
+      std::unordered_multimap<K, W, Hasher<K>> table;
+      table.reserve(r[p].size());
+      for (auto& kv : r[p]) table.emplace(kv.first, std::move(kv.second));
+      for (const auto& kv : l[p]) {
+        auto [lo, hi] = table.equal_range(kv.first);
+        for (auto it = lo; it != hi; ++it) {
+          out[p].emplace_back(kv.first, std::make_pair(kv.second, it->second));
+        }
+      }
+    });
+    return out;
+  });
+}
+
+/// Left outer join: right side is optional.
+template <typename K, typename V, typename W>
+Dataset<std::pair<K, std::pair<V, std::optional<W>>>> left_outer_join(
+    const Dataset<std::pair<K, V>>& left, const Dataset<std::pair<K, W>>& right,
+    std::size_t nparts = 0) {
+  Context& ctx = left.context();
+  const std::size_t n = nparts != 0 ? nparts : ctx.default_partitions();
+  using Out = std::pair<K, std::pair<V, std::optional<W>>>;
+  return Dataset<Out>::from_thunk(ctx, [left, right, n]() {
+    Executor& pool = left.context().pool();
+    auto l = hash_shuffle(pool, left.partitions(), n);
+    auto r = hash_shuffle(pool, right.partitions(), n);
+    Partitions<Out> out(n);
+    parallel_for(pool, 0, n, [&](std::size_t p) {
+      std::unordered_multimap<K, W, Hasher<K>> table;
+      table.reserve(r[p].size());
+      for (auto& kv : r[p]) table.emplace(kv.first, std::move(kv.second));
+      for (const auto& kv : l[p]) {
+        auto [lo, hi] = table.equal_range(kv.first);
+        if (lo == hi) {
+          out[p].emplace_back(kv.first, std::make_pair(kv.second, std::nullopt));
+        } else {
+          for (auto it = lo; it != hi; ++it) {
+            out[p].emplace_back(kv.first,
+                                std::make_pair(kv.second, std::optional<W>(it->second)));
+          }
+        }
+      }
+    });
+    return out;
+  });
+}
+
+/// Cogroup: (k, ([v...], [w...])) for every key present on either side.
+template <typename K, typename V, typename W>
+Dataset<std::pair<K, std::pair<std::vector<V>, std::vector<W>>>> cogroup(
+    const Dataset<std::pair<K, V>>& left, const Dataset<std::pair<K, W>>& right,
+    std::size_t nparts = 0) {
+  Context& ctx = left.context();
+  const std::size_t n = nparts != 0 ? nparts : ctx.default_partitions();
+  using Out = std::pair<K, std::pair<std::vector<V>, std::vector<W>>>;
+  return Dataset<Out>::from_thunk(ctx, [left, right, n]() {
+    Executor& pool = left.context().pool();
+    auto l = hash_shuffle(pool, left.partitions(), n);
+    auto r = hash_shuffle(pool, right.partitions(), n);
+    Partitions<Out> out(n);
+    parallel_for(pool, 0, n, [&](std::size_t p) {
+      std::unordered_map<K, std::pair<std::vector<V>, std::vector<W>>, Hasher<K>> groups;
+      for (auto& kv : l[p]) groups[kv.first].first.push_back(std::move(kv.second));
+      for (auto& kv : r[p]) groups[kv.first].second.push_back(std::move(kv.second));
+      out[p].assign(std::make_move_iterator(groups.begin()),
+                    std::make_move_iterator(groups.end()));
+    });
+    return out;
+  });
+}
+
+/// Sort-merge join: both sides are range-partitioned and sorted by key,
+/// then each co-partition pair is merged. Same output as the hash `join`,
+/// but the result is globally key-ordered and per-partition memory is
+/// bounded by the run length of one key — the strategy engines pick when
+/// the build side exceeds memory. Requires K to be totally ordered.
+template <typename K, typename V, typename W>
+Dataset<std::pair<K, std::pair<V, W>>> sort_merge_join(
+    const Dataset<std::pair<K, V>>& left, const Dataset<std::pair<K, W>>& right,
+    std::size_t nparts = 0) {
+  Context& ctx = left.context();
+  const std::size_t n = nparts != 0 ? nparts : ctx.default_partitions();
+  using Out = std::pair<K, std::pair<V, W>>;
+  return Dataset<Out>::from_thunk(ctx, [left, right, n]() {
+    Executor& pool = left.context().pool();
+    // Co-partition by key hash (any consistent partitioning works; hash
+    // keeps the splitter logic out of the join), then sort per partition.
+    auto l = hash_shuffle(pool, left.partitions(), n);
+    auto r = hash_shuffle(pool, right.partitions(), n);
+    Partitions<Out> out(n);
+    parallel_for(pool, 0, n, [&](std::size_t p) {
+      auto by_key = [](const auto& a, const auto& b) { return a.first < b.first; };
+      std::sort(l[p].begin(), l[p].end(), by_key);
+      std::sort(r[p].begin(), r[p].end(), by_key);
+      std::size_t i = 0, j = 0;
+      while (i < l[p].size() && j < r[p].size()) {
+        if (l[p][i].first < r[p][j].first) {
+          ++i;
+        } else if (r[p][j].first < l[p][i].first) {
+          ++j;
+        } else {
+          // Equal-key runs: emit the cross product.
+          const K& key = l[p][i].first;
+          std::size_t i_end = i, j_end = j;
+          while (i_end < l[p].size() && !(key < l[p][i_end].first)) ++i_end;
+          while (j_end < r[p].size() && !(key < r[p][j_end].first)) ++j_end;
+          for (std::size_t a = i; a < i_end; ++a) {
+            for (std::size_t b = j; b < j_end; ++b) {
+              out[p].emplace_back(key, std::make_pair(l[p][a].second, r[p][b].second));
+            }
+          }
+          i = i_end;
+          j = j_end;
+        }
+      }
+    });
+    return out;
+  });
+}
+
+/// Skew-resistant reduce_by_key: keys are salted with a per-record suffix
+/// so a single hot key spreads over `salts` reducers (phase 1), then the
+/// partial aggregates are combined per original key (phase 2). Costs one
+/// extra (tiny) shuffle; wins when one key dominates a partition.
+template <typename K, typename V, typename Combine>
+Dataset<std::pair<K, V>> salted_reduce_by_key(const Dataset<std::pair<K, V>>& ds,
+                                              Combine combine, std::size_t salts = 16,
+                                              std::size_t nparts = 0) {
+  if (salts == 0) salts = 1;
+  using Salted = std::pair<K, std::uint32_t>;
+  auto salted = ds.map_partitions([salts](const std::vector<std::pair<K, V>>& part) {
+    std::vector<std::pair<Salted, V>> out;
+    out.reserve(part.size());
+    std::uint32_t i = 0;
+    for (const auto& kv : part) {
+      out.emplace_back(Salted(kv.first, i++ % salts), kv.second);
+    }
+    return out;
+  });
+  auto phase1 = reduce_by_key(salted, combine, nparts);
+  auto stripped = phase1.map([](const std::pair<Salted, V>& kv) {
+    return std::pair<K, V>(kv.first.first, kv.second);
+  });
+  return reduce_by_key(stripped, combine, nparts);
+}
+
+/// Map-side (broadcast) join: the right side is collected into one hash
+/// table shared by every left partition — no shuffle of the left side at
+/// all. Only correct use: `right` small enough to hold in memory once.
+template <typename K, typename V, typename W>
+Dataset<std::pair<K, std::pair<V, W>>> broadcast_join(
+    const Dataset<std::pair<K, V>>& left, const Dataset<std::pair<K, W>>& right) {
+  Context& ctx = left.context();
+  using Out = std::pair<K, std::pair<V, W>>;
+  return Dataset<Out>::from_thunk(ctx, [left, right]() {
+    auto table = std::make_shared<std::unordered_multimap<K, W, Hasher<K>>>();
+    for (const auto& part : right.partitions()) {
+      for (const auto& kv : part) table->emplace(kv.first, kv.second);
+    }
+    const auto& in = left.partitions();
+    Partitions<Out> out(in.size());
+    parallel_for(left.context().pool(), 0, in.size(), [&](std::size_t p) {
+      for (const auto& kv : in[p]) {
+        auto [lo, hi] = table->equal_range(kv.first);
+        for (auto it = lo; it != hi; ++it) {
+          out[p].emplace_back(kv.first, std::make_pair(kv.second, it->second));
+        }
+      }
+    });
+    return out;
+  });
+}
+
+/// Action: count occurrences of each key (map-side combined).
+template <typename K, typename V>
+std::vector<std::pair<K, std::size_t>> count_by_key(const Dataset<std::pair<K, V>>& ds) {
+  auto counted =
+      reduce_by_key(map_values(ds, [](const V&) { return std::size_t{1}; }),
+                    [](std::size_t a, std::size_t b) { return a + b; });
+  return counted.collect();
+}
+
+/// Action: the k records with the largest values (descending).
+template <typename K, typename V>
+std::vector<std::pair<K, V>> top_k_by_value(const Dataset<std::pair<K, V>>& ds,
+                                            std::size_t k) {
+  const auto& parts = ds.partitions();
+  Executor& pool = ds.context().pool();
+  auto cmp = [](const std::pair<K, V>& a, const std::pair<K, V>& b) {
+    return a.second > b.second;  // min-heap on value
+  };
+  std::vector<std::vector<std::pair<K, V>>> local(parts.size());
+  parallel_for(pool, 0, parts.size(), [&](std::size_t p) {
+    std::vector<std::pair<K, V>> heap;
+    for (const auto& kv : parts[p]) {
+      if (heap.size() < k) {
+        heap.push_back(kv);
+        std::push_heap(heap.begin(), heap.end(), cmp);
+      } else if (!heap.empty() && kv.second > heap.front().second) {
+        std::pop_heap(heap.begin(), heap.end(), cmp);
+        heap.back() = kv;
+        std::push_heap(heap.begin(), heap.end(), cmp);
+      }
+    }
+    local[p] = std::move(heap);
+  });
+  std::vector<std::pair<K, V>> all;
+  for (auto& l : local) all.insert(all.end(), l.begin(), l.end());
+  std::sort(all.begin(), all.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+}  // namespace hpbdc::dataflow

@@ -1,0 +1,113 @@
+#pragma once
+// Hash shuffle — the engine's wide-dependency primitive (experiment T2).
+// Map side: every input partition scatters its records into nparts buckets
+// by key hash, optionally pre-aggregating with a combiner (the map-side
+// combine that makes reduce_by_key cheap on skewed keys). Reduce side: for
+// each output partition, the matching bucket of every map task is merged.
+// Both sides run data-parallel on the pool. The same key always lands in
+// the same output partition (hash % nparts), which downstream joins rely on.
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "dataflow/dataset.hpp"
+#include "exec/parallel.hpp"
+
+namespace hpbdc::dataflow {
+
+struct ShuffleStats {
+  std::uint64_t records_in = 0;    // records leaving map tasks pre-combine
+  std::uint64_t records_moved = 0; // records crossing the shuffle boundary
+};
+
+/// Scatter/gather without combining: the output partition p holds every
+/// (k, v) with hash(k) % nparts == p, map-task order preserved within p.
+template <typename K, typename V>
+Partitions<std::pair<K, V>> hash_shuffle(Executor& pool,
+                                         const Partitions<std::pair<K, V>>& in,
+                                         std::size_t nparts,
+                                         ShuffleStats* stats = nullptr) {
+  std::vector<Partitions<std::pair<K, V>>> local(in.size());
+  parallel_for(pool, 0, in.size(), [&](std::size_t p) {
+    local[p].assign(nparts, {});
+    for (const auto& kv : in[p]) {
+      local[p][Hasher<K>{}(kv.first) % nparts].push_back(kv);
+    }
+  });
+  Partitions<std::pair<K, V>> out(nparts);
+  parallel_for(pool, 0, nparts, [&](std::size_t b) {
+    std::size_t total = 0;
+    for (const auto& l : local) total += l[b].size();
+    out[b].reserve(total);
+    for (auto& l : local) {
+      out[b].insert(out[b].end(), std::make_move_iterator(l[b].begin()),
+                    std::make_move_iterator(l[b].end()));
+    }
+  });
+  if (stats != nullptr) {
+    std::uint64_t n = 0;
+    for (const auto& p : in) n += p.size();
+    stats->records_in = n;
+    stats->records_moved = n;
+  }
+  return out;
+}
+
+/// Shuffle with map-side combining: per map task, values sharing a key are
+/// pre-merged with `combine` before crossing the boundary; the reduce side
+/// completes the aggregation. Output: one (k, aggregate) per distinct key.
+template <typename K, typename V, typename Combine>
+Partitions<std::pair<K, V>> combining_shuffle(Executor& pool,
+                                              const Partitions<std::pair<K, V>>& in,
+                                              std::size_t nparts, Combine combine,
+                                              bool map_side_combine = true,
+                                              ShuffleStats* stats = nullptr) {
+  std::vector<Partitions<std::pair<K, V>>> local(in.size());
+  std::vector<std::uint64_t> moved(in.size(), 0);
+  parallel_for(pool, 0, in.size(), [&](std::size_t p) {
+    local[p].assign(nparts, {});
+    if (map_side_combine) {
+      std::vector<std::unordered_map<K, V, Hasher<K>>> agg(nparts);
+      for (const auto& kv : in[p]) {
+        auto& bucket = agg[Hasher<K>{}(kv.first) % nparts];
+        auto [it, inserted] = bucket.try_emplace(kv.first, kv.second);
+        if (!inserted) it->second = combine(std::move(it->second), kv.second);
+      }
+      for (std::size_t b = 0; b < nparts; ++b) {
+        local[p][b].assign(std::make_move_iterator(agg[b].begin()),
+                           std::make_move_iterator(agg[b].end()));
+        moved[p] += local[p][b].size();
+      }
+    } else {
+      for (const auto& kv : in[p]) {
+        local[p][Hasher<K>{}(kv.first) % nparts].push_back(kv);
+      }
+      for (std::size_t b = 0; b < nparts; ++b) moved[p] += local[p][b].size();
+    }
+  });
+  Partitions<std::pair<K, V>> out(nparts);
+  parallel_for(pool, 0, nparts, [&](std::size_t b) {
+    std::unordered_map<K, V, Hasher<K>> agg;
+    for (auto& l : local) {
+      for (auto& kv : l[b]) {
+        auto [it, inserted] = agg.try_emplace(kv.first, std::move(kv.second));
+        if (!inserted) it->second = combine(std::move(it->second), std::move(kv.second));
+      }
+    }
+    out[b].assign(std::make_move_iterator(agg.begin()),
+                  std::make_move_iterator(agg.end()));
+  });
+  if (stats != nullptr) {
+    std::uint64_t n = 0, m = 0;
+    for (const auto& p : in) n += p.size();
+    for (auto v : moved) m += v;
+    stats->records_in = n;
+    stats->records_moved = m;
+  }
+  return out;
+}
+
+}  // namespace hpbdc::dataflow

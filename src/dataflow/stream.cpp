@@ -1,0 +1,31 @@
+#include "dataflow/stream.hpp"
+
+#include <algorithm>
+
+namespace hpbdc::dataflow::stream {
+
+std::vector<Window> assign_windows(const WindowSpec& spec, double t) {
+  switch (spec.kind) {
+    case WindowSpec::Kind::kTumbling: {
+      const double start = std::floor(t / spec.size) * spec.size;
+      return {Window{start, start + spec.size}};
+    }
+    case WindowSpec::Kind::kSliding: {
+      // Windows are [k*step, k*step + size); t belongs to those whose start
+      // lies in (t - size, t].
+      std::vector<Window> out;
+      const double first = std::floor(t / spec.step) * spec.step;
+      for (double start = first; start > t - spec.size; start -= spec.step) {
+        out.push_back(Window{start, start + spec.size});
+      }
+      // Emit oldest-first for deterministic ordering.
+      std::reverse(out.begin(), out.end());
+      return out;
+    }
+    case WindowSpec::Kind::kSession:
+      throw std::invalid_argument("session windows are data-driven");
+  }
+  return {};
+}
+
+}  // namespace hpbdc::dataflow::stream

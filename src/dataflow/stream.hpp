@@ -1,0 +1,370 @@
+#pragma once
+// Event-time stream processing (experiment F4): bounded-out-of-orderness
+// watermarks, tumbling/sliding/session windows, keyed windowed aggregation,
+// and a symmetric windowed stream join.
+//
+// Model: operators consume events in *processing* order; every event
+// carries an *event time*. The watermark trails the maximum event time seen
+// by `allowed_lateness`; a window fires (emits and frees its state) when
+// the watermark passes its end. Events older than the watermark at arrival
+// are dropped and counted — the standard Flink/Beam semantics.
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <limits>
+#include <map>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "common/hash.hpp"
+
+namespace hpbdc::dataflow::stream {
+
+template <typename T>
+struct Event {
+  double time = 0;  // event time, seconds
+  T payload{};
+};
+
+// ---- windows --------------------------------------------------------------
+
+struct WindowSpec {
+  enum class Kind { kTumbling, kSliding, kSession };
+  Kind kind = Kind::kTumbling;
+  double size = 1.0;  // tumbling/sliding length
+  double step = 1.0;  // sliding hop
+  double gap = 1.0;   // session inactivity gap
+
+  static WindowSpec tumbling(double size) {
+    if (size <= 0) throw std::invalid_argument("tumbling: size must be > 0");
+    return WindowSpec{Kind::kTumbling, size, size, 0};
+  }
+  static WindowSpec sliding(double size, double step) {
+    if (size <= 0 || step <= 0 || step > size) {
+      throw std::invalid_argument("sliding: require 0 < step <= size");
+    }
+    return WindowSpec{Kind::kSliding, size, step, 0};
+  }
+  static WindowSpec session(double gap) {
+    if (gap <= 0) throw std::invalid_argument("session: gap must be > 0");
+    return WindowSpec{Kind::kSession, 0, 0, gap};
+  }
+};
+
+/// Half-open window [start, end).
+struct Window {
+  double start = 0;
+  double end = 0;
+  bool operator==(const Window&) const = default;
+};
+
+/// Windows containing `t` for tumbling/sliding specs (session windows are
+/// data-driven and assigned inside the operator instead).
+std::vector<Window> assign_windows(const WindowSpec& spec, double t);
+
+// ---- watermarks -------------------------------------------------------------
+
+/// Watermark = max event time seen − allowed lateness (monotone).
+class BoundedLatenessWatermark {
+ public:
+  explicit BoundedLatenessWatermark(double allowed_lateness)
+      : lateness_(allowed_lateness) {
+    if (allowed_lateness < 0) throw std::invalid_argument("negative lateness");
+  }
+
+  /// Observe an event time; returns the (possibly advanced) watermark.
+  double observe(double event_time) {
+    max_seen_ = std::max(max_seen_, event_time);
+    return current();
+  }
+
+  double current() const {
+    return max_seen_ == -std::numeric_limits<double>::infinity()
+               ? -std::numeric_limits<double>::infinity()
+               : max_seen_ - lateness_;
+  }
+
+ private:
+  double lateness_;
+  double max_seen_ = -std::numeric_limits<double>::infinity();
+};
+
+// ---- keyed windowed aggregation ---------------------------------------------
+
+template <typename K, typename Acc>
+struct WindowResult {
+  Window window;
+  K key{};
+  Acc value{};
+};
+
+/// Incremental keyed aggregation over tumbling or sliding windows.
+///   KeyFn : const T& -> K
+///   AggFn : (Acc&, const T&) -> void   (in-place accumulate)
+/// Results become available once the watermark passes a window's end;
+/// drain results with take_results(). Late events are counted and dropped.
+template <typename T, typename K, typename Acc, typename KeyFn, typename AggFn>
+class WindowedAggregator {
+ public:
+  WindowedAggregator(WindowSpec spec, double allowed_lateness, KeyFn key_fn,
+                     AggFn agg_fn, Acc init = Acc{})
+      : spec_(spec),
+        watermark_(allowed_lateness),
+        key_fn_(std::move(key_fn)),
+        agg_fn_(std::move(agg_fn)),
+        init_(std::move(init)) {
+    if (spec.kind == WindowSpec::Kind::kSession) {
+      throw std::invalid_argument("use SessionAggregator for session windows");
+    }
+  }
+
+  void on_event(const Event<T>& ev) {
+    if (ev.time < watermark_.current()) {
+      ++late_dropped_;
+      return;
+    }
+    const K key = key_fn_(ev.payload);
+    for (const Window& w : assign_windows(spec_, ev.time)) {
+      auto& acc = state_[w.end][WindowKey{w.start, key}];
+      if (!acc.initialized) {
+        acc.value = init_;
+        acc.initialized = true;
+      }
+      agg_fn_(acc.value, ev.payload);
+    }
+    fire_up_to(watermark_.observe(ev.time));
+  }
+
+  /// Force-close every open window (end of stream).
+  void flush() { fire_up_to(std::numeric_limits<double>::infinity()); }
+
+  std::vector<WindowResult<K, Acc>> take_results() { return std::move(results_); }
+  std::uint64_t late_dropped() const noexcept { return late_dropped_; }
+  std::size_t open_windows() const noexcept { return state_.size(); }
+  double watermark() const { return watermark_.current(); }
+
+ private:
+  struct WindowKey {
+    double start;
+    K key;
+    bool operator==(const WindowKey&) const = default;
+  };
+  struct WindowKeyHash {
+    std::size_t operator()(const WindowKey& wk) const noexcept {
+      std::uint64_t bits;
+      static_assert(sizeof(double) == sizeof(bits));
+      std::memcpy(&bits, &wk.start, sizeof(bits));
+      return static_cast<std::size_t>(hash_combine(hash_u64(bits), Hasher<K>{}(wk.key)));
+    }
+  };
+  struct AccSlot {
+    Acc value{};
+    bool initialized = false;
+  };
+
+  void fire_up_to(double watermark) {
+    // state_ is keyed (ordered) by window end: fire every closed window.
+    while (!state_.empty() && state_.begin()->first <= watermark) {
+      auto& [end, per_key] = *state_.begin();
+      for (auto& [wk, slot] : per_key) {
+        results_.push_back(WindowResult<K, Acc>{Window{wk.start, end}, wk.key,
+                                                std::move(slot.value)});
+      }
+      state_.erase(state_.begin());
+    }
+  }
+
+  WindowSpec spec_;
+  BoundedLatenessWatermark watermark_;
+  KeyFn key_fn_;
+  AggFn agg_fn_;
+  Acc init_;
+  // window end -> (window start, key) -> accumulator
+  std::map<double, std::unordered_map<WindowKey, AccSlot, WindowKeyHash>> state_;
+  std::vector<WindowResult<K, Acc>> results_;
+  std::uint64_t late_dropped_ = 0;
+};
+
+/// Type-deduction helper.
+template <typename T, typename Acc, typename KeyFn, typename AggFn>
+auto make_windowed_aggregator(WindowSpec spec, double lateness, KeyFn key_fn,
+                              AggFn agg_fn, Acc init = Acc{}) {
+  using K = std::invoke_result_t<KeyFn, const T&>;
+  return WindowedAggregator<T, K, Acc, KeyFn, AggFn>(spec, lateness, std::move(key_fn),
+                                                     std::move(agg_fn), std::move(init));
+}
+
+// ---- session windows --------------------------------------------------------
+
+/// Keyed session windows: consecutive events of a key belong to one session
+/// while their gaps stay below `gap`; a session closes when the watermark
+/// passes (last_event + gap).
+template <typename T, typename K, typename Acc, typename KeyFn, typename AggFn>
+class SessionAggregator {
+ public:
+  SessionAggregator(double gap, double allowed_lateness, KeyFn key_fn, AggFn agg_fn,
+                    Acc init = Acc{})
+      : gap_(gap),
+        watermark_(allowed_lateness),
+        key_fn_(std::move(key_fn)),
+        agg_fn_(std::move(agg_fn)),
+        init_(std::move(init)) {
+    if (gap <= 0) throw std::invalid_argument("session gap must be > 0");
+  }
+
+  void on_event(const Event<T>& ev) {
+    if (ev.time < watermark_.current()) {
+      ++late_dropped_;
+      return;
+    }
+    const K key = key_fn_(ev.payload);
+    auto it = sessions_.find(key);
+    if (it != sessions_.end() && ev.time - it->second.last_time <= gap_) {
+      agg_fn_(it->second.acc, ev.payload);
+      it->second.last_time = std::max(it->second.last_time, ev.time);
+      it->second.first_time = std::min(it->second.first_time, ev.time);
+    } else {
+      if (it != sessions_.end()) emit(key, it->second);
+      Session s;
+      s.first_time = s.last_time = ev.time;
+      s.acc = init_;
+      agg_fn_(s.acc, ev.payload);
+      sessions_[key] = std::move(s);
+    }
+    const double wm = watermark_.observe(ev.time);
+    // Close idle sessions.
+    for (auto sit = sessions_.begin(); sit != sessions_.end();) {
+      if (sit->second.last_time + gap_ <= wm) {
+        emit(sit->first, sit->second);
+        sit = sessions_.erase(sit);
+      } else {
+        ++sit;
+      }
+    }
+  }
+
+  void flush() {
+    for (auto& [key, s] : sessions_) emit(key, s);
+    sessions_.clear();
+  }
+
+  std::vector<WindowResult<K, Acc>> take_results() { return std::move(results_); }
+  std::uint64_t late_dropped() const noexcept { return late_dropped_; }
+  std::size_t open_sessions() const noexcept { return sessions_.size(); }
+
+ private:
+  struct Session {
+    double first_time = 0;
+    double last_time = 0;
+    Acc acc{};
+  };
+
+  void emit(const K& key, Session& s) {
+    results_.push_back(
+        WindowResult<K, Acc>{Window{s.first_time, s.last_time + gap_}, key,
+                             std::move(s.acc)});
+  }
+
+  double gap_;
+  BoundedLatenessWatermark watermark_;
+  KeyFn key_fn_;
+  AggFn agg_fn_;
+  Acc init_;
+  std::unordered_map<K, Session, Hasher<K>> sessions_;
+  std::vector<WindowResult<K, Acc>> results_;
+  std::uint64_t late_dropped_ = 0;
+};
+
+// ---- windowed stream join ---------------------------------------------------
+
+template <typename K, typename L, typename R>
+struct JoinResult {
+  Window window;
+  K key{};
+  L left{};
+  R right{};
+};
+
+/// Symmetric hash join over tumbling windows: a left and right event match
+/// when they share a key and fall in the same window. State for a window is
+/// freed once the watermark passes its end.
+template <typename L, typename R, typename K, typename LKey, typename RKey>
+class WindowJoin {
+ public:
+  WindowJoin(double window_size, double allowed_lateness, LKey lkey, RKey rkey)
+      : spec_(WindowSpec::tumbling(window_size)),
+        watermark_(allowed_lateness),
+        lkey_(std::move(lkey)),
+        rkey_(std::move(rkey)) {}
+
+  void on_left(const Event<L>& ev) {
+    if (drop_if_late(ev.time)) return;
+    const Window w = assign_windows(spec_, ev.time)[0];
+    const K key = lkey_(ev.payload);
+    auto& ws = state_[w.end];
+    // Probe the other side first, then insert (symmetric hash join).
+    auto [lo, hi] = ws.right.equal_range(key);
+    for (auto it = lo; it != hi; ++it) {
+      results_.push_back(JoinResult<K, L, R>{w, key, ev.payload, it->second});
+    }
+    ws.left.emplace(key, ev.payload);
+    expire(watermark_.observe(ev.time));
+  }
+
+  void on_right(const Event<R>& ev) {
+    if (drop_if_late(ev.time)) return;
+    const Window w = assign_windows(spec_, ev.time)[0];
+    const K key = rkey_(ev.payload);
+    auto& ws = state_[w.end];
+    auto [lo, hi] = ws.left.equal_range(key);
+    for (auto it = lo; it != hi; ++it) {
+      results_.push_back(JoinResult<K, L, R>{w, key, it->second, ev.payload});
+    }
+    ws.right.emplace(key, ev.payload);
+    expire(watermark_.observe(ev.time));
+  }
+
+  std::vector<JoinResult<K, L, R>> take_results() { return std::move(results_); }
+  std::uint64_t late_dropped() const noexcept { return late_dropped_; }
+  std::size_t open_windows() const noexcept { return state_.size(); }
+
+  /// Total buffered events across open windows (state-size metric for F4).
+  std::size_t buffered() const noexcept {
+    std::size_t n = 0;
+    for (const auto& [end, ws] : state_) n += ws.left.size() + ws.right.size();
+    return n;
+  }
+
+ private:
+  struct WindowState {
+    std::unordered_multimap<K, L, Hasher<K>> left;
+    std::unordered_multimap<K, R, Hasher<K>> right;
+  };
+
+  bool drop_if_late(double t) {
+    if (t < watermark_.current()) {
+      ++late_dropped_;
+      return true;
+    }
+    return false;
+  }
+
+  void expire(double watermark) {
+    while (!state_.empty() && state_.begin()->first <= watermark) {
+      state_.erase(state_.begin());
+    }
+  }
+
+  WindowSpec spec_;
+  BoundedLatenessWatermark watermark_;
+  LKey lkey_;
+  RKey rkey_;
+  std::map<double, WindowState> state_;  // window end -> buffered events
+  std::vector<JoinResult<K, L, R>> results_;
+  std::uint64_t late_dropped_ = 0;
+};
+
+}  // namespace hpbdc::dataflow::stream

@@ -1,0 +1,90 @@
+#pragma once
+// CentralQueuePool: the no-work-stealing ablation baseline for experiment
+// T6. Identical Executor interface to ThreadPool, but every worker contends
+// on one shared FIFO queue — the classic thread-pool design whose lock and
+// cache-line contention work stealing exists to avoid.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "exec/executor.hpp"
+
+namespace hpbdc {
+
+class CentralQueuePool final : public Executor {
+ public:
+  explicit CentralQueuePool(std::size_t threads = 0) {
+    if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+    workers_.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i) {
+      workers_.emplace_back([this](std::stop_token st) { worker_loop(st); });
+    }
+  }
+
+  ~CentralQueuePool() override {
+    for (auto& w : workers_) w.request_stop();
+    cv_.notify_all();
+    workers_.clear();  // joins
+  }
+
+  CentralQueuePool(const CentralQueuePool&) = delete;
+  CentralQueuePool& operator=(const CentralQueuePool&) = delete;
+
+  void submit(std::function<void()> fn) override {
+    {
+      std::lock_guard lk(mu_);
+      q_.push_back(std::move(fn));
+    }
+    cv_.notify_one();
+  }
+
+  bool try_run_one() override {
+    std::function<void()> fn;
+    {
+      std::lock_guard lk(mu_);
+      if (q_.empty()) return false;
+      fn = std::move(q_.front());
+      q_.pop_front();
+    }
+    fn();
+    executed_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  std::size_t num_threads() const noexcept override { return workers_.size(); }
+
+  std::uint64_t tasks_executed() const noexcept {
+    return executed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void worker_loop(std::stop_token stop) {
+    using namespace std::chrono_literals;
+    while (!stop.stop_requested()) {
+      std::function<void()> fn;
+      {
+        std::unique_lock lk(mu_);
+        cv_.wait_for(lk, 500us, [&] { return stop.stop_requested() || !q_.empty(); });
+        if (q_.empty()) continue;
+        fn = std::move(q_.front());
+        q_.pop_front();
+      }
+      fn();
+      executed_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> q_;
+  std::vector<std::jthread> workers_;
+  std::atomic<std::uint64_t> executed_{0};
+};
+
+}  // namespace hpbdc

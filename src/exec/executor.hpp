@@ -1,0 +1,90 @@
+#pragma once
+// Executor interface implemented by both the work-stealing ThreadPool and
+// the CentralQueuePool ablation. TaskGroup layers structured fork/join on
+// top, with cooperative helping: a thread that waits on a group executes
+// pending tasks instead of blocking, which makes nested parallelism safe
+// even on a single hardware thread.
+
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <utility>
+
+namespace hpbdc {
+
+class Executor {
+ public:
+  virtual ~Executor() = default;
+
+  /// Enqueue fn for asynchronous execution. Never blocks on task execution.
+  virtual void submit(std::function<void()> fn) = 0;
+
+  /// Execute one pending task on the calling thread if any is available.
+  /// Used by waiters to help instead of blocking. Returns false if no task
+  /// was found (which does not imply the pool is idle).
+  virtual bool try_run_one() = 0;
+
+  virtual std::size_t num_threads() const noexcept = 0;
+};
+
+/// Structured fork/join scope over an Executor. Propagates the first
+/// exception thrown by any spawned task out of wait().
+class TaskGroup {
+ public:
+  explicit TaskGroup(Executor& ex) noexcept : ex_(ex) {}
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+  ~TaskGroup() { wait_no_throw(); }
+
+  template <typename Fn>
+  void run(Fn&& fn) {
+    outstanding_.fetch_add(1, std::memory_order_acq_rel);
+    ex_.submit([this, f = std::forward<Fn>(fn)]() mutable {
+      try {
+        f();
+      } catch (...) {
+        std::lock_guard lk(mu_);
+        if (!error_) error_ = std::current_exception();
+      }
+      if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard lk(mu_);
+        cv_.notify_all();
+      }
+    });
+  }
+
+  /// Block (helping the pool) until every spawned task has finished, then
+  /// rethrow the first captured exception, if any.
+  void wait() {
+    wait_no_throw();
+    std::lock_guard lk(mu_);
+    if (error_) {
+      auto e = error_;
+      error_ = nullptr;
+      std::rethrow_exception(e);
+    }
+  }
+
+ private:
+  void wait_no_throw() {
+    using namespace std::chrono_literals;
+    while (outstanding_.load(std::memory_order_acquire) > 0) {
+      if (!ex_.try_run_one()) {
+        std::unique_lock lk(mu_);
+        cv_.wait_for(lk, 200us, [&] {
+          return outstanding_.load(std::memory_order_acquire) == 0;
+        });
+      }
+    }
+  }
+
+  Executor& ex_;
+  std::atomic<std::size_t> outstanding_{0};
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::exception_ptr error_;
+};
+
+}  // namespace hpbdc

@@ -1,0 +1,193 @@
+#pragma once
+// Structured parallel primitives in the spirit of OpenMP worksharing
+// constructs, expressed over an Executor: parallel_for (+ blocked variant),
+// parallel_reduce, parallel_sort (block sort + parallel pairwise merges),
+// and parallel_inclusive_scan (two-pass blocked scan). All primitives are
+// deterministic: the result never depends on task interleaving.
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <iterator>
+#include <vector>
+
+#include "exec/executor.hpp"
+
+namespace hpbdc {
+
+namespace detail {
+inline std::size_t pick_grain(std::size_t n, std::size_t threads, std::size_t grain) {
+  if (grain > 0) return grain;
+  // Target ~8 chunks per thread so stealing can balance skew.
+  const std::size_t chunks = std::max<std::size_t>(1, threads * 8);
+  return std::max<std::size_t>(1, (n + chunks - 1) / chunks);
+}
+}  // namespace detail
+
+/// Invoke fn(lo, hi) over disjoint subranges covering [begin, end).
+template <typename Fn>
+void parallel_for_blocked(Executor& ex, std::size_t begin, std::size_t end, Fn fn,
+                          std::size_t grain = 0) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  const std::size_t g = detail::pick_grain(n, ex.num_threads(), grain);
+  if (n <= g) {
+    fn(begin, end);
+    return;
+  }
+  TaskGroup tg(ex);
+  for (std::size_t lo = begin; lo < end; lo += g) {
+    const std::size_t hi = std::min(lo + g, end);
+    tg.run([fn, lo, hi] { fn(lo, hi); });
+  }
+  tg.wait();
+}
+
+/// Invoke fn(i) for every i in [begin, end).
+template <typename Fn>
+void parallel_for(Executor& ex, std::size_t begin, std::size_t end, Fn fn,
+                  std::size_t grain = 0) {
+  parallel_for_blocked(
+      ex, begin, end,
+      [fn](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) fn(i);
+      },
+      grain);
+}
+
+/// Deterministic reduction: out = reduce(init, map(begin)..map(end-1)).
+/// `map` maps an index to a value, `combine` must be associative.
+template <typename T, typename Map, typename Combine>
+T parallel_reduce(Executor& ex, std::size_t begin, std::size_t end, T init, Map map,
+                  Combine combine, std::size_t grain = 0) {
+  if (begin >= end) return init;
+  const std::size_t n = end - begin;
+  const std::size_t g = detail::pick_grain(n, ex.num_threads(), grain);
+  const std::size_t nchunks = (n + g - 1) / g;
+  std::vector<T> partial(nchunks, init);
+  {
+    TaskGroup tg(ex);
+    for (std::size_t c = 0; c < nchunks; ++c) {
+      const std::size_t lo = begin + c * g;
+      const std::size_t hi = std::min(lo + g, end);
+      tg.run([&partial, c, lo, hi, map, combine, init] {
+        T acc = init;
+        for (std::size_t i = lo; i < hi; ++i) acc = combine(std::move(acc), map(i));
+        partial[c] = std::move(acc);
+      });
+    }
+    tg.wait();
+  }
+  // Combine partials in fixed (chunk-index) order: deterministic even for
+  // non-commutative combine.
+  T out = init;
+  for (auto& p : partial) out = combine(std::move(out), std::move(p));
+  return out;
+}
+
+/// Stable-result parallel sort: sort B blocks in parallel, then log(B)
+/// rounds of parallel pairwise merges through a temporary buffer.
+template <typename RandomIt, typename Compare = std::less<>>
+void parallel_sort(Executor& ex, RandomIt first, RandomIt last, Compare comp = {}) {
+  using T = typename std::iterator_traits<RandomIt>::value_type;
+  const std::size_t n = static_cast<std::size_t>(std::distance(first, last));
+  const std::size_t threads = ex.num_threads();
+  if (n < 2048 || threads <= 1) {
+    std::sort(first, last, comp);
+    return;
+  }
+  std::size_t nblocks = threads * 4;
+  const std::size_t block = std::max<std::size_t>(1024, (n + nblocks - 1) / nblocks);
+  nblocks = (n + block - 1) / block;
+
+  {
+    TaskGroup tg(ex);
+    for (std::size_t b = 0; b < nblocks; ++b) {
+      const std::size_t lo = b * block;
+      const std::size_t hi = std::min(lo + block, n);
+      tg.run([first, lo, hi, comp] { std::sort(first + lo, first + hi, comp); });
+    }
+    tg.wait();
+  }
+
+  std::vector<T> buf(n);
+  bool in_src = true;  // true: data in [first,last), false: data in buf
+  for (std::size_t width = block; width < n; width *= 2) {
+    TaskGroup tg(ex);
+    for (std::size_t lo = 0; lo < n; lo += 2 * width) {
+      const std::size_t mid = std::min(lo + width, n);
+      const std::size_t hi = std::min(lo + 2 * width, n);
+      if (in_src) {
+        tg.run([first, &buf, lo, mid, hi, comp] {
+          std::merge(first + lo, first + mid, first + mid, first + hi,
+                     buf.begin() + static_cast<std::ptrdiff_t>(lo), comp);
+        });
+      } else {
+        tg.run([first, &buf, lo, mid, hi, comp] {
+          auto b = buf.begin();
+          std::merge(b + static_cast<std::ptrdiff_t>(lo), b + static_cast<std::ptrdiff_t>(mid),
+                     b + static_cast<std::ptrdiff_t>(mid), b + static_cast<std::ptrdiff_t>(hi),
+                     first + lo, comp);
+        });
+      }
+    }
+    tg.wait();
+    in_src = !in_src;
+  }
+  if (!in_src) std::move(buf.begin(), buf.end(), first);
+}
+
+/// Two-pass blocked inclusive scan. `op` must be associative.
+template <typename T, typename Op>
+void parallel_inclusive_scan(Executor& ex, const std::vector<T>& in, std::vector<T>& out,
+                             Op op, T identity = T{}) {
+  const std::size_t n = in.size();
+  out.resize(n);
+  if (n == 0) return;
+  const std::size_t threads = ex.num_threads();
+  if (n < 4096 || threads <= 1) {
+    T acc = identity;
+    for (std::size_t i = 0; i < n; ++i) out[i] = acc = op(acc, in[i]);
+    return;
+  }
+  const std::size_t nblocks = threads * 4;
+  const std::size_t block = (n + nblocks - 1) / nblocks;
+  const std::size_t actual_blocks = (n + block - 1) / block;
+  std::vector<T> block_sum(actual_blocks, identity);
+
+  // Pass 1: local scans + per-block totals.
+  {
+    TaskGroup tg(ex);
+    for (std::size_t b = 0; b < actual_blocks; ++b) {
+      tg.run([&, b] {
+        const std::size_t lo = b * block;
+        const std::size_t hi = std::min(lo + block, n);
+        T acc = identity;
+        for (std::size_t i = lo; i < hi; ++i) out[i] = acc = op(acc, in[i]);
+        block_sum[b] = acc;
+      });
+    }
+    tg.wait();
+  }
+  // Serial exclusive scan of block totals (tiny).
+  std::vector<T> offset(actual_blocks, identity);
+  T acc = identity;
+  for (std::size_t b = 0; b < actual_blocks; ++b) {
+    offset[b] = acc;
+    acc = op(acc, block_sum[b]);
+  }
+  // Pass 2: add offsets.
+  {
+    TaskGroup tg(ex);
+    for (std::size_t b = 1; b < actual_blocks; ++b) {
+      tg.run([&, b] {
+        const std::size_t lo = b * block;
+        const std::size_t hi = std::min(lo + block, n);
+        for (std::size_t i = lo; i < hi; ++i) out[i] = op(offset[b], out[i]);
+      });
+    }
+    tg.wait();
+  }
+}
+
+}  // namespace hpbdc

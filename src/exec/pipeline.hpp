@@ -1,0 +1,80 @@
+#pragma once
+// Bounded staged pipeline for streaming ETL: one source thread, N parallel
+// transform workers, one sink thread, connected by bounded MPMC queues
+// (backpressure by blocking). This is the push-based counterpart to the
+// pull-based Dataset engine — use it when data arrives incrementally or
+// does not fit in memory at once.
+//
+//   PipelineResult r = run_pipeline<int, std::string>(
+//       source,     // () -> std::optional<int>; nullopt ends the stream
+//       transform,  // (int) -> std::string, called concurrently
+//       sink,       // (std::string) -> void, called from one thread
+//       {.workers = 4, .queue_capacity = 1024});
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "common/queue.hpp"
+
+namespace hpbdc {
+
+struct PipelineOptions {
+  std::size_t workers = 2;
+  std::size_t queue_capacity = 1024;
+};
+
+struct PipelineResult {
+  std::uint64_t items_in = 0;
+  std::uint64_t items_out = 0;
+};
+
+template <typename In, typename Out, typename Source, typename Transform, typename Sink>
+PipelineResult run_pipeline(Source source, Transform transform, Sink sink,
+                            PipelineOptions opts = {}) {
+  if (opts.workers == 0) opts.workers = 1;
+  MpmcQueue<In> in_q(opts.queue_capacity);
+  MpmcQueue<Out> out_q(opts.queue_capacity);
+  PipelineResult res;
+  std::atomic<std::uint64_t> items_in{0};
+  std::atomic<std::size_t> live_workers{opts.workers};
+
+  std::thread producer([&] {
+    while (auto item = source()) {
+      items_in.fetch_add(1, std::memory_order_relaxed);
+      if (!in_q.push(std::move(*item))) break;  // closed early
+    }
+    in_q.close();
+  });
+
+  std::vector<std::thread> workers;
+  workers.reserve(opts.workers);
+  for (std::size_t w = 0; w < opts.workers; ++w) {
+    workers.emplace_back([&] {
+      while (auto item = in_q.pop()) {
+        out_q.push(transform(std::move(*item)));
+      }
+      // Last worker out closes the downstream queue.
+      if (live_workers.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        out_q.close();
+      }
+    });
+  }
+
+  std::uint64_t items_out = 0;
+  while (auto item = out_q.pop()) {
+    sink(std::move(*item));
+    ++items_out;
+  }
+
+  producer.join();
+  for (auto& t : workers) t.join();
+  res.items_in = items_in.load();
+  res.items_out = items_out;
+  return res;
+}
+
+}  // namespace hpbdc

@@ -1,0 +1,52 @@
+#include "exec/task_graph.hpp"
+
+#include <algorithm>
+
+namespace hpbdc {
+
+TaskGraph::NodeId TaskGraph::add(std::function<void()> fn,
+                                 const std::vector<NodeId>& deps) {
+  const NodeId id = nodes_.size();
+  for (NodeId d : deps) {
+    if (d >= id) throw std::invalid_argument("TaskGraph: dependency on future node");
+  }
+  nodes_.push_back(std::make_unique<Node>(std::move(fn), deps.size()));
+  for (NodeId d : deps) nodes_[d]->successors.push_back(id);
+  return id;
+}
+
+void TaskGraph::schedule(Executor& ex, TaskGroup& tg, NodeId id) {
+  tg.run([this, &ex, &tg, id] {
+    Node& node = *nodes_[id];
+    node.fn();
+    for (NodeId s : node.successors) {
+      if (nodes_[s]->pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        schedule(ex, tg, s);
+      }
+    }
+  });
+}
+
+void TaskGraph::run(Executor& ex) {
+  for (auto& n : nodes_) n->pending.store(n->indegree, std::memory_order_relaxed);
+  TaskGroup tg(ex);
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    if (nodes_[id]->indegree == 0) schedule(ex, tg, id);
+  }
+  tg.wait();
+}
+
+std::size_t TaskGraph::critical_path_length() const {
+  std::vector<std::size_t> depth(nodes_.size(), 1);
+  std::size_t best = nodes_.empty() ? 0 : 1;
+  // Nodes are already in topological order (deps point backwards).
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    for (NodeId s : nodes_[id]->successors) {
+      depth[s] = std::max(depth[s], depth[id] + 1);
+      best = std::max(best, depth[s]);
+    }
+  }
+  return best;
+}
+
+}  // namespace hpbdc

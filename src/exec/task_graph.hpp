@@ -1,0 +1,50 @@
+#pragma once
+// Task DAG scheduler: nodes carry arbitrary work, edges are completion
+// dependencies. Acyclicity is guaranteed by construction (a node may only
+// depend on already-added nodes). run() executes the graph wavefront-style
+// on an Executor, releasing each successor the instant its last predecessor
+// retires; the first task exception is rethrown after the graph drains.
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <stdexcept>
+#include <vector>
+
+#include "exec/executor.hpp"
+
+namespace hpbdc {
+
+class TaskGraph {
+ public:
+  using NodeId = std::size_t;
+
+  /// Add a task depending on `deps` (each must be a previously added node).
+  NodeId add(std::function<void()> fn, const std::vector<NodeId>& deps = {});
+
+  std::size_t size() const noexcept { return nodes_.size(); }
+
+  /// Execute all tasks respecting dependencies. Reusable: run() resets
+  /// per-run state first. Throws the first task exception encountered.
+  void run(Executor& ex);
+
+  /// Length (node count) of the longest dependency chain — the graph's
+  /// critical path assuming unit task cost.
+  std::size_t critical_path_length() const;
+
+ private:
+  struct Node {
+    std::function<void()> fn;
+    std::vector<NodeId> successors;
+    std::size_t indegree = 0;
+    std::atomic<std::size_t> pending{0};
+
+    Node(std::function<void()> f, std::size_t deg) : fn(std::move(f)), indegree(deg) {}
+  };
+
+  void schedule(Executor& ex, TaskGroup& tg, NodeId id);
+
+  std::vector<std::unique_ptr<Node>> nodes_;
+};
+
+}  // namespace hpbdc

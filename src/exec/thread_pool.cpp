@@ -1,0 +1,139 @@
+#include "exec/thread_pool.hpp"
+
+#include <chrono>
+
+#include "common/rng.hpp"
+
+namespace hpbdc {
+
+namespace {
+// Identifies the pool (and slot) owning the current thread, so submit() from
+// a worker can go to its own deque and try_run_one() can steal.
+struct WorkerTls {
+  const void* pool = nullptr;
+  std::size_t index = 0;
+};
+thread_local WorkerTls t_worker;
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+  slots_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    auto w = std::make_unique<Worker>();
+    w->rng_state = 0x2545f4914f6cdd1dULL + i;
+    slots_.push_back(std::move(w));
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this, i](std::stop_token st) { worker_loop(i, st); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  stopping_.store(true, std::memory_order_release);
+  for (auto& w : workers_) w.request_stop();
+  sleep_cv_.notify_all();
+  workers_.clear();  // joins
+  // Delete any tasks that were never claimed (abnormal shutdown only).
+  for (auto& slot : slots_) {
+    Task* t = nullptr;
+    while (slot->deque.pop(t)) delete t;
+  }
+  std::lock_guard lk(inject_mu_);
+  for (Task* t : inject_) delete t;
+  inject_.clear();
+}
+
+int ThreadPool::current_worker_index() const noexcept {
+  return t_worker.pool == this ? static_cast<int>(t_worker.index) : -1;
+}
+
+void ThreadPool::submit(std::function<void()> fn) {
+  auto* task = new Task(std::move(fn));
+  const int idx = current_worker_index();
+  if (idx >= 0) {
+    slots_[static_cast<std::size_t>(idx)]->deque.push(task);
+  } else {
+    std::lock_guard lk(inject_mu_);
+    inject_.push_back(task);
+  }
+  notify_one();
+}
+
+void ThreadPool::notify_one() { sleep_cv_.notify_one(); }
+
+ThreadPool::Task* ThreadPool::pop_injected() {
+  std::lock_guard lk(inject_mu_);
+  if (inject_.empty()) return nullptr;
+  Task* t = inject_.front();
+  inject_.pop_front();
+  return t;
+}
+
+ThreadPool::Task* ThreadPool::find_task(std::size_t idx) {
+  Worker& self = *slots_[idx];
+  Task* t = nullptr;
+  if (self.deque.pop(t)) return t;
+  if ((t = pop_injected()) != nullptr) return t;
+  // Random-victim stealing: 2N probes is enough for load balance whp.
+  const std::size_t n = slots_.size();
+  for (std::size_t attempt = 0; attempt < 2 * n; ++attempt) {
+    const std::size_t victim = splitmix64(self.rng_state) % n;
+    if (victim == idx) continue;
+    if (slots_[victim]->deque.steal(t)) {
+      stolen_.fetch_add(1, std::memory_order_relaxed);
+      return t;
+    }
+  }
+  return nullptr;
+}
+
+void ThreadPool::run_task(Task* t, bool) {
+  (*t)();
+  delete t;
+  executed_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ThreadPool::worker_loop(std::size_t idx, std::stop_token stop) {
+  t_worker.pool = this;
+  t_worker.index = idx;
+  using namespace std::chrono_literals;
+  while (!stop.stop_requested()) {
+    Task* t = find_task(idx);
+    if (t != nullptr) {
+      run_task(t, false);
+      continue;
+    }
+    std::unique_lock lk(sleep_mu_);
+    if (stop.stop_requested()) break;
+    // Timed wait bounds the cost of any missed notification to 500us.
+    sleep_cv_.wait_for(lk, 500us);
+  }
+  t_worker.pool = nullptr;
+}
+
+bool ThreadPool::try_run_one() {
+  Task* t = nullptr;
+  const int idx = current_worker_index();
+  if (idx >= 0) {
+    t = find_task(static_cast<std::size_t>(idx));
+  } else {
+    t = pop_injected();
+    if (t == nullptr) {
+      // External waiter may also steal so that helping works from any thread.
+      for (auto& slot : slots_) {
+        if (slot->deque.steal(t)) {
+          stolen_.fetch_add(1, std::memory_order_relaxed);
+          break;
+        }
+        t = nullptr;
+      }
+    }
+  }
+  if (t == nullptr) return false;
+  run_task(t, false);
+  return true;
+}
+
+}  // namespace hpbdc

@@ -1,0 +1,73 @@
+#pragma once
+// Work-stealing thread pool: one Chase–Lev deque per worker plus a shared
+// injection queue for external submissions. Workers pop their own deque
+// LIFO (cache locality), steal FIFO from random victims (load balance), and
+// park with a bounded timed wait when idle so no wakeup can be lost.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "exec/executor.hpp"
+#include "exec/ws_deque.hpp"
+
+namespace hpbdc {
+
+class ThreadPool final : public Executor {
+ public:
+  /// threads == 0 selects std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool() override;
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  void submit(std::function<void()> fn) override;
+  bool try_run_one() override;
+  std::size_t num_threads() const noexcept override { return workers_.size(); }
+
+  /// Total tasks executed / tasks obtained by stealing (monotonic counters).
+  std::uint64_t tasks_executed() const noexcept {
+    return executed_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t tasks_stolen() const noexcept {
+    return stolen_.load(std::memory_order_relaxed);
+  }
+
+  /// Index of the calling worker within this pool, or -1 for external threads.
+  int current_worker_index() const noexcept;
+
+ private:
+  using Task = std::function<void()>;
+
+  struct Worker {
+    WsDeque<Task*> deque;
+    std::uint64_t rng_state;
+  };
+
+  void worker_loop(std::size_t idx, std::stop_token stop);
+  Task* find_task(std::size_t idx);
+  Task* pop_injected();
+  void run_task(Task* t, bool stolen);
+  void notify_one();
+
+  std::vector<std::unique_ptr<Worker>> slots_;
+  std::vector<std::jthread> workers_;
+
+  std::mutex inject_mu_;
+  std::deque<Task*> inject_;
+
+  std::mutex sleep_mu_;
+  std::condition_variable sleep_cv_;
+
+  std::atomic<std::uint64_t> executed_{0};
+  std::atomic<std::uint64_t> stolen_{0};
+  std::atomic<bool> stopping_{false};
+};
+
+}  // namespace hpbdc

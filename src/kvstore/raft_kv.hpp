@@ -1,0 +1,80 @@
+#pragma once
+// Replicated key-value state machine on Raft — the consensus-backed
+// alternative to the quorum store in kv_cluster.hpp. Every write is a log
+// command; once committed it is applied, in log order, identically at every
+// node (the state-machine-replication guarantee the quorum store cannot
+// give: no conflicting versions, no read repair, linearizable writes).
+// Reads are served from a node's applied state: reading the leader gives
+// linearizable-at-commit semantics; reading a follower may lag.
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/serialize.hpp"
+#include "kvstore/raft.hpp"
+
+namespace hpbdc::kvstore {
+
+class RaftKv {
+ public:
+  using PutCallback = std::function<void(bool committed)>;
+
+  explicit RaftKv(RaftCluster& raft) : raft_(raft) {}
+
+  /// Propose `key = value`; the callback fires once the write is committed
+  /// (applied everywhere eventually) or lost to a leadership change.
+  void put(const std::string& key, const std::string& value, PutCallback cb) {
+    BufWriter w;
+    w.write_string(key);
+    w.write_string(value);
+    const auto& bytes = w.bytes();
+    std::string command(reinterpret_cast<const char*>(bytes.data()), bytes.size());
+    raft_.propose(std::move(command), [cb = std::move(cb)](bool ok, std::uint64_t) {
+      if (cb) cb(ok);
+    });
+  }
+
+  /// Value of `key` in the committed state of `node` (nullopt if unset).
+  std::optional<std::string> get(std::size_t node, const std::string& key) {
+    apply_committed(node);
+    auto& st = applied_[node];
+    auto it = st.map.find(key);
+    if (it == st.map.end()) return std::nullopt;
+    return it->second;
+  }
+
+  /// Number of committed commands applied at `node`.
+  std::uint64_t applied_count(std::size_t node) {
+    apply_committed(node);
+    return applied_[node].next_index - 1;
+  }
+
+ private:
+  struct Applied {
+    std::unordered_map<std::string, std::string> map;
+    std::uint64_t next_index = 1;  // next committed log index to apply
+  };
+
+  void apply_committed(std::size_t node) {
+    auto& st = applied_[node];
+    const auto log = raft_.committed_commands(node);
+    while (st.next_index <= log.size()) {
+      const std::string& cmd = log[st.next_index - 1];
+      BufReader r(std::span<const std::byte>(
+          reinterpret_cast<const std::byte*>(cmd.data()), cmd.size()));
+      std::string key = r.read_string();
+      std::string value = r.read_string();
+      st.map[std::move(key)] = std::move(value);
+      ++st.next_index;
+    }
+  }
+
+  RaftCluster& raft_;
+  std::unordered_map<std::size_t, Applied> applied_;
+};
+
+}  // namespace hpbdc::kvstore

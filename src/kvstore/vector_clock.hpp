@@ -1,0 +1,101 @@
+#pragma once
+// Vector clocks for causality tracking in the replicated KV store.
+// Comparison yields one of: equal, a-dominates, b-dominates, concurrent.
+// Concurrent versions indicate a conflict; the store resolves them with
+// last-writer-wins on the coordinator timestamp (documented simplification
+// of Dynamo's application-level reconciliation).
+
+#include <cstdint>
+#include <map>
+
+#include "common/serialize.hpp"
+
+namespace hpbdc::kvstore {
+
+enum class ClockOrder { kEqual, kBefore, kAfter, kConcurrent };
+
+class VectorClock {
+ public:
+  void increment(std::uint64_t node) { ++entries_[node]; }
+
+  void set(std::uint64_t node, std::uint64_t value) {
+    if (value == 0) entries_.erase(node);
+    else entries_[node] = value;
+  }
+
+  std::uint64_t get(std::uint64_t node) const {
+    auto it = entries_.find(node);
+    return it == entries_.end() ? 0 : it->second;
+  }
+
+  /// Pointwise maximum.
+  void merge(const VectorClock& o) {
+    for (const auto& [n, c] : o.entries_) {
+      auto& mine = entries_[n];
+      if (c > mine) mine = c;
+    }
+  }
+
+  /// Order of *this relative to o.
+  ClockOrder compare(const VectorClock& o) const {
+    bool less = false, greater = false;
+    auto a = entries_.begin();
+    auto b = o.entries_.begin();
+    while (a != entries_.end() || b != o.entries_.end()) {
+      if (b == o.entries_.end() || (a != entries_.end() && a->first < b->first)) {
+        if (a->second > 0) greater = true;
+        ++a;
+      } else if (a == entries_.end() || b->first < a->first) {
+        if (b->second > 0) less = true;
+        ++b;
+      } else {
+        if (a->second > b->second) greater = true;
+        if (a->second < b->second) less = true;
+        ++a;
+        ++b;
+      }
+    }
+    if (less && greater) return ClockOrder::kConcurrent;
+    if (greater) return ClockOrder::kAfter;
+    if (less) return ClockOrder::kBefore;
+    return ClockOrder::kEqual;
+  }
+
+  bool dominates(const VectorClock& o) const {
+    const auto c = compare(o);
+    return c == ClockOrder::kAfter || c == ClockOrder::kEqual;
+  }
+
+  bool empty() const noexcept { return entries_.empty(); }
+  const std::map<std::uint64_t, std::uint64_t>& entries() const noexcept { return entries_; }
+
+ private:
+  std::map<std::uint64_t, std::uint64_t> entries_;
+};
+
+}  // namespace hpbdc::kvstore
+
+namespace hpbdc {
+
+template <>
+struct Serde<kvstore::VectorClock> {
+  static void write(BufWriter& w, const kvstore::VectorClock& vc) {
+    w.write_varint(vc.entries().size());
+    for (const auto& [n, c] : vc.entries()) {
+      w.write_varint(n);
+      w.write_varint(c);
+    }
+  }
+  static kvstore::VectorClock read(BufReader& r) {
+    kvstore::VectorClock vc;
+    const auto n = r.read_varint();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const auto node = r.read_varint();
+      const auto count = r.read_varint();
+      vc.set(node, count);
+    }
+    return vc;
+  }
+};
+
+}  // namespace hpbdc

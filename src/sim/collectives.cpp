@@ -1,0 +1,292 @@
+#include "sim/collectives.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace hpbdc::sim {
+
+namespace {
+
+double reduce_delay(std::uint64_t bytes, const CollectiveConfig& cfg) {
+  return cfg.reduce_compute_bps > 0
+             ? static_cast<double>(bytes) / cfg.reduce_compute_bps
+             : 0.0;
+}
+
+/// Children of virtual rank v in the binomial tree rooted at 0:
+/// { v + 2^k : 2^k > v, v + 2^k < p }.
+std::vector<std::size_t> binomial_children(std::size_t v, std::size_t p) {
+  std::vector<std::size_t> out;
+  for (std::size_t bit = 1; bit < p; bit <<= 1) {
+    if (bit > v && v + bit < p) out.push_back(v + bit);
+  }
+  return out;
+}
+
+}  // namespace
+
+void broadcast(Comm& comm, std::size_t root, std::uint64_t bytes, DoneFn done) {
+  const std::size_t p = comm.nranks();
+  if (p <= 1) {
+    comm.simulator().schedule_after(0.0, [done, &comm] { done(comm.simulator().now()); });
+    return;
+  }
+  struct State {
+    std::size_t have = 0;
+    int tag = 0;
+    DoneFn done;
+  };
+  auto st = std::make_shared<State>();
+  st->tag = comm.next_tag();
+  st->done = std::move(done);
+
+  auto real = [root, p](std::size_t v) { return (v + root) % p; };
+
+  // on_have(v): rank v now holds the data; forward to its binomial children.
+  // A shared callable lets handlers recurse safely after this scope exits.
+  auto on_have_ptr = std::make_shared<std::function<void(std::size_t)>>();
+  *on_have_ptr = [&comm, st, real, p, bytes, on_have_ptr](std::size_t v) {
+    if (++st->have == p) {
+      for (std::size_t r = 0; r < p; ++r) comm.clear_handler(r, st->tag);
+      st->done(comm.simulator().now());
+      return;
+    }
+    // Largest child first: matches MPI's ordering and pipelines best.
+    auto children = binomial_children(v, p);
+    for (auto it = children.rbegin(); it != children.rend(); ++it) {
+      comm.send_sized(real(v), real(*it), st->tag, bytes);
+    }
+  };
+  for (std::size_t v = 1; v < p; ++v) {
+    comm.set_handler(real(v), st->tag,
+                     [on_have_ptr, v](std::size_t, const Bytes&) { (*on_have_ptr)(v); });
+  }
+  comm.simulator().schedule_after(0.0, [on_have_ptr] { (*on_have_ptr)(0); });
+}
+
+void reduce(Comm& comm, std::size_t root, std::uint64_t bytes, DoneFn done,
+            CollectiveConfig cfg) {
+  const std::size_t p = comm.nranks();
+  if (p <= 1) {
+    comm.simulator().schedule_after(0.0, [done, &comm] { done(comm.simulator().now()); });
+    return;
+  }
+  struct State {
+    std::vector<std::size_t> pending;  // children yet to report, per vrank
+    int tag = 0;
+    DoneFn done;
+  };
+  auto st = std::make_shared<State>();
+  st->tag = comm.next_tag();
+  st->done = std::move(done);
+  st->pending.resize(p);
+  for (std::size_t v = 0; v < p; ++v) st->pending[v] = binomial_children(v, p).size();
+
+  auto real = [root, p](std::size_t v) { return (v + root) % p; };
+
+  auto send_up = std::make_shared<std::function<void(std::size_t)>>();
+  *send_up = [&comm, st, real, bytes, cfg, send_up](std::size_t v) {
+    if (v == 0) {
+      for (std::size_t r = 0; r < comm.nranks(); ++r) comm.clear_handler(r, st->tag);
+      st->done(comm.simulator().now());
+      return;
+    }
+    // Parent of v strips v's highest set bit.
+    std::size_t high = 1;
+    while ((high << 1) <= v) high <<= 1;
+    const std::size_t parent = v - high;
+    comm.send_sized(real(v), real(parent), st->tag, bytes);
+  };
+
+  for (std::size_t v = 0; v < p; ++v) {
+    comm.set_handler(real(v), st->tag,
+                     [&comm, st, v, bytes, cfg, send_up](std::size_t, const Bytes&) {
+                       if (--st->pending[v] == 0) {
+                         const double d = reduce_delay(bytes, cfg);
+                         comm.simulator().schedule_after(d, [send_up, v] { (*send_up)(v); });
+                       }
+                     });
+  }
+  // Leaves start immediately.
+  for (std::size_t v = 0; v < p; ++v) {
+    if (st->pending[v] == 0) {
+      comm.simulator().schedule_after(reduce_delay(bytes, cfg),
+                                      [send_up, v] { (*send_up)(v); });
+    }
+  }
+}
+
+void all_reduce(Comm& comm, std::uint64_t bytes, DoneFn done, CollectiveConfig cfg) {
+  const std::size_t p = comm.nranks();
+  if (p <= 1) {
+    comm.simulator().schedule_after(0.0, [done, &comm] { done(comm.simulator().now()); });
+    return;
+  }
+  // Recursive doubling over the largest power-of-two subgroup; the r extra
+  // ranks fold into a partner up front and get the result back at the end.
+  std::size_t pow2 = 1;
+  while (pow2 * 2 <= p) pow2 *= 2;
+  const std::size_t extra = p - pow2;
+  std::size_t rounds = 0;
+  while ((1ULL << rounds) < pow2) ++rounds;
+
+  struct State {
+    int base_tag = 0;
+    std::size_t rounds = 0;
+    std::size_t done_count = 0;     // active ranks finished all rounds
+    std::size_t finished_total = 0; // all p ranks holding the result
+    std::vector<std::vector<bool>> received;  // [active_rank][round]
+    std::vector<std::vector<bool>> sent;      // [active_rank][round]
+    std::vector<std::size_t> at_round;        // per active rank
+    DoneFn done;
+  };
+  auto st = std::make_shared<State>();
+  st->base_tag = comm.next_tag();
+  // Reserve enough tags for all rounds plus fold-in/fold-out phases.
+  for (std::size_t k = 1; k < rounds + 2; ++k) comm.next_tag();
+  st->rounds = rounds;
+  st->done = std::move(done);
+  st->received.assign(pow2, std::vector<bool>(rounds, false));
+  st->sent.assign(pow2, std::vector<bool>(rounds, false));
+  st->at_round.assign(pow2, 0);
+
+  // Active rank a corresponds to real rank a + extra... mapping: the first
+  // `extra` pairs are (2i, 2i+1) with 2i active; ranks >= 2*extra are active
+  // as themselves. active_index -> real rank:
+  auto active_real = [extra](std::size_t a) {
+    return a < extra ? 2 * a : a + extra;
+  };
+
+  const int fold_in_tag = st->base_tag + static_cast<int>(rounds);
+  const int fold_out_tag = st->base_tag + static_cast<int>(rounds) + 1;
+
+  auto finish_one = std::make_shared<std::function<void()>>();
+  *finish_one = [&comm, st, p] {
+    if (++st->finished_total == p) {
+      st->done(comm.simulator().now());
+    }
+  };
+
+  auto advance = std::make_shared<std::function<void(std::size_t)>>();
+  *advance = [&comm, st, active_real, pow2, bytes, cfg, advance, finish_one,
+              fold_out_tag, extra](std::size_t a) {
+    const std::size_t k = st->at_round[a];
+    if (k == st->rounds) {
+      // Finished: hand result back to folded partner if any, count self.
+      if (a < extra) {
+        comm.send_sized(active_real(a), active_real(a) + 1, fold_out_tag, bytes);
+      }
+      (*finish_one)();
+      return;
+    }
+    const std::size_t partner = a ^ (1ULL << k);
+    (void)pow2;
+    st->sent[a][k] = true;
+    comm.send_sized(active_real(a), active_real(partner),
+                    st->base_tag + static_cast<int>(k), bytes);
+    // If the partner's round-k message already arrived, complete the round
+    // now; otherwise the receive handler completes it.
+    if (st->received[a][k]) {
+      st->at_round[a] = k + 1;
+      comm.simulator().schedule_after(reduce_delay(bytes, cfg),
+                                      [advance, a] { (*advance)(a); });
+    }
+  };
+
+  // Round-k receive handlers for active ranks.
+  for (std::size_t a = 0; a < pow2; ++a) {
+    for (std::size_t k = 0; k < rounds; ++k) {
+      comm.set_handler(active_real(a), st->base_tag + static_cast<int>(k),
+                       [&comm, st, a, k, bytes, cfg, advance](std::size_t, const Bytes&) {
+                         st->received[a][k] = true;
+                         if (st->at_round[a] == k && st->sent[a][k]) {
+                           st->at_round[a] = k + 1;
+                           comm.simulator().schedule_after(
+                               reduce_delay(bytes, cfg), [advance, a] { (*advance)(a); });
+                         }
+                       });
+    }
+  }
+
+  if (extra == 0) {
+    for (std::size_t a = 0; a < pow2; ++a) {
+      comm.simulator().schedule_after(0.0, [advance, a] { (*advance)(a); });
+    }
+  } else {
+    // Fold-in: odd partner 2a+1 sends to active rank 2a, then waits.
+    for (std::size_t a = 0; a < extra; ++a) {
+      comm.set_handler(active_real(a), fold_in_tag,
+                       [&comm, st, a, bytes, cfg, advance](std::size_t, const Bytes&) {
+                         comm.simulator().schedule_after(
+                             reduce_delay(bytes, cfg), [advance, a] { (*advance)(a); });
+                       });
+      comm.set_handler(active_real(a) + 1, fold_out_tag,
+                       [finish_one](std::size_t, const Bytes&) { (*finish_one)(); });
+      comm.send_sized(active_real(a) + 1, active_real(a), fold_in_tag, bytes);
+    }
+    for (std::size_t a = extra; a < pow2; ++a) {
+      comm.simulator().schedule_after(0.0, [advance, a] { (*advance)(a); });
+    }
+  }
+}
+
+void barrier(Comm& comm, DoneFn done) { all_reduce(comm, 1, std::move(done)); }
+
+void gather(Comm& comm, std::size_t root, std::uint64_t bytes, DoneFn done) {
+  const std::size_t p = comm.nranks();
+  if (p <= 1) {
+    comm.simulator().schedule_after(0.0, [done, &comm] { done(comm.simulator().now()); });
+    return;
+  }
+  struct State {
+    std::size_t remaining;
+    int tag;
+    DoneFn done;
+  };
+  auto st = std::make_shared<State>();
+  st->remaining = p - 1;
+  st->tag = comm.next_tag();
+  st->done = std::move(done);
+  comm.set_handler(root, st->tag, [&comm, st, root](std::size_t, const Bytes&) {
+    if (--st->remaining == 0) {
+      comm.clear_handler(root, st->tag);
+      st->done(comm.simulator().now());
+    }
+  });
+  for (std::size_t r = 0; r < p; ++r) {
+    if (r != root) comm.send_sized(r, root, st->tag, bytes);
+  }
+}
+
+void all_to_all(Comm& comm, std::uint64_t bytes_per_pair, DoneFn done) {
+  const std::size_t p = comm.nranks();
+  if (p <= 1) {
+    comm.simulator().schedule_after(0.0, [done, &comm] { done(comm.simulator().now()); });
+    return;
+  }
+  struct State {
+    std::size_t remaining;
+    int tag;
+    DoneFn done;
+  };
+  auto st = std::make_shared<State>();
+  st->remaining = p * (p - 1);
+  st->tag = comm.next_tag();
+  st->done = std::move(done);
+  for (std::size_t r = 0; r < p; ++r) {
+    comm.set_handler(r, st->tag, [&comm, st, p](std::size_t, const Bytes&) {
+      if (--st->remaining == 0) {
+        for (std::size_t q = 0; q < p; ++q) comm.clear_handler(q, st->tag);
+        st->done(comm.simulator().now());
+      }
+    });
+  }
+  // Rank r sends to r+1, r+2, ... (rotated order avoids synchronized incast).
+  for (std::size_t r = 0; r < p; ++r) {
+    for (std::size_t step = 1; step < p; ++step) {
+      comm.send_sized(r, (r + step) % p, st->tag, bytes_per_pair);
+    }
+  }
+}
+
+}  // namespace hpbdc::sim

@@ -1,0 +1,51 @@
+#pragma once
+// Collective communication algorithms over the simulated network, mirroring
+// the classic MPI implementations:
+//   broadcast  — binomial tree, log2(p) rounds
+//   reduce     — binomial tree toward the root (same cost shape)
+//   all_reduce — recursive doubling, log2(p) rounds of pairwise exchange
+//   barrier    — zero-byte all_reduce
+//   gather     — direct fan-in to the root
+//   all_to_all — p-1 direct pairwise transfers per rank
+// Each call runs asynchronously in the simulator and fires `done(t)` with
+// the completion time. Payload contents are not interpreted; only sizes
+// matter for the cost model (reduction compute time is modelled via a
+// per-byte compute rate).
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "sim/comm.hpp"
+
+namespace hpbdc::sim {
+
+using DoneFn = std::function<void(SimTime finish)>;
+
+struct CollectiveConfig {
+  /// Bytes/sec a rank can combine during reduction steps (0 = free).
+  double reduce_compute_bps = 0.0;
+};
+
+/// Binomial-tree broadcast of `bytes` from root to all ranks.
+void broadcast(Comm& comm, std::size_t root, std::uint64_t bytes, DoneFn done);
+
+/// Binomial-tree reduction of `bytes` per rank toward root.
+void reduce(Comm& comm, std::size_t root, std::uint64_t bytes, DoneFn done,
+            CollectiveConfig cfg = {});
+
+/// Recursive-doubling all-reduce; requires nothing of p (non-powers of two
+/// are handled with the standard pre/post folding step).
+void all_reduce(Comm& comm, std::uint64_t bytes, DoneFn done,
+                CollectiveConfig cfg = {});
+
+/// Barrier = 1-byte all-reduce.
+void barrier(Comm& comm, DoneFn done);
+
+/// Every rank sends `bytes` directly to root.
+void gather(Comm& comm, std::size_t root, std::uint64_t bytes, DoneFn done);
+
+/// Every rank sends `bytes` to every other rank (shuffle traffic pattern).
+void all_to_all(Comm& comm, std::uint64_t bytes_per_pair, DoneFn done);
+
+}  // namespace hpbdc::sim

@@ -1,0 +1,274 @@
+#include "sim/dfs.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+namespace hpbdc::sim {
+
+Dfs::Dfs(Comm& comm, DfsConfig cfg) : comm_(comm), cfg_(cfg) {
+  if (cfg_.replication == 0 || cfg_.replication > comm.nranks()) {
+    throw std::invalid_argument("Dfs: bad replication factor");
+  }
+  if (cfg_.block_size == 0) throw std::invalid_argument("Dfs: zero block size");
+  disks_.assign(comm.nranks(), Disk(cfg_.disk_bandwidth_bps, cfg_.disk_seek));
+  down_.assign(comm.nranks(), false);
+}
+
+std::size_t Dfs::rack_of(std::size_t node) const {
+  const auto& nc = comm_.network().config();
+  if (nc.topology == Topology::kFatTree) return node / nc.hosts_per_rack;
+  return 0;  // flat fabrics: a single logical rack
+}
+
+std::uint64_t Dfs::file_size(const std::string& name) const {
+  auto it = files_.find(name);
+  if (it == files_.end()) throw std::out_of_range("Dfs: no such file");
+  return it->second.size;
+}
+
+void Dfs::fail_node(std::size_t node) { down_[node] = true; }
+void Dfs::recover_node(std::size_t node) { down_[node] = false; }
+
+std::vector<std::size_t> Dfs::block_locations(const std::string& name,
+                                              std::size_t index) const {
+  auto it = files_.find(name);
+  if (it == files_.end() || index >= it->second.blocks.size()) {
+    throw std::out_of_range("Dfs: no such block");
+  }
+  return it->second.blocks[index].replicas;
+}
+
+std::vector<std::size_t> Dfs::place_replicas(std::size_t writer) {
+  std::vector<std::size_t> live;
+  for (std::size_t n = 0; n < comm_.nranks(); ++n) {
+    if (!down_[n]) live.push_back(n);
+  }
+  if (live.size() < cfg_.replication) return {};  // not enough datanodes
+
+  std::vector<std::size_t> out;
+  // First replica: the writer if it is a live cluster node, else random.
+  const std::size_t first =
+      (writer < comm_.nranks() && !down_[writer])
+          ? writer
+          : live[placement_rng_.next_below(live.size())];
+  out.push_back(first);
+
+  if (cfg_.rack_aware &&
+      comm_.network().config().topology == Topology::kFatTree) {
+    // Remaining replicas together on one remote rack (HDFS policy: survives
+    // a rack loss while keeping inter-rack traffic to one hop of the tree).
+    std::map<std::size_t, std::vector<std::size_t>> racks;
+    for (auto n : live) {
+      if (rack_of(n) != rack_of(first)) racks[rack_of(n)].push_back(n);
+    }
+    std::vector<std::size_t> eligible;
+    for (auto& [rack, nodes] : racks) {
+      if (nodes.size() >= cfg_.replication - 1) eligible.push_back(rack);
+    }
+    if (!eligible.empty()) {
+      auto& nodes = racks[eligible[placement_rng_.next_below(eligible.size())]];
+      placement_rng_.shuffle(nodes);
+      for (std::size_t i = 0; i + 1 < cfg_.replication; ++i) out.push_back(nodes[i]);
+      return out;
+    }
+    // Fall through to random placement when no rack can host the remainder.
+  }
+  // Random distinct live nodes.
+  auto pool = live;
+  placement_rng_.shuffle(pool);
+  for (auto n : pool) {
+    if (out.size() == cfg_.replication) break;
+    if (std::find(out.begin(), out.end(), n) == out.end()) out.push_back(n);
+  }
+  return out.size() == cfg_.replication ? out : std::vector<std::size_t>{};
+}
+
+void Dfs::write(std::size_t client, const std::string& name, std::uint64_t size,
+                DoneFn cb) {
+  Simulator& sim = comm_.simulator();
+  Network& net = comm_.network();
+  if (size == 0 || files_.contains(name)) {
+    sim.schedule_after(0.0, [cb] { cb(false); });
+    return;
+  }
+  // Block layout and placement are decided up front (namenode metadata).
+  File file;
+  file.size = size;
+  for (std::uint64_t off = 0; off < size; off += cfg_.block_size) {
+    Block b;
+    b.size = std::min<std::uint64_t>(cfg_.block_size, size - off);
+    b.replicas = place_replicas(client);
+    if (b.replicas.empty()) {
+      sim.schedule_after(0.0, [cb] { cb(false); });
+      return;
+    }
+    file.blocks.push_back(std::move(b));
+  }
+  const auto nblocks = file.blocks.size();
+  files_[name] = file;
+  stats_.bytes_written += size;
+  stats_.blocks_written += nblocks;
+
+  struct WriteState {
+    std::size_t pending_acks = 0;  // disk writes outstanding across blocks
+    DoneFn cb;
+  };
+  auto st = std::make_shared<WriteState>();
+  st->pending_acks = nblocks * cfg_.replication;
+  st->cb = std::move(cb);
+
+  auto ack = [this, st] {
+    if (--st->pending_acks == 0) st->cb(true);
+  };
+
+  // Namenode RPC round-trip, then the per-block replication pipelines.
+  net.send(client, cfg_.namenode, cfg_.namenode_rpc_bytes, [this, st, client, name,
+                                                            ack, &sim, &net] {
+    net.send(cfg_.namenode, client, cfg_.namenode_rpc_bytes, [this, st, client, name,
+                                                              ack, &sim, &net] {
+      const File& f = files_[name];
+      for (const Block& b : f.blocks) {
+        // Pipeline: client -> r0 -> r1 -> ...; each hop stores to disk and
+        // forwards. A shared recursive step drives the chain.
+        auto replicas = std::make_shared<std::vector<std::size_t>>(b.replicas);
+        auto step = std::make_shared<std::function<void(std::size_t, std::size_t)>>();
+        const std::uint64_t bytes = b.size;
+        *step = [this, replicas, step, bytes, ack, &sim, &net](std::size_t from,
+                                                               std::size_t idx) {
+          const std::size_t target = (*replicas)[idx];
+          net.send(from, target, bytes, [this, replicas, step, bytes, ack, idx,
+                                         target, &sim] {
+            disks_[target].access(sim, bytes, ack);
+            if (idx + 1 < replicas->size()) (*step)(target, idx + 1);
+          });
+        };
+        (*step)(client, 0);
+      }
+    });
+  });
+}
+
+std::size_t Dfs::pick_read_replica(std::size_t client, const Block& b) const {
+  std::size_t best = comm_.nranks();  // sentinel: none
+  std::size_t best_hops = ~std::size_t{0};
+  for (auto r : b.replicas) {
+    if (down_[r]) continue;
+    const std::size_t hops = comm_.network().hops(client, r);
+    if (hops < best_hops) {
+      best_hops = hops;
+      best = r;
+    }
+  }
+  return best;
+}
+
+void Dfs::read(std::size_t client, const std::string& name, DoneFn cb) {
+  Simulator& sim = comm_.simulator();
+  Network& net = comm_.network();
+  auto it = files_.find(name);
+  if (it == files_.end()) {
+    sim.schedule_after(0.0, [cb] { cb(false); });
+    return;
+  }
+  const File& f = it->second;
+
+  struct ReadState {
+    std::size_t pending = 0;
+    bool failed = false;
+    DoneFn cb;
+  };
+  auto st = std::make_shared<ReadState>();
+  st->pending = f.blocks.size();
+  st->cb = std::move(cb);
+  auto done_one = [st](bool ok) {
+    if (!ok) st->failed = true;
+    if (--st->pending == 0) st->cb(!st->failed);
+  };
+
+  net.send(client, cfg_.namenode, cfg_.namenode_rpc_bytes, [this, st, client, name,
+                                                            done_one, &sim, &net] {
+    net.send(cfg_.namenode, client, cfg_.namenode_rpc_bytes, [this, st, client, name,
+                                                              done_one, &sim, &net] {
+      auto fit = files_.find(name);
+      if (fit == files_.end()) {
+        for (std::size_t i = 0; i < st->pending; ++i) done_one(false);
+        return;
+      }
+      for (const Block& b : fit->second.blocks) {
+        const std::size_t replica = pick_read_replica(client, b);
+        if (replica == comm_.nranks()) {
+          sim.schedule_after(0.0, [done_one] { done_one(false); });
+          continue;
+        }
+        ++stats_.blocks_read;
+        stats_.bytes_read += b.size;
+        if (replica == client) ++stats_.local_reads;
+        const std::uint64_t bytes = b.size;
+        // Disk read at the replica, then the network transfer to the client.
+        disks_[replica].access(sim, bytes, [this, replica, client, bytes, done_one,
+                                            &net] {
+          net.send(replica, client, bytes, [done_one] { done_one(true); });
+        });
+      }
+    });
+  });
+}
+
+void Dfs::re_replicate(std::function<void()> cb) {
+  Simulator& sim = comm_.simulator();
+  Network& net = comm_.network();
+
+  struct RepairState {
+    std::size_t pending = 0;
+    std::function<void()> cb;
+  };
+  auto st = std::make_shared<RepairState>();
+  st->cb = std::move(cb);
+
+  std::vector<std::function<void()>> transfers;
+  for (auto& [name, file] : files_) {
+    for (auto& block : file.blocks) {
+      std::vector<std::size_t> live;
+      for (auto r : block.replicas) {
+        if (!down_[r]) live.push_back(r);
+      }
+      if (live.empty() || live.size() >= cfg_.replication) continue;
+      // Candidates: live nodes not already holding the block.
+      std::vector<std::size_t> candidates;
+      for (std::size_t n = 0; n < comm_.nranks(); ++n) {
+        if (!down_[n] &&
+            std::find(block.replicas.begin(), block.replicas.end(), n) ==
+                block.replicas.end()) {
+          candidates.push_back(n);
+        }
+      }
+      placement_rng_.shuffle(candidates);
+      const std::size_t need = cfg_.replication - live.size();
+      for (std::size_t i = 0; i < need && i < candidates.size(); ++i) {
+        const std::size_t src = live[i % live.size()];
+        const std::size_t dst = candidates[i];
+        block.replicas.push_back(dst);
+        ++stats_.re_replications;
+        const std::uint64_t bytes = block.size;
+        ++st->pending;
+        transfers.push_back([this, src, dst, bytes, st, &sim, &net] {
+          disks_[src].access(sim, bytes, [this, src, dst, bytes, st, &sim, &net] {
+            net.send(src, dst, bytes, [this, dst, bytes, st, &sim] {
+              disks_[dst].access(sim, bytes, [st] {
+                if (--st->pending == 0) st->cb();
+              });
+            });
+          });
+        });
+      }
+    }
+  }
+  if (transfers.empty()) {
+    sim.schedule_after(0.0, [st] { st->cb(); });
+    return;
+  }
+  for (auto& t : transfers) t();
+}
+
+}  // namespace hpbdc::sim

@@ -1,0 +1,128 @@
+#pragma once
+// Distributed file system on the simulated cluster (HDFS-like), the storage
+// substrate big-data jobs read from and write to:
+//   * files are split into fixed-size blocks,
+//   * each block is replicated R ways with the HDFS rack-aware policy
+//     (first replica on the writer when it is a cluster node, the remaining
+//     replicas on a single remote rack),
+//   * writes stream through a replication pipeline (client -> r1 -> r2 ->
+//     r3, store-and-forward) with every replica also paying a disk write,
+//   * reads pick the closest live replica (fewest fabric hops) and pay a
+//     disk read plus the network transfer,
+//   * failed nodes drop traffic; re_replicate() restores the replication
+//     factor of under-replicated blocks, like the HDFS namenode does.
+// Metadata is held in-process (the "namenode"), charged as a small RPC.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/comm.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace hpbdc::sim {
+
+/// One storage device: seek latency plus serialized bandwidth. Concurrent
+/// requests queue FIFO, like a real spindle/SSD channel.
+class Disk {
+ public:
+  Disk(double bandwidth_bps, double seek_time)
+      : bandwidth_bps_(bandwidth_bps), seek_time_(seek_time) {}
+
+  /// Schedule an access of `bytes`; cb fires at completion time.
+  void access(Simulator& sim, std::uint64_t bytes, std::function<void()> cb) {
+    const SimTime start = std::max(sim.now(), free_);
+    const SimTime end = start + seek_time_ + static_cast<double>(bytes) / bandwidth_bps_;
+    free_ = end;
+    sim.schedule_at(end, std::move(cb));
+  }
+
+  SimTime busy_until() const noexcept { return free_; }
+
+ private:
+  double bandwidth_bps_;
+  double seek_time_;
+  SimTime free_ = 0;
+};
+
+struct DfsConfig {
+  std::size_t replication = 3;
+  std::uint64_t block_size = 64ULL << 20;
+  bool rack_aware = true;          // HDFS default placement
+  double disk_bandwidth_bps = 200e6;
+  double disk_seek = 2e-3;
+  std::uint64_t namenode_rpc_bytes = 256;
+  std::size_t namenode = 0;
+};
+
+struct DfsStats {
+  std::uint64_t blocks_written = 0;
+  std::uint64_t blocks_read = 0;
+  std::uint64_t bytes_written = 0;   // logical (pre-replication)
+  std::uint64_t bytes_read = 0;
+  std::uint64_t local_reads = 0;     // served from the client's own node
+  std::uint64_t re_replications = 0;
+};
+
+class Dfs {
+ public:
+  using DoneFn = std::function<void(bool ok)>;
+
+  Dfs(Comm& comm, DfsConfig cfg);
+
+  /// Write a file of `size` bytes from `client`. cb(ok) fires when every
+  /// block's replication pipeline has fully drained to disk.
+  void write(std::size_t client, const std::string& name, std::uint64_t size,
+             DoneFn cb);
+
+  /// Read a whole file back to `client`; fails if any block has no live
+  /// replica.
+  void read(std::size_t client, const std::string& name, DoneFn cb);
+
+  bool exists(const std::string& name) const { return files_.contains(name); }
+  std::uint64_t file_size(const std::string& name) const;
+
+  /// Crash / recover a datanode. Crashed nodes serve nothing.
+  void fail_node(std::size_t node);
+  void recover_node(std::size_t node);
+
+  /// Restore the replication factor of blocks that lost replicas, copying
+  /// from a surviving replica to a new node. cb fires when all transfers
+  /// finish (immediately if nothing is under-replicated).
+  void re_replicate(std::function<void()> cb);
+
+  /// Replica locations of block `index` of a file (for tests).
+  std::vector<std::size_t> block_locations(const std::string& name,
+                                           std::size_t index) const;
+
+  const DfsStats& stats() const noexcept { return stats_; }
+  std::size_t rack_of(std::size_t node) const;
+
+ private:
+  struct Block {
+    std::uint64_t size = 0;
+    std::vector<std::size_t> replicas;
+  };
+  struct File {
+    std::uint64_t size = 0;
+    std::vector<Block> blocks;
+  };
+
+  std::vector<std::size_t> place_replicas(std::size_t writer);
+  std::size_t pick_read_replica(std::size_t client, const Block& b) const;
+
+  Comm& comm_;
+  DfsConfig cfg_;
+  std::vector<Disk> disks_;
+  std::vector<bool> down_;
+  std::map<std::string, File> files_;
+  DfsStats stats_;
+  Rng placement_rng_{0xDF5u};
+};
+
+}  // namespace hpbdc::sim

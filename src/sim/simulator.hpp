@@ -1,0 +1,79 @@
+#pragma once
+// Discrete-event simulation core. Events are (time, sequence) ordered, so
+// simultaneous events fire in schedule order and every run is deterministic.
+// Time is double seconds; the simulator makes no reference to wall-clock
+// time, so simulated hours execute in milliseconds.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <stdexcept>
+#include <vector>
+
+namespace hpbdc::sim {
+
+using SimTime = double;
+
+class Simulator {
+ public:
+  using Action = std::function<void()>;
+
+  SimTime now() const noexcept { return now_; }
+
+  /// Schedule fn to run at absolute time t (>= now).
+  void schedule_at(SimTime t, Action fn) {
+    if (t < now_) throw std::invalid_argument("Simulator: scheduling in the past");
+    queue_.push(Event{t, seq_++, std::move(fn)});
+  }
+
+  /// Schedule fn to run after the given delay (>= 0).
+  void schedule_after(SimTime delay, Action fn) {
+    if (delay < 0) throw std::invalid_argument("Simulator: negative delay");
+    schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Run until the event queue drains. Returns the final simulated time.
+  SimTime run() {
+    while (!queue_.empty()) step();
+    return now_;
+  }
+
+  /// Run until the queue drains or simulated time would exceed `limit`.
+  /// Events scheduled past the limit remain queued.
+  SimTime run_until(SimTime limit) {
+    while (!queue_.empty() && queue_.top().time <= limit) step();
+    if (now_ < limit) now_ = limit;
+    return now_;
+  }
+
+  bool idle() const noexcept { return queue_.empty(); }
+  std::size_t pending_events() const noexcept { return queue_.size(); }
+  std::uint64_t events_processed() const noexcept { return processed_; }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    Action fn;
+    bool operator>(const Event& o) const noexcept {
+      return time != o.time ? time > o.time : seq > o.seq;
+    }
+  };
+
+  void step() {
+    // priority_queue::top returns const&; const_cast is safe because the
+    // element is popped immediately and never reordered after the move.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.time;
+    ++processed_;
+    ev.fn();
+  }
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  SimTime now_ = 0.0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace hpbdc::sim

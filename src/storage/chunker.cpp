@@ -1,0 +1,69 @@
+#include "storage/chunker.hpp"
+
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace hpbdc::storage {
+
+std::vector<ChunkRef> FixedChunker::chunk(std::span<const std::uint8_t> data) const {
+  std::vector<ChunkRef> out;
+  out.reserve(data.size() / size_ + 1);
+  for (std::size_t off = 0; off < data.size(); off += size_) {
+    out.push_back(ChunkRef{off, std::min(size_, data.size() - off)});
+  }
+  return out;
+}
+
+namespace {
+/// 256-entry gear table: fixed pseudo-random 64-bit values, generated
+/// deterministically so chunk boundaries are stable across runs and builds.
+const std::array<std::uint64_t, 256>& gear_table() {
+  static const auto table = [] {
+    std::array<std::uint64_t, 256> t{};
+    std::uint64_t seed = 0x1d8af8dd04c9ab77ULL;
+    for (auto& v : t) v = hpbdc::splitmix64(seed);
+    return t;
+  }();
+  return table;
+}
+}  // namespace
+
+CdcChunker::CdcChunker(std::size_t avg, std::size_t min, std::size_t max)
+    : min_(min), max_(max) {
+  if (avg == 0 || (avg & (avg - 1)) != 0) {
+    throw std::invalid_argument("CdcChunker: avg must be a power of two");
+  }
+  if (min == 0 || min > avg || avg > max) {
+    throw std::invalid_argument("CdcChunker: require 0 < min <= avg <= max");
+  }
+  // Gear hash concentrates entropy in the high bits; mask there.
+  std::uint64_t bits = 0;
+  for (std::size_t a = avg; a > 1; a >>= 1) ++bits;
+  mask_ = bits >= 64 ? ~0ULL : ((1ULL << bits) - 1) << (64 - bits);
+}
+
+std::vector<ChunkRef> CdcChunker::chunk(std::span<const std::uint8_t> data) const {
+  std::vector<ChunkRef> out;
+  const auto& gear = gear_table();
+  std::size_t start = 0;
+  while (start < data.size()) {
+    const std::size_t limit = std::min(data.size(), start + max_);
+    std::size_t cut = limit;  // default: max-size (or end-of-input) cut
+    std::uint64_t h = 0;
+    // Skip the first min_ bytes: no boundary may fall inside them.
+    for (std::size_t i = start; i < limit; ++i) {
+      h = (h << 1) + gear[data[i]];
+      if (i - start + 1 < min_) continue;
+      if ((h & mask_) == 0) {
+        cut = i + 1;
+        break;
+      }
+    }
+    out.push_back(ChunkRef{start, cut - start});
+    start = cut;
+  }
+  return out;
+}
+
+}  // namespace hpbdc::storage

@@ -1,0 +1,43 @@
+#pragma once
+// Chunking for deduplication (experiment T5). Two strategies:
+//   FixedChunker — cut every `size` bytes. Fast, but a single inserted byte
+//                  shifts every later boundary, destroying dedup.
+//   CdcChunker   — content-defined chunking with a gear rolling hash
+//                  (FastCDC-style): a boundary is declared where the rolled
+//                  hash matches a mask, so boundaries move with content and
+//                  survive insertions. min/max bounds prevent pathological
+//                  chunk sizes; `avg` must be a power of two.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace hpbdc::storage {
+
+struct ChunkRef {
+  std::size_t offset = 0;
+  std::size_t length = 0;
+};
+
+class FixedChunker {
+ public:
+  explicit FixedChunker(std::size_t size) : size_(size == 0 ? 1 : size) {}
+  std::vector<ChunkRef> chunk(std::span<const std::uint8_t> data) const;
+
+ private:
+  std::size_t size_;
+};
+
+class CdcChunker {
+ public:
+  /// avg must be a power of two; defaults give 2KiB..64KiB around an 8KiB avg.
+  explicit CdcChunker(std::size_t avg = 8192, std::size_t min = 2048,
+                      std::size_t max = 65536);
+  std::vector<ChunkRef> chunk(std::span<const std::uint8_t> data) const;
+
+ private:
+  std::size_t min_, max_;
+  std::uint64_t mask_;
+};
+
+}  // namespace hpbdc::storage

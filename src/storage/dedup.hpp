@@ -1,0 +1,113 @@
+#pragma once
+// Deduplicating object store: objects are chunked (caller-chosen strategy),
+// chunks are fingerprinted, and identical chunks are stored once with
+// reference counting. put() returns a recipe from which get() reassembles
+// the object bit-exactly. Tracks logical vs physical bytes for dedup-ratio
+// experiments (T5).
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "storage/chunker.hpp"
+
+namespace hpbdc::storage {
+
+/// Chunk fingerprint: 64-bit content hash + length. The length component
+/// turns most hash collisions into mismatches; a production system would
+/// use a cryptographic hash instead.
+struct Fingerprint {
+  std::uint64_t hash = 0;
+  std::uint64_t length = 0;
+  bool operator==(const Fingerprint&) const = default;
+};
+
+struct FingerprintHash {
+  std::size_t operator()(const Fingerprint& f) const noexcept {
+    return static_cast<std::size_t>(hash_combine(f.hash, f.length));
+  }
+};
+
+struct Recipe {
+  std::vector<Fingerprint> chunks;
+  std::uint64_t logical_size = 0;
+};
+
+struct DedupStats {
+  std::uint64_t logical_bytes = 0;   // sum of all object sizes ingested
+  std::uint64_t physical_bytes = 0;  // unique chunk bytes stored
+  std::uint64_t chunks_seen = 0;
+  std::uint64_t chunks_unique = 0;
+  double ratio() const noexcept {
+    return physical_bytes == 0 ? 1.0
+                               : static_cast<double>(logical_bytes) /
+                                     static_cast<double>(physical_bytes);
+  }
+};
+
+class DedupStore {
+ public:
+  /// Ingest one object using the given chunk boundaries.
+  template <typename Chunker>
+  Recipe put(std::span<const std::uint8_t> data, const Chunker& chunker) {
+    Recipe recipe;
+    recipe.logical_size = data.size();
+    stats_.logical_bytes += data.size();
+    for (const ChunkRef& c : chunker.chunk(data)) {
+      const auto* p = data.data() + c.offset;
+      Fingerprint fp{hash_bytes(reinterpret_cast<const char*>(p), c.length), c.length};
+      ++stats_.chunks_seen;
+      auto [it, inserted] = chunks_.try_emplace(fp);
+      if (inserted) {
+        it->second.bytes.assign(p, p + c.length);
+        stats_.physical_bytes += c.length;
+        ++stats_.chunks_unique;
+      }
+      ++it->second.refcount;
+      recipe.chunks.push_back(fp);
+    }
+    return recipe;
+  }
+
+  /// Reassemble an object from its recipe.
+  std::vector<std::uint8_t> get(const Recipe& recipe) const {
+    std::vector<std::uint8_t> out;
+    out.reserve(recipe.logical_size);
+    for (const auto& fp : recipe.chunks) {
+      auto it = chunks_.find(fp);
+      if (it == chunks_.end()) throw std::out_of_range("DedupStore: missing chunk");
+      out.insert(out.end(), it->second.bytes.begin(), it->second.bytes.end());
+    }
+    return out;
+  }
+
+  /// Drop one reference per chunk of the recipe; frees chunks at zero refs.
+  void remove(const Recipe& recipe) {
+    for (const auto& fp : recipe.chunks) {
+      auto it = chunks_.find(fp);
+      if (it == chunks_.end()) throw std::out_of_range("DedupStore: missing chunk");
+      if (--it->second.refcount == 0) {
+        stats_.physical_bytes -= it->second.bytes.size();
+        --stats_.chunks_unique;
+        chunks_.erase(it);
+      }
+    }
+  }
+
+  const DedupStats& stats() const noexcept { return stats_; }
+  std::size_t unique_chunks() const noexcept { return chunks_.size(); }
+
+ private:
+  struct Stored {
+    std::vector<std::uint8_t> bytes;
+    std::uint64_t refcount = 0;
+  };
+  std::unordered_map<Fingerprint, Stored, FingerprintHash> chunks_;
+  DedupStats stats_;
+};
+
+}  // namespace hpbdc::storage

@@ -1,0 +1,130 @@
+#pragma once
+// GF(2^8) arithmetic for Reed–Solomon coding, over the AES-standard
+// primitive polynomial x^8 + x^4 + x^3 + x^2 + 1 (0x11d). Multiplication is
+// exp/log table based; tables are built once at static-init time.
+
+#include <array>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace hpbdc::storage {
+
+class GF256 {
+ public:
+  static std::uint8_t mul(std::uint8_t a, std::uint8_t b) noexcept {
+    if (a == 0 || b == 0) return 0;
+    const Tables& t = tables();
+    return t.exp[t.log[a] + t.log[b]];
+  }
+
+  static std::uint8_t div(std::uint8_t a, std::uint8_t b) {
+    if (b == 0) throw std::domain_error("GF256: division by zero");
+    if (a == 0) return 0;
+    const Tables& t = tables();
+    return t.exp[t.log[a] + 255 - t.log[b]];
+  }
+
+  static std::uint8_t inv(std::uint8_t a) { return div(1, a); }
+
+  static std::uint8_t add(std::uint8_t a, std::uint8_t b) noexcept {
+    return a ^ b;  // characteristic 2
+  }
+
+  static std::uint8_t exp(int e) noexcept { return tables().exp[((e % 255) + 255) % 255]; }
+
+ private:
+  struct Tables {
+    std::array<std::uint8_t, 512> exp{};  // doubled to skip the mod-255
+    std::array<int, 256> log{};
+    Tables() {
+      int x = 1;
+      for (int i = 0; i < 255; ++i) {
+        exp[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(x);
+        log[static_cast<std::size_t>(x)] = i;
+        x <<= 1;
+        if (x & 0x100) x ^= 0x11d;
+      }
+      for (int i = 255; i < 512; ++i) exp[static_cast<std::size_t>(i)] = exp[static_cast<std::size_t>(i - 255)];
+      log[0] = 0;  // never consulted: mul/div guard zero operands
+    }
+  };
+
+  static const Tables& tables() noexcept {
+    static const Tables t;
+    return t;
+  }
+};
+
+/// Dense matrix over GF(2^8); just enough linear algebra for RS coding.
+class GFMatrix {
+ public:
+  GFMatrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0) {}
+
+  std::uint8_t& at(std::size_t r, std::size_t c) noexcept { return data_[r * cols_ + c]; }
+  std::uint8_t at(std::size_t r, std::size_t c) const noexcept { return data_[r * cols_ + c]; }
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+
+  static GFMatrix identity(std::size_t n) {
+    GFMatrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i) m.at(i, i) = 1;
+    return m;
+  }
+
+  GFMatrix mul(const GFMatrix& o) const {
+    if (cols_ != o.rows_) throw std::invalid_argument("GFMatrix: shape mismatch");
+    GFMatrix out(rows_, o.cols_);
+    for (std::size_t i = 0; i < rows_; ++i) {
+      for (std::size_t k = 0; k < cols_; ++k) {
+        const std::uint8_t a = at(i, k);
+        if (a == 0) continue;
+        for (std::size_t j = 0; j < o.cols_; ++j) {
+          out.at(i, j) ^= GF256::mul(a, o.at(k, j));
+        }
+      }
+    }
+    return out;
+  }
+
+  /// Gauss–Jordan inverse. Throws std::domain_error if singular.
+  GFMatrix inverse() const {
+    if (rows_ != cols_) throw std::invalid_argument("GFMatrix: not square");
+    const std::size_t n = rows_;
+    GFMatrix a(*this);
+    GFMatrix inv = identity(n);
+    for (std::size_t col = 0; col < n; ++col) {
+      std::size_t pivot = col;
+      while (pivot < n && a.at(pivot, col) == 0) ++pivot;
+      if (pivot == n) throw std::domain_error("GFMatrix: singular");
+      if (pivot != col) {
+        for (std::size_t j = 0; j < n; ++j) {
+          std::swap(a.at(pivot, j), a.at(col, j));
+          std::swap(inv.at(pivot, j), inv.at(col, j));
+        }
+      }
+      const std::uint8_t d = GF256::inv(a.at(col, col));
+      for (std::size_t j = 0; j < n; ++j) {
+        a.at(col, j) = GF256::mul(a.at(col, j), d);
+        inv.at(col, j) = GF256::mul(inv.at(col, j), d);
+      }
+      for (std::size_t r = 0; r < n; ++r) {
+        if (r == col) continue;
+        const std::uint8_t f = a.at(r, col);
+        if (f == 0) continue;
+        for (std::size_t j = 0; j < n; ++j) {
+          a.at(r, j) ^= GF256::mul(f, a.at(col, j));
+          inv.at(r, j) ^= GF256::mul(f, inv.at(col, j));
+        }
+      }
+    }
+    return inv;
+  }
+
+ private:
+  std::size_t rows_, cols_;
+  std::vector<std::uint8_t> data_;
+};
+
+}  // namespace hpbdc::storage

@@ -1,0 +1,129 @@
+#include "storage/reed_solomon.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace hpbdc::storage {
+
+ReedSolomon::ReedSolomon(std::size_t k, std::size_t m)
+    : k_(k), m_(m), parity_rows_(m, k) {
+  if (k == 0) throw std::invalid_argument("ReedSolomon: k must be >= 1");
+  if (k + m > 256) throw std::invalid_argument("ReedSolomon: k + m must be <= 256");
+  // Cauchy block: C[i][j] = 1 / (x_i ^ y_j), x_i = k + i, y_j = j.
+  // x and y ranges are disjoint subsets of GF(256), so x_i ^ y_j != 0.
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < k; ++j) {
+      parity_rows_.at(i, j) =
+          GF256::inv(static_cast<std::uint8_t>((k + i) ^ j));
+    }
+  }
+}
+
+std::vector<Shard> ReedSolomon::encode(const std::vector<Shard>& data) const {
+  if (data.size() != k_) throw std::invalid_argument("ReedSolomon: need k data shards");
+  const std::size_t len = data.empty() ? 0 : data[0].size();
+  for (const auto& s : data) {
+    if (s.size() != len) throw std::invalid_argument("ReedSolomon: ragged shards");
+  }
+  std::vector<Shard> parity(m_, Shard(len, 0));
+  for (std::size_t i = 0; i < m_; ++i) {
+    for (std::size_t j = 0; j < k_; ++j) {
+      const std::uint8_t c = parity_rows_.at(i, j);
+      if (c == 0) continue;
+      const auto& src = data[j];
+      auto& dst = parity[i];
+      for (std::size_t b = 0; b < len; ++b) dst[b] ^= GF256::mul(c, src[b]);
+    }
+  }
+  return parity;
+}
+
+std::vector<Shard> ReedSolomon::decode(
+    const std::vector<std::optional<Shard>>& shards) const {
+  if (shards.size() != k_ + m_) {
+    throw std::invalid_argument("ReedSolomon: expected k+m shard slots");
+  }
+  // Fast path: all data shards intact.
+  bool all_data = true;
+  for (std::size_t i = 0; i < k_; ++i) {
+    if (!shards[i]) {
+      all_data = false;
+      break;
+    }
+  }
+  if (all_data) {
+    std::vector<Shard> out;
+    out.reserve(k_);
+    for (std::size_t i = 0; i < k_; ++i) out.push_back(*shards[i]);
+    return out;
+  }
+  // Collect the first k survivors and the matching encode-matrix rows.
+  std::vector<std::size_t> rows;
+  rows.reserve(k_);
+  std::size_t len = 0;
+  for (std::size_t i = 0; i < k_ + m_ && rows.size() < k_; ++i) {
+    if (shards[i]) {
+      rows.push_back(i);
+      len = shards[i]->size();
+    }
+  }
+  if (rows.size() < k_) {
+    throw std::invalid_argument("ReedSolomon: fewer than k shards survive");
+  }
+  for (std::size_t i : rows) {
+    if (shards[i]->size() != len) throw std::invalid_argument("ReedSolomon: ragged shards");
+  }
+  GFMatrix sub(k_, k_);
+  for (std::size_t r = 0; r < k_; ++r) {
+    const std::size_t src = rows[r];
+    for (std::size_t c = 0; c < k_; ++c) {
+      sub.at(r, c) = src < k_ ? static_cast<std::uint8_t>(src == c ? 1 : 0)
+                              : parity_rows_.at(src - k_, c);
+    }
+  }
+  const GFMatrix inv = sub.inverse();
+  // data[j] = sum_r inv[j][r] * survivor[r]
+  std::vector<Shard> out(k_, Shard(len, 0));
+  for (std::size_t j = 0; j < k_; ++j) {
+    for (std::size_t r = 0; r < k_; ++r) {
+      const std::uint8_t c = inv.at(j, r);
+      if (c == 0) continue;
+      const Shard& src = *shards[rows[r]];
+      auto& dst = out[j];
+      for (std::size_t b = 0; b < len; ++b) dst[b] ^= GF256::mul(c, src[b]);
+    }
+  }
+  return out;
+}
+
+std::vector<Shard> ReedSolomon::split(const std::vector<std::uint8_t>& blob,
+                                      std::size_t k) {
+  if (k == 0) throw std::invalid_argument("ReedSolomon::split: k must be >= 1");
+  const std::size_t shard_len = (blob.size() + k - 1) / k;
+  std::vector<Shard> out(k, Shard(shard_len, 0));
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t lo = i * shard_len;
+    if (lo >= blob.size()) break;
+    const std::size_t n = std::min(shard_len, blob.size() - lo);
+    std::memcpy(out[i].data(), blob.data() + lo, n);
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> ReedSolomon::join(const std::vector<Shard>& data,
+                                            std::size_t original_size) {
+  std::vector<std::uint8_t> out;
+  out.reserve(original_size);
+  for (const auto& s : data) {
+    for (std::uint8_t b : s) {
+      if (out.size() == original_size) return out;
+      out.push_back(b);
+    }
+  }
+  if (out.size() != original_size) {
+    throw std::invalid_argument("ReedSolomon::join: shards shorter than original_size");
+  }
+  return out;
+}
+
+}  // namespace hpbdc::storage

@@ -1,0 +1,46 @@
+#pragma once
+// Systematic Reed–Solomon erasure coding RS(k, m): k data shards, m parity
+// shards, any k of the k+m suffice to reconstruct. The encoding matrix is
+// [ I_k ; C ] with C an m×k Cauchy matrix, whose every square submatrix is
+// nonsingular — the standard MDS construction (as in Jerasure). Used for
+// experiment T4 and by the block store.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "storage/gf256.hpp"
+
+namespace hpbdc::storage {
+
+using Shard = std::vector<std::uint8_t>;
+
+class ReedSolomon {
+ public:
+  /// Requires 1 <= k, 0 <= m, k + m <= 256.
+  ReedSolomon(std::size_t k, std::size_t m);
+
+  std::size_t data_shards() const noexcept { return k_; }
+  std::size_t parity_shards() const noexcept { return m_; }
+
+  /// Compute m parity shards from k equal-length data shards.
+  std::vector<Shard> encode(const std::vector<Shard>& data) const;
+
+  /// Reconstruct the original k data shards from any k survivors.
+  /// `shards[i]` is shard i (0..k-1 data, k..k+m-1 parity) or nullopt if
+  /// lost. Throws std::invalid_argument if fewer than k survive.
+  std::vector<Shard> decode(const std::vector<std::optional<Shard>>& shards) const;
+
+  /// Split a byte blob into k padded data shards (shard_len = ceil(n/k)).
+  static std::vector<Shard> split(const std::vector<std::uint8_t>& blob, std::size_t k);
+
+  /// Inverse of split: reassemble the first `original_size` bytes.
+  static std::vector<std::uint8_t> join(const std::vector<Shard>& data,
+                                        std::size_t original_size);
+
+ private:
+  std::size_t k_, m_;
+  GFMatrix parity_rows_;  // m x k Cauchy block
+};
+
+}  // namespace hpbdc::storage

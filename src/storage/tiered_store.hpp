@@ -1,0 +1,115 @@
+#pragma once
+// Two-tier block store: a bounded hot tier (fast, e.g. DRAM/NVMe) backed by
+// an unbounded cold tier (e.g. disk/object store). Reads promote to hot;
+// writes land hot; the hot tier evicts LRU to cold when over capacity.
+// Hit-rate accounting feeds cache-behaviour tests and the log-analytics
+// example. Capacity is in bytes, not blocks, since blocks vary in size.
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace hpbdc::storage {
+
+struct TierStats {
+  std::uint64_t hot_hits = 0;
+  std::uint64_t cold_hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t promotions = 0;
+  std::uint64_t demotions = 0;
+  double hot_hit_rate() const noexcept {
+    const auto total = hot_hits + cold_hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hot_hits) / static_cast<double>(total);
+  }
+};
+
+class TieredStore {
+ public:
+  using Block = std::vector<std::uint8_t>;
+
+  explicit TieredStore(std::uint64_t hot_capacity_bytes)
+      : hot_capacity_(hot_capacity_bytes) {}
+
+  /// Insert or overwrite. New data always lands in the hot tier.
+  void put(const std::string& key, Block data) {
+    erase(key);
+    hot_bytes_ += data.size();
+    lru_.push_front(key);
+    hot_[key] = Entry{std::move(data), lru_.begin()};
+    evict_if_needed();
+  }
+
+  /// Read through both tiers; cold hits are promoted to hot.
+  std::optional<Block> get(const std::string& key) {
+    if (auto it = hot_.find(key); it != hot_.end()) {
+      ++stats_.hot_hits;
+      lru_.erase(it->second.lru_pos);
+      lru_.push_front(key);
+      it->second.lru_pos = lru_.begin();
+      return it->second.data;
+    }
+    if (auto it = cold_.find(key); it != cold_.end()) {
+      ++stats_.cold_hits;
+      ++stats_.promotions;
+      Block data = std::move(it->second);
+      cold_.erase(it);
+      hot_bytes_ += data.size();
+      lru_.push_front(key);
+      hot_[key] = Entry{data, lru_.begin()};
+      evict_if_needed();
+      return data;
+    }
+    ++stats_.misses;
+    return std::nullopt;
+  }
+
+  bool erase(const std::string& key) {
+    if (auto it = hot_.find(key); it != hot_.end()) {
+      hot_bytes_ -= it->second.data.size();
+      lru_.erase(it->second.lru_pos);
+      hot_.erase(it);
+      return true;
+    }
+    return cold_.erase(key) > 0;
+  }
+
+  bool contains(const std::string& key) const {
+    return hot_.contains(key) || cold_.contains(key);
+  }
+
+  std::uint64_t hot_bytes() const noexcept { return hot_bytes_; }
+  std::size_t hot_blocks() const noexcept { return hot_.size(); }
+  std::size_t cold_blocks() const noexcept { return cold_.size(); }
+  const TierStats& stats() const noexcept { return stats_; }
+
+ private:
+  struct Entry {
+    Block data;
+    std::list<std::string>::iterator lru_pos;
+  };
+
+  void evict_if_needed() {
+    while (hot_bytes_ > hot_capacity_ && hot_.size() > 1) {
+      const std::string victim = lru_.back();
+      lru_.pop_back();
+      auto it = hot_.find(victim);
+      hot_bytes_ -= it->second.data.size();
+      cold_[victim] = std::move(it->second.data);
+      hot_.erase(it);
+      ++stats_.demotions;
+    }
+  }
+
+  std::uint64_t hot_capacity_;
+  std::uint64_t hot_bytes_ = 0;
+  std::list<std::string> lru_;  // front = most recent
+  std::unordered_map<std::string, Entry> hot_;
+  std::unordered_map<std::string, Block> cold_;
+  TierStats stats_;
+};
+
+}  // namespace hpbdc::storage

@@ -1,0 +1,400 @@
+// Unit tests for src/common: RNG, zipf, hashing, serialization, statistics,
+// queues, and the sharded concurrent map.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <thread>
+
+#include "common/concurrent_map.hpp"
+#include "common/hash.hpp"
+#include "common/queue.hpp"
+#include "common/rng.hpp"
+#include "common/serialize.hpp"
+#include "common/stats.hpp"
+
+namespace hpbdc {
+namespace {
+
+// ---- Rng -------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a() == b());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+}
+
+TEST(Rng, NextBelowCoversAllValues) {
+  Rng rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.next_below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, NextInInclusive) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rng.next_in(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(13);
+  RunningStat st;
+  for (int i = 0; i < 50000; ++i) st.add(rng.next_gaussian());
+  EXPECT_NEAR(st.mean(), 0.0, 0.03);
+  EXPECT_NEAR(st.stddev(), 1.0, 0.03);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(17);
+  RunningStat st;
+  for (int i = 0; i < 50000; ++i) st.add(rng.next_exponential(2.0));
+  EXPECT_NEAR(st.mean(), 0.5, 0.02);
+}
+
+TEST(Rng, ShufflePermutes) {
+  Rng rng(19);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto w = v;
+  rng.shuffle(w);
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(v, w);
+}
+
+TEST(Zipf, RankZeroMostPopular) {
+  Rng rng(23);
+  ZipfGenerator zipf(1000, 0.99);
+  std::vector<int> counts(1000, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[zipf.next(rng)];
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[0], 100000 / 100);  // rank 0 far above uniform share
+}
+
+TEST(Zipf, InRange) {
+  Rng rng(29);
+  ZipfGenerator zipf(50, 0.8);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(zipf.next(rng), 50u);
+}
+
+TEST(Zipf, ThetaOneIsNotSingular) {
+  // Regression: theta == 1.0 used to make alpha = 1/(1-theta) infinite,
+  // dumping the hot mass onto the LAST rank instead of rank 0.
+  Rng rng(101);
+  ZipfGenerator zipf(500, 1.0);
+  std::vector<int> counts(500, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[zipf.next(rng)];
+  EXPECT_GT(counts[0], counts[499] * 5);
+  EXPECT_GT(counts[0], counts[1]);
+}
+
+TEST(Zipf, SkewGrowsWithTheta) {
+  Rng rng(31);
+  ZipfGenerator flat(1000, 0.5), steep(1000, 1.2);
+  int flat0 = 0, steep0 = 0;
+  for (int i = 0; i < 50000; ++i) {
+    flat0 += (flat.next(rng) == 0);
+    steep0 += (steep.next(rng) == 0);
+  }
+  EXPECT_GT(steep0, flat0);
+}
+
+// ---- hashing ---------------------------------------------------------------
+
+TEST(Hash, StableAcrossCalls) {
+  EXPECT_EQ(hash_str("hello"), hash_str("hello"));
+  EXPECT_NE(hash_str("hello"), hash_str("hellp"));
+  EXPECT_NE(hash_str(""), hash_str("a"));
+}
+
+TEST(Hash, Mix64Bijective) {
+  // Distinct inputs keep distinct outputs on a sample.
+  std::set<std::uint64_t> outs;
+  for (std::uint64_t i = 0; i < 10000; ++i) outs.insert(mix64(i));
+  EXPECT_EQ(outs.size(), 10000u);
+}
+
+TEST(Hash, CombineOrderSensitive) {
+  EXPECT_NE(hash_combine(hash_u64(1), hash_u64(2)),
+            hash_combine(hash_u64(2), hash_u64(1)));
+}
+
+TEST(Hash, PairHasher) {
+  Hasher<std::pair<int, int>> h;
+  EXPECT_NE(h({1, 2}), h({2, 1}));
+  EXPECT_EQ(h({3, 4}), h({3, 4}));
+}
+
+// ---- serialization -----------------------------------------------------------
+
+TEST(Serialize, PodRoundTrip) {
+  BufWriter w;
+  w.write_pod<std::uint32_t>(0xdeadbeef);
+  w.write_pod<double>(3.25);
+  BufReader r(w.bytes());
+  EXPECT_EQ(r.read_pod<std::uint32_t>(), 0xdeadbeefu);
+  EXPECT_EQ(r.read_pod<double>(), 3.25);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Serialize, VarintRoundTrip) {
+  BufWriter w;
+  const std::uint64_t cases[] = {0, 1, 127, 128, 300, 1ULL << 20, 1ULL << 40,
+                                 ~0ULL};
+  for (auto v : cases) w.write_varint(v);
+  BufReader r(w.bytes());
+  for (auto v : cases) EXPECT_EQ(r.read_varint(), v);
+}
+
+TEST(Serialize, StringRoundTrip) {
+  BufWriter w;
+  w.write_string("");
+  w.write_string("hello world");
+  std::string big(10000, 'x');
+  w.write_string(big);
+  BufReader r(w.bytes());
+  EXPECT_EQ(r.read_string(), "");
+  EXPECT_EQ(r.read_string(), "hello world");
+  EXPECT_EQ(r.read_string(), big);
+}
+
+TEST(Serialize, TruncatedThrows) {
+  BufWriter w;
+  w.write_string("hello");
+  auto bytes = w.take();
+  bytes.resize(bytes.size() - 2);
+  BufReader r(bytes);
+  EXPECT_THROW(r.read_string(), std::runtime_error);
+}
+
+TEST(Serialize, SerdeVectorOfPairs) {
+  std::vector<std::pair<std::string, std::uint64_t>> v{{"a", 1}, {"bb", 2}};
+  const auto bytes = to_bytes(v);
+  const auto back = from_bytes<std::vector<std::pair<std::string, std::uint64_t>>>(bytes);
+  EXPECT_EQ(back, v);
+}
+
+TEST(Serialize, TrailingGarbageThrows) {
+  BufWriter w;
+  Serde<std::uint32_t>::write(w, 5);
+  w.write_pod<std::uint8_t>(0);
+  EXPECT_THROW(from_bytes<std::uint32_t>(w.bytes()), std::runtime_error);
+}
+
+// ---- stats -------------------------------------------------------------------
+
+TEST(RunningStat, Basics) {
+  RunningStat st;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) st.add(v);
+  EXPECT_EQ(st.count(), 8u);
+  EXPECT_DOUBLE_EQ(st.mean(), 5.0);
+  EXPECT_NEAR(st.stddev(), 2.138, 0.001);
+  EXPECT_EQ(st.min(), 2.0);
+  EXPECT_EQ(st.max(), 9.0);
+}
+
+TEST(RunningStat, MergeMatchesSequential) {
+  Rng rng(37);
+  RunningStat whole, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.next_gaussian() * 3 + 1;
+    whole.add(v);
+    (i % 2 == 0 ? a : b).add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-6);
+}
+
+TEST(Histogram, QuantilesOfUniform) {
+  Histogram h;
+  for (int i = 1; i <= 10000; ++i) h.add(i);
+  EXPECT_NEAR(h.p50(), 5000, 5000 * 0.08);
+  EXPECT_NEAR(h.p99(), 9900, 9900 * 0.08);
+  EXPECT_EQ(h.count(), 10000u);
+}
+
+TEST(Histogram, MergeAddsCounts) {
+  Histogram a, b;
+  for (int i = 0; i < 100; ++i) a.add(10);
+  for (int i = 0; i < 100; ++i) b.add(1000);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 200u);
+  EXPECT_GT(a.quantile(0.9), 900);
+  EXPECT_LT(a.quantile(0.4), 20);
+}
+
+TEST(Histogram, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.p50(), 0.0);
+  EXPECT_EQ(h.count(), 0u);
+}
+
+// ---- queues -----------------------------------------------------------------
+
+TEST(MpmcQueue, FifoSingleThread) {
+  MpmcQueue<int> q;
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(q.push(i));
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(q.pop(), i);
+}
+
+TEST(MpmcQueue, CloseDrains) {
+  MpmcQueue<int> q;
+  q.push(1);
+  q.close();
+  EXPECT_FALSE(q.push(2));
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_EQ(q.pop(), std::nullopt);
+}
+
+TEST(MpmcQueue, BoundedTryPush) {
+  MpmcQueue<int> q(2);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_FALSE(q.try_push(3));
+  q.try_pop();
+  EXPECT_TRUE(q.try_push(3));
+}
+
+TEST(MpmcQueue, MultiThreadedSum) {
+  MpmcQueue<int> q(128);
+  constexpr int kPerProducer = 2000;
+  constexpr int kProducers = 4;
+  std::atomic<long long> sum{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&q] {
+      for (int i = 1; i <= kPerProducer; ++i) q.push(i);
+    });
+  }
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 2; ++c) {
+    consumers.emplace_back([&q, &sum] {
+      while (auto v = q.pop()) sum += *v;
+    });
+  }
+  for (auto& t : threads) t.join();
+  q.close();
+  for (auto& t : consumers) t.join();
+  EXPECT_EQ(sum.load(),
+            static_cast<long long>(kProducers) * kPerProducer * (kPerProducer + 1) / 2);
+}
+
+TEST(SpscRing, FifoAndCapacity) {
+  SpscRing<int> r(4);
+  EXPECT_GE(r.capacity(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(r.try_push(i));
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(r.try_pop(), i);
+  EXPECT_EQ(r.try_pop(), std::nullopt);
+}
+
+TEST(SpscRing, FullRejects) {
+  SpscRing<int> r(2);
+  std::size_t pushed = 0;
+  while (r.try_push(1)) ++pushed;
+  EXPECT_EQ(pushed, r.capacity());
+}
+
+TEST(SpscRing, TwoThreadStream) {
+  SpscRing<int> r(64);
+  constexpr int kN = 100000;
+  long long sum = 0;
+  std::thread consumer([&] {
+    int got = 0;
+    while (got < kN) {
+      if (auto v = r.try_pop()) {
+        sum += *v;
+        ++got;
+      }
+    }
+  });
+  for (int i = 1; i <= kN;) {
+    if (r.try_push(i)) ++i;
+  }
+  consumer.join();
+  EXPECT_EQ(sum, static_cast<long long>(kN) * (kN + 1) / 2);
+}
+
+// ---- concurrent map -----------------------------------------------------------
+
+TEST(ConcurrentMap, PutGetErase) {
+  ConcurrentMap<std::string, int> m;
+  m.put("a", 1);
+  m.put("b", 2);
+  EXPECT_EQ(m.get("a"), 1);
+  EXPECT_EQ(m.get("missing"), std::nullopt);
+  EXPECT_TRUE(m.erase("a"));
+  EXPECT_FALSE(m.erase("a"));
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(ConcurrentMap, PutIfAbsent) {
+  ConcurrentMap<int, int> m;
+  EXPECT_TRUE(m.put_if_absent(1, 10));
+  EXPECT_FALSE(m.put_if_absent(1, 20));
+  EXPECT_EQ(m.get(1), 10);
+}
+
+TEST(ConcurrentMap, UpdateReadModifyWrite) {
+  ConcurrentMap<int, int> m;
+  for (int i = 0; i < 100; ++i) m.update(7, [](int& v) { ++v; });
+  EXPECT_EQ(m.get(7), 100);
+}
+
+TEST(ConcurrentMap, ConcurrentIncrements) {
+  ConcurrentMap<int, long long> m;
+  constexpr int kThreads = 4, kIters = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&m] {
+      for (int i = 0; i < kIters; ++i) {
+        m.update(i % 13, [](long long& v) { ++v; });
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  long long total = 0;
+  for (const auto& [k, v] : m.entries()) total += v;
+  EXPECT_EQ(total, static_cast<long long>(kThreads) * kIters);
+}
+
+TEST(ConcurrentMap, EntriesSnapshot) {
+  ConcurrentMap<int, int> m;
+  for (int i = 0; i < 50; ++i) m.put(i, i * i);
+  auto es = m.entries();
+  EXPECT_EQ(es.size(), 50u);
+}
+
+}  // namespace
+}  // namespace hpbdc

@@ -1,0 +1,363 @@
+// Unit tests for src/kvstore: vector clocks, quorum semantics, failure
+// handling, read repair, and the YCSB driver.
+
+#include <gtest/gtest.h>
+
+#include "kvstore/kv_cluster.hpp"
+#include "kvstore/vector_clock.hpp"
+#include "kvstore/ycsb.hpp"
+
+namespace hpbdc::kvstore {
+namespace {
+
+// ---- VectorClock ----------------------------------------------------------------
+
+TEST(VectorClock, FreshClocksEqual) {
+  VectorClock a, b;
+  EXPECT_EQ(a.compare(b), ClockOrder::kEqual);
+  EXPECT_TRUE(a.dominates(b));
+}
+
+TEST(VectorClock, IncrementDominates) {
+  VectorClock a, b;
+  a.increment(1);
+  EXPECT_EQ(a.compare(b), ClockOrder::kAfter);
+  EXPECT_EQ(b.compare(a), ClockOrder::kBefore);
+  EXPECT_TRUE(a.dominates(b));
+  EXPECT_FALSE(b.dominates(a));
+}
+
+TEST(VectorClock, ConcurrentDetected) {
+  VectorClock a, b;
+  a.increment(1);
+  b.increment(2);
+  EXPECT_EQ(a.compare(b), ClockOrder::kConcurrent);
+  EXPECT_FALSE(a.dominates(b));
+  EXPECT_FALSE(b.dominates(a));
+}
+
+TEST(VectorClock, MergeIsPointwiseMax) {
+  VectorClock a, b;
+  a.increment(1);
+  a.increment(1);
+  b.increment(1);
+  b.increment(2);
+  a.merge(b);
+  EXPECT_EQ(a.get(1), 2u);
+  EXPECT_EQ(a.get(2), 1u);
+  EXPECT_TRUE(a.dominates(b));
+}
+
+TEST(VectorClock, ChainedCausality) {
+  VectorClock a;
+  a.increment(1);
+  VectorClock b = a;
+  b.increment(2);
+  VectorClock c = b;
+  c.increment(1);
+  EXPECT_EQ(a.compare(c), ClockOrder::kBefore);
+  EXPECT_EQ(c.compare(a), ClockOrder::kAfter);
+  EXPECT_EQ(b.compare(c), ClockOrder::kBefore);
+}
+
+TEST(VectorClock, SerdeRoundTrip) {
+  VectorClock a;
+  a.increment(3);
+  a.increment(3);
+  a.increment(7);
+  const auto bytes = to_bytes(a);
+  const auto back = from_bytes<VectorClock>(bytes);
+  EXPECT_EQ(back.compare(a), ClockOrder::kEqual);
+  EXPECT_EQ(back.get(3), 2u);
+}
+
+// ---- KvCluster -------------------------------------------------------------------
+
+struct TestCluster {
+  sim::Simulator sim;
+  sim::Network net;
+  sim::Comm comm;
+  KvCluster kv;
+
+  explicit TestCluster(KvConfig cfg = {}, std::size_t nodes = 8)
+      : net(sim, make_net_cfg(nodes)), comm(sim, net), kv(comm, cfg) {}
+
+  static sim::NetworkConfig make_net_cfg(std::size_t nodes) {
+    sim::NetworkConfig nc;
+    nc.nodes = nodes;
+    return nc;
+  }
+};
+
+TEST(KvCluster, PutThenGetReturnsValue) {
+  TestCluster tc;
+  bool put_ok = false;
+  GetResult got;
+  tc.kv.client_put(0, "k1", "v1", [&](bool ok) { put_ok = ok; });
+  tc.sim.run();
+  EXPECT_TRUE(put_ok);
+  tc.kv.client_get(0, "k1", [&](const GetResult& r) { got = r; });
+  tc.sim.run();
+  EXPECT_TRUE(got.ok);
+  EXPECT_TRUE(got.found);
+  EXPECT_EQ(got.value, "v1");
+}
+
+TEST(KvCluster, GetMissingKeyNotFound) {
+  TestCluster tc;
+  GetResult got;
+  tc.kv.client_get(2, "nope", [&](const GetResult& r) { got = r; });
+  tc.sim.run();
+  EXPECT_TRUE(got.ok);
+  EXPECT_FALSE(got.found);
+}
+
+TEST(KvCluster, OverwriteReturnsLatest) {
+  TestCluster tc;
+  tc.kv.client_put(0, "k", "old", [](bool) {});
+  tc.sim.run();
+  tc.kv.client_put(0, "k", "new", [](bool) {});
+  tc.sim.run();
+  GetResult got;
+  tc.kv.client_get(1, "k", [&](const GetResult& r) { got = r; });
+  tc.sim.run();
+  EXPECT_EQ(got.value, "new");
+}
+
+TEST(KvCluster, ReadYourWritesWithQuorumOverlap) {
+  // R + W > N guarantees the read quorum intersects the write quorum.
+  KvConfig cfg;
+  cfg.replication = 3;
+  cfg.read_quorum = 2;
+  cfg.write_quorum = 2;
+  TestCluster tc(cfg);
+  for (int i = 0; i < 50; ++i) {
+    const std::string key = "key-" + std::to_string(i);
+    tc.kv.client_put(0, key, "value-" + std::to_string(i), [](bool) {});
+    tc.sim.run();
+    GetResult got;
+    tc.kv.client_get(1, key, [&](const GetResult& r) { got = r; });
+    tc.sim.run();
+    EXPECT_TRUE(got.found) << key;
+    EXPECT_EQ(got.value, "value-" + std::to_string(i));
+  }
+}
+
+TEST(KvCluster, ToleratesOneReplicaFailure) {
+  KvConfig cfg;
+  cfg.replication = 3;
+  cfg.read_quorum = 2;
+  cfg.write_quorum = 2;
+  TestCluster tc(cfg);
+  tc.kv.client_put(0, "durable", "x", [](bool) {});
+  tc.sim.run();
+  // Kill one node (whichever holds the key is fine — quorum is 2 of 3).
+  tc.kv.fail_node(3);
+  GetResult got;
+  tc.kv.client_get(0, "durable", [&](const GetResult& r) { got = r; });
+  tc.sim.run();
+  EXPECT_TRUE(got.ok);
+}
+
+TEST(KvCluster, FailsWhenQuorumUnreachable) {
+  KvConfig cfg;
+  cfg.replication = 3;
+  cfg.read_quorum = 3;  // needs every replica
+  cfg.write_quorum = 2;
+  TestCluster tc(cfg);
+  tc.kv.client_put(0, "k", "v", [](bool) {});
+  tc.sim.run();
+  // Fail every node except 0 and 1: any 3-replica set loses >= 1 member.
+  for (std::size_t n = 2; n < 8; ++n) tc.kv.fail_node(n);
+  GetResult got;
+  got.ok = true;
+  tc.kv.client_get(0, "k", [&](const GetResult& r) { got = r; });
+  tc.sim.run();
+  EXPECT_FALSE(got.ok);
+  EXPECT_GT(tc.kv.stats().gets_failed, 0u);
+}
+
+TEST(KvCluster, RecoverRestoresService) {
+  KvConfig cfg;
+  cfg.replication = 3;
+  cfg.read_quorum = 3;
+  cfg.write_quorum = 3;
+  TestCluster tc(cfg);
+  tc.kv.fail_node(0);
+  tc.kv.fail_node(1);
+  bool ok1 = true;
+  tc.kv.client_put(2, "k", "v", [&](bool ok) { ok1 = ok; });
+  tc.sim.run();
+  // With W=3 and up to 2 of a key's replicas possibly down, some keys fail;
+  // this particular put may or may not succeed — recover and verify all ok.
+  tc.kv.recover_node(0);
+  tc.kv.recover_node(1);
+  bool ok2 = false;
+  tc.kv.client_put(2, "k", "v2", [&](bool ok) { ok2 = ok; });
+  tc.sim.run();
+  EXPECT_TRUE(ok2);
+}
+
+TEST(KvCluster, ReadRepairHealsStaleReplica) {
+  KvConfig cfg;
+  cfg.replication = 3;
+  cfg.read_quorum = 3;  // read sees all replicas, repairs laggards
+  cfg.write_quorum = 1; // writes can leave stale replicas behind under races
+  TestCluster tc(cfg);
+  tc.kv.client_put(0, "kk", "v1", [](bool) {});
+  tc.sim.run();
+  // Manually stale one replica by failing it during an overwrite.
+  // Find a replica of "kk" by peeking.
+  std::size_t holder = 99;
+  for (std::size_t n = 0; n < 8; ++n) {
+    if (tc.kv.peek(n, "kk")) {
+      holder = n;
+      break;
+    }
+  }
+  ASSERT_NE(holder, 99u);
+  tc.kv.fail_node(holder);
+  tc.kv.client_put(0, "kk", "v2", [](bool) {});
+  tc.sim.run();
+  tc.kv.recover_node(holder);
+  EXPECT_EQ(tc.kv.peek(holder, "kk"), "v1");  // stale
+  GetResult got;
+  tc.kv.client_get(0, "kk", [&](const GetResult& r) { got = r; });
+  tc.sim.run();
+  EXPECT_EQ(got.value, "v2");  // quorum read returns the dominant version
+  EXPECT_GT(tc.kv.stats().read_repairs, 0u);
+  tc.sim.run();
+  EXPECT_EQ(tc.kv.peek(holder, "kk"), "v2");  // repaired
+}
+
+TEST(KvCluster, LatencyHistogramsPopulated) {
+  TestCluster tc;
+  for (int i = 0; i < 20; ++i) {
+    tc.kv.client_put(0, "k" + std::to_string(i), "v", [](bool) {});
+  }
+  tc.sim.run();
+  EXPECT_EQ(tc.kv.stats().puts_ok, 20u);
+  EXPECT_EQ(tc.kv.stats().put_latency_us.count(), 20u);
+  EXPECT_GT(tc.kv.stats().put_latency_us.mean(), 0.0);
+}
+
+TEST(KvCluster, RejectsBadQuorumConfig) {
+  sim::Simulator sim;
+  sim::NetworkConfig nc;
+  nc.nodes = 4;
+  sim::Network net(sim, nc);
+  sim::Comm comm(sim, net);
+  KvConfig cfg;
+  cfg.replication = 8;  // more than nodes
+  EXPECT_THROW(KvCluster(comm, cfg), std::invalid_argument);
+  cfg = KvConfig{};
+  cfg.read_quorum = 5;  // > replication
+  EXPECT_THROW(KvCluster(comm, cfg), std::invalid_argument);
+}
+
+// ---- YCSB ------------------------------------------------------------------------
+
+class YcsbWorkloads : public ::testing::TestWithParam<YcsbWorkload> {};
+
+TEST_P(YcsbWorkloads, RunsToCompletion) {
+  TestCluster tc;
+  YcsbConfig cfg;
+  cfg.workload = GetParam();
+  cfg.records = 200;
+  cfg.operations = 500;
+  cfg.clients = 4;
+  auto res = run_ycsb(tc.sim, tc.kv, cfg);
+  EXPECT_GT(res.run_seconds, 0.0);
+  EXPECT_GT(res.throughput_ops, 0.0);
+  const auto& st = res.stats;
+  const auto reads = st.gets_ok + st.gets_not_found + st.gets_failed;
+  const auto writes = st.puts_ok + st.puts_failed;
+  EXPECT_GT(reads + writes, 0u);
+  if (GetParam() == YcsbWorkload::kC) {
+    EXPECT_EQ(writes, 0u);
+    EXPECT_EQ(reads, cfg.operations);
+  }
+  if (GetParam() == YcsbWorkload::kA) {
+    // roughly half reads (binomial tail: allow wide margin)
+    EXPECT_GT(reads, cfg.operations / 4);
+    EXPECT_GT(writes, cfg.operations / 4);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, YcsbWorkloads,
+                         ::testing::Values(YcsbWorkload::kA, YcsbWorkload::kB,
+                                           YcsbWorkload::kC, YcsbWorkload::kD,
+                                           YcsbWorkload::kF),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case YcsbWorkload::kA: return "A";
+                             case YcsbWorkload::kB: return "B";
+                             case YcsbWorkload::kC: return "C";
+                             case YcsbWorkload::kD: return "D";
+                             case YcsbWorkload::kF: return "F";
+                           }
+                           return "X";
+                         });
+
+TEST(Ycsb, ReadsSucceedOnPreloadedKeys) {
+  TestCluster tc;
+  YcsbConfig cfg;
+  cfg.workload = YcsbWorkload::kC;
+  cfg.records = 100;
+  cfg.operations = 300;
+  auto res = run_ycsb(tc.sim, tc.kv, cfg);
+  // All keys were preloaded, so every read should find a value.
+  EXPECT_EQ(res.stats.gets_not_found, 0u);
+  EXPECT_EQ(res.stats.gets_failed, 0u);
+  EXPECT_EQ(res.stats.gets_ok, 300u);
+}
+
+TEST(Ycsb, RetriesMaskPacketLoss) {
+  // 2% packet loss: without retries some ops fail; with retries the run
+  // completes with (almost) no failed ops at the cost of retry traffic.
+  auto run_with_retries = [](std::size_t retries) {
+    sim::Simulator sim;
+    sim::NetworkConfig nc;
+    nc.nodes = 8;
+    nc.loss_probability = 0.02;
+    sim::Network net(sim, nc);
+    sim::Comm comm(sim, net);
+    KvConfig kc;
+    KvCluster kv(comm, kc);
+    YcsbConfig cfg;
+    cfg.workload = YcsbWorkload::kA;
+    cfg.records = 100;
+    cfg.operations = 1000;
+    cfg.clients = 4;
+    cfg.max_retries = retries;
+    return run_ycsb(sim, kv, cfg);
+  };
+  auto no_retry = run_with_retries(0);
+  auto with_retry = run_with_retries(5);
+  // Note: KvStats failure counters are per *attempt* — retries re-issue the
+  // op, so attempt failures persist. The op-level outcome is what retries
+  // fix: ops_failed_final.
+  EXPECT_GT(no_retry.ops_failed_final, 0u);
+  EXPECT_GT(with_retry.retries, 0u);
+  EXPECT_EQ(with_retry.ops_failed_final, 0u);
+}
+
+TEST(Ycsb, HigherQuorumCostsLatency) {
+  auto mean_latency = [](std::size_t r, std::size_t w) {
+    KvConfig kc;
+    kc.replication = 3;
+    kc.read_quorum = r;
+    kc.write_quorum = w;
+    TestCluster tc(kc);
+    YcsbConfig cfg;
+    cfg.workload = YcsbWorkload::kA;
+    cfg.records = 100;
+    cfg.operations = 400;
+    auto res = run_ycsb(tc.sim, tc.kv, cfg);
+    return res.stats.get_latency_us.mean();
+  };
+  EXPECT_LT(mean_latency(1, 1), mean_latency(3, 3));
+}
+
+}  // namespace
+}  // namespace hpbdc::kvstore

@@ -1,0 +1,154 @@
+// Cross-cutting randomized property tests: multi-seed round-trip and
+// invariant sweeps that complement the per-module suites with broader
+// input coverage. Every case is deterministic per seed.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.hpp"
+#include "common/serialize.hpp"
+#include "dataflow/shuffle.hpp"
+#include "exec/thread_pool.hpp"
+#include "storage/compression.hpp"
+#include "storage/dedup.hpp"
+#include "storage/reed_solomon.hpp"
+
+namespace hpbdc {
+namespace {
+
+class Seeded : public ::testing::TestWithParam<std::uint64_t> {};
+INSTANTIATE_TEST_SUITE_P(Seeds, Seeded, ::testing::Values(11, 22, 33, 44, 55, 66));
+
+// ---- serialization fuzz ---------------------------------------------------------
+
+TEST_P(Seeded, SerdeRandomNestedRoundTrip) {
+  Rng rng(GetParam());
+  std::vector<std::pair<std::string, std::vector<std::uint64_t>>> v;
+  const auto n = rng.next_below(50);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::string key;
+    const auto klen = rng.next_below(40);
+    for (std::uint64_t c = 0; c < klen; ++c) {
+      key.push_back(static_cast<char>(rng.next_below(256)));  // binary-safe
+    }
+    std::vector<std::uint64_t> vals(rng.next_below(20));
+    for (auto& x : vals) x = rng();
+    v.emplace_back(std::move(key), std::move(vals));
+  }
+  const auto bytes = to_bytes(v);
+  EXPECT_EQ((from_bytes<std::vector<std::pair<std::string, std::vector<std::uint64_t>>>>(
+                bytes)),
+            v);
+}
+
+TEST_P(Seeded, SerdeTruncationAlwaysThrowsNeverUB) {
+  // Any strict prefix of a valid encoding must throw, not misparse.
+  Rng rng(GetParam());
+  std::vector<std::string> v;
+  for (int i = 0; i < 10; ++i) {
+    v.push_back(std::string(rng.next_below(30) + 1, 'x'));
+  }
+  auto bytes = to_bytes(v);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto cut = rng.next_below(bytes.size());
+    Bytes prefix(bytes.begin(), bytes.begin() + static_cast<std::ptrdiff_t>(cut));
+    EXPECT_THROW(from_bytes<std::vector<std::string>>(prefix), std::runtime_error)
+        << "cut=" << cut;
+  }
+}
+
+// ---- compression fuzz -------------------------------------------------------------
+
+TEST_P(Seeded, LzssStructuredRandomRoundTrip) {
+  // Random data with planted repeats at random distances (the adversarial
+  // shape for match-finder bugs).
+  Rng rng(GetParam());
+  storage::ByteVec data;
+  while (data.size() < 300000) {
+    if (!data.empty() && rng.next_bool(0.3)) {
+      const auto len = 4 + rng.next_below(500);
+      const auto start = rng.next_below(data.size());
+      for (std::uint64_t i = 0; i < len; ++i) {
+        data.push_back(data[start + (i % (data.size() - start))]);
+      }
+    } else {
+      const auto len = 1 + rng.next_below(200);
+      for (std::uint64_t i = 0; i < len; ++i) {
+        data.push_back(static_cast<std::uint8_t>(rng()));
+      }
+    }
+  }
+  EXPECT_EQ(storage::Lzss::decompress(storage::Lzss::compress(data)), data);
+}
+
+// ---- Reed–Solomon random erasures ----------------------------------------------------
+
+TEST_P(Seeded, RsRandomErasurePatterns) {
+  Rng rng(GetParam());
+  const std::size_t k = 2 + rng.next_below(8);
+  const std::size_t m = 1 + rng.next_below(4);
+  storage::ReedSolomon rs(k, m);
+  std::vector<storage::Shard> data(k, storage::Shard(100));
+  for (auto& s : data) {
+    for (auto& b : s) b = static_cast<std::uint8_t>(rng());
+  }
+  auto parity = rs.encode(data);
+  for (int trial = 0; trial < 10; ++trial) {
+    // Lose a random subset of size <= m.
+    std::vector<std::optional<storage::Shard>> shards(k + m);
+    for (std::size_t i = 0; i < k; ++i) shards[i] = data[i];
+    for (std::size_t i = 0; i < m; ++i) shards[k + i] = parity[i];
+    const auto losses = rng.next_below(m + 1);
+    for (std::uint64_t l = 0; l < losses; ++l) {
+      shards[rng.next_below(k + m)].reset();  // duplicates fine: <= m losses
+    }
+    EXPECT_EQ(rs.decode(shards), data) << "k=" << k << " m=" << m;
+  }
+}
+
+// ---- dedup random objects ------------------------------------------------------------
+
+TEST_P(Seeded, DedupAlwaysBitExact) {
+  Rng rng(GetParam());
+  storage::DedupStore store;
+  storage::CdcChunker chunker(4096, 1024, 16384);
+  std::vector<std::pair<storage::Recipe, std::vector<std::uint8_t>>> stored;
+  for (int obj = 0; obj < 5; ++obj) {
+    std::vector<std::uint8_t> data(1000 + rng.next_below(200000));
+    for (auto& b : data) b = static_cast<std::uint8_t>(rng());
+    auto recipe = store.put(data, chunker);
+    stored.emplace_back(std::move(recipe), std::move(data));
+  }
+  for (const auto& [recipe, data] : stored) {
+    EXPECT_EQ(store.get(recipe), data);
+  }
+}
+
+// ---- shuffle conservation --------------------------------------------------------------
+
+TEST_P(Seeded, ShufflePreservesEveryRecord) {
+  ThreadPool pool(4);
+  Rng rng(GetParam());
+  dataflow::Partitions<std::pair<std::uint64_t, std::uint64_t>> in(
+      1 + rng.next_below(8));
+  std::map<std::uint64_t, std::uint64_t> expect;
+  const auto records = rng.next_below(30000);
+  for (std::uint64_t i = 0; i < records; ++i) {
+    const auto k = rng.next_below(500);
+    in[i % in.size()].emplace_back(k, 1);
+    ++expect[k];
+  }
+  const auto parts = 1 + rng.next_below(16);
+  auto out = dataflow::combining_shuffle(
+      pool, in, parts, [](std::uint64_t a, std::uint64_t b) { return a + b; },
+      rng.next_bool(0.5));
+  std::map<std::uint64_t, std::uint64_t> got;
+  for (const auto& p : out) {
+    for (const auto& [k, v] : p) got[k] += v;
+  }
+  EXPECT_EQ(got, expect);
+}
+
+}  // namespace
+}  // namespace hpbdc

@@ -1,0 +1,192 @@
+// Tests for the probabilistic sketches: Bloom filter, HyperLogLog,
+// count-min sketch, and reservoir sampling — accuracy bounds and merges.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "common/rng.hpp"
+#include "common/sketch.hpp"
+
+namespace hpbdc {
+namespace {
+
+// ---- BloomFilter -----------------------------------------------------------------
+
+TEST(BloomFilter, NoFalseNegatives) {
+  BloomFilter bf(10000, 0.01);
+  for (int i = 0; i < 10000; ++i) {
+    bf.add("item-" + std::to_string(i));
+  }
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_TRUE(bf.may_contain("item-" + std::to_string(i))) << i;
+  }
+}
+
+TEST(BloomFilter, FalsePositiveRateNearTarget) {
+  BloomFilter bf(10000, 0.01);
+  for (int i = 0; i < 10000; ++i) bf.add("in-" + std::to_string(i));
+  int fp = 0;
+  constexpr int kProbes = 20000;
+  for (int i = 0; i < kProbes; ++i) {
+    fp += bf.may_contain("out-" + std::to_string(i));
+  }
+  const double rate = static_cast<double>(fp) / kProbes;
+  EXPECT_LT(rate, 0.03);  // 3x slack on the 1% design point
+}
+
+TEST(BloomFilter, LowerFpRateUsesMoreBits) {
+  BloomFilter loose(1000, 0.1), tight(1000, 0.001);
+  EXPECT_GT(tight.bit_count(), loose.bit_count());
+  EXPECT_GT(tight.hash_count(), loose.hash_count());
+}
+
+TEST(BloomFilter, RejectsBadParameters) {
+  EXPECT_THROW(BloomFilter(0, 0.01), std::invalid_argument);
+  EXPECT_THROW(BloomFilter(10, 0.0), std::invalid_argument);
+  EXPECT_THROW(BloomFilter(10, 1.0), std::invalid_argument);
+}
+
+// ---- HyperLogLog -----------------------------------------------------------------
+
+class HllCardinalities : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HllCardinalities, EstimateWithinErrorBound) {
+  const std::uint64_t n = GetParam();
+  HyperLogLog hll(12);  // ~1.6% standard error
+  for (std::uint64_t i = 0; i < n; ++i) {
+    hll.add(hash_u64(i * 0x9e3779b97f4a7c15ULL + 1));
+  }
+  const double est = hll.estimate();
+  const double err = std::abs(est - static_cast<double>(n)) / static_cast<double>(n);
+  EXPECT_LT(err, 5 * hll.relative_error()) << "estimate=" << est;
+}
+
+INSTANTIATE_TEST_SUITE_P(Cardinalities, HllCardinalities,
+                         ::testing::Values(100, 1000, 10000, 100000, 1000000));
+
+TEST(HyperLogLog, DuplicatesDoNotInflate) {
+  HyperLogLog hll(12);
+  for (int pass = 0; pass < 10; ++pass) {
+    for (std::uint64_t i = 0; i < 5000; ++i) hll.add(hash_u64(i));
+  }
+  EXPECT_NEAR(hll.estimate(), 5000, 5000 * 0.1);
+}
+
+TEST(HyperLogLog, MergeEqualsUnion) {
+  HyperLogLog a(12), b(12), u(12);
+  for (std::uint64_t i = 0; i < 20000; ++i) {
+    const auto h = hash_u64(i);
+    if (i % 2 == 0) a.add(h);
+    else b.add(h);
+    u.add(h);
+  }
+  a.merge(b);
+  EXPECT_NEAR(a.estimate(), u.estimate(), u.estimate() * 1e-9);
+}
+
+TEST(HyperLogLog, PrecisionMismatchThrows) {
+  HyperLogLog a(10), b(12);
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+  EXPECT_THROW(HyperLogLog(3), std::invalid_argument);
+  EXPECT_THROW(HyperLogLog(19), std::invalid_argument);
+}
+
+TEST(HyperLogLog, HigherPrecisionMoreAccurate) {
+  EXPECT_LT(HyperLogLog(14).relative_error(), HyperLogLog(8).relative_error());
+}
+
+// ---- CountMinSketch --------------------------------------------------------------
+
+TEST(CountMinSketch, NeverUnderestimates) {
+  CountMinSketch cms(0.001, 0.01);
+  Rng rng(3);
+  ZipfGenerator zipf(1000, 1.0);
+  std::map<std::uint64_t, std::uint64_t> truth;
+  for (int i = 0; i < 100000; ++i) {
+    const auto k = zipf.next(rng);
+    cms.add(hash_u64(k));
+    ++truth[k];
+  }
+  for (const auto& [k, c] : truth) {
+    EXPECT_GE(cms.estimate(hash_u64(k)), c);
+  }
+}
+
+TEST(CountMinSketch, ErrorWithinEpsilonBound) {
+  const double eps = 0.001;
+  CountMinSketch cms(eps, 0.01);
+  Rng rng(4);
+  ZipfGenerator zipf(1000, 1.0);
+  std::map<std::uint64_t, std::uint64_t> truth;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) {
+    const auto k = zipf.next(rng);
+    cms.add(hash_u64(k));
+    ++truth[k];
+  }
+  // Heavy hitters must be estimated within eps * N (holds whp; check all).
+  std::size_t violations = 0;
+  for (const auto& [k, c] : truth) {
+    if (cms.estimate(hash_u64(k)) > c + static_cast<std::uint64_t>(2 * eps * kN)) {
+      ++violations;
+    }
+  }
+  EXPECT_LE(violations, truth.size() / 50);
+}
+
+TEST(CountMinSketch, MergeAddsCounts) {
+  CountMinSketch a(0.01, 0.01), b(0.01, 0.01);
+  a.add(hash_u64(7), 5);
+  b.add(hash_u64(7), 3);
+  a.merge(b);
+  EXPECT_GE(a.estimate(hash_u64(7)), 8u);
+  EXPECT_EQ(a.total(), 8u);
+}
+
+TEST(CountMinSketch, WeightedAdds) {
+  CountMinSketch cms(0.01, 0.01);
+  cms.add(hash_u64(1), 100);
+  EXPECT_GE(cms.estimate(hash_u64(1)), 100u);
+  EXPECT_LE(cms.estimate(hash_u64(2)), 100u);  // one-sided error bound only
+}
+
+// ---- ReservoirSample --------------------------------------------------------------
+
+TEST(ReservoirSample, KeepsAllWhenUnderK) {
+  ReservoirSample<int> rs(10);
+  for (int i = 0; i < 5; ++i) rs.add(i);
+  EXPECT_EQ(rs.sample().size(), 5u);
+}
+
+TEST(ReservoirSample, ExactlyKAfterOverflow) {
+  ReservoirSample<int> rs(10);
+  for (int i = 0; i < 1000; ++i) rs.add(i);
+  EXPECT_EQ(rs.sample().size(), 10u);
+  EXPECT_EQ(rs.seen(), 1000u);
+}
+
+TEST(ReservoirSample, ApproximatelyUniform) {
+  // Each of 100 values should appear in a k=10 reservoir ~10% of runs.
+  constexpr int kRuns = 3000;
+  std::vector<int> hits(100, 0);
+  for (int run = 0; run < kRuns; ++run) {
+    ReservoirSample<int> rs(10, static_cast<std::uint64_t>(run));
+    for (int i = 0; i < 100; ++i) rs.add(i);
+    for (int v : rs.sample()) ++hits[static_cast<std::size_t>(v)];
+  }
+  for (int i = 0; i < 100; ++i) {
+    const double p = static_cast<double>(hits[static_cast<std::size_t>(i)]) / kRuns;
+    EXPECT_GT(p, 0.05) << i;
+    EXPECT_LT(p, 0.17) << i;
+  }
+}
+
+TEST(ReservoirSample, ZeroKThrows) {
+  EXPECT_THROW(ReservoirSample<int>(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hpbdc

@@ -1,0 +1,127 @@
+// Tests for speculative execution: correctness invariants of the task
+// simulation and the headline behaviour (speculation rescues stragglers).
+
+#include <gtest/gtest.h>
+
+#include "cluster/speculation.hpp"
+
+namespace hpbdc::cluster {
+namespace {
+
+SpeculationConfig base() {
+  SpeculationConfig cfg;
+  cfg.nodes = 20;
+  cfg.tasks = 200;
+  cfg.task_work = 10.0;
+  cfg.straggler_fraction = 0.15;
+  cfg.straggler_speed = 0.2;
+  return cfg;
+}
+
+TEST(Speculation, NoStragglersMakespanNearIdeal) {
+  auto cfg = base();
+  cfg.straggler_fraction = 0.0;
+  cfg.task_work_cv = 0.0;  // identical tasks
+  auto res = simulate_speculation(cfg);
+  // 200 tasks / 20 nodes * 10 s = 100 s exactly.
+  EXPECT_NEAR(res.makespan, 100.0, 1e-9);
+  EXPECT_EQ(res.backups_launched, 0u);  // nothing exceeds the threshold
+  EXPECT_DOUBLE_EQ(res.wasted_seconds, 0.0);
+}
+
+TEST(Speculation, ReducesMakespanUnderStragglers) {
+  // Multi-wave job: speculation can only rescue the final wave (fast nodes
+  // are busy until the queue drains), so the win is the tail, not 0.75x.
+  auto with = base();
+  auto without = base();
+  without.speculate = false;
+  const auto r_with = simulate_speculation(with);
+  const auto r_without = simulate_speculation(without);
+  EXPECT_LT(r_with.makespan, r_without.makespan * 0.95);
+  EXPECT_GT(r_with.backups_launched, 0u);
+  EXPECT_GT(r_with.backups_won, 0u);
+}
+
+TEST(Speculation, SingleWaveRescueIsDramatic) {
+  // One task per node: a straggler task directly gates the job. A backup on
+  // a freed fast node cuts the 50 s tail to ~20 s.
+  auto cfg = base();
+  cfg.tasks = cfg.nodes;
+  cfg.task_work_cv = 0.0;
+  auto with = simulate_speculation(cfg);
+  cfg.speculate = false;
+  auto without = simulate_speculation(cfg);
+  EXPECT_NEAR(without.makespan, 50.0, 1.0);  // 10 s / 0.2 speed
+  EXPECT_LT(with.makespan, without.makespan * 0.5);
+}
+
+TEST(Speculation, CostsExtraWork) {
+  auto cfg = base();
+  auto res = simulate_speculation(cfg);
+  EXPECT_GT(res.wasted_seconds, 0.0);  // killed copies burned node time
+  // But waste is a modest fraction of total work.
+  EXPECT_LT(res.wasted_seconds, res.total_node_seconds * 0.3);
+}
+
+TEST(Speculation, DeterministicForSeed) {
+  auto a = simulate_speculation(base());
+  auto b = simulate_speculation(base());
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.backups_launched, b.backups_launched);
+}
+
+TEST(Speculation, NoSpeculationMakespanGatedBySlowestNode) {
+  auto cfg = base();
+  cfg.speculate = false;
+  cfg.task_work_cv = 0.0;
+  auto res = simulate_speculation(cfg);
+  // A straggler at 0.2x takes 50 s per 10 s task: the tail dominates.
+  EXPECT_GT(res.makespan, 10.0 / cfg.straggler_speed - 1e-9);
+  EXPECT_EQ(res.backups_launched, 0u);
+}
+
+TEST(Speculation, TotalWorkAccountedExactly) {
+  // Without speculation, node-seconds equals the sum of per-task durations
+  // (each runs exactly once).
+  auto cfg = base();
+  cfg.speculate = false;
+  auto res = simulate_speculation(cfg);
+  EXPECT_GT(res.total_node_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(res.wasted_seconds, 0.0);
+  EXPECT_EQ(res.backups_won, 0u);
+}
+
+TEST(Speculation, AllStragglersChangesNothingRelative) {
+  // If every node is equally slow there are no outliers to rescue: backups
+  // may launch (threshold is relative to the median) but cannot help much.
+  auto cfg = base();
+  cfg.straggler_fraction = 1.0;
+  cfg.task_work_cv = 0.0;
+  auto with = simulate_speculation(cfg);
+  cfg.speculate = false;
+  auto without = simulate_speculation(cfg);
+  EXPECT_NEAR(with.makespan, without.makespan, without.makespan * 0.05);
+}
+
+TEST(Speculation, RejectsBadConfig) {
+  auto cfg = base();
+  cfg.nodes = 0;
+  EXPECT_THROW(simulate_speculation(cfg), std::invalid_argument);
+  cfg = base();
+  cfg.straggler_speed = 0;
+  EXPECT_THROW(simulate_speculation(cfg), std::invalid_argument);
+}
+
+TEST(Speculation, MoreStragglersHurtMore) {
+  auto mild = base();
+  mild.straggler_fraction = 0.05;
+  mild.speculate = false;
+  auto severe = base();
+  severe.straggler_fraction = 0.4;
+  severe.speculate = false;
+  EXPECT_LT(simulate_speculation(mild).makespan,
+            simulate_speculation(severe).makespan);
+}
+
+}  // namespace
+}  // namespace hpbdc::cluster

@@ -1,0 +1,457 @@
+// Unit tests for src/storage: GF(256) algebra, Reed–Solomon coding,
+// chunkers, dedup store, consistent-hash ring, and the tiered store.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/rng.hpp"
+#include "storage/chunker.hpp"
+#include "storage/dedup.hpp"
+#include "storage/gf256.hpp"
+#include "storage/hash_ring.hpp"
+#include "storage/reed_solomon.hpp"
+#include "storage/tiered_store.hpp"
+
+namespace hpbdc::storage {
+namespace {
+
+// ---- GF(256) -------------------------------------------------------------------
+
+TEST(GF256, MultiplicativeIdentityAndZero) {
+  for (int a = 0; a < 256; ++a) {
+    EXPECT_EQ(GF256::mul(static_cast<std::uint8_t>(a), 1), a);
+    EXPECT_EQ(GF256::mul(static_cast<std::uint8_t>(a), 0), 0);
+  }
+}
+
+TEST(GF256, InverseRoundTrip) {
+  for (int a = 1; a < 256; ++a) {
+    const auto inv = GF256::inv(static_cast<std::uint8_t>(a));
+    EXPECT_EQ(GF256::mul(static_cast<std::uint8_t>(a), inv), 1) << a;
+  }
+}
+
+TEST(GF256, DivisionByZeroThrows) {
+  EXPECT_THROW(GF256::div(5, 0), std::domain_error);
+}
+
+TEST(GF256, MultiplicationCommutesAndAssociates) {
+  Rng rng(1);
+  for (int i = 0; i < 2000; ++i) {
+    const auto a = static_cast<std::uint8_t>(rng());
+    const auto b = static_cast<std::uint8_t>(rng());
+    const auto c = static_cast<std::uint8_t>(rng());
+    EXPECT_EQ(GF256::mul(a, b), GF256::mul(b, a));
+    EXPECT_EQ(GF256::mul(GF256::mul(a, b), c), GF256::mul(a, GF256::mul(b, c)));
+    // Distributivity over XOR (field addition).
+    EXPECT_EQ(GF256::mul(a, b ^ c), GF256::mul(a, b) ^ GF256::mul(a, c));
+  }
+}
+
+TEST(GFMatrix, InverseOfIdentity) {
+  auto id = GFMatrix::identity(5);
+  auto inv = id.inverse();
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = 0; j < 5; ++j) {
+      EXPECT_EQ(inv.at(i, j), i == j ? 1 : 0);
+    }
+  }
+}
+
+TEST(GFMatrix, InverseTimesSelfIsIdentity) {
+  Rng rng(2);
+  GFMatrix m(6, 6);
+  // Random matrices over GF(256) are invertible whp; retry until one is.
+  for (int attempt = 0; attempt < 10; ++attempt) {
+    for (std::size_t i = 0; i < 6; ++i) {
+      for (std::size_t j = 0; j < 6; ++j) {
+        m.at(i, j) = static_cast<std::uint8_t>(rng());
+      }
+    }
+    try {
+      auto inv = m.inverse();
+      auto prod = m.mul(inv);
+      for (std::size_t i = 0; i < 6; ++i) {
+        for (std::size_t j = 0; j < 6; ++j) {
+          EXPECT_EQ(prod.at(i, j), i == j ? 1 : 0);
+        }
+      }
+      return;
+    } catch (const std::domain_error&) {
+      continue;  // singular draw, try again
+    }
+  }
+  FAIL() << "no invertible matrix found in 10 draws (astronomically unlikely)";
+}
+
+TEST(GFMatrix, SingularThrows) {
+  GFMatrix m(2, 2);  // all zeros
+  EXPECT_THROW(m.inverse(), std::domain_error);
+}
+
+// ---- Reed–Solomon -----------------------------------------------------------------
+
+struct RsParam {
+  std::size_t k, m;
+};
+
+class RsRoundTrip : public ::testing::TestWithParam<RsParam> {};
+
+TEST_P(RsRoundTrip, SurvivesAnySingleAndDoubleErasurePattern) {
+  const auto [k, m] = GetParam();
+  ReedSolomon rs(k, m);
+  Rng rng(k * 31 + m);
+  std::vector<Shard> data(k, Shard(257));
+  for (auto& s : data) {
+    for (auto& b : s) b = static_cast<std::uint8_t>(rng());
+  }
+  auto parity = rs.encode(data);
+  ASSERT_EQ(parity.size(), m);
+
+  const std::size_t total = k + m;
+  auto make_shards = [&](const std::set<std::size_t>& lost) {
+    std::vector<std::optional<Shard>> shards(total);
+    for (std::size_t i = 0; i < total; ++i) {
+      if (lost.contains(i)) continue;
+      shards[i] = i < k ? data[i] : parity[i - k];
+    }
+    return shards;
+  };
+
+  // All single erasures.
+  for (std::size_t i = 0; i < total; ++i) {
+    auto rec = rs.decode(make_shards({i}));
+    EXPECT_EQ(rec, data) << "lost shard " << i;
+  }
+  // All double erasures (when m >= 2).
+  if (m >= 2) {
+    for (std::size_t i = 0; i < total; ++i) {
+      for (std::size_t j = i + 1; j < total; ++j) {
+        auto rec = rs.decode(make_shards({i, j}));
+        EXPECT_EQ(rec, data) << "lost " << i << "," << j;
+      }
+    }
+  }
+}
+
+TEST_P(RsRoundTrip, SurvivesWorstCaseMaxErasures) {
+  const auto [k, m] = GetParam();
+  ReedSolomon rs(k, m);
+  Rng rng(1000 + k * 31 + m);
+  std::vector<Shard> data(k, Shard(64));
+  for (auto& s : data) {
+    for (auto& b : s) b = static_cast<std::uint8_t>(rng());
+  }
+  auto parity = rs.encode(data);
+  // Lose exactly m shards, chosen to include as many data shards as possible
+  // (hardest case: all recovery comes from parity).
+  std::vector<std::optional<Shard>> shards(k + m);
+  std::set<std::size_t> lost;
+  for (std::size_t i = 0; i < std::min(m, k); ++i) lost.insert(i);
+  std::size_t extra = m - std::min(m, k);
+  for (std::size_t i = 0; i < extra; ++i) lost.insert(k + i);
+  for (std::size_t i = 0; i < k + m; ++i) {
+    if (!lost.contains(i)) shards[i] = i < static_cast<std::size_t>(k) ? data[i] : parity[i - k];
+  }
+  EXPECT_EQ(rs.decode(shards), data);
+}
+
+INSTANTIATE_TEST_SUITE_P(Codes, RsRoundTrip,
+                         ::testing::Values(RsParam{2, 1}, RsParam{4, 2}, RsParam{6, 3},
+                                           RsParam{8, 4}, RsParam{10, 4}, RsParam{3, 2}),
+                         [](const auto& info) {
+                           return "k" + std::to_string(info.param.k) + "m" +
+                                  std::to_string(info.param.m);
+                         });
+
+TEST(ReedSolomon, TooManyErasuresThrows) {
+  ReedSolomon rs(4, 2);
+  std::vector<std::optional<Shard>> shards(6);
+  shards[0] = Shard(16);
+  shards[1] = Shard(16);
+  shards[2] = Shard(16);  // only 3 of the required 4 survive
+  EXPECT_THROW(rs.decode(shards), std::invalid_argument);
+}
+
+TEST(ReedSolomon, RejectsBadParameters) {
+  EXPECT_THROW(ReedSolomon(0, 2), std::invalid_argument);
+  EXPECT_THROW(ReedSolomon(200, 100), std::invalid_argument);
+  ReedSolomon rs(4, 2);
+  EXPECT_THROW(rs.encode(std::vector<Shard>(3, Shard(8))), std::invalid_argument);
+  std::vector<Shard> ragged(4, Shard(8));
+  ragged[2].resize(9);
+  EXPECT_THROW(rs.encode(ragged), std::invalid_argument);
+}
+
+TEST(ReedSolomon, SplitJoinRoundTrip) {
+  Rng rng(3);
+  std::vector<std::uint8_t> blob(1000);
+  for (auto& b : blob) b = static_cast<std::uint8_t>(rng());
+  auto shards = ReedSolomon::split(blob, 6);
+  EXPECT_EQ(shards.size(), 6u);
+  EXPECT_EQ(ReedSolomon::join(shards, blob.size()), blob);
+}
+
+TEST(ReedSolomon, ZeroParityIsPassthrough) {
+  ReedSolomon rs(3, 0);
+  std::vector<Shard> data(3, Shard(8, 7));
+  EXPECT_TRUE(rs.encode(data).empty());
+}
+
+// ---- Chunkers ----------------------------------------------------------------------
+
+TEST(FixedChunker, ExactSizes) {
+  FixedChunker ch(100);
+  std::vector<std::uint8_t> data(350);
+  auto chunks = ch.chunk(data);
+  ASSERT_EQ(chunks.size(), 4u);
+  EXPECT_EQ(chunks[0].length, 100u);
+  EXPECT_EQ(chunks[3].length, 50u);
+  std::size_t covered = 0;
+  for (const auto& c : chunks) {
+    EXPECT_EQ(c.offset, covered);
+    covered += c.length;
+  }
+  EXPECT_EQ(covered, data.size());
+}
+
+TEST(FixedChunker, EmptyInput) {
+  FixedChunker ch(100);
+  EXPECT_TRUE(ch.chunk({}).empty());
+}
+
+TEST(CdcChunker, CoversInputContiguously) {
+  Rng rng(4);
+  std::vector<std::uint8_t> data(200000);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng());
+  CdcChunker ch(4096, 1024, 16384);
+  auto chunks = ch.chunk(data);
+  std::size_t covered = 0;
+  for (const auto& c : chunks) {
+    EXPECT_EQ(c.offset, covered);
+    covered += c.length;
+    EXPECT_LE(c.length, 16384u);
+  }
+  EXPECT_EQ(covered, data.size());
+  // All but the final chunk respect the minimum size.
+  for (std::size_t i = 0; i + 1 < chunks.size(); ++i) {
+    EXPECT_GE(chunks[i].length, 1024u);
+  }
+}
+
+TEST(CdcChunker, AverageNearTarget) {
+  Rng rng(5);
+  std::vector<std::uint8_t> data(1 << 21);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng());
+  CdcChunker ch(4096, 512, 65536);
+  auto chunks = ch.chunk(data);
+  const double avg = static_cast<double>(data.size()) / static_cast<double>(chunks.size());
+  EXPECT_GT(avg, 4096 * 0.5);
+  EXPECT_LT(avg, 4096 * 2.0);
+}
+
+TEST(CdcChunker, BoundariesSurviveInsertion) {
+  // Insert bytes near the front; most chunk fingerprints must be unchanged
+  // (the property fixed-size chunking lacks).
+  Rng rng(6);
+  std::vector<std::uint8_t> original(1 << 20);
+  for (auto& b : original) b = static_cast<std::uint8_t>(rng());
+  auto shifted = original;
+  shifted.insert(shifted.begin() + 1000, {1, 2, 3, 4, 5, 6, 7});
+
+  CdcChunker ch(4096, 1024, 16384);
+  auto fingerprints = [&](const std::vector<std::uint8_t>& d) {
+    std::set<std::uint64_t> fps;
+    for (const auto& c : ch.chunk(d)) {
+      fps.insert(hash_bytes(reinterpret_cast<const char*>(d.data() + c.offset), c.length));
+    }
+    return fps;
+  };
+  auto a = fingerprints(original);
+  auto b = fingerprints(shifted);
+  std::size_t common = 0;
+  for (auto fp : a) common += b.contains(fp);
+  EXPECT_GT(static_cast<double>(common) / static_cast<double>(a.size()), 0.9);
+}
+
+TEST(CdcChunker, RejectsBadConfig) {
+  EXPECT_THROW(CdcChunker(1000, 100, 2000), std::invalid_argument);  // avg not pow2
+  EXPECT_THROW(CdcChunker(1024, 2048, 4096), std::invalid_argument); // min > avg
+  EXPECT_THROW(CdcChunker(1024, 0, 4096), std::invalid_argument);
+}
+
+// ---- Dedup ------------------------------------------------------------------------
+
+TEST(DedupStore, RoundTripAndRatio) {
+  Rng rng(7);
+  std::vector<std::uint8_t> base(100000);
+  for (auto& b : base) b = static_cast<std::uint8_t>(rng());
+
+  DedupStore store;
+  CdcChunker ch(4096, 1024, 16384);
+  auto r1 = store.put(base, ch);
+  auto r2 = store.put(base, ch);  // identical object: near-free
+  EXPECT_EQ(store.get(r1), base);
+  EXPECT_EQ(store.get(r2), base);
+  EXPECT_GT(store.stats().ratio(), 1.9);
+  EXPECT_EQ(store.stats().logical_bytes, 200000u);
+}
+
+TEST(DedupStore, RemoveFreesUnreferencedChunks) {
+  Rng rng(8);
+  std::vector<std::uint8_t> data(50000);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng());
+  DedupStore store;
+  FixedChunker ch(4096);
+  auto r1 = store.put(data, ch);
+  auto r2 = store.put(data, ch);
+  store.remove(r1);
+  EXPECT_EQ(store.get(r2), data);  // still referenced
+  store.remove(r2);
+  EXPECT_EQ(store.unique_chunks(), 0u);
+  EXPECT_EQ(store.stats().physical_bytes, 0u);
+}
+
+TEST(DedupStore, CdcBeatsFixedOnInsertShiftedVersions) {
+  Rng rng(9);
+  std::vector<std::uint8_t> v1(1 << 20);
+  for (auto& b : v1) b = static_cast<std::uint8_t>(rng());
+  auto v2 = v1;
+  v2.insert(v2.begin() + 5000, {9, 9, 9});  // tiny early insert shifts the rest
+
+  DedupStore fixed_store, cdc_store;
+  FixedChunker fixed(4096);
+  CdcChunker cdc(4096, 1024, 16384);
+  fixed_store.put(v1, fixed);
+  fixed_store.put(v2, fixed);
+  cdc_store.put(v1, cdc);
+  cdc_store.put(v2, cdc);
+  EXPECT_GT(cdc_store.stats().ratio(), 1.8);   // CDC dedups almost everything
+  EXPECT_LT(fixed_store.stats().ratio(), 1.2); // fixed dedups almost nothing
+}
+
+// ---- HashRing ---------------------------------------------------------------------
+
+TEST(HashRing, LookupStable) {
+  HashRing ring(64);
+  for (std::uint64_t n = 0; n < 8; ++n) ring.add_node(n);
+  EXPECT_EQ(ring.lookup("alpha"), ring.lookup("alpha"));
+}
+
+TEST(HashRing, LookupNDistinctNodes) {
+  HashRing ring(64);
+  for (std::uint64_t n = 0; n < 8; ++n) ring.add_node(n);
+  auto replicas = ring.lookup_n("some-key", 3);
+  ASSERT_EQ(replicas.size(), 3u);
+  std::set<std::uint64_t> uniq(replicas.begin(), replicas.end());
+  EXPECT_EQ(uniq.size(), 3u);
+}
+
+TEST(HashRing, ReplicasClampedToNodeCount) {
+  HashRing ring(16);
+  ring.add_node(1);
+  ring.add_node(2);
+  EXPECT_EQ(ring.lookup_n("k", 5).size(), 2u);
+}
+
+TEST(HashRing, BalancedDistribution) {
+  HashRing ring(128);
+  constexpr std::size_t kNodes = 8;
+  for (std::uint64_t n = 0; n < kNodes; ++n) ring.add_node(n);
+  std::map<std::uint64_t, int> counts;
+  constexpr int kKeys = 20000;
+  for (int i = 0; i < kKeys; ++i) {
+    ++counts[ring.lookup("key-" + std::to_string(i))];
+  }
+  for (const auto& [node, c] : counts) {
+    EXPECT_GT(c, kKeys / kNodes / 2) << node;
+    EXPECT_LT(c, kKeys / kNodes * 2) << node;
+  }
+}
+
+TEST(HashRing, RemovalOnlyRemapsVictimKeys) {
+  HashRing ring(64);
+  for (std::uint64_t n = 0; n < 8; ++n) ring.add_node(n);
+  std::map<std::string, std::uint64_t> before;
+  for (int i = 0; i < 5000; ++i) {
+    const std::string k = "key-" + std::to_string(i);
+    before[k] = ring.lookup(k);
+  }
+  ring.remove_node(3);
+  int moved_from_others = 0;
+  for (const auto& [k, owner] : before) {
+    const auto now = ring.lookup(k);
+    if (owner != 3 && now != owner) ++moved_from_others;
+    if (owner == 3) {
+      EXPECT_NE(now, 3u);
+    }
+  }
+  EXPECT_EQ(moved_from_others, 0);  // consistent hashing: only victim's keys move
+}
+
+TEST(HashRing, DuplicateAndUnknownNodes) {
+  HashRing ring;
+  ring.add_node(1);
+  EXPECT_THROW(ring.add_node(1), std::invalid_argument);
+  EXPECT_THROW(ring.remove_node(9), std::invalid_argument);
+}
+
+// ---- TieredStore --------------------------------------------------------------------
+
+TEST(TieredStore, PutGetRoundTrip) {
+  TieredStore store(1 << 20);
+  store.put("a", {1, 2, 3});
+  auto v = store.get("a");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, (std::vector<std::uint8_t>{1, 2, 3}));
+  EXPECT_FALSE(store.get("missing").has_value());
+}
+
+TEST(TieredStore, EvictsLruToCold) {
+  TieredStore store(250);  // fits two 100-byte blocks + slack
+  store.put("a", std::vector<std::uint8_t>(100, 1));
+  store.put("b", std::vector<std::uint8_t>(100, 2));
+  store.put("c", std::vector<std::uint8_t>(100, 3));  // evicts "a" (LRU)
+  EXPECT_EQ(store.cold_blocks(), 1u);
+  EXPECT_LE(store.hot_bytes(), 250u);
+  // "a" still readable (cold hit + promotion).
+  auto v = store.get("a");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ((*v)[0], 1);
+  EXPECT_EQ(store.stats().cold_hits, 1u);
+  EXPECT_EQ(store.stats().promotions, 1u);
+}
+
+TEST(TieredStore, RecentAccessAvoidsEviction) {
+  TieredStore store(250);
+  store.put("a", std::vector<std::uint8_t>(100, 1));
+  store.put("b", std::vector<std::uint8_t>(100, 2));
+  store.get("a");  // touch: "b" becomes LRU
+  store.put("c", std::vector<std::uint8_t>(100, 3));
+  store.get("a");
+  EXPECT_EQ(store.stats().hot_hits, 2u);  // both "a" reads were hot
+}
+
+TEST(TieredStore, OverwriteReplaces) {
+  TieredStore store(1000);
+  store.put("k", {1});
+  store.put("k", {2});
+  EXPECT_EQ((*store.get("k"))[0], 2);
+  EXPECT_EQ(store.hot_blocks(), 1u);
+}
+
+TEST(TieredStore, EraseBothTiers) {
+  TieredStore store(100);
+  store.put("a", std::vector<std::uint8_t>(80, 1));
+  store.put("b", std::vector<std::uint8_t>(80, 2));  // "a" demoted
+  EXPECT_TRUE(store.erase("a"));
+  EXPECT_TRUE(store.erase("b"));
+  EXPECT_FALSE(store.erase("a"));
+  EXPECT_FALSE(store.contains("a"));
+}
+
+}  // namespace
+}  // namespace hpbdc::storage

@@ -1,0 +1,264 @@
+// Unit tests for the streaming layer: window assignment, watermarks, keyed
+// windowed aggregation, session windows, and the windowed stream join.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "common/rng.hpp"
+#include "dataflow/stream.hpp"
+
+namespace hpbdc::dataflow::stream {
+namespace {
+
+// ---- window assignment -----------------------------------------------------------
+
+TEST(Windows, TumblingAssignsOne) {
+  auto spec = WindowSpec::tumbling(10.0);
+  auto ws = assign_windows(spec, 25.0);
+  ASSERT_EQ(ws.size(), 1u);
+  EXPECT_DOUBLE_EQ(ws[0].start, 20.0);
+  EXPECT_DOUBLE_EQ(ws[0].end, 30.0);
+}
+
+TEST(Windows, TumblingBoundaryBelongsToNext) {
+  auto spec = WindowSpec::tumbling(10.0);
+  auto ws = assign_windows(spec, 30.0);
+  EXPECT_DOUBLE_EQ(ws[0].start, 30.0);  // half-open [30, 40)
+}
+
+TEST(Windows, SlidingAssignsSizeOverStep) {
+  auto spec = WindowSpec::sliding(10.0, 2.0);
+  auto ws = assign_windows(spec, 11.0);
+  EXPECT_EQ(ws.size(), 5u);  // size/step windows contain any point
+  for (const auto& w : ws) {
+    EXPECT_LE(w.start, 11.0);
+    EXPECT_GT(w.end, 11.0);
+    EXPECT_DOUBLE_EQ(w.end - w.start, 10.0);
+  }
+  // Oldest first.
+  EXPECT_LT(ws.front().start, ws.back().start);
+}
+
+TEST(Windows, SlidingEqualStepIsTumbling) {
+  auto spec = WindowSpec::sliding(5.0, 5.0);
+  EXPECT_EQ(assign_windows(spec, 12.0).size(), 1u);
+}
+
+TEST(Windows, InvalidSpecsThrow) {
+  EXPECT_THROW(WindowSpec::tumbling(0), std::invalid_argument);
+  EXPECT_THROW(WindowSpec::sliding(5, 6), std::invalid_argument);
+  EXPECT_THROW(WindowSpec::session(-1), std::invalid_argument);
+  EXPECT_THROW(assign_windows(WindowSpec::session(1), 0.0), std::invalid_argument);
+}
+
+// ---- watermark -----------------------------------------------------------------
+
+TEST(Watermark, TrailsMaxByLateness) {
+  BoundedLatenessWatermark wm(2.0);
+  EXPECT_DOUBLE_EQ(wm.observe(10.0), 8.0);
+  EXPECT_DOUBLE_EQ(wm.observe(5.0), 8.0);  // never regresses
+  EXPECT_DOUBLE_EQ(wm.observe(20.0), 18.0);
+}
+
+// ---- windowed aggregation ----------------------------------------------------------
+
+using CountAgg = WindowedAggregator<int, int, int, int (*)(const int&),
+                                    void (*)(int&, const int&)>;
+
+int key_of(const int& v) { return v % 2; }
+void count_agg(int& acc, const int&) { ++acc; }
+
+TEST(WindowedAggregator, CountsPerWindowAndKey) {
+  CountAgg agg(WindowSpec::tumbling(10.0), 0.0, key_of, count_agg);
+  // Window [0,10): values 1,2,3 -> key1:{1,3} key0:{2}
+  agg.on_event({1.0, 1});
+  agg.on_event({2.0, 2});
+  agg.on_event({3.0, 3});
+  // Advance into next window; first window fires.
+  agg.on_event({15.0, 4});
+  auto results = agg.take_results();
+  ASSERT_EQ(results.size(), 2u);
+  std::map<int, int> counts;
+  for (const auto& r : results) {
+    EXPECT_DOUBLE_EQ(r.window.start, 0.0);
+    counts[r.key] = r.value;
+  }
+  EXPECT_EQ(counts[1], 2);
+  EXPECT_EQ(counts[0], 1);
+  agg.flush();
+  auto rest = agg.take_results();
+  ASSERT_EQ(rest.size(), 1u);
+  EXPECT_DOUBLE_EQ(rest[0].window.start, 10.0);
+}
+
+TEST(WindowedAggregator, LateEventsDropped) {
+  CountAgg agg(WindowSpec::tumbling(10.0), 1.0, key_of, count_agg);
+  agg.on_event({20.0, 1});  // watermark -> 19
+  agg.on_event({5.0, 2});   // late: < 19
+  EXPECT_EQ(agg.late_dropped(), 1u);
+  agg.on_event({19.5, 3});  // within lateness: accepted into [10,20)
+  agg.flush();
+  std::size_t total = 0;
+  for (const auto& r : agg.take_results()) total += static_cast<std::size_t>(r.value);
+  EXPECT_EQ(total, 2u);
+}
+
+TEST(WindowedAggregator, OutOfOrderWithinLatenessCounted) {
+  CountAgg agg(WindowSpec::tumbling(10.0), 5.0, key_of, count_agg);
+  agg.on_event({12.0, 1});
+  agg.on_event({8.0, 2});  // out of order but watermark is 7: accepted
+  agg.flush();
+  auto results = agg.take_results();
+  std::map<double, int> per_window;
+  for (const auto& r : results) per_window[r.window.start] += r.value;
+  EXPECT_EQ(per_window[0.0], 1);
+  EXPECT_EQ(per_window[10.0], 1);
+}
+
+TEST(WindowedAggregator, SlidingDoubleCounts) {
+  auto agg = make_windowed_aggregator<int, int>(
+      WindowSpec::sliding(10.0, 5.0), 0.0, [](const int&) { return 0; },
+      [](int& acc, const int&) { ++acc; });
+  agg.on_event({7.0, 1});  // belongs to [0,10) and [5,15)
+  agg.flush();
+  auto results = agg.take_results();
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].value + results[1].value, 2);
+}
+
+TEST(WindowedAggregator, StateFreedAfterFiring) {
+  CountAgg agg(WindowSpec::tumbling(1.0), 0.0, key_of, count_agg);
+  for (int i = 0; i < 100; ++i) agg.on_event({static_cast<double>(i), i});
+  EXPECT_LE(agg.open_windows(), 2u);  // old windows fired and freed
+}
+
+TEST(WindowedAggregator, SessionSpecRejected) {
+  EXPECT_THROW(CountAgg(WindowSpec::session(1.0), 0.0, key_of, count_agg),
+               std::invalid_argument);
+}
+
+// ---- session windows ---------------------------------------------------------------
+
+TEST(SessionAggregator, SplitsOnGap) {
+  SessionAggregator<int, int, int, int (*)(const int&), void (*)(int&, const int&)>
+      agg(2.0, 0.0, key_of, count_agg);
+  // Key 0 events at t=1,2,3 (one session), then t=10 (new session).
+  agg.on_event({1.0, 0});
+  agg.on_event({2.0, 0});
+  agg.on_event({3.0, 0});
+  agg.on_event({10.0, 0});
+  agg.flush();
+  auto results = agg.take_results();
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].value, 3);
+  EXPECT_DOUBLE_EQ(results[0].window.start, 1.0);
+  EXPECT_DOUBLE_EQ(results[0].window.end, 5.0);  // last + gap
+  EXPECT_EQ(results[1].value, 1);
+}
+
+TEST(SessionAggregator, KeysIndependent) {
+  SessionAggregator<int, int, int, int (*)(const int&), void (*)(int&, const int&)>
+      agg(2.0, 0.0, key_of, count_agg);
+  agg.on_event({1.0, 0});
+  agg.on_event({1.5, 1});
+  agg.on_event({2.0, 0});
+  agg.flush();
+  auto results = agg.take_results();
+  EXPECT_EQ(results.size(), 2u);  // one session per key
+}
+
+TEST(SessionAggregator, WatermarkClosesIdleSessions) {
+  SessionAggregator<int, int, int, int (*)(const int&), void (*)(int&, const int&)>
+      agg(1.0, 0.0, key_of, count_agg);
+  agg.on_event({1.0, 0});
+  agg.on_event({10.0, 1});  // watermark 10 > 1+1: key-0 session closes
+  EXPECT_EQ(agg.open_sessions(), 1u);
+  auto results = agg.take_results();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].key, 0);
+}
+
+// ---- window join --------------------------------------------------------------------
+
+struct Click {
+  int user;
+  std::string page;
+};
+struct Purchase {
+  int user;
+  double amount;
+};
+
+using ClickPurchaseJoin =
+    WindowJoin<Click, Purchase, int, int (*)(const Click&), int (*)(const Purchase&)>;
+int click_key(const Click& c) { return c.user; }
+int purchase_key(const Purchase& p) { return p.user; }
+
+TEST(WindowJoin, MatchesWithinWindow) {
+  ClickPurchaseJoin j(10.0, 0.0, click_key, purchase_key);
+  j.on_left({1.0, Click{7, "home"}});
+  j.on_right({2.0, Purchase{7, 9.99}});
+  auto results = j.take_results();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].key, 7);
+  EXPECT_EQ(results[0].left.page, "home");
+  EXPECT_DOUBLE_EQ(results[0].right.amount, 9.99);
+}
+
+TEST(WindowJoin, NoMatchAcrossWindows) {
+  ClickPurchaseJoin j(10.0, 0.0, click_key, purchase_key);
+  j.on_left({1.0, Click{7, "home"}});
+  j.on_right({11.0, Purchase{7, 5.0}});  // next window
+  EXPECT_TRUE(j.take_results().empty());
+}
+
+TEST(WindowJoin, NoMatchDifferentKeys) {
+  ClickPurchaseJoin j(10.0, 0.0, click_key, purchase_key);
+  j.on_left({1.0, Click{7, "home"}});
+  j.on_right({2.0, Purchase{8, 5.0}});
+  EXPECT_TRUE(j.take_results().empty());
+}
+
+TEST(WindowJoin, ManyToManyWithinWindow) {
+  ClickPurchaseJoin j(10.0, 0.0, click_key, purchase_key);
+  j.on_left({1.0, Click{1, "a"}});
+  j.on_left({2.0, Click{1, "b"}});
+  j.on_right({3.0, Purchase{1, 1.0}});
+  j.on_right({4.0, Purchase{1, 2.0}});
+  EXPECT_EQ(j.take_results().size(), 4u);
+}
+
+TEST(WindowJoin, StateExpiresWithWatermark) {
+  ClickPurchaseJoin j(1.0, 0.0, click_key, purchase_key);
+  for (int i = 0; i < 100; ++i) {
+    j.on_left({static_cast<double>(i), Click{i, "x"}});
+  }
+  EXPECT_LE(j.open_windows(), 2u);
+  EXPECT_LE(j.buffered(), 4u);
+}
+
+TEST(WindowJoin, LateEventsDroppedAndCounted) {
+  ClickPurchaseJoin j(10.0, 0.0, click_key, purchase_key);
+  j.on_left({50.0, Click{1, "x"}});
+  j.on_right({10.0, Purchase{1, 3.0}});  // watermark is 50
+  EXPECT_EQ(j.late_dropped(), 1u);
+  EXPECT_TRUE(j.take_results().empty());
+}
+
+TEST(WindowJoin, SymmetricProbeOrderIrrelevant) {
+  // Lateness must cover the arrival disorder, otherwise the reversed order
+  // correctly drops the older event.
+  ClickPurchaseJoin a(10.0, 5.0, click_key, purchase_key);
+  a.on_left({1.0, Click{1, "x"}});
+  a.on_right({2.0, Purchase{1, 1.0}});
+  ClickPurchaseJoin b(10.0, 5.0, click_key, purchase_key);
+  b.on_right({2.0, Purchase{1, 1.0}});
+  b.on_left({1.0, Click{1, "x"}});
+  EXPECT_EQ(a.take_results().size(), 1u);
+  EXPECT_EQ(b.take_results().size(), 1u);
+}
+
+}  // namespace
+}  // namespace hpbdc::dataflow::stream
