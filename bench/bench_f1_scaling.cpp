@@ -4,8 +4,15 @@
 // a single core, so the recorded shape is flat with oversubscription
 // overhead — EXPERIMENTS.md documents the caveat. The serial baselines
 // anchor the absolute cost.
+//
+// Pass --trace=FILE to dump a Chrome-trace JSON of the max-thread run's
+// stage/shuffle/action spans (load in chrome://tracing).
+//
+//   $ ./bench_f1_scaling [--trace=FILE]
 
+#include <cstring>
 #include <iostream>
+#include <string>
 #include <thread>
 
 #include "algos/pagerank.hpp"
@@ -14,9 +21,16 @@
 #include "common/stats.hpp"
 #include "common/stopwatch.hpp"
 #include "exec/thread_pool.hpp"
+#include "obs/trace.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hpbdc;
+
+  std::string trace_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--trace=", 8) == 0) trace_path = argv[i] + 8;
+  }
+  obs::TraceSession trace;
 
   // Workloads.
   Rng rng(10);
@@ -48,7 +62,9 @@ int main() {
   tbl.row({"serial", Table::num(wc_serial_ms), "1.00", Table::num(pr_serial_ms), "1.00"});
   for (std::size_t threads : {1, 2, 4, 8}) {
     ThreadPool pool(threads);
-    dataflow::Context ctx(pool);
+    // Trace only the widest configuration: one clean span set per stage.
+    const bool traced = !trace_path.empty() && threads == 8;
+    dataflow::Context ctx{pool, {.trace = traced ? &trace : nullptr}};
 
     Stopwatch sw1;
     auto ds = dataflow::Dataset<std::string>::parallelize(ctx, lines, threads * 4);
@@ -69,5 +85,14 @@ int main() {
   std::cout << "\nexpected shape (multi-core): speedup ~linear to core count, "
                "flat beyond; dataflow pays a constant shuffle overhead vs the "
                "serial CSR baseline on pagerank.\n";
+
+  if (!trace_path.empty()) {
+    if (!trace.write_chrome_json_file(trace_path)) {
+      std::cerr << "failed to write trace to " << trace_path << "\n";
+      return 1;
+    }
+    std::cout << "\nwrote " << trace.event_count() << " trace events to "
+              << trace_path << " (load in chrome://tracing)\n";
+  }
   return 0;
 }

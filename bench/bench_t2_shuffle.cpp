@@ -2,22 +2,41 @@
 // (DESIGN.md). Workload: 1M zipf-keyed records, reduce_by_key-style
 // aggregation. Expected shape: records_moved collapses when combining on a
 // skewed key distribution; runtime peaks near partitions ~= threads.
+//
+// Record movement comes from the Context's MetricsRegistry (counter deltas
+// around each shuffle). Pass --trace=FILE to also dump a Chrome-trace JSON
+// of every shuffle span (load in chrome://tracing or ui.perfetto.dev).
+//
+//   $ ./bench_t2_shuffle [--trace=FILE]
 
+#include <cstring>
 #include <iostream>
+#include <string>
 
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/stopwatch.hpp"
 #include "dataflow/shuffle.hpp"
 #include "exec/thread_pool.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hpbdc;
   constexpr std::size_t kRecords = 1'000'000;
   constexpr std::size_t kKeys = 10'000;
   constexpr double kTheta = 0.99;
 
+  std::string trace_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--trace=", 8) == 0) trace_path = argv[i] + 8;
+  }
+
   ThreadPool pool;
+  obs::MetricsRegistry reg;
+  obs::TraceSession trace;
+  dataflow::Context ctx{pool, {.metrics = &reg,
+                               .trace = trace_path.empty() ? nullptr : &trace}};
   std::cout << "T2: shuffle of " << kRecords << " records, " << kKeys
             << " zipf(" << kTheta << ") keys, " << pool.num_threads()
             << " threads\n\n";
@@ -30,16 +49,21 @@ int main() {
     input[i % 8].emplace_back(zipf.next(rng), 1);
   }
 
+  obs::Counter& moved_ctr = reg.counter("shuffle.records_moved");
+  obs::Counter& in_ctr = reg.counter("shuffle.records_in");
   Table tbl({"partitions", "combine", "time (ms)", "Mrec/s", "records moved",
              "reduction"});
   for (std::size_t parts : {1, 2, 4, 8, 16, 32}) {
     for (bool combine : {false, true}) {
-      dataflow::ShuffleStats stats;
+      const std::uint64_t moved0 = moved_ctr.value();
+      const std::uint64_t in0 = in_ctr.value();
       Stopwatch sw;
       auto out = dataflow::combining_shuffle(
-          pool, input, parts, [](std::uint64_t a, std::uint64_t b) { return a + b; },
-          combine, &stats);
+          ctx, input, parts, [](std::uint64_t a, std::uint64_t b) { return a + b; },
+          combine);
       const double ms = sw.elapsed_ms();
+      const std::uint64_t moved = moved_ctr.value() - moved0;
+      const std::uint64_t records_in = in_ctr.value() - in0;
       // Correctness guard: total count preserved.
       std::uint64_t total = 0;
       for (const auto& p : out) {
@@ -51,9 +75,9 @@ int main() {
       }
       tbl.row({std::to_string(parts), combine ? "yes" : "no", Table::num(ms),
                Table::num(static_cast<double>(kRecords) / ms / 1e3),
-               std::to_string(stats.records_moved),
-               Table::num(static_cast<double>(stats.records_in) /
-                          static_cast<double>(stats.records_moved), 1) + "x"});
+               std::to_string(moved),
+               Table::num(static_cast<double>(records_in) /
+                          static_cast<double>(moved), 1) + "x"});
     }
   }
   tbl.print(std::cout);
@@ -61,24 +85,21 @@ int main() {
   // Hot-key ablation: one key holds half the records. Salting spreads its
   // reduction over many reducers; with map-side combine already collapsing
   // per-map duplicates the benefit is pipeline balance, measured here as
-  // the size of the largest reduce partition.
+  // the size of the largest reduce partition — which is exactly what the
+  // shuffle.max_partition skew gauge reports.
   std::cout << "\nhot-key ablation (50% of records share one key, combine off):\n\n";
   dataflow::Partitions<std::pair<std::uint64_t, std::uint64_t>> hot(8);
   for (std::size_t i = 0; i < kRecords; ++i) {
     const std::uint64_t key = (i % 2 == 0) ? 0 : 1 + zipf.next(rng);
     hot[i % 8].emplace_back(key, 1);
   }
-  auto largest_partition = [](const auto& parts) {
-    std::size_t best = 0;
-    for (const auto& p : parts) best = std::max(best, p.size());
-    return best;
-  };
+  obs::Gauge& skew_gauge = reg.gauge("shuffle.max_partition");
   {
     Table skew({"strategy", "time (ms)", "largest reduce input"});
     Stopwatch sw;
-    auto plain = dataflow::hash_shuffle(pool, hot, 8);
+    dataflow::hash_shuffle(ctx, hot, 8);
     skew.row({"plain shuffle", Table::num(sw.elapsed_ms()),
-              std::to_string(largest_partition(plain))});
+              std::to_string(skew_gauge.value())});
     // Salted: add an 8-way salt to the key before shuffling.
     dataflow::Partitions<std::pair<std::pair<std::uint64_t, std::uint32_t>, std::uint64_t>>
         salted(8);
@@ -89,14 +110,24 @@ int main() {
         salted[p].emplace_back(std::make_pair(kv.first, i++ % 32), kv.second);
       }
     }
-    auto spread = dataflow::hash_shuffle(pool, salted, 8);
+    dataflow::hash_shuffle(ctx, salted, 8);
     skew.row({"salted (32 salts)", Table::num(sw2.elapsed_ms()),
-              std::to_string(largest_partition(spread))});
+              std::to_string(skew_gauge.value())});
     skew.print(std::cout);
   }
   std::cout << "\nexpected shape: map-side combine cuts records moved by >10x "
                "on this skew; throughput flattens once partitions >= threads; "
                "salting shrinks the largest reduce input by ~salts x on the "
                "hot-key workload.\n";
+
+  if (!trace_path.empty()) {
+    if (trace.write_chrome_json_file(trace_path)) {
+      std::cout << "\nwrote " << trace.event_count() << " trace events to "
+                << trace_path << " (load in chrome://tracing)\n";
+    } else {
+      std::cerr << "\nfailed to write trace to " << trace_path << "\n";
+      return 1;
+    }
+  }
   return 0;
 }

@@ -4,17 +4,26 @@
 //   -> top-k hottest pages -> per-user sessionization via group_by_key.
 // Exercises joins, shuffles, and aggregate actions on the public API.
 //
-//   $ ./log_analytics [events]
+//   $ ./log_analytics [events] [--trace=FILE] [--metrics]
+//
+// --trace=FILE dumps a Chrome-trace JSON of the pipeline's named stage
+// spans (parse/join/aggregate actions and shuffles) for chrome://tracing;
+// --metrics prints the engine's metric registry (records in/out per
+// operator, shuffle movement and skew, cache hits) after the run.
 
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <sstream>
+#include <string>
 
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/stopwatch.hpp"
 #include "dataflow/pair_ops.hpp"
 #include "exec/thread_pool.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace {
 
@@ -59,10 +68,28 @@ LogEvent parse_line(const std::string& line) {
 int main(int argc, char** argv) {
   using namespace hpbdc;
   using dataflow::Dataset;
-  const std::size_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 200000;
+  std::size_t n = 200000;
+  std::string trace_path;
+  bool print_metrics = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      trace_path = argv[i] + 8;
+    } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      print_metrics = true;
+    } else if (std::strncmp(argv[i], "--", 2) == 0) {
+      std::cerr << "unknown option: " << argv[i]
+                << "\nusage: log_analytics [events] [--trace=FILE] [--metrics]\n";
+      return 2;
+    } else {
+      n = std::strtoull(argv[i], nullptr, 10);
+    }
+  }
 
   ThreadPool pool;
-  dataflow::Context ctx(pool);
+  obs::MetricsRegistry reg;
+  obs::TraceSession trace;
+  dataflow::Context ctx{pool, {.metrics = print_metrics ? &reg : nullptr,
+                               .trace = trace_path.empty() ? nullptr : &trace}};
   Rng rng(7);
 
   std::cout << "generating " << n << " log lines...\n";
@@ -140,6 +167,19 @@ int main(int argc, char** argv) {
   std::cout << "\ntop pages:\n";
   for (const auto& [page, hits] : top_pages) {
     std::cout << "  /page/" << page << "  " << hits << " hits\n";
+  }
+
+  if (print_metrics) {
+    std::cout << "\nengine metrics:\n\n";
+    reg.print(std::cout);
+  }
+  if (!trace_path.empty()) {
+    if (!trace.write_chrome_json_file(trace_path)) {
+      std::cerr << "failed to write trace to " << trace_path << "\n";
+      return 1;
+    }
+    std::cout << "\nwrote " << trace.event_count() << " trace events to "
+              << trace_path << " (load in chrome://tracing)\n";
   }
   return 0;
 }

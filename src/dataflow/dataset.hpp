@@ -14,6 +14,7 @@
 // Key-value operations (reduce_by_key, join, ...) live in pair_ops.hpp.
 
 #include <algorithm>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -41,13 +42,26 @@ struct DatasetImpl {
   Partitions<T> data;
 
   const Partitions<T>& materialize() {
-    std::call_once(once, [this] {
+    bool computed_now = false;
+    std::call_once(once, [this, &computed_now] {
       data = compute();
       compute = nullptr;  // release lineage closures (and parent refs)
+      computed_now = true;
     });
+    if (obs::MetricsRegistry* m = ctx->metrics()) {
+      m->counter(computed_now ? "dataflow.cache.miss" : "dataflow.cache.hit").add(1);
+    }
     return data;
   }
 };
+
+/// Total records across partitions — metric helper for narrow ops.
+template <typename T>
+std::uint64_t total_records(const Partitions<T>& parts) {
+  std::uint64_t n = 0;
+  for (const auto& p : parts) n += p.size();
+  return n;
+}
 
 }  // namespace detail
 
@@ -111,6 +125,11 @@ class Dataset {
         out[p].reserve(in[p].size());
         for (const auto& v : in[p]) out[p].push_back(fn(v));
       });
+      if (obs::MetricsRegistry* m = parent->ctx->metrics()) {
+        const std::uint64_t n = detail::total_records(in);
+        m->counter("dataflow.map.records_in").add(n);
+        m->counter("dataflow.map.records_out").add(n);
+      }
       return out;
     });
   }
@@ -126,6 +145,10 @@ class Dataset {
           if (pred(v)) out[p].push_back(v);
         }
       });
+      if (obs::MetricsRegistry* m = parent->ctx->metrics()) {
+        m->counter("dataflow.filter.records_in").add(detail::total_records(in));
+        m->counter("dataflow.filter.records_out").add(detail::total_records(out));
+      }
       return out;
     });
   }
@@ -317,28 +340,36 @@ class Dataset {
   }
 
   // ---- actions (force evaluation) ----------------------------------------
+  // Each action opens a named span on the Context's TraceSession (when one
+  // is attached), covering the whole lineage evaluation it forces. Spans
+  // are RAII: an exception escaping a user lambda still closes the span.
 
   /// All elements, partition-major order.
   std::vector<T> collect() const {
+    obs::Span span(impl_->ctx->trace(), "collect", "action");
     const auto& parts = impl_->materialize();
     std::vector<T> out;
     std::size_t total = 0;
     for (const auto& p : parts) total += p.size();
     out.reserve(total);
     for (const auto& p : parts) out.insert(out.end(), p.begin(), p.end());
+    span.set_items(total);
     return out;
   }
 
   std::size_t count() const {
+    obs::Span span(impl_->ctx->trace(), "count", "action");
     const auto& parts = impl_->materialize();
     std::size_t n = 0;
     for (const auto& p : parts) n += p.size();
+    span.set_items(n);
     return n;
   }
 
   /// Deterministic fold with an associative combine.
   template <typename Combine>
   T reduce(T init, Combine combine) const {
+    obs::Span span(impl_->ctx->trace(), "reduce", "action");
     const auto& parts = impl_->materialize();
     std::vector<T> partial(parts.size(), init);
     parallel_for(impl_->ctx->pool(), 0, parts.size(), [&](std::size_t p) {
@@ -352,6 +383,7 @@ class Dataset {
   }
 
   std::vector<T> take(std::size_t n) const {
+    obs::Span span(impl_->ctx->trace(), "take", "action");
     const auto& parts = impl_->materialize();
     std::vector<T> out;
     out.reserve(n);
@@ -371,6 +403,7 @@ class Dataset {
 
   /// Force materialization without copying anything out.
   const Dataset& cache() const {
+    obs::Span span(impl_->ctx->trace(), "cache", "action");
     impl_->materialize();
     return *this;
   }

@@ -23,7 +23,8 @@ Dataset<std::pair<K, V>> reduce_by_key(const Dataset<std::pair<K, V>>& ds,
   Context& ctx = ds.context();
   const std::size_t n = nparts != 0 ? nparts : ctx.default_partitions();
   return Dataset<std::pair<K, V>>::from_thunk(ctx, [ds, combine, n, map_side_combine]() {
-    return combining_shuffle(ds.context().pool(), ds.partitions(), n, combine,
+    obs::Span span(ds.context().trace(), "reduce_by_key", "stage");
+    return combining_shuffle(ds.context(), ds.partitions(), n, combine,
                              map_side_combine);
   });
 }
@@ -35,7 +36,8 @@ Dataset<std::pair<K, std::vector<V>>> group_by_key(const Dataset<std::pair<K, V>
   Context& ctx = ds.context();
   const std::size_t n = nparts != 0 ? nparts : ctx.default_partitions();
   return Dataset<std::pair<K, std::vector<V>>>::from_thunk(ctx, [ds, n]() {
-    auto shuffled = hash_shuffle(ds.context().pool(), ds.partitions(), n);
+    obs::Span span(ds.context().trace(), "group_by_key", "stage");
+    auto shuffled = hash_shuffle(ds.context(), ds.partitions(), n);
     Partitions<std::pair<K, std::vector<V>>> out(shuffled.size());
     parallel_for(ds.context().pool(), 0, shuffled.size(), [&](std::size_t p) {
       std::unordered_map<K, std::vector<V>, Hasher<K>> groups;
@@ -78,11 +80,12 @@ Dataset<std::pair<K, std::pair<V, W>>> join(const Dataset<std::pair<K, V>>& left
   const std::size_t n = nparts != 0 ? nparts : ctx.default_partitions();
   using Out = std::pair<K, std::pair<V, W>>;
   return Dataset<Out>::from_thunk(ctx, [left, right, n]() {
-    Executor& pool = left.context().pool();
-    auto l = hash_shuffle(pool, left.partitions(), n);
-    auto r = hash_shuffle(pool, right.partitions(), n);
+    obs::Span span(left.context().trace(), "join", "stage");
+    Context& c = left.context();
+    auto l = hash_shuffle(c, left.partitions(), n);
+    auto r = hash_shuffle(c, right.partitions(), n);
     Partitions<Out> out(n);
-    parallel_for(pool, 0, n, [&](std::size_t p) {
+    parallel_for(c.pool(), 0, n, [&](std::size_t p) {
       std::unordered_multimap<K, W, Hasher<K>> table;
       table.reserve(r[p].size());
       for (auto& kv : r[p]) table.emplace(kv.first, std::move(kv.second));
@@ -106,11 +109,12 @@ Dataset<std::pair<K, std::pair<V, std::optional<W>>>> left_outer_join(
   const std::size_t n = nparts != 0 ? nparts : ctx.default_partitions();
   using Out = std::pair<K, std::pair<V, std::optional<W>>>;
   return Dataset<Out>::from_thunk(ctx, [left, right, n]() {
-    Executor& pool = left.context().pool();
-    auto l = hash_shuffle(pool, left.partitions(), n);
-    auto r = hash_shuffle(pool, right.partitions(), n);
+    obs::Span span(left.context().trace(), "left_outer_join", "stage");
+    Context& c = left.context();
+    auto l = hash_shuffle(c, left.partitions(), n);
+    auto r = hash_shuffle(c, right.partitions(), n);
     Partitions<Out> out(n);
-    parallel_for(pool, 0, n, [&](std::size_t p) {
+    parallel_for(c.pool(), 0, n, [&](std::size_t p) {
       std::unordered_multimap<K, W, Hasher<K>> table;
       table.reserve(r[p].size());
       for (auto& kv : r[p]) table.emplace(kv.first, std::move(kv.second));
@@ -139,11 +143,12 @@ Dataset<std::pair<K, std::pair<std::vector<V>, std::vector<W>>>> cogroup(
   const std::size_t n = nparts != 0 ? nparts : ctx.default_partitions();
   using Out = std::pair<K, std::pair<std::vector<V>, std::vector<W>>>;
   return Dataset<Out>::from_thunk(ctx, [left, right, n]() {
-    Executor& pool = left.context().pool();
-    auto l = hash_shuffle(pool, left.partitions(), n);
-    auto r = hash_shuffle(pool, right.partitions(), n);
+    obs::Span span(left.context().trace(), "cogroup", "stage");
+    Context& c = left.context();
+    auto l = hash_shuffle(c, left.partitions(), n);
+    auto r = hash_shuffle(c, right.partitions(), n);
     Partitions<Out> out(n);
-    parallel_for(pool, 0, n, [&](std::size_t p) {
+    parallel_for(c.pool(), 0, n, [&](std::size_t p) {
       std::unordered_map<K, std::pair<std::vector<V>, std::vector<W>>, Hasher<K>> groups;
       for (auto& kv : l[p]) groups[kv.first].first.push_back(std::move(kv.second));
       for (auto& kv : r[p]) groups[kv.first].second.push_back(std::move(kv.second));
@@ -167,13 +172,14 @@ Dataset<std::pair<K, std::pair<V, W>>> sort_merge_join(
   const std::size_t n = nparts != 0 ? nparts : ctx.default_partitions();
   using Out = std::pair<K, std::pair<V, W>>;
   return Dataset<Out>::from_thunk(ctx, [left, right, n]() {
-    Executor& pool = left.context().pool();
+    obs::Span span(left.context().trace(), "sort_merge_join", "stage");
+    Context& c = left.context();
     // Co-partition by key hash (any consistent partitioning works; hash
     // keeps the splitter logic out of the join), then sort per partition.
-    auto l = hash_shuffle(pool, left.partitions(), n);
-    auto r = hash_shuffle(pool, right.partitions(), n);
+    auto l = hash_shuffle(c, left.partitions(), n);
+    auto r = hash_shuffle(c, right.partitions(), n);
     Partitions<Out> out(n);
-    parallel_for(pool, 0, n, [&](std::size_t p) {
+    parallel_for(c.pool(), 0, n, [&](std::size_t p) {
       auto by_key = [](const auto& a, const auto& b) { return a.first < b.first; };
       std::sort(l[p].begin(), l[p].end(), by_key);
       std::sort(r[p].begin(), r[p].end(), by_key);
@@ -238,6 +244,7 @@ Dataset<std::pair<K, std::pair<V, W>>> broadcast_join(
   Context& ctx = left.context();
   using Out = std::pair<K, std::pair<V, W>>;
   return Dataset<Out>::from_thunk(ctx, [left, right]() {
+    obs::Span span(left.context().trace(), "broadcast_join", "stage");
     auto table = std::make_shared<std::unordered_multimap<K, W, Hasher<K>>>();
     for (const auto& part : right.partitions()) {
       for (const auto& kv : part) table->emplace(kv.first, kv.second);
@@ -269,6 +276,7 @@ std::vector<std::pair<K, std::size_t>> count_by_key(const Dataset<std::pair<K, V
 template <typename K, typename V>
 std::vector<std::pair<K, V>> top_k_by_value(const Dataset<std::pair<K, V>>& ds,
                                             std::size_t k) {
+  obs::Span span(ds.context().trace(), "top_k_by_value", "action");
   const auto& parts = ds.partitions();
   Executor& pool = ds.context().pool();
   auto cmp = [](const std::pair<K, V>& a, const std::pair<K, V>& b) {

@@ -6,7 +6,17 @@
 // each output partition, the matching bucket of every map task is merged.
 // Both sides run data-parallel on the pool. The same key always lands in
 // the same output partition (hash % nparts), which downstream joins rely on.
+//
+// Shuffles take the Context (not a bare Executor): record movement flows
+// into the Context's MetricsRegistry and each shuffle opens a span on its
+// TraceSession when attached. Counters emitted per shuffle:
+//   shuffle.count              shuffles executed
+//   shuffle.records_in         records leaving map tasks pre-combine
+//   shuffle.records_moved      records crossing the shuffle boundary
+//   shuffle.partition_records  histogram of output-partition sizes (skew)
+//   shuffle.max_partition      gauge; high-water mark = worst skew seen
 
+#include <algorithm>
 #include <cstdint>
 #include <unordered_map>
 #include <utility>
@@ -15,21 +25,42 @@
 #include "common/hash.hpp"
 #include "dataflow/dataset.hpp"
 #include "exec/parallel.hpp"
+#include "obs/trace.hpp"
 
 namespace hpbdc::dataflow {
 
-struct ShuffleStats {
-  std::uint64_t records_in = 0;    // records leaving map tasks pre-combine
-  std::uint64_t records_moved = 0; // records crossing the shuffle boundary
-};
+namespace detail {
+
+/// Publish one shuffle's movement counters + output skew. `out` sizes feed
+/// the partition-size histogram; max feeds the skew gauge.
+template <typename Row>
+void record_shuffle_metrics(Context& ctx, std::uint64_t records_in,
+                            std::uint64_t records_moved,
+                            const Partitions<Row>& out) {
+  obs::MetricsRegistry* m = ctx.metrics();
+  if (m == nullptr) return;
+  m->counter("shuffle.count").add(1);
+  m->counter("shuffle.records_in").add(records_in);
+  m->counter("shuffle.records_moved").add(records_moved);
+  auto& sizes = m->histogram("shuffle.partition_records");
+  std::size_t largest = 0;
+  for (const auto& p : out) {
+    sizes.record(static_cast<double>(p.size()));
+    largest = std::max(largest, p.size());
+  }
+  m->gauge("shuffle.max_partition").set(static_cast<std::int64_t>(largest));
+}
+
+}  // namespace detail
 
 /// Scatter/gather without combining: the output partition p holds every
 /// (k, v) with hash(k) % nparts == p, map-task order preserved within p.
 template <typename K, typename V>
-Partitions<std::pair<K, V>> hash_shuffle(Executor& pool,
+Partitions<std::pair<K, V>> hash_shuffle(Context& ctx,
                                          const Partitions<std::pair<K, V>>& in,
-                                         std::size_t nparts,
-                                         ShuffleStats* stats = nullptr) {
+                                         std::size_t nparts) {
+  obs::Span span(ctx.trace(), "hash_shuffle", "shuffle");
+  Executor& pool = ctx.pool();
   std::vector<Partitions<std::pair<K, V>>> local(in.size());
   parallel_for(pool, 0, in.size(), [&](std::size_t p) {
     local[p].assign(nparts, {});
@@ -47,11 +78,11 @@ Partitions<std::pair<K, V>> hash_shuffle(Executor& pool,
                     std::make_move_iterator(l[b].end()));
     }
   });
-  if (stats != nullptr) {
+  if (ctx.metrics() != nullptr || ctx.trace() != nullptr) {
     std::uint64_t n = 0;
     for (const auto& p : in) n += p.size();
-    stats->records_in = n;
-    stats->records_moved = n;
+    detail::record_shuffle_metrics(ctx, n, n, out);
+    span.set_items(n);
   }
   return out;
 }
@@ -60,11 +91,12 @@ Partitions<std::pair<K, V>> hash_shuffle(Executor& pool,
 /// pre-merged with `combine` before crossing the boundary; the reduce side
 /// completes the aggregation. Output: one (k, aggregate) per distinct key.
 template <typename K, typename V, typename Combine>
-Partitions<std::pair<K, V>> combining_shuffle(Executor& pool,
+Partitions<std::pair<K, V>> combining_shuffle(Context& ctx,
                                               const Partitions<std::pair<K, V>>& in,
                                               std::size_t nparts, Combine combine,
-                                              bool map_side_combine = true,
-                                              ShuffleStats* stats = nullptr) {
+                                              bool map_side_combine = true) {
+  obs::Span span(ctx.trace(), "combining_shuffle", "shuffle");
+  Executor& pool = ctx.pool();
   std::vector<Partitions<std::pair<K, V>>> local(in.size());
   std::vector<std::uint64_t> moved(in.size(), 0);
   parallel_for(pool, 0, in.size(), [&](std::size_t p) {
@@ -100,12 +132,12 @@ Partitions<std::pair<K, V>> combining_shuffle(Executor& pool,
     out[b].assign(std::make_move_iterator(agg.begin()),
                   std::make_move_iterator(agg.end()));
   });
-  if (stats != nullptr) {
+  if (ctx.metrics() != nullptr || ctx.trace() != nullptr) {
     std::uint64_t n = 0, m = 0;
     for (const auto& p : in) n += p.size();
     for (auto v : moved) m += v;
-    stats->records_in = n;
-    stats->records_moved = m;
+    detail::record_shuffle_metrics(ctx, n, m, out);
+    span.set_items(m);
   }
   return out;
 }

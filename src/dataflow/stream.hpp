@@ -9,6 +9,7 @@
 // the watermark passes its end. Events older than the watermark at arrival
 // are dropped and counted — the standard Flink/Beam semantics.
 
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <cstring>
@@ -20,6 +21,7 @@
 #include <vector>
 
 #include "common/hash.hpp"
+#include "obs/metrics.hpp"
 
 namespace hpbdc::dataflow::stream {
 
@@ -122,8 +124,10 @@ class WindowedAggregator {
   }
 
   void on_event(const Event<T>& ev) {
+    if (m_events_ != nullptr) m_events_->add(1);
     if (ev.time < watermark_.current()) {
       ++late_dropped_;
+      if (m_late_ != nullptr) m_late_->add(1);
       return;
     }
     const K key = key_fn_(ev.payload);
@@ -146,6 +150,18 @@ class WindowedAggregator {
   std::size_t open_windows() const noexcept { return state_.size(); }
   double watermark() const { return watermark_.current(); }
 
+  /// Mirror operator counters (stream.events, stream.late_dropped,
+  /// stream.windows_fired) and a wall-clock batch-fire latency histogram
+  /// (stream.fire_latency_us: time to close all windows a watermark advance
+  /// releases) into `reg`. Registry must outlive the aggregator; unbound
+  /// aggregators pay one null-pointer branch per event.
+  void bind_metrics(obs::MetricsRegistry& reg) {
+    m_events_ = &reg.counter("stream.events");
+    m_late_ = &reg.counter("stream.late_dropped");
+    m_fired_ = &reg.counter("stream.windows_fired");
+    m_fire_latency_ = &reg.histogram("stream.fire_latency_us");
+  }
+
  private:
   struct WindowKey {
     double start;
@@ -166,14 +182,24 @@ class WindowedAggregator {
   };
 
   void fire_up_to(double watermark) {
+    if (state_.empty() || state_.begin()->first > watermark) return;
+    using clock = std::chrono::steady_clock;
+    const auto t0 = m_fire_latency_ != nullptr ? clock::now() : clock::time_point{};
+    std::uint64_t fired = 0;
     // state_ is keyed (ordered) by window end: fire every closed window.
     while (!state_.empty() && state_.begin()->first <= watermark) {
       auto& [end, per_key] = *state_.begin();
       for (auto& [wk, slot] : per_key) {
         results_.push_back(WindowResult<K, Acc>{Window{wk.start, end}, wk.key,
                                                 std::move(slot.value)});
+        ++fired;
       }
       state_.erase(state_.begin());
+    }
+    if (m_fired_ != nullptr) m_fired_->add(fired);
+    if (m_fire_latency_ != nullptr) {
+      m_fire_latency_->record(
+          std::chrono::duration<double, std::micro>(clock::now() - t0).count());
     }
   }
 
@@ -186,6 +212,12 @@ class WindowedAggregator {
   std::map<double, std::unordered_map<WindowKey, AccSlot, WindowKeyHash>> state_;
   std::vector<WindowResult<K, Acc>> results_;
   std::uint64_t late_dropped_ = 0;
+
+  // Optional live metrics (see bind_metrics); null until bound.
+  obs::Counter* m_events_ = nullptr;
+  obs::Counter* m_late_ = nullptr;
+  obs::Counter* m_fired_ = nullptr;
+  obs::LatencyHistogram* m_fire_latency_ = nullptr;
 };
 
 /// Type-deduction helper.

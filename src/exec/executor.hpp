@@ -7,6 +7,7 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <exception>
 #include <functional>
 #include <mutex>
@@ -67,11 +68,24 @@ class TaskGroup {
     }
   }
 
+  /// Help-loop iterations executed by waiters of this group (each iteration
+  /// either ran one task or fell back to a timed wait).
+  std::uint64_t help_iterations() const noexcept {
+    return help_iterations_.load(std::memory_order_relaxed);
+  }
+  /// Tasks a waiter actually executed while helping instead of blocking.
+  std::uint64_t tasks_helped() const noexcept {
+    return tasks_helped_.load(std::memory_order_relaxed);
+  }
+
  private:
   void wait_no_throw() {
     using namespace std::chrono_literals;
     while (outstanding_.load(std::memory_order_acquire) > 0) {
-      if (!ex_.try_run_one()) {
+      help_iterations_.fetch_add(1, std::memory_order_relaxed);
+      if (ex_.try_run_one()) {
+        tasks_helped_.fetch_add(1, std::memory_order_relaxed);
+      } else {
         std::unique_lock lk(mu_);
         cv_.wait_for(lk, 200us, [&] {
           return outstanding_.load(std::memory_order_acquire) == 0;
@@ -82,6 +96,8 @@ class TaskGroup {
 
   Executor& ex_;
   std::atomic<std::size_t> outstanding_{0};
+  std::atomic<std::uint64_t> help_iterations_{0};
+  std::atomic<std::uint64_t> tasks_helped_{0};
   std::mutex mu_;
   std::condition_variable cv_;
   std::exception_ptr error_;

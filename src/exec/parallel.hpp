@@ -12,14 +12,16 @@
 #include <vector>
 
 #include "exec/executor.hpp"
+#include "exec/tuning.hpp"
 
 namespace hpbdc {
 
 namespace detail {
+// grain == 0 selects the engine default documented in exec/tuning.hpp:
+// ~kGrainChunksPerThread chunks per thread so stealing can balance skew.
 inline std::size_t pick_grain(std::size_t n, std::size_t threads, std::size_t grain) {
   if (grain > 0) return grain;
-  // Target ~8 chunks per thread so stealing can balance skew.
-  const std::size_t chunks = std::max<std::size_t>(1, threads * 8);
+  const std::size_t chunks = std::max<std::size_t>(1, threads * kGrainChunksPerThread);
   return std::max<std::size_t>(1, (n + chunks - 1) / chunks);
 }
 }  // namespace detail
@@ -87,8 +89,12 @@ T parallel_reduce(Executor& ex, std::size_t begin, std::size_t end, T init, Map 
 
 /// Stable-result parallel sort: sort B blocks in parallel, then log(B)
 /// rounds of parallel pairwise merges through a temporary buffer.
+/// `grain` follows the parallel_for convention (exec/tuning.hpp): 0 picks
+/// the engine default (floored at 1024 elements so tiny blocks never pay
+/// merge-round overhead), > 0 sets the exact block length.
 template <typename RandomIt, typename Compare = std::less<>>
-void parallel_sort(Executor& ex, RandomIt first, RandomIt last, Compare comp = {}) {
+void parallel_sort(Executor& ex, RandomIt first, RandomIt last, Compare comp = {},
+                   std::size_t grain = 0) {
   using T = typename std::iterator_traits<RandomIt>::value_type;
   const std::size_t n = static_cast<std::size_t>(std::distance(first, last));
   const std::size_t threads = ex.num_threads();
@@ -96,9 +102,10 @@ void parallel_sort(Executor& ex, RandomIt first, RandomIt last, Compare comp = {
     std::sort(first, last, comp);
     return;
   }
-  std::size_t nblocks = threads * 4;
-  const std::size_t block = std::max<std::size_t>(1024, (n + nblocks - 1) / nblocks);
-  nblocks = (n + block - 1) / block;
+  const std::size_t block =
+      grain > 0 ? grain
+                : std::max<std::size_t>(1024, detail::pick_grain(n, threads, 0));
+  const std::size_t nblocks = (n + block - 1) / block;
 
   {
     TaskGroup tg(ex);
@@ -137,10 +144,13 @@ void parallel_sort(Executor& ex, RandomIt first, RandomIt last, Compare comp = {
   if (!in_src) std::move(buf.begin(), buf.end(), first);
 }
 
-/// Two-pass blocked inclusive scan. `op` must be associative.
+/// Two-pass blocked inclusive scan. `op` must be associative. `grain`
+/// follows the parallel_for convention (exec/tuning.hpp): 0 picks the
+/// engine default (floored at 1024 — a scan pass is too cheap to split
+/// finer), > 0 sets the exact block length.
 template <typename T, typename Op>
 void parallel_inclusive_scan(Executor& ex, const std::vector<T>& in, std::vector<T>& out,
-                             Op op, T identity = T{}) {
+                             Op op, T identity = T{}, std::size_t grain = 0) {
   const std::size_t n = in.size();
   out.resize(n);
   if (n == 0) return;
@@ -150,8 +160,9 @@ void parallel_inclusive_scan(Executor& ex, const std::vector<T>& in, std::vector
     for (std::size_t i = 0; i < n; ++i) out[i] = acc = op(acc, in[i]);
     return;
   }
-  const std::size_t nblocks = threads * 4;
-  const std::size_t block = (n + nblocks - 1) / nblocks;
+  const std::size_t block =
+      grain > 0 ? grain
+                : std::max<std::size_t>(1024, detail::pick_grain(n, threads, 0));
   const std::size_t actual_blocks = (n + block - 1) / block;
   std::vector<T> block_sum(actual_blocks, identity);
 

@@ -51,6 +51,7 @@ int ThreadPool::current_worker_index() const noexcept {
 
 void ThreadPool::submit(std::function<void()> fn) {
   auto* task = new Task(std::move(fn));
+  submitted_.fetch_add(1, std::memory_order_relaxed);
   const int idx = current_worker_index();
   if (idx >= 0) {
     slots_[static_cast<std::size_t>(idx)]->deque.push(task);
@@ -93,6 +94,38 @@ void ThreadPool::run_task(Task* t, bool) {
   (*t)();
   delete t;
   executed_.fetch_add(1, std::memory_order_relaxed);
+  const int idx = current_worker_index();
+  if (idx >= 0) {
+    slots_[static_cast<std::size_t>(idx)]->executed.fetch_add(
+        1, std::memory_order_relaxed);
+  } else {
+    external_executed_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+std::vector<std::uint64_t> ThreadPool::per_thread_executed() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(slots_.size());
+  for (const auto& slot : slots_) {
+    out.push_back(slot->executed.load(std::memory_order_relaxed));
+  }
+  return out;
+}
+
+void ThreadPool::export_metrics(obs::MetricsRegistry& reg,
+                                const std::string& prefix) const {
+  reg.gauge(prefix + ".threads").set(static_cast<std::int64_t>(workers_.size()));
+  reg.gauge(prefix + ".executed").set(static_cast<std::int64_t>(tasks_executed()));
+  reg.gauge(prefix + ".stolen").set(static_cast<std::int64_t>(tasks_stolen()));
+  reg.gauge(prefix + ".submitted").set(static_cast<std::int64_t>(tasks_submitted()));
+  reg.gauge(prefix + ".parked").set(static_cast<std::int64_t>(times_parked()));
+  reg.gauge(prefix + ".external_executed")
+      .set(static_cast<std::int64_t>(external_executed_.load(std::memory_order_relaxed)));
+  const auto per_thread = per_thread_executed();
+  for (std::size_t i = 0; i < per_thread.size(); ++i) {
+    reg.gauge(prefix + ".thread" + std::to_string(i) + ".executed")
+        .set(static_cast<std::int64_t>(per_thread[i]));
+  }
 }
 
 void ThreadPool::worker_loop(std::size_t idx, std::stop_token stop) {
@@ -105,6 +138,7 @@ void ThreadPool::worker_loop(std::size_t idx, std::stop_token stop) {
       run_task(t, false);
       continue;
     }
+    parked_.fetch_add(1, std::memory_order_relaxed);
     std::unique_lock lk(sleep_mu_);
     if (stop.stop_requested()) break;
     // Timed wait bounds the cost of any missed notification to 500us.

@@ -10,11 +10,13 @@
 #include <deque>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "exec/executor.hpp"
 #include "exec/ws_deque.hpp"
+#include "obs/metrics.hpp"
 
 namespace hpbdc {
 
@@ -38,6 +40,24 @@ class ThreadPool final : public Executor {
   std::uint64_t tasks_stolen() const noexcept {
     return stolen_.load(std::memory_order_relaxed);
   }
+  /// Tasks handed to submit() since construction.
+  std::uint64_t tasks_submitted() const noexcept {
+    return submitted_.load(std::memory_order_relaxed);
+  }
+  /// Times a worker found no task anywhere and entered a timed park.
+  std::uint64_t times_parked() const noexcept {
+    return parked_.load(std::memory_order_relaxed);
+  }
+  /// Tasks executed per worker thread (index = worker slot). Tasks run by
+  /// external helpers (TaskGroup::wait on a non-pool thread) are not in any
+  /// slot; tasks_executed() minus the sum of this vector gives that count.
+  std::vector<std::uint64_t> per_thread_executed() const;
+
+  /// Publish this pool's counters into `reg` as gauges under `prefix`
+  /// (exec.pool.executed, .stolen, .submitted, .parked, .thread<i>.executed).
+  /// Call at any quiescent point; values are a snapshot, not live handles.
+  void export_metrics(obs::MetricsRegistry& reg,
+                      const std::string& prefix = "exec.pool") const;
 
   /// Index of the calling worker within this pool, or -1 for external threads.
   int current_worker_index() const noexcept;
@@ -48,6 +68,8 @@ class ThreadPool final : public Executor {
   struct Worker {
     WsDeque<Task*> deque;
     std::uint64_t rng_state;
+    // Owner-thread task count; padded out of the deque's way by alignas.
+    alignas(64) std::atomic<std::uint64_t> executed{0};
   };
 
   void worker_loop(std::size_t idx, std::stop_token stop);
@@ -67,6 +89,10 @@ class ThreadPool final : public Executor {
 
   std::atomic<std::uint64_t> executed_{0};
   std::atomic<std::uint64_t> stolen_{0};
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> parked_{0};
+  // Tasks run by external (non-worker) helper threads via try_run_one().
+  std::atomic<std::uint64_t> external_executed_{0};
   std::atomic<bool> stopping_{false};
 };
 

@@ -1,0 +1,37 @@
+#pragma once
+// The engine's granularity contract, in one place.
+//
+// Two different units of decomposition exist in the stack and they are
+// deliberately NOT the same number:
+//
+//   * Scheduling grain — how parallel_for/parallel_reduce/parallel_sort/
+//     parallel_inclusive_scan split an index range into tasks. With
+//     `grain == 0` (the default everywhere) a primitive targets
+//     kGrainChunksPerThread chunks per pool thread: fine enough that
+//     work-stealing can rebalance a skewed range, coarse enough that
+//     per-task overhead stays amortized. Passing `grain > 0` overrides the
+//     heuristic with an exact element count per task.
+//
+//   * Data partitions — how a dataflow Context splits Datasets.
+//     Context::default_partitions() picks kPartitionsPerThread partitions
+//     per pool thread. Partitions are coarser than grains because each one
+//     carries materialized state (vectors, hash tables, shuffle buckets):
+//     more partitions mean more memory and merge fan-in, so we take only
+//     the slack needed to absorb partition-level skew.
+//
+// Keep the ratio grains-per-thread >= partitions-per-thread: a partition is
+// processed as >= 1 task, so the scheduler always has at least as many
+// steal targets as the data layout has skew units.
+
+#include <cstddef>
+
+namespace hpbdc {
+
+/// parallel_* primitives split a range into ~this many chunks per thread
+/// when the caller passes grain == 0.
+inline constexpr std::size_t kGrainChunksPerThread = 8;
+
+/// Context::default_partitions() = pool threads * this.
+inline constexpr std::size_t kPartitionsPerThread = 4;
+
+}  // namespace hpbdc

@@ -4,16 +4,25 @@
 // pops at the bottom; thieves steal from the top. The backing array grows
 // geometrically; retired arrays are kept until destruction so a concurrent
 // thief never reads freed memory (simple and safe reclamation).
+//
+// Slots are relaxed atomics (the paper's formulation): an in-flight thief
+// may read a slot the owner is overwriting, and the subsequent CAS on top
+// decides whose value counts. T must be trivially copyable — in practice a
+// pointer — which is also what makes the racy read well-defined under TSan.
 
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <type_traits>
 #include <vector>
 
 namespace hpbdc {
 
 template <typename T>
 class WsDeque {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "WsDeque slots are atomics; T must be trivially copyable");
+
  public:
   explicit WsDeque(std::int64_t initial_capacity = 64) {
     auto buf = std::make_unique<Buffer>(round_up(initial_capacity));
@@ -33,8 +42,10 @@ class WsDeque {
       buf = grow(buf, t, b);
     }
     buf->put(b, std::move(item));
-    std::atomic_thread_fence(std::memory_order_release);
-    bottom_.store(b + 1, std::memory_order_relaxed);
+    // Release store publishes the slot (and what it points to) to any thief
+    // that acquires this bottom value. A release fence + relaxed store is
+    // the paper's formulation, but TSan cannot see fence-based ordering.
+    bottom_.store(b + 1, std::memory_order_release);
   }
 
   /// Owner-only: pop the most recently pushed item (LIFO).
@@ -90,12 +101,18 @@ class WsDeque {
  private:
   struct Buffer {
     explicit Buffer(std::int64_t cap)
-        : capacity(cap), mask(cap - 1), slots(std::make_unique<T[]>(static_cast<std::size_t>(cap))) {}
-    T get(std::int64_t i) const { return slots[static_cast<std::size_t>(i & mask)]; }
-    void put(std::int64_t i, T v) { slots[static_cast<std::size_t>(i & mask)] = std::move(v); }
+        : capacity(cap),
+          mask(cap - 1),
+          slots(std::make_unique<std::atomic<T>[]>(static_cast<std::size_t>(cap))) {}
+    T get(std::int64_t i) const {
+      return slots[static_cast<std::size_t>(i & mask)].load(std::memory_order_relaxed);
+    }
+    void put(std::int64_t i, T v) {
+      slots[static_cast<std::size_t>(i & mask)].store(v, std::memory_order_relaxed);
+    }
     std::int64_t capacity;
     std::int64_t mask;
-    std::unique_ptr<T[]> slots;
+    std::unique_ptr<std::atomic<T>[]> slots;
   };
 
   static std::int64_t round_up(std::int64_t v) {

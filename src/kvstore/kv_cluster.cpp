@@ -97,6 +97,17 @@ std::optional<std::string> KvCluster::peek(std::size_t node, const std::string& 
 
 // ---- put ------------------------------------------------------------------
 
+void KvCluster::bind_metrics(obs::MetricsRegistry& reg) {
+  m_puts_ok_ = &reg.counter("kv.puts_ok");
+  m_puts_failed_ = &reg.counter("kv.puts_failed");
+  m_gets_ok_ = &reg.counter("kv.gets_ok");
+  m_gets_not_found_ = &reg.counter("kv.gets_not_found");
+  m_gets_failed_ = &reg.counter("kv.gets_failed");
+  m_read_repairs_ = &reg.counter("kv.read_repairs");
+  m_put_latency_ = &reg.histogram("kv.put_latency_us");
+  m_get_latency_ = &reg.histogram("kv.get_latency_us");
+}
+
 void KvCluster::client_put(std::size_t client, std::string key, std::string value,
                            PutCallback cb) {
   const auto replicas = replicas_for(key);
@@ -145,6 +156,7 @@ void KvCluster::client_put(std::size_t client, std::string key, std::string valu
     if (it == pending_puts_.end() || it->second.done) return;
     it->second.done = true;
     ++stats_.puts_failed;
+    if (m_puts_failed_ != nullptr) m_puts_failed_->add(1);
     auto cb = std::move(it->second.cb);
     pending_puts_.erase(it);
     if (cb) cb(false);
@@ -196,7 +208,10 @@ void KvCluster::handle_put_ack(const Bytes& payload) {
   if (pp.acks >= cfg_.write_quorum) {
     pp.done = true;
     ++stats_.puts_ok;
-    stats_.put_latency_us.add((comm_.simulator().now() - pp.start) * 1e6);
+    const double put_us = (comm_.simulator().now() - pp.start) * 1e6;
+    stats_.put_latency_us.add(put_us);
+    if (m_puts_ok_ != nullptr) m_puts_ok_->add(1);
+    if (m_put_latency_ != nullptr) m_put_latency_->record(put_us);
     auto cb = std::move(pp.cb);
     pending_puts_.erase(it);
     if (cb) cb(true);
@@ -235,6 +250,7 @@ void KvCluster::client_get(std::size_t client, std::string key, GetCallback cb) 
     if (it == pending_gets_.end() || it->second.done) return;
     it->second.done = true;
     ++stats_.gets_failed;
+    if (m_gets_failed_ != nullptr) m_gets_failed_->add(1);
     auto cb = std::move(it->second.cb);
     pending_gets_.erase(it);
     if (cb) cb(GetResult{});
@@ -312,13 +328,18 @@ void KvCluster::finish_get(std::uint64_t req_id, PendingGet& pg) {
         write_version(w, winner->value, winner->clock, winner->timestamp);
         comm_.send(node, node, tag_repair_, w.take());
         ++stats_.read_repairs;
+        if (m_read_repairs_ != nullptr) m_read_repairs_->add(1);
       }
     }
     ++stats_.gets_ok;
+    if (m_gets_ok_ != nullptr) m_gets_ok_->add(1);
   } else {
     ++stats_.gets_not_found;
+    if (m_gets_not_found_ != nullptr) m_gets_not_found_->add(1);
   }
-  stats_.get_latency_us.add((comm_.simulator().now() - pg.start) * 1e6);
+  const double get_us = (comm_.simulator().now() - pg.start) * 1e6;
+  stats_.get_latency_us.add(get_us);
+  if (m_get_latency_ != nullptr) m_get_latency_->record(get_us);
   auto cb = std::move(pg.cb);
   pending_gets_.erase(req_id);
   if (cb) cb(res);

@@ -18,6 +18,7 @@
 
 #include "common/stats.hpp"
 #include "kvstore/vector_clock.hpp"
+#include "obs/metrics.hpp"
 #include "sim/comm.hpp"
 #include "storage/hash_ring.hpp"
 
@@ -68,6 +69,11 @@ class KvCluster {
 
   const KvStats& stats() const noexcept { return stats_; }
   KvStats& mutable_stats() noexcept { return stats_; }
+
+  /// Mirror operation counters and put/get latency histograms (microseconds
+  /// of simulated time) into `reg` under kv.*. Registry must outlive the
+  /// cluster; unbound clusters pay one null-pointer branch per site.
+  void bind_metrics(obs::MetricsRegistry& reg);
   std::size_t nranks() const noexcept { return store_.size(); }
 
   /// Direct inspection for tests: the version a replica currently holds.
@@ -112,6 +118,16 @@ class KvCluster {
   std::vector<std::unordered_map<std::string, Versioned>> store_;  // per node
   std::vector<bool> down_;
   KvStats stats_;
+
+  // Optional live metrics (see bind_metrics); null until bound.
+  obs::Counter* m_puts_ok_ = nullptr;
+  obs::Counter* m_puts_failed_ = nullptr;
+  obs::Counter* m_gets_ok_ = nullptr;
+  obs::Counter* m_gets_not_found_ = nullptr;
+  obs::Counter* m_gets_failed_ = nullptr;
+  obs::Counter* m_read_repairs_ = nullptr;
+  obs::LatencyHistogram* m_put_latency_ = nullptr;
+  obs::LatencyHistogram* m_get_latency_ = nullptr;
 
   // In-flight coordinator state, keyed by request id.
   std::unordered_map<std::uint64_t, PendingPut> pending_puts_;

@@ -63,6 +63,13 @@ RaftCluster::RaftCluster(sim::Comm& comm, RaftConfig cfg)
   }
 }
 
+void RaftCluster::bind_metrics(obs::MetricsRegistry& reg) {
+  m_elections_ = &reg.counter("raft.elections_started");
+  m_leaders_ = &reg.counter("raft.leaders_elected");
+  m_appends_ = &reg.counter("raft.append_rpcs");
+  m_commits_ = &reg.counter("raft.entries_committed");
+}
+
 void RaftCluster::start() {
   for (std::size_t n = 0; n < nodes_.size(); ++n) arm_election_timer(n);
 }
@@ -121,6 +128,7 @@ void RaftCluster::start_election(std::size_t n) {
   nd.voted_for = static_cast<std::int64_t>(n);
   nd.votes = 1;
   ++stats_.elections_started;
+  if (m_elections_ != nullptr) m_elections_->add(1);
   arm_election_timer(n);  // retry if the election stalls
 
   if (nd.votes >= majority()) {  // single-node cluster
@@ -174,6 +182,7 @@ void RaftCluster::become_leader(std::size_t n) {
   nd.match_index.assign(nodes_.size(), 0);
   nd.match_index[n] = last_log_index(nd);
   ++stats_.leaders_elected;
+  if (m_leaders_ != nullptr) m_leaders_->add(1);
   const std::uint64_t epoch = ++nd.timer_epoch;  // cancel the election timer
 
   // Heartbeat loop; cancelled when the epoch moves (role change/crash).
@@ -214,6 +223,7 @@ void RaftCluster::send_append(std::size_t leader, std::size_t peer) {
     w.write_string(nd.log[next + i].command);
   }
   ++stats_.append_rpcs;
+  if (m_appends_ != nullptr) m_appends_->add(1);
   comm_.send(leader, peer, tag_append_req_, w.take());
 }
 
@@ -299,6 +309,7 @@ void RaftCluster::advance_commit(std::size_t leader) {
     }
     if (matched >= majority()) {
       stats_.entries_committed += idx - nd.commit_index;
+      if (m_commits_ != nullptr) m_commits_->add(idx - nd.commit_index);
       nd.commit_index = idx;
       apply_commits(leader);
       break;

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "obs/metrics.hpp"
 #include "sim/comm.hpp"
 
 namespace hpbdc::kvstore {
@@ -75,6 +76,12 @@ class RaftCluster {
   std::vector<std::string> committed_commands(std::size_t node) const;
   const RaftStats& stats() const noexcept { return stats_; }
 
+  /// Mirror protocol counters into `reg` (raft.elections_started,
+  /// raft.leaders_elected, raft.append_rpcs, raft.entries_committed),
+  /// incremented live as the protocol runs. Registry must outlive the
+  /// cluster; unbound clusters pay one null-pointer branch per site.
+  void bind_metrics(obs::MetricsRegistry& reg);
+
  private:
   struct LogEntry {
     std::uint64_t term = 0;
@@ -126,6 +133,12 @@ class RaftCluster {
   std::vector<Node> nodes_;
   bool stopped_ = false;
   RaftStats stats_;
+
+  // Optional live counters (see bind_metrics); null until bound.
+  obs::Counter* m_elections_ = nullptr;
+  obs::Counter* m_leaders_ = nullptr;
+  obs::Counter* m_appends_ = nullptr;
+  obs::Counter* m_commits_ = nullptr;
 
   // Pending client proposals: (leader, term, index) -> callback.
   struct Pending {

@@ -1,0 +1,70 @@
+#include "obs/metrics.hpp"
+
+namespace hpbdc::obs {
+
+namespace {
+// Monotonic per-thread id; spreads recorders over histogram shards without
+// hashing std::thread::id on every record().
+std::size_t next_thread_ordinal() noexcept {
+  static std::atomic<std::size_t> next{0};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+}  // namespace
+
+std::size_t LatencyHistogram::shard_index() noexcept {
+  thread_local const std::size_t ordinal = next_thread_ordinal();
+  return ordinal % kShards;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard lk(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard lk(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+LatencyHistogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard lk(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<LatencyHistogram>();
+  return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard lk(mu_);
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) snap.counters.emplace_back(name, c->value());
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) snap.gauges.emplace_back(name, g->value());
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    snap.histograms.emplace_back(name, h->snapshot());
+  }
+  return snap;
+}
+
+void MetricsRegistry::print(std::ostream& os) const {
+  const MetricsSnapshot snap = snapshot();
+  Table tbl({"metric", "kind", "count/value", "mean", "p50", "p99", "max"});
+  for (const auto& [name, v] : snap.counters) {
+    tbl.row({name, "counter", std::to_string(v), "", "", "", ""});
+  }
+  for (const auto& [name, v] : snap.gauges) {
+    tbl.row({name, "gauge", std::to_string(v), "", "", "", ""});
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    tbl.row({name, "histogram", std::to_string(h.count()), Table::num(h.mean()),
+             Table::num(h.p50()), Table::num(h.p99()), Table::num(h.max())});
+  }
+  tbl.print(os);
+}
+
+}  // namespace hpbdc::obs

@@ -1,0 +1,132 @@
+#pragma once
+// Engine-wide observability: a named-metric registry shared by every layer
+// (exec, dataflow, kvstore, benches). Three instrument kinds:
+//
+//   * Counter — monotonically increasing u64, lock-free (relaxed atomics).
+//   * Gauge   — last-written i64 plus a running maximum, lock-free.
+//   * LatencyHistogram — the log-bucketed Histogram from common/stats.hpp,
+//     striped over cache-line-separated shards so concurrent recorders on
+//     different threads rarely contend; snapshot() merges the shards.
+//
+// The registry is instance-scoped (one per Context / bench / test), not a
+// process singleton: tests stay hermetic and two pipelines never mix
+// numbers. Registration is thread-safe and returns stable references that
+// live as long as the registry — hot paths look a metric up once and keep
+// the reference. Every instrumentation site in the engine is gated on a
+// nullable registry pointer, so the disabled cost is one branch on nullptr.
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace hpbdc::obs {
+
+/// Monotonic event count. Relaxed ordering: totals are exact once the
+/// recording threads have been joined/quiesced (e.g. after TaskGroup::wait).
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const noexcept { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-set value with a high-water mark (for sizes, queue depths, skew).
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept {
+    v_.store(v, std::memory_order_relaxed);
+    update_max(v);
+  }
+  void add(std::int64_t delta) noexcept {
+    update_max(v_.fetch_add(delta, std::memory_order_relaxed) + delta);
+  }
+  std::int64_t value() const noexcept { return v_.load(std::memory_order_relaxed); }
+  std::int64_t max() const noexcept { return max_.load(std::memory_order_relaxed); }
+
+ private:
+  void update_max(std::int64_t v) noexcept {
+    std::int64_t cur = max_.load(std::memory_order_relaxed);
+    while (v > cur && !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::atomic<std::int64_t> v_{0};
+  std::atomic<std::int64_t> max_{std::numeric_limits<std::int64_t>::min()};
+};
+
+/// Thread-striped latency/size histogram. record() locks only the calling
+/// thread's shard; snapshot() merges all shards into one Histogram.
+class LatencyHistogram {
+ public:
+  void record(double v) noexcept {
+    Shard& s = shards_[shard_index()];
+    std::lock_guard lk(s.mu);
+    s.h.add(v);
+  }
+
+  Histogram snapshot() const {
+    Histogram out;
+    for (const Shard& s : shards_) {
+      std::lock_guard lk(s.mu);
+      out.merge(s.h);
+    }
+    return out;
+  }
+
+ private:
+  static constexpr std::size_t kShards = 8;
+
+  struct alignas(64) Shard {
+    mutable std::mutex mu;
+    Histogram h;
+  };
+
+  static std::size_t shard_index() noexcept;
+
+  Shard shards_[kShards];
+};
+
+/// One merged view of every metric in a registry at a point in time.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, std::int64_t>> gauges;
+  std::vector<std::pair<std::string, Histogram>> histograms;
+};
+
+/// Named-metric registry. counter()/gauge()/histogram() create on first use
+/// and afterwards return the same instance; references stay valid for the
+/// registry's lifetime (instruments are heap-allocated, the map only holds
+/// owning pointers). Lookups take a mutex — cache the reference on hot paths.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  LatencyHistogram& histogram(const std::string& name);
+
+  MetricsSnapshot snapshot() const;
+
+  /// Aligned, diff-able report of every registered metric (uses Table).
+  void print(std::ostream& os) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
+};
+
+}  // namespace hpbdc::obs

@@ -1,0 +1,81 @@
+#include "obs/trace.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+
+namespace hpbdc::obs {
+
+namespace {
+
+// Dense thread ids: chrome://tracing groups rows by tid, and small integers
+// read better than hashed std::thread::id values.
+std::uint32_t next_tid() noexcept {
+  static std::atomic<std::uint32_t> next{0};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+void append_escaped(std::string& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+std::uint32_t TraceSession::current_tid() noexcept {
+  thread_local const std::uint32_t tid = next_tid();
+  return tid;
+}
+
+void TraceSession::write_chrome_json(std::ostream& os) const {
+  std::vector<TraceEvent> snapshot;
+  {
+    std::lock_guard lk(mu_);
+    snapshot = events_;
+  }
+  os << "{\"traceEvents\":[";
+  std::string line;
+  bool first = true;
+  for (const TraceEvent& ev : snapshot) {
+    line.clear();
+    if (!first) line += ',';
+    first = false;
+    line += "\n{\"name\":\"";
+    append_escaped(line, ev.name);
+    line += "\",\"cat\":\"";
+    append_escaped(line, ev.category);
+    line += "\",\"ph\":\"X\",\"ts\":" + std::to_string(ev.ts_us) +
+            ",\"dur\":" + std::to_string(ev.dur_us) +
+            ",\"pid\":1,\"tid\":" + std::to_string(ev.tid);
+    if (ev.has_items) {
+      line += ",\"args\":{\"items\":" + std::to_string(ev.items) + "}";
+    }
+    line += '}';
+    os << line;
+  }
+  os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+bool TraceSession::write_chrome_json_file(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  write_chrome_json(f);
+  return static_cast<bool>(f);
+}
+
+}  // namespace hpbdc::obs

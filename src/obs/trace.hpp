@@ -1,0 +1,139 @@
+#pragma once
+// Low-overhead span tracer with Chrome-trace export. A TraceSession collects
+// complete ("ph":"X") duration events; write_chrome_json() emits the JSON
+// object format that chrome://tracing and https://ui.perfetto.dev load
+// directly. Spans are RAII: they time from construction to close() (or
+// destruction — including stack unwinding, so a span opened around a failing
+// action still appears in the trace with the right duration).
+//
+// Every span operation is gated on a nullable TraceSession*: a Span built
+// with nullptr is inert and its whole lifecycle costs two branches, which
+// is what lets the engine leave instrumentation compiled-in everywhere.
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hpbdc::obs {
+
+/// One completed span. Timestamps are microseconds since session start.
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  std::uint64_t ts_us = 0;
+  std::uint64_t dur_us = 0;
+  std::uint32_t tid = 0;
+  std::uint64_t items = 0;  // optional "how much data" arg; emitted if set
+  bool has_items = false;
+};
+
+/// Thread-safe collector of trace events for one run/session.
+class TraceSession {
+ public:
+  TraceSession() : start_(std::chrono::steady_clock::now()) {}
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+  /// Microseconds elapsed since the session was created.
+  std::uint64_t now_us() const noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count());
+  }
+
+  void record(TraceEvent ev) {
+    std::lock_guard lk(mu_);
+    events_.push_back(std::move(ev));
+  }
+
+  std::size_t event_count() const {
+    std::lock_guard lk(mu_);
+    return events_.size();
+  }
+
+  std::vector<TraceEvent> events() const {
+    std::lock_guard lk(mu_);
+    return events_;
+  }
+
+  /// Chrome trace-event JSON ("traceEvents" object format).
+  void write_chrome_json(std::ostream& os) const;
+
+  /// Convenience: write_chrome_json to a file; returns false on I/O failure.
+  bool write_chrome_json_file(const std::string& path) const;
+
+  /// Small dense id for the calling thread, stable within the process.
+  static std::uint32_t current_tid() noexcept;
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+};
+
+/// RAII duration span. Movable, not copyable; close() is idempotent.
+class Span {
+ public:
+  Span() = default;
+
+  Span(TraceSession* session, std::string name, std::string category = "stage")
+      : session_(session) {
+    if (session_ == nullptr) return;
+    name_ = std::move(name);
+    category_ = std::move(category);
+    start_us_ = session_->now_us();
+  }
+
+  Span(Span&& o) noexcept { *this = std::move(o); }
+  Span& operator=(Span&& o) noexcept {
+    if (this != &o) {
+      close();
+      session_ = std::exchange(o.session_, nullptr);
+      name_ = std::move(o.name_);
+      category_ = std::move(o.category_);
+      start_us_ = o.start_us_;
+      items_ = o.items_;
+      has_items_ = o.has_items_;
+    }
+    return *this;
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  ~Span() { close(); }
+
+  /// Attach a record/element count shown in the trace viewer's args pane.
+  void set_items(std::uint64_t n) noexcept {
+    if (session_ == nullptr) return;
+    items_ = n;
+    has_items_ = true;
+  }
+
+  void close() noexcept {
+    if (session_ == nullptr) return;
+    TraceSession* s = std::exchange(session_, nullptr);
+    const std::uint64_t end = s->now_us();
+    try {
+      s->record(TraceEvent{std::move(name_), std::move(category_), start_us_,
+                           end - start_us_, TraceSession::current_tid(), items_,
+                           has_items_});
+    } catch (...) {
+      // Dropping a trace event (OOM) must never take down the traced work.
+    }
+  }
+
+ private:
+  TraceSession* session_ = nullptr;
+  std::string name_;
+  std::string category_;
+  std::uint64_t start_us_ = 0;
+  std::uint64_t items_ = 0;
+  bool has_items_ = false;
+};
+
+}  // namespace hpbdc::obs

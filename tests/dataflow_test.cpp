@@ -6,6 +6,8 @@
 #include <map>
 #include <numeric>
 #include <set>
+#include <sstream>
+#include <stdexcept>
 
 #include "common/rng.hpp"
 #include "dataflow/approx.hpp"
@@ -13,6 +15,8 @@
 #include "dataflow/pair_ops.hpp"
 #include "dataflow/shuffle.hpp"
 #include "exec/thread_pool.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace hpbdc::dataflow {
 namespace {
@@ -224,7 +228,7 @@ TEST_F(DataflowTest, HashShufflePartitionsByKey) {
     in[static_cast<std::size_t>(i % 3)].emplace_back(k, i);
     ++expect_counts[k];
   }
-  auto out = hash_shuffle(pool, in, 8);
+  auto out = hash_shuffle(ctx, in, 8);
   ASSERT_EQ(out.size(), 8u);
   std::map<int, int> got_counts;
   for (std::size_t p = 0; p < out.size(); ++p) {
@@ -249,7 +253,7 @@ TEST_F(DataflowTest, CombiningShuffleMatchesPlainAggregation) {
   }
   for (bool map_side : {true, false}) {
     auto out = combining_shuffle(
-        pool, in, 6, [](long long a, long long b) { return a + b; }, map_side);
+        ctx, in, 6, [](long long a, long long b) { return a + b; }, map_side);
     std::map<int, long long> got;
     for (const auto& part : out) {
       for (const auto& [k, v] : part) {
@@ -270,11 +274,35 @@ TEST_F(DataflowTest, CombineReducesShuffledVolumeOnSkew) {
     in[static_cast<std::size_t>(i % 4)].emplace_back(
         static_cast<int>(zipf.next(rng)), 1);
   }
-  ShuffleStats with{}, without{};
-  combining_shuffle(pool, in, 8, [](int a, int b) { return a + b; }, true, &with);
-  combining_shuffle(pool, in, 8, [](int a, int b) { return a + b; }, false, &without);
-  EXPECT_EQ(without.records_moved, 20000u);
-  EXPECT_LT(with.records_moved, without.records_moved / 10);
+  // Movement counters now flow through the Context's registry: delta the
+  // shuffle.records_moved counter around each variant.
+  obs::MetricsRegistry reg;
+  Context mctx{pool, {.metrics = &reg}};
+  combining_shuffle(mctx, in, 8, [](int a, int b) { return a + b; }, true);
+  const std::uint64_t with = reg.counter("shuffle.records_moved").value();
+  combining_shuffle(mctx, in, 8, [](int a, int b) { return a + b; }, false);
+  const std::uint64_t without = reg.counter("shuffle.records_moved").value() - with;
+  EXPECT_EQ(without, 20000u);
+  EXPECT_EQ(reg.counter("shuffle.records_in").value(), 40000u);
+  EXPECT_LT(with, without / 10);
+}
+
+TEST_F(DataflowTest, ShuffleSkewMetricsReportLargestPartition) {
+  // Single hot key: every record lands in one output partition, so the skew
+  // gauge must equal the full record count.
+  Partitions<std::pair<int, int>> in(4);
+  for (int i = 0; i < 400; ++i) {
+    in[static_cast<std::size_t>(i % 4)].emplace_back(7, i);
+  }
+  obs::MetricsRegistry reg;
+  Context mctx{pool, {.metrics = &reg}};
+  hash_shuffle(mctx, in, 8);
+  EXPECT_EQ(reg.counter("shuffle.count").value(), 1u);
+  EXPECT_EQ(reg.gauge("shuffle.max_partition").value(), 400);
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].first, "shuffle.partition_records");
+  EXPECT_EQ(snap.histograms[0].second.count(), 8u);  // one sample per partition
 }
 
 // ---- pair ops --------------------------------------------------------------------
@@ -519,6 +547,90 @@ TEST_F(DataflowTest, MapValuesKeysValues) {
   auto vs = values(ds).collect();
   EXPECT_EQ(ks, (std::vector<int>{1, 3}));
   EXPECT_EQ(vs, (std::vector<int>{2, 4}));
+}
+
+// ---- observability ---------------------------------------------------------------
+
+TEST_F(DataflowTest, ReduceByKeyRecordCounters) {
+  // 4 partitions x 250 records, keys 0..9 (25 duplicates of each key per
+  // partition). Map-side combine sends exactly one record per (partition,
+  // key) across the boundary: 4 * 10 = 40 moved of 1000 in.
+  obs::MetricsRegistry reg;
+  Context mctx{pool, {.metrics = &reg}};
+  auto ds = Dataset<std::pair<int, int>>::generate(mctx, 4, [](std::size_t) {
+    std::vector<std::pair<int, int>> part;
+    for (int i = 0; i < 250; ++i) part.emplace_back(i % 10, 1);
+    return part;
+  });
+  auto reduced = reduce_by_key(
+      ds, [](int a, int b) { return a + b; }, 8, true);
+  auto out = reduced.collect();
+  EXPECT_EQ(out.size(), 10u);
+  EXPECT_EQ(reg.counter("shuffle.records_in").value(), 1000u);
+  EXPECT_EQ(reg.counter("shuffle.records_moved").value(), 40u);
+  EXPECT_EQ(reg.counter("shuffle.count").value(), 1u);
+  EXPECT_EQ(reg.counter("dataflow.cache.miss").value(), 2u);  // generate + reduce
+}
+
+TEST_F(DataflowTest, CacheHitMissCounters) {
+  obs::MetricsRegistry reg;
+  Context mctx{pool, {.metrics = &reg}};
+  auto ds = Dataset<int>::parallelize(mctx, iota_vec(100), 4);
+  EXPECT_EQ(ds.count(), 100u);  // first materialization: miss
+  EXPECT_EQ(ds.count(), 100u);  // memoized: hit
+  EXPECT_EQ(reg.counter("dataflow.cache.miss").value(), 1u);
+  EXPECT_EQ(reg.counter("dataflow.cache.hit").value(), 1u);
+  EXPECT_EQ(reg.counter("dataflow.map.records_in").value(), 0u);
+}
+
+TEST_F(DataflowTest, MapFilterRecordCounters) {
+  obs::MetricsRegistry reg;
+  Context mctx{pool, {.metrics = &reg}};
+  auto ds = Dataset<int>::parallelize(mctx, iota_vec(1000), 8);
+  auto kept = ds.map([](int x) { return x + 1; })
+                  .filter([](int x) { return x % 2 == 0; });
+  EXPECT_EQ(kept.count(), 500u);
+  EXPECT_EQ(reg.counter("dataflow.map.records_in").value(), 1000u);
+  EXPECT_EQ(reg.counter("dataflow.map.records_out").value(), 1000u);
+  EXPECT_EQ(reg.counter("dataflow.filter.records_in").value(), 1000u);
+  EXPECT_EQ(reg.counter("dataflow.filter.records_out").value(), 500u);
+}
+
+TEST_F(DataflowTest, ActionsEmitStageSpans) {
+  obs::TraceSession trace;
+  Context tctx{pool, {.trace = &trace}};
+  auto ds = Dataset<int>::parallelize(tctx, iota_vec(100), 4);
+  auto pairs = ds.map([](int x) { return std::pair<int, int>{x % 5, x}; });
+  (void)reduce_by_key(pairs, [](int a, int b) { return a + b; }).collect();
+  std::set<std::string> names;
+  for (const auto& ev : trace.events()) names.insert(ev.name);
+  EXPECT_TRUE(names.contains("collect"));
+  EXPECT_TRUE(names.contains("reduce_by_key"));
+  EXPECT_TRUE(names.contains("combining_shuffle"));
+}
+
+TEST_F(DataflowTest, ExceptionInInstrumentedActionClosesSpan) {
+  // A throwing map fn must propagate through TaskGroup::wait() out of the
+  // action, and the action's span must still be recorded (RAII close during
+  // unwinding), leaving the trace well-formed.
+  obs::TraceSession trace;
+  obs::MetricsRegistry reg;
+  Context tctx{pool, {.metrics = &reg, .trace = &trace}};
+  auto ds = Dataset<int>::parallelize(tctx, iota_vec(100), 4);
+  auto bad = ds.map([](int x) {
+    if (x == 57) throw std::runtime_error("poison record");
+    return x;
+  });
+  EXPECT_THROW(bad.collect(), std::runtime_error);
+  std::size_t collect_spans = 0;
+  for (const auto& ev : trace.events()) {
+    if (ev.name == "collect") ++collect_spans;
+  }
+  EXPECT_EQ(collect_spans, 1u);
+  // The trace still serializes to valid JSON (quick structural check).
+  std::ostringstream os;
+  trace.write_chrome_json(os);
+  EXPECT_NE(os.str().find("\"traceEvents\""), std::string::npos);
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
 #include <thread>
 
@@ -13,7 +14,9 @@
 #include "exec/pipeline.hpp"
 #include "exec/task_graph.hpp"
 #include "exec/thread_pool.hpp"
+#include "exec/tuning.hpp"
 #include "exec/ws_deque.hpp"
+#include "obs/metrics.hpp"
 
 namespace hpbdc {
 namespace {
@@ -431,6 +434,86 @@ TEST(ThreadPool, StealsUnderImbalance) {
   // On a 1-core host workers time-slice, but steals still happen whp; allow
   // zero only if the pool ran strictly serially.
   SUCCEED();
+}
+
+// ---- pool observability ----------------------------------------------------------
+
+TEST(ThreadPool, CountsSubmissionsAndPerThreadExecution) {
+  ThreadPool pool{3};
+  TaskGroup tg(pool);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 200; ++i) {
+    tg.run([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+  }
+  tg.wait();
+  EXPECT_EQ(ran.load(), 200);
+  EXPECT_EQ(pool.tasks_submitted(), 200u);
+  const auto per_thread = pool.per_thread_executed();
+  ASSERT_EQ(per_thread.size(), 3u);
+  // Every task ran on a worker or was helped by the external waiter; the
+  // per-thread split can never exceed the pool total.
+  std::uint64_t total = 0;
+  for (auto n : per_thread) total += n;
+  EXPECT_LE(total, pool.tasks_executed());
+  EXPECT_EQ(pool.tasks_executed(), 200u);
+}
+
+TEST(ThreadPool, ParksWhenIdle) {
+  ThreadPool pool{2};
+  // Give the workers time to find nothing and park at least once each.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_GE(pool.times_parked(), 1u);
+}
+
+TEST(ThreadPool, ExportMetricsPublishesGauges) {
+  ThreadPool pool{2};
+  TaskGroup tg(pool);
+  for (int i = 0; i < 50; ++i) tg.run([] {});
+  tg.wait();
+  obs::MetricsRegistry reg;
+  pool.export_metrics(reg);
+  EXPECT_EQ(reg.gauge("exec.pool.threads").value(), 2);
+  EXPECT_EQ(reg.gauge("exec.pool.submitted").value(), 50);
+  EXPECT_EQ(reg.gauge("exec.pool.executed").value(), 50);
+  const auto snap = reg.snapshot();
+  // threads, executed, stolen, submitted, parked, external_executed + 2 per-thread
+  EXPECT_EQ(snap.gauges.size(), 8u);
+}
+
+TEST(TaskGroup, ExternalWaiterHelpsRunTasks) {
+  // Deterministic helping: a 1-thread pool whose single worker (or the
+  // external waiter) takes a task that spins until `release` is set by the
+  // last queued task. Whichever thread is not spinning must drain the rest,
+  // so wait() returns and tasks_helped()/help_iterations() are consistent.
+  ThreadPool pool{1};
+  TaskGroup tg(pool);
+  std::atomic<bool> release{false};
+  std::atomic<int> ran{0};
+  tg.run([&release, &ran] {
+    while (!release.load(std::memory_order_acquire)) std::this_thread::yield();
+    ran.fetch_add(1, std::memory_order_relaxed);
+  });
+  for (int i = 0; i < 100; ++i) {
+    tg.run([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+  }
+  tg.run([&release, &ran] {
+    release.store(true, std::memory_order_release);
+    ran.fetch_add(1, std::memory_order_relaxed);
+  });
+  tg.wait();
+  EXPECT_EQ(ran.load(), 102);
+  // The external waiter must have looped, and on a 1-thread pool the blocked
+  // worker guarantees somebody helped: either the waiter ran tasks itself or
+  // the worker drained them while the waiter spun — both leave the group
+  // counters consistent.
+  EXPECT_GE(tg.help_iterations(), 1u);
+  EXPECT_EQ(pool.tasks_executed(), 102u);
+}
+
+TEST(Exec, GrainContractConstantsAreCoherent) {
+  // The documented invariant in exec/tuning.hpp: finer task grains than
+  // dataflow partitions, so one partition never serializes a whole thread.
+  EXPECT_GE(kGrainChunksPerThread, kPartitionsPerThread);
 }
 
 }  // namespace

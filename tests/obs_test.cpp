@@ -1,0 +1,244 @@
+// Unit tests for the observability layer: metric registry semantics
+// (create-on-first-use, stable references, cross-thread merging), trace
+// session / span lifecycle, and Chrome-trace JSON well-formedness.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exec/executor.hpp"
+#include "exec/parallel.hpp"
+#include "exec/thread_pool.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace hpbdc::obs {
+namespace {
+
+// ---- registry --------------------------------------------------------------------
+
+TEST(MetricsRegistry, CounterSameNameSameInstance) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("x");
+  Counter& b = reg.counter("x");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  b.add(4);
+  EXPECT_EQ(reg.counter("x").value(), 7u);
+  EXPECT_NE(&reg.counter("y"), &a);
+}
+
+TEST(MetricsRegistry, CounterMergesAcrossPoolThreads) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("events");
+  ThreadPool pool{4};
+  parallel_for(pool, 0, 10000, [&](std::size_t) { c.add(1); });
+  EXPECT_EQ(c.value(), 10000u);
+}
+
+TEST(MetricsRegistry, GaugeTracksValueAndMax) {
+  MetricsRegistry reg;
+  Gauge& g = reg.gauge("depth");
+  g.set(5);
+  g.set(17);
+  g.set(3);
+  EXPECT_EQ(g.value(), 3);
+  EXPECT_EQ(g.max(), 17);
+  g.add(4);
+  EXPECT_EQ(g.value(), 7);
+  EXPECT_EQ(g.max(), 17);
+}
+
+TEST(MetricsRegistry, GaugeMaxRacesKeepHighWaterMark) {
+  MetricsRegistry reg;
+  Gauge& g = reg.gauge("hwm");
+  ThreadPool pool{4};
+  parallel_for(pool, 0, 4096, [&](std::size_t i) {
+    g.set(static_cast<std::int64_t>(i));
+  });
+  EXPECT_EQ(g.max(), 4095);
+}
+
+TEST(MetricsRegistry, HistogramMergesAcrossThreads) {
+  MetricsRegistry reg;
+  LatencyHistogram& h = reg.histogram("lat");
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&h] {
+      for (int i = 1; i <= 1000; ++i) h.record(static_cast<double>(i));
+    });
+  }
+  for (auto& th : threads) th.join();
+  Histogram merged = h.snapshot();
+  EXPECT_EQ(merged.count(), 8000u);
+  EXPECT_NEAR(merged.mean(), 500.5, 1e-9);
+  EXPECT_GE(merged.max(), 1000.0);
+}
+
+TEST(MetricsRegistry, SnapshotContainsEveryKind) {
+  MetricsRegistry reg;
+  reg.counter("c").add(2);
+  reg.gauge("g").set(-5);
+  reg.histogram("h").record(1.0);
+  const MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.counters.size(), 1u);
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.counters[0].first, "c");
+  EXPECT_EQ(snap.counters[0].second, 2u);
+  EXPECT_EQ(snap.gauges[0].second, -5);
+  EXPECT_EQ(snap.histograms[0].second.count(), 1u);
+}
+
+TEST(MetricsRegistry, PrintIsNonEmptyAndNamesMetrics) {
+  MetricsRegistry reg;
+  reg.counter("alpha.count").add(1);
+  reg.histogram("beta.latency").record(2.5);
+  std::ostringstream os;
+  reg.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("alpha.count"), std::string::npos);
+  EXPECT_NE(out.find("beta.latency"), std::string::npos);
+}
+
+// ---- spans & trace sessions ------------------------------------------------------
+
+TEST(TraceSession, SpanRecordsNameCategoryAndItems) {
+  TraceSession tr;
+  {
+    Span s(&tr, "stage-a", "stage");
+    s.set_items(42);
+  }
+  ASSERT_EQ(tr.event_count(), 1u);
+  const std::vector<TraceEvent> evs = tr.events();
+  const TraceEvent& ev = evs[0];
+  EXPECT_EQ(ev.name, "stage-a");
+  EXPECT_EQ(ev.category, "stage");
+  EXPECT_TRUE(ev.has_items);
+  EXPECT_EQ(ev.items, 42u);
+}
+
+TEST(TraceSession, NullSessionSpanIsInert) {
+  Span s(nullptr, "nothing");
+  s.set_items(7);
+  s.close();  // must not crash; nothing recorded anywhere
+}
+
+TEST(TraceSession, CloseIsIdempotent) {
+  TraceSession tr;
+  Span s(&tr, "once");
+  s.close();
+  s.close();
+  EXPECT_EQ(tr.event_count(), 1u);
+}
+
+TEST(TraceSession, MoveTransfersOwnership) {
+  TraceSession tr;
+  {
+    Span a(&tr, "moved");
+    Span b = std::move(a);
+  }  // only b's destructor records
+  EXPECT_EQ(tr.event_count(), 1u);
+}
+
+TEST(TraceSession, SpanClosesDuringUnwind) {
+  TraceSession tr;
+  try {
+    Span s(&tr, "throwing-stage");
+    throw std::runtime_error("boom");
+  } catch (const std::runtime_error&) {
+  }
+  ASSERT_EQ(tr.event_count(), 1u);
+  EXPECT_EQ(tr.events()[0].name, "throwing-stage");
+}
+
+TEST(TraceSession, ConcurrentSpansAllRecorded) {
+  TraceSession tr;
+  ThreadPool pool{4};
+  parallel_for(pool, 0, 500, [&](std::size_t i) {
+    Span s(&tr, "task", "exec");
+    s.set_items(i);
+  });
+  EXPECT_EQ(tr.event_count(), 500u);
+}
+
+// ---- Chrome trace JSON -----------------------------------------------------------
+
+// Minimal structural JSON validator: objects/arrays/strings/numbers balance
+// and strings escape correctly. Enough to catch malformed emission without a
+// JSON library dependency.
+bool json_well_formed(const std::string& s) {
+  std::vector<char> stack;
+  bool in_string = false;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;  // skip escaped char
+      } else if (c == '"') {
+        in_string = false;
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        return false;  // raw control char inside a string
+      }
+      continue;
+    }
+    switch (c) {
+      case '"': in_string = true; break;
+      case '{': stack.push_back('}'); break;
+      case '[': stack.push_back(']'); break;
+      case '}':
+      case ']':
+        if (stack.empty() || stack.back() != c) return false;
+        stack.pop_back();
+        break;
+      default: break;
+    }
+  }
+  return !in_string && stack.empty();
+}
+
+TEST(TraceSession, ChromeJsonWellFormed) {
+  TraceSession tr;
+  {
+    Span s(&tr, "with \"quotes\" and\nnewline\tand\\slash", "cat\"x");
+    s.set_items(3);
+  }
+  { Span s(&tr, "plain"); }
+  std::ostringstream os;
+  tr.write_chrome_json(os);
+  const std::string out = os.str();
+  EXPECT_TRUE(json_well_formed(out)) << out;
+  EXPECT_NE(out.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(out.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(out.find("\\n"), std::string::npos);  // newline was escaped
+}
+
+TEST(TraceSession, ChromeJsonEmptySessionStillValid) {
+  TraceSession tr;
+  std::ostringstream os;
+  tr.write_chrome_json(os);
+  EXPECT_TRUE(json_well_formed(os.str())) << os.str();
+}
+
+TEST(TraceSession, WriteChromeJsonFileRoundTrips) {
+  TraceSession tr;
+  { Span s(&tr, "file-span"); }
+  const std::string path = ::testing::TempDir() + "hpbdc_trace_test.json";
+  ASSERT_TRUE(tr.write_chrome_json_file(path));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_TRUE(json_well_formed(buf.str()));
+  EXPECT_NE(buf.str().find("file-span"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hpbdc::obs

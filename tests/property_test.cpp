@@ -129,6 +129,7 @@ TEST_P(Seeded, DedupAlwaysBitExact) {
 
 TEST_P(Seeded, ShufflePreservesEveryRecord) {
   ThreadPool pool(4);
+  dataflow::Context ctx(pool);
   Rng rng(GetParam());
   dataflow::Partitions<std::pair<std::uint64_t, std::uint64_t>> in(
       1 + rng.next_below(8));
@@ -141,7 +142,7 @@ TEST_P(Seeded, ShufflePreservesEveryRecord) {
   }
   const auto parts = 1 + rng.next_below(16);
   auto out = dataflow::combining_shuffle(
-      pool, in, parts, [](std::uint64_t a, std::uint64_t b) { return a + b; },
+      ctx, in, parts, [](std::uint64_t a, std::uint64_t b) { return a + b; },
       rng.next_bool(0.5));
   std::map<std::uint64_t, std::uint64_t> got;
   for (const auto& p : out) {

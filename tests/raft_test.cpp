@@ -47,6 +47,25 @@ TEST(Raft, ElectsExactlyOneLeader) {
   f.raft.stop();
 }
 
+TEST(Raft, BindMetricsMirrorsProtocolCounters) {
+  obs::MetricsRegistry reg;
+  RaftFixture f(3);
+  f.raft.bind_metrics(reg);
+  f.raft.start();
+  f.run_to(2.0);
+  bool committed = false;
+  f.raft.propose("cmd", [&committed](bool ok, std::uint64_t) { committed = ok; });
+  f.run_to(4.0);
+  f.raft.stop();
+  ASSERT_TRUE(committed);
+  const auto& st = f.raft.stats();
+  EXPECT_EQ(reg.counter("raft.elections_started").value(), st.elections_started);
+  EXPECT_EQ(reg.counter("raft.leaders_elected").value(), st.leaders_elected);
+  EXPECT_EQ(reg.counter("raft.append_rpcs").value(), st.append_rpcs);
+  EXPECT_EQ(reg.counter("raft.entries_committed").value(), st.entries_committed);
+  EXPECT_GE(reg.counter("raft.entries_committed").value(), 1u);
+}
+
 TEST(Raft, AllNodesConvergeToOneTerm) {
   RaftFixture f;
   f.raft.start();

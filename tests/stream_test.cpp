@@ -8,6 +8,7 @@
 
 #include "common/rng.hpp"
 #include "dataflow/stream.hpp"
+#include "obs/metrics.hpp"
 
 namespace hpbdc::dataflow::stream {
 namespace {
@@ -91,6 +92,22 @@ TEST(WindowedAggregator, CountsPerWindowAndKey) {
   auto rest = agg.take_results();
   ASSERT_EQ(rest.size(), 1u);
   EXPECT_DOUBLE_EQ(rest[0].window.start, 10.0);
+}
+
+TEST(WindowedAggregator, BindMetricsCountsEventsAndFires) {
+  obs::MetricsRegistry reg;
+  CountAgg agg(WindowSpec::tumbling(10.0), 0.0, key_of, count_agg);
+  agg.bind_metrics(reg);
+  agg.on_event({1.0, 1});
+  agg.on_event({2.0, 2});
+  agg.on_event({15.0, 3});  // fires window [0,10): two keyed accumulators
+  agg.on_event({3.0, 4});   // late: watermark is 15
+  EXPECT_EQ(reg.counter("stream.events").value(), 4u);
+  EXPECT_EQ(reg.counter("stream.late_dropped").value(), 1u);
+  EXPECT_EQ(reg.counter("stream.windows_fired").value(), 2u);
+  EXPECT_EQ(reg.histogram("stream.fire_latency_us").snapshot().count(), 1u);
+  agg.flush();
+  EXPECT_EQ(reg.counter("stream.windows_fired").value(), 3u);
 }
 
 TEST(WindowedAggregator, LateEventsDropped) {
