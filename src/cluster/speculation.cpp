@@ -67,7 +67,7 @@ SpeculationResult simulate_speculation(const SpeculationConfig& cfg) {
   for (std::size_t n = 0; n < cfg.nodes; ++n) free_nodes.push_back(n);
   std::size_t next_task = 0;
   std::size_t tasks_done = 0;
-  std::vector<double> completed_durations;
+  LatePolicy policy(cfg.speculation_threshold, cfg.task_work);
 
   SpeculationResult res;
 
@@ -84,14 +84,6 @@ SpeculationResult simulate_speculation(const SpeculationConfig& cfg) {
     if (backup) ++res.backups_launched;
   };
 
-  auto median_duration = [&]() {
-    if (completed_durations.empty()) return cfg.task_work;
-    auto v = completed_durations;
-    std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(v.size() / 2),
-                     v.end());
-    return v[v.size() / 2];
-  };
-
   auto assign_free_nodes = [&](double now) {
     // Regular tasks first.
     while (!free_nodes.empty() && next_task < cfg.tasks) {
@@ -103,9 +95,8 @@ SpeculationResult simulate_speculation(const SpeculationConfig& cfg) {
     // Speculation: back up the running task with the largest remaining
     // time, if it exceeds the threshold and has no backup yet.
     while (!free_nodes.empty()) {
-      const double med = median_duration();
       std::size_t best_task = cfg.tasks;
-      double best_remaining = cfg.speculation_threshold * med;
+      double best_remaining = policy.threshold() * policy.median();
       for (std::size_t t = 0; t < cfg.tasks; ++t) {
         if (tasks[t].done || tasks[t].copies.empty()) continue;
         if (tasks[t].alive_copies(copies) != 1) continue;  // already backed up
@@ -142,7 +133,7 @@ SpeculationResult simulate_speculation(const SpeculationConfig& cfg) {
     if (!task.done) {
       task.done = true;
       ++tasks_done;
-      completed_durations.push_back(now - c.start);
+      policy.record(now - c.start);
       res.makespan = std::max(res.makespan, now);
       if (c.is_backup) ++res.backups_won;
       // Kill the losing sibling copy, freeing its node now.

@@ -8,12 +8,51 @@
 // duration by a threshold — the MapReduce/LATE policy shape. First copy to
 // finish wins; the other is killed.
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
 #include "common/rng.hpp"
 
 namespace hpbdc::cluster {
+
+/// Reusable LATE-style speculation policy: tracks completed task durations
+/// and decides whether a running copy deserves a backup. Shared by the
+/// self-contained F8 simulation below and the distributed runtime
+/// (src/dist), so both speculate with identical logic.
+class LatePolicy {
+ public:
+  /// `default_duration` stands in for the median before any task completes;
+  /// pass 0 to refuse speculation until real durations exist.
+  explicit LatePolicy(double threshold, double default_duration = 0.0)
+      : threshold_(threshold), default_(default_duration) {}
+
+  void record(double duration) { durations_.push_back(duration); }
+
+  double threshold() const noexcept { return threshold_; }
+
+  /// Median completed duration (default_duration until one exists).
+  double median() const {
+    if (durations_.empty()) return default_;
+    auto v = durations_;
+    std::nth_element(v.begin(),
+                     v.begin() + static_cast<std::ptrdiff_t>(v.size() / 2),
+                     v.end());
+    return v[v.size() / 2];
+  }
+
+  /// A copy whose estimated remaining (or elapsed-beyond-expectation) time
+  /// is `t` merits a backup once t exceeds threshold * median.
+  bool exceeds(double t) const {
+    const double med = median();
+    return med > 0 && t > threshold_ * med;
+  }
+
+ private:
+  double threshold_;
+  double default_;
+  std::vector<double> durations_;
+};
 
 struct SpeculationConfig {
   std::size_t nodes = 20;

@@ -1,0 +1,232 @@
+#pragma once
+// Ready-made jobs for the distributed runtime: WordCount and TeraSort
+// (mirroring the src/algos dataflow versions so results can be compared
+// bit-for-bit against the shared-memory engine), plus a synthetic stage
+// chain whose shuffle volume is simulated — used by the F10 bench and the
+// checkpoint/lineage tests. Header-only; consumers link the umbrella target.
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "algos/terasort.hpp"
+#include "algos/textgen.hpp"
+#include "common/hash.hpp"
+#include "common/serialize.hpp"
+#include "dist/job.hpp"
+
+namespace hpbdc {
+
+template <>
+struct Serde<algos::TeraRecord> {
+  static void write(BufWriter& w, const algos::TeraRecord& r) {
+    w.write_pod(r.key);
+    w.write_raw(r.payload.data(), r.payload.size());
+  }
+  static algos::TeraRecord read(BufReader& r) {
+    algos::TeraRecord rec;
+    rec.key = r.read_pod<std::uint64_t>();
+    r.read_raw(rec.payload.data(), rec.payload.size());
+    return rec;
+  }
+};
+
+}  // namespace hpbdc
+
+namespace hpbdc::dist {
+
+using WordCountRow = std::pair<std::string, std::uint64_t>;
+
+/// Total ordering on records (payload breaks key ties) so both engines can
+/// present results in one canonical order.
+inline bool tera_less(const algos::TeraRecord& a, const algos::TeraRecord& b) {
+  return a.key != b.key ? a.key < b.key : a.payload < b.payload;
+}
+
+/// Two-stage WordCount over pre-partitioned lines: map tokenizes and
+/// combines locally, hash-partitions words across `nreduce` reducers; each
+/// reducer emits one block holding its key-sorted (word, count) rows.
+/// `input_file`, when set (with the file written to the DFS beforehand),
+/// gives map task t block-t locality; `input_bytes_per_task` is the
+/// simulated scan size charged per map task (0 = derive from the text).
+inline JobSpec wordcount_job(
+    std::shared_ptr<std::vector<std::vector<std::string>>> parts,
+    std::size_t nreduce, std::string input_file = {},
+    std::uint64_t input_bytes_per_task = 0) {
+  if (input_bytes_per_task == 0) {
+    std::uint64_t total = 0;
+    for (const auto& p : *parts)
+      for (const auto& line : p) total += line.size() + 1;
+    input_bytes_per_task = std::max<std::uint64_t>(1, total / parts->size());
+  }
+  JobSpec job;
+  job.name = "wordcount";
+  StageSpec map;
+  map.name = "wc-map";
+  map.ntasks = parts->size();
+  map.input_bytes_per_task = input_bytes_per_task;
+  map.input_file = std::move(input_file);
+  map.run = [parts, nreduce](std::size_t task,
+                             const std::vector<std::vector<Bytes>>&) {
+    std::unordered_map<std::string, std::uint64_t> counts;  // map-side combine
+    for (const auto& line : (*parts)[task]) {
+      for (auto& w : algos::tokenize(line)) ++counts[std::move(w)];
+    }
+    std::vector<std::vector<WordCountRow>> buckets(nreduce);
+    for (auto& [w, c] : counts) buckets[hash_str(w) % nreduce].emplace_back(w, c);
+    std::vector<Bytes> out(nreduce);
+    for (std::size_t r = 0; r < nreduce; ++r) {
+      std::sort(buckets[r].begin(), buckets[r].end());
+      out[r] = to_bytes(buckets[r]);
+    }
+    return out;
+  };
+  StageSpec reduce;
+  reduce.name = "wc-reduce";
+  reduce.ntasks = nreduce;
+  reduce.parents = {0};
+  reduce.run = [](std::size_t, const std::vector<std::vector<Bytes>>& inputs) {
+    std::map<std::string, std::uint64_t> merged;
+    for (const auto& block : inputs[0]) {
+      for (auto& [w, c] : from_bytes<std::vector<WordCountRow>>(block)) {
+        merged[w] += c;
+      }
+    }
+    std::vector<WordCountRow> rows(merged.begin(), merged.end());
+    return std::vector<Bytes>{to_bytes(rows)};
+  };
+  job.stages = {std::move(map), std::move(reduce)};
+  return job;
+}
+
+/// Merge a finished WordCount's reducer blocks into one globally key-sorted
+/// row vector (partitions are hash-split, so a merge-sort is needed).
+inline std::vector<WordCountRow> wordcount_collect(const JobResult& res) {
+  std::map<std::string, std::uint64_t> merged;
+  for (const auto& blocks : res.output) {
+    for (const auto& block : blocks) {
+      for (auto& [w, c] : from_bytes<std::vector<WordCountRow>>(block)) {
+        merged[w] += c;
+      }
+    }
+  }
+  return {merged.begin(), merged.end()};
+}
+
+/// Two-stage TeraSort over pre-partitioned records: range boundaries are
+/// computed driver-side from the exact key population (real TeraSort
+/// samples; exact quantiles keep tests deterministic), map tasks
+/// range-partition, reduce tasks sort locally — reduce outputs concatenated
+/// in task order are globally sorted.
+inline JobSpec terasort_job(
+    std::shared_ptr<std::vector<std::vector<algos::TeraRecord>>> parts,
+    std::size_t nreduce) {
+  std::vector<std::uint64_t> keys;
+  for (const auto& p : *parts)
+    for (const auto& r : p) keys.push_back(r.key);
+  std::sort(keys.begin(), keys.end());
+  auto bounds = std::make_shared<std::vector<std::uint64_t>>();
+  for (std::size_t r = 1; r < nreduce; ++r) {
+    bounds->push_back(keys[r * keys.size() / nreduce]);
+  }
+  JobSpec job;
+  job.name = "terasort";
+  StageSpec map;
+  map.name = "ts-map";
+  map.ntasks = parts->size();
+  map.run = [parts, bounds, nreduce](std::size_t task,
+                                     const std::vector<std::vector<Bytes>>&) {
+    std::vector<std::vector<algos::TeraRecord>> buckets(nreduce);
+    for (const auto& rec : (*parts)[task]) {
+      const std::size_t b = static_cast<std::size_t>(
+          std::upper_bound(bounds->begin(), bounds->end(), rec.key) -
+          bounds->begin());
+      buckets[b].push_back(rec);
+    }
+    std::vector<Bytes> out(nreduce);
+    for (std::size_t r = 0; r < nreduce; ++r) out[r] = to_bytes(buckets[r]);
+    return out;
+  };
+  StageSpec reduce;
+  reduce.name = "ts-sort";
+  reduce.ntasks = nreduce;
+  reduce.parents = {0};
+  reduce.run = [](std::size_t, const std::vector<std::vector<Bytes>>& inputs) {
+    std::vector<algos::TeraRecord> recs;
+    for (const auto& block : inputs[0]) {
+      auto part = from_bytes<std::vector<algos::TeraRecord>>(block);
+      recs.insert(recs.end(), part.begin(), part.end());
+    }
+    std::sort(recs.begin(), recs.end(), tera_less);
+    return std::vector<Bytes>{to_bytes(recs)};
+  };
+  job.stages = {std::move(map), std::move(reduce)};
+  return job;
+}
+
+/// Reduce outputs concatenated in task order = the globally sorted dataset.
+inline std::vector<algos::TeraRecord> terasort_collect(const JobResult& res) {
+  std::vector<algos::TeraRecord> recs;
+  for (const auto& blocks : res.output) {
+    for (const auto& block : blocks) {
+      auto part = from_bytes<std::vector<algos::TeraRecord>>(block);
+      recs.insert(recs.end(), part.begin(), part.end());
+    }
+  }
+  return recs;
+}
+
+/// Linear chain of `nstages` all-to-all shuffles with `ntasks` tasks each.
+/// Real blocks are 8-byte lineage fingerprints (hash of everything consumed,
+/// so recomputation correctness is content-checkable); the simulated shuffle
+/// volume is `block_sim_bytes` per block. `checkpoint_every` > 0 checkpoints
+/// every k-th stage. The final stage emits one block per task.
+inline JobSpec synthetic_job(std::size_t nstages, std::size_t ntasks,
+                             std::uint64_t block_sim_bytes,
+                             std::size_t checkpoint_every = 0,
+                             std::uint64_t input_bytes_per_task = 0,
+                             std::string input_file = {}) {
+  JobSpec job;
+  job.name = "synthetic";
+  for (std::size_t s = 0; s < nstages; ++s) {
+    StageSpec st;
+    st.name = "s" + std::to_string(s);
+    st.ntasks = ntasks;
+    if (s == 0) {
+      st.input_bytes_per_task =
+          input_bytes_per_task ? input_bytes_per_task : block_sim_bytes;
+      st.input_file = input_file;
+    } else {
+      st.parents = {s - 1};
+    }
+    st.checkpoint = checkpoint_every > 0 && s + 1 < nstages &&
+                    (s + 1) % checkpoint_every == 0;
+    const bool last = s + 1 == nstages;
+    st.run = [s, ntasks, last](std::size_t task,
+                               const std::vector<std::vector<Bytes>>& inputs) {
+      std::uint64_t acc = hash_combine(hash_u64(s), hash_u64(task));
+      for (const auto& parent : inputs) {
+        for (const auto& block : parent) {
+          acc = hash_combine(acc, from_bytes<std::uint64_t>(block));
+        }
+      }
+      const std::size_t nout = last ? 1 : ntasks;
+      std::vector<Bytes> out(nout);
+      for (std::size_t c = 0; c < nout; ++c) {
+        out[c] = to_bytes(hash_combine(acc, hash_u64(c)));
+      }
+      return out;
+    };
+    st.sim_out_bytes = [block_sim_bytes](std::size_t, std::size_t) {
+      return block_sim_bytes;
+    };
+    job.stages.push_back(std::move(st));
+  }
+  return job;
+}
+
+}  // namespace hpbdc::dist

@@ -1,0 +1,849 @@
+#include "dist/runtime.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+namespace hpbdc::dist {
+
+using sim::SimTime;
+
+namespace {
+
+// Sub-seed derivation: every stochastic component of the runtime draws from
+// an Rng seeded off DistConfig::seed through here, so one seed pins the
+// whole run (the determinism contract tested in dist_test.cpp).
+std::uint64_t sub_seed(std::uint64_t master, std::uint64_t salt) {
+  std::uint64_t s = master ^ (salt * 0x9e3779b97f4a7c15ULL);
+  return splitmix64(s);
+}
+
+}  // namespace
+
+DistRuntime::DistRuntime(sim::Comm& comm, DistConfig cfg, sim::Dfs* dfs)
+    : comm_(comm),
+      cfg_(cfg),
+      dfs_(dfs),
+      tag_exec_(comm.next_tag()),
+      tag_drv_(comm.next_tag()),
+      jitter_rng_(sub_seed(cfg.seed, 1)),
+      failure_rng_(sub_seed(cfg.seed, 2)),
+      late_(cfg.speculation_threshold, 0.0) {
+  const std::size_t n = comm.nranks();
+  if (cfg_.driver >= n) throw std::invalid_argument("DistRuntime: bad driver rank");
+  if (cfg_.slots_per_node == 0) {
+    throw std::invalid_argument("DistRuntime: zero slots per node");
+  }
+  execs_.assign(n, ExecState(cfg_));
+  // Straggler assignment: a seeded random subset runs degraded, mirroring
+  // cluster::SpeculationConfig.
+  if (cfg_.straggler_fraction > 0) {
+    Rng srng(sub_seed(cfg_.seed, 3));
+    std::vector<std::size_t> ids(n);
+    for (std::size_t i = 0; i < n; ++i) ids[i] = i;
+    srng.shuffle(ids);
+    const auto k = static_cast<std::size_t>(cfg_.straggler_fraction *
+                                            static_cast<double>(n));
+    for (std::size_t i = 0; i < k; ++i) execs_[ids[i]].speed = cfg_.straggler_speed;
+  }
+  for (std::size_t node = 0; node < n; ++node) {
+    comm_.set_handler(node, tag_exec_, [this, node](std::size_t, const Bytes& p) {
+      on_exec_msg(node, p);
+    });
+  }
+  comm_.set_handler(cfg_.driver, tag_drv_,
+                    [this](std::size_t src, const Bytes& p) {
+                      BufReader r(p);
+                      const auto type = r.read_pod<std::uint8_t>();
+                      if (type == kHeartbeat) {
+                        on_heartbeat(src);
+                        return;
+                      }
+                      const auto id = r.read_pod<std::uint64_t>();
+                      if (!active_ || !attempts_.contains(id)) return;
+                      switch (type) {
+                        case kTaskDone: on_task_done(id); break;
+                        case kTaskFailed: on_attempt_failed(id, true); break;
+                        case kFetchFailed: {
+                          const auto ps = r.read_pod<std::uint64_t>();
+                          const auto pt = r.read_pod<std::uint64_t>();
+                          on_fetch_failed(id, ps, pt);
+                          break;
+                        }
+                        default: break;
+                      }
+                    });
+}
+
+void DistRuntime::bind_metrics(obs::MetricsRegistry& reg) {
+  metrics_ = &reg;
+  m_launched_ = &reg.counter("dist.tasks_launched");
+  m_retries_ = &reg.counter("dist.task_retries");
+  m_recomputed_ = &reg.counter("dist.tasks_recomputed");
+  m_shuffle_bytes_ = &reg.counter("dist.shuffle_bytes");
+  m_locality_hits_ = &reg.counter("dist.locality_hits");
+  m_locality_misses_ = &reg.counter("dist.locality_misses");
+  m_spec_launched_ = &reg.counter("dist.speculative_launched");
+  m_ckpt_restores_ = &reg.counter("dist.checkpoint_restores");
+  g_live_execs_ = &reg.gauge("dist.executors_live");
+  g_live_execs_->set(static_cast<std::int64_t>(live_executors()));
+}
+
+void DistRuntime::bind_trace(obs::TraceSession& session) { trace_ = &session; }
+
+void DistRuntime::trace_span(const std::string& name, const std::string& cat,
+                             SimTime start, SimTime end, std::uint32_t tid,
+                             std::uint64_t items) {
+  if (trace_ == nullptr) return;
+  trace_->record(obs::TraceEvent{name, cat,
+                                 static_cast<std::uint64_t>(start * 1e6),
+                                 static_cast<std::uint64_t>((end - start) * 1e6),
+                                 tid, items, items > 0});
+}
+
+std::size_t DistRuntime::live_executors() const {
+  std::size_t n = 0;
+  for (const auto& e : execs_) n += (e.alive && !e.dead_to_driver) ? 1 : 0;
+  return n;
+}
+
+std::string DistRuntime::ckpt_file(std::size_t stage) const {
+  return "/.ckpt/" + job_.name + "." + std::to_string(epoch_) + "/stage" +
+         std::to_string(stage);
+}
+
+// ---------------------------------------------------------------------------
+// Submission and the scheduling loop (driver side)
+// ---------------------------------------------------------------------------
+
+void DistRuntime::submit(JobSpec job, JobDoneFn done) {
+  if (active_) throw std::logic_error("DistRuntime: a job is already running");
+  if (job.stages.empty()) throw std::invalid_argument("DistRuntime: empty job");
+  for (std::size_t s = 0; s < job.stages.size(); ++s) {
+    const auto& spec = job.stages[s];
+    if (spec.ntasks == 0) throw std::invalid_argument("DistRuntime: zero tasks");
+    if (!spec.run) throw std::invalid_argument("DistRuntime: stage without run fn");
+    for (auto p : spec.parents) {
+      if (p >= s) throw std::invalid_argument("DistRuntime: stages not topo-ordered");
+    }
+  }
+  ++epoch_;
+  active_ = true;
+  job_ = std::move(job);
+  done_cb_ = std::move(done);
+  submit_time_ = sim().now();
+  stages_.assign(job_.stages.size(), StageState{});
+  tasks_.clear();
+  for (const auto& spec : job_.stages) {
+    tasks_.emplace_back(spec.ntasks, TaskState{});
+  }
+  attempts_.clear();
+  ckpt_data_.clear();
+  late_ = cluster::LatePolicy(cfg_.speculation_threshold, 0.0);
+  result_ = JobResult{};
+  result_.output.assign(job_.stages.back().ntasks, {});
+  result_received_ = 0;
+  for (auto& e : execs_) {
+    e.outputs.clear();
+    e.busy = 0;
+    e.last_heartbeat = submit_time_;
+  }
+  const std::uint64_t epoch = epoch_;
+  for (std::size_t n = 0; n < execs_.size(); ++n) {
+    if (n != cfg_.driver && execs_[n].alive) heartbeat_loop(n);
+    if (n != cfg_.driver && cfg_.node_mtbf > 0) schedule_next_failure(n);
+  }
+  sim().schedule_after(cfg_.heartbeat_interval, [this, epoch] {
+    if (epoch_ == epoch) monitor_tick();
+  });
+  schedule();
+}
+
+bool DistRuntime::stage_available(std::size_t s) const {
+  for (auto p : job_.stages[s].parents) {
+    if (stages_[p].done != job_.stages[p].ntasks && !stages_[p].checkpointed) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool DistRuntime::stage_retired(std::size_t s) const {
+  // Outputs of a retired stage can never be needed again: the final stage's
+  // results live at the driver the moment each task completes, a durable
+  // checkpoint substitutes for recompute, and otherwise every consumer (and
+  // transitively *its* consumers) must be done.
+  if (s + 1 == job_.stages.size()) return true;
+  if (stages_[s].checkpointed) return true;
+  for (std::size_t c = s + 1; c < job_.stages.size(); ++c) {
+    const auto& ps = job_.stages[c].parents;
+    if (std::find(ps.begin(), ps.end(), s) == ps.end()) continue;
+    if (stages_[c].done != job_.stages[c].ntasks || !stage_retired(c)) return false;
+  }
+  return true;
+}
+
+void DistRuntime::schedule() {
+  if (!active_) return;
+  // Free-slot pool; refreshed lazily as launches consume slots.
+  auto pick_node = [this](const StageSpec& spec, std::size_t task) {
+    std::size_t best = kNone, best_free = 0;
+    if (!spec.input_file.empty() && dfs_ != nullptr && dfs_->exists(spec.input_file) &&
+        task < dfs_->block_count(spec.input_file)) {
+      for (auto r : dfs_->block_locations(spec.input_file, task)) {
+        auto& e = execs_[r];
+        if (e.alive && !e.dead_to_driver && e.busy < cfg_.slots_per_node) {
+          stats_.locality_hits++;
+          count(m_locality_hits_);
+          return r;
+        }
+      }
+      stats_.locality_misses++;
+      count(m_locality_misses_);
+    }
+    for (std::size_t n = 0; n < execs_.size(); ++n) {
+      auto& e = execs_[n];
+      if (!e.alive || e.dead_to_driver || e.busy >= cfg_.slots_per_node) continue;
+      const std::size_t free = cfg_.slots_per_node - e.busy;
+      if (free > best_free) {
+        best_free = free;
+        best = n;
+      }
+    }
+    return best;
+  };
+
+  for (std::size_t s = 0; s < job_.stages.size(); ++s) {
+    if (stages_[s].done == job_.stages[s].ntasks) continue;
+    if (!stage_available(s)) continue;
+    for (std::size_t t = 0; t < job_.stages[s].ntasks; ++t) {
+      TaskState& task = tasks_[s][t];
+      if (task.status != TStatus::Pending) continue;
+      // Genuine task failures are bounded by max_task_attempts; total launches
+      // (including benign churn from node deaths and lost shuffle outputs) get
+      // a generous hard cap so a pathological cluster cannot loop forever.
+      if (task.failures >= cfg_.max_task_attempts ||
+          task.attempts >= cfg_.max_task_attempts * 25) {
+        finish(false);
+        return;
+      }
+      const std::size_t node = pick_node(job_.stages[s], t);
+      if (node == kNone) return;  // cluster saturated; resume on next event
+      launch(s, t, node, /*spec=*/false);
+    }
+  }
+  speculate();
+}
+
+void DistRuntime::launch(std::size_t stage, std::size_t task, std::size_t node,
+                         bool spec) {
+  TaskState& ts = tasks_[stage][task];
+  if (stages_[stage].start < 0) stages_[stage].start = sim().now();
+  const std::uint64_t id = next_attempt_id_++;
+  attempts_[id] = Attempt{stage, task, node, sim().now(), spec, false};
+  ts.live_attempts.push_back(id);
+  ts.attempts++;
+  ts.status = TStatus::Running;
+  execs_[node].busy++;
+  stats_.tasks_launched++;
+  count(m_launched_);
+  if (spec) {
+    stats_.speculative_launched++;
+    count(m_spec_launched_);
+  } else if (ts.ever_done) {
+    stats_.tasks_recomputed++;
+    count(m_recomputed_);
+  }
+  BufWriter w;
+  w.write_pod<std::uint8_t>(kLaunch);
+  w.write_pod<std::uint64_t>(id);
+  send_to_exec(node, w.take());
+}
+
+void DistRuntime::speculate() {
+  if (!cfg_.speculate || !active_) return;
+  for (std::size_t s = 0; s < job_.stages.size(); ++s) {
+    for (std::size_t t = 0; t < job_.stages[s].ntasks; ++t) {
+      TaskState& ts = tasks_[s][t];
+      if (ts.status != TStatus::Running || ts.live_attempts.size() != 1) continue;
+      const Attempt& a = attempts_.at(ts.live_attempts.front());
+      if (a.speculative) continue;
+      if (!late_.exceeds(sim().now() - a.launched)) continue;
+      // Backup on the least-loaded free node other than the original's.
+      std::size_t best = kNone, best_free = 0;
+      for (std::size_t n = 0; n < execs_.size(); ++n) {
+        auto& e = execs_[n];
+        if (n == a.node || !e.alive || e.dead_to_driver) continue;
+        if (e.busy >= cfg_.slots_per_node) continue;
+        const std::size_t free = cfg_.slots_per_node - e.busy;
+        if (free > best_free) {
+          best_free = free;
+          best = n;
+        }
+      }
+      if (best == kNone) return;
+      launch(s, t, best, /*spec=*/true);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Message plumbing
+// ---------------------------------------------------------------------------
+
+void DistRuntime::send_to_exec(std::size_t node, Bytes payload) {
+  comm_.send_sized(cfg_.driver, node, tag_exec_, cfg_.rpc_bytes, std::move(payload));
+}
+
+void DistRuntime::send_to_driver(std::size_t node, std::uint64_t body,
+                                 Bytes payload) {
+  comm_.send_sized(node, cfg_.driver, tag_drv_, body, std::move(payload));
+}
+
+void DistRuntime::on_exec_msg(std::size_t node, const Bytes& payload) {
+  BufReader r(payload);
+  const auto type = r.read_pod<std::uint8_t>();
+  const auto id = r.read_pod<std::uint64_t>();
+  auto it = attempts_.find(id);
+  if (it == attempts_.end()) return;
+  switch (type) {
+    case kLaunch:
+      exec_start(id);
+      break;
+    case kCancel:
+      it->second.cancelled = true;
+      break;
+    default:
+      break;
+  }
+  (void)node;
+}
+
+bool DistRuntime::attempt_dead(std::uint64_t attempt_id) const {
+  auto it = attempts_.find(attempt_id);
+  if (!active_ || it == attempts_.end() || it->second.cancelled) return true;
+  return !execs_[it->second.node].alive;
+}
+
+// ---------------------------------------------------------------------------
+// Executor side: fetch -> compute -> register output -> report
+// ---------------------------------------------------------------------------
+
+void DistRuntime::exec_start(std::uint64_t attempt_id) {
+  if (attempt_dead(attempt_id)) return;
+  const Attempt a = attempts_.at(attempt_id);
+  const StageSpec& spec = job_.stages[a.stage];
+  sim::Network& net = comm_.network();
+
+  struct FetchCtx {
+    std::size_t pending = 0;
+    bool failed = false;
+    std::uint64_t bytes_in = 0;
+    std::shared_ptr<std::vector<std::vector<Bytes>>> inputs;
+  };
+  auto ctx = std::make_shared<FetchCtx>();
+  ctx->inputs = std::make_shared<std::vector<std::vector<Bytes>>>();
+  ctx->inputs->resize(spec.parents.size());
+
+  auto fail_fetch = [this, attempt_id, ctx](std::size_t ps, std::size_t pt) {
+    if (ctx->failed) return;
+    ctx->failed = true;
+    const Attempt& a2 = attempts_.at(attempt_id);
+    BufWriter w;
+    w.write_pod<std::uint8_t>(kFetchFailed);
+    w.write_pod<std::uint64_t>(attempt_id);
+    w.write_pod<std::uint64_t>(static_cast<std::uint64_t>(ps));
+    w.write_pod<std::uint64_t>(static_cast<std::uint64_t>(pt));
+    send_to_driver(a2.node, cfg_.rpc_bytes, w.take());
+  };
+
+  // One shuffle fetch: source-disk read, then the network transfer; the real
+  // bytes are copied out of the source's block store at delivery time.
+  auto start_fetch = [this, attempt_id, ctx, &net, fail_fetch](
+                         std::size_t src, std::uint64_t bytes, bool from_ckpt,
+                         std::size_t pi, std::size_t ps, std::size_t pt) {
+    const Attempt& a2 = attempts_.at(attempt_id);
+    const std::size_t dst = a2.node;
+    const std::size_t my_task = a2.task;
+    stats_.shuffle_fetches++;
+    stats_.shuffle_bytes += bytes;
+    count(m_shuffle_bytes_, bytes);
+    if (src == dst) stats_.shuffle_local_fetches++;
+    if (from_ckpt) {
+      stats_.checkpoint_restores++;
+      count(m_ckpt_restores_);
+    }
+    auto deliver = [this, attempt_id, ctx, from_ckpt, src, pi, ps, pt, my_task,
+                    fail_fetch] {
+      if (attempt_dead(attempt_id) || ctx->failed) return;
+      Bytes data;
+      if (from_ckpt) {
+        data = ckpt_data_.at(ps).at(pt).at(my_task);
+      } else {
+        auto oit = execs_[src].outputs.find(out_key(ps, pt));
+        if (!execs_[src].alive || oit == execs_[src].outputs.end()) {
+          stats_.fetch_failures++;
+          fail_fetch(ps, pt);
+          return;
+        }
+        data = oit->second.blocks.at(my_task);
+      }
+      (*ctx->inputs)[pi][pt] = std::move(data);
+      if (--ctx->pending == 0) {
+        exec_compute(attempt_id, ctx->inputs, ctx->bytes_in);
+      }
+    };
+    execs_[src].disk.access(sim(), bytes,
+                            [this, src, dst, bytes, deliver = std::move(deliver)] {
+                              comm_.network().send(src, dst, bytes, deliver);
+                            });
+  };
+
+  // Plan the shuffle fetches; report a lineage fault if any source is gone.
+  struct Plan {
+    std::size_t src, pi, ps, pt;
+    std::uint64_t bytes;
+    bool ckpt;
+  };
+  std::vector<Plan> plan;
+  for (std::size_t pi = 0; pi < spec.parents.size(); ++pi) {
+    const std::size_t ps = spec.parents[pi];
+    (*ctx->inputs)[pi].resize(job_.stages[ps].ntasks);
+    for (std::size_t pt = 0; pt < job_.stages[ps].ntasks; ++pt) {
+      const TaskState& parent = tasks_[ps][pt];
+      if (a.task >= parent.out_sim_sizes.size() &&
+          (parent.status == TStatus::Done || stages_[ps].checkpointed)) {
+        throw std::logic_error("DistRuntime: parent stage produced too few blocks");
+      }
+      const std::size_t holder = parent.output_node;
+      const bool exec_copy = parent.status == TStatus::Done && holder != kNone &&
+                             execs_[holder].alive &&
+                             execs_[holder].outputs.contains(out_key(ps, pt));
+      if (exec_copy) {
+        plan.push_back({holder, pi, ps, pt, parent.out_sim_sizes[a.task], false});
+        continue;
+      }
+      if (stages_[ps].checkpointed && ckpt_data_.contains(ps)) {
+        // Restore from the DFS checkpoint: read from the closest live replica.
+        std::size_t best = kNone, best_hops = ~std::size_t{0};
+        for (auto r : dfs_->block_locations(ckpt_file(ps), 0)) {
+          if (!execs_[r].alive) continue;
+          const std::size_t h = net.hops(a.node, r);
+          if (h < best_hops) {
+            best_hops = h;
+            best = r;
+          }
+        }
+        if (best != kNone) {
+          plan.push_back({best, pi, ps, pt, parent.out_sim_sizes[a.task], true});
+          continue;
+        }
+      }
+      fail_fetch(ps, pt);
+      return;
+    }
+  }
+
+  // Stage-external input (DFS block or local scan), charged like a fetch.
+  std::size_t input_src = a.node;
+  bool have_input = spec.input_bytes_per_task > 0;
+  if (have_input && !spec.input_file.empty() && dfs_ != nullptr &&
+      dfs_->exists(spec.input_file) &&
+      a.task < dfs_->block_count(spec.input_file)) {
+    std::size_t best = kNone, best_hops = ~std::size_t{0};
+    for (auto r : dfs_->block_locations(spec.input_file, a.task)) {
+      if (!execs_[r].alive) continue;
+      const std::size_t h = net.hops(a.node, r);
+      if (h < best_hops) {
+        best_hops = h;
+        best = r;
+      }
+    }
+    if (best == kNone) {
+      // No live replica of the input block: the attempt fails outright.
+      BufWriter w;
+      w.write_pod<std::uint8_t>(kTaskFailed);
+      w.write_pod<std::uint64_t>(attempt_id);
+      send_to_driver(a.node, cfg_.rpc_bytes, w.take());
+      return;
+    }
+    input_src = best;
+  }
+
+  ctx->pending = plan.size() + (have_input ? 1 : 0);
+  for (const auto& p : plan) ctx->bytes_in += p.bytes;
+  if (have_input) ctx->bytes_in += spec.input_bytes_per_task;
+  if (ctx->pending == 0) {
+    exec_compute(attempt_id, ctx->inputs, 0);
+    return;
+  }
+  for (const auto& p : plan) {
+    start_fetch(p.src, p.bytes, p.ckpt, p.pi, p.ps, p.pt);
+  }
+  if (have_input) {
+    execs_[input_src].disk.access(
+        sim(), spec.input_bytes_per_task,
+        [this, input_src, attempt_id, ctx, bytes = spec.input_bytes_per_task] {
+          if (attempt_dead(attempt_id) || ctx->failed) return;
+          comm_.network().send(input_src, attempts_.at(attempt_id).node, bytes,
+                               [this, attempt_id, ctx] {
+                                 if (attempt_dead(attempt_id) || ctx->failed) return;
+                                 if (--ctx->pending == 0) {
+                                   exec_compute(attempt_id, ctx->inputs,
+                                                ctx->bytes_in);
+                                 }
+                               });
+        });
+  }
+}
+
+void DistRuntime::exec_compute(
+    std::uint64_t attempt_id,
+    std::shared_ptr<std::vector<std::vector<Bytes>>> inputs,
+    std::uint64_t bytes_in) {
+  if (attempt_dead(attempt_id)) return;
+  const Attempt& a = attempts_.at(attempt_id);
+  ExecState& ex = execs_[a.node];
+  const double delay =
+      cfg_.task_overhead +
+      static_cast<double>(bytes_in) / (cfg_.compute_bps * ex.speed);
+  sim().schedule_after(delay, [this, attempt_id, inputs] {
+    if (attempt_dead(attempt_id)) return;
+    const Attempt& a2 = attempts_.at(attempt_id);
+    const StageSpec& spec = job_.stages[a2.stage];
+    ExecState& ex2 = execs_[a2.node];
+    BlockSet bs;
+    bs.blocks = spec.run(a2.task, *inputs);
+    bs.sim_sizes.reserve(bs.blocks.size());
+    for (std::size_t c = 0; c < bs.blocks.size(); ++c) {
+      const std::uint64_t sz = spec.sim_out_bytes
+                                   ? spec.sim_out_bytes(a2.task, c)
+                                   : bs.blocks[c].size();
+      bs.sim_sizes.push_back(sz);
+      bs.total_sim += sz;
+    }
+    const std::uint64_t total = bs.total_sim;
+    ex2.outputs[out_key(a2.stage, a2.task)] = std::move(bs);
+    const bool final_stage = a2.stage + 1 == job_.stages.size();
+    // Map outputs are spilled to the local disk before being announced.
+    ex2.disk.access(sim(), total, [this, attempt_id, total, final_stage] {
+      if (attempt_dead(attempt_id)) return;
+      const Attempt& a3 = attempts_.at(attempt_id);
+      BufWriter w;
+      w.write_pod<std::uint8_t>(kTaskDone);
+      w.write_pod<std::uint64_t>(attempt_id);
+      // The result stage ships its blocks to the driver in the done message.
+      send_to_driver(a3.node, final_stage ? total : cfg_.rpc_bytes, w.take());
+    });
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Driver-side completion, failure, and recovery handling
+// ---------------------------------------------------------------------------
+
+void DistRuntime::on_task_done(std::uint64_t attempt_id) {
+  if (!active_) return;
+  Attempt& a = attempts_.at(attempt_id);
+  if (a.cancelled) return;
+  ExecState& ex = execs_[a.node];
+  if (ex.dead_to_driver) return;  // results from declared-dead executors are dropped
+  TaskState& task = tasks_[a.stage][a.task];
+  auto oit = ex.outputs.find(out_key(a.stage, a.task));
+  if (task.status != TStatus::Done && (!ex.alive || oit == ex.outputs.end())) {
+    // The node died while the done-message was in flight: requeue, uncharged.
+    on_attempt_failed(attempt_id, false);
+    return;
+  }
+  auto& live = task.live_attempts;
+  live.erase(std::remove(live.begin(), live.end(), attempt_id), live.end());
+  a.cancelled = true;
+  if (ex.busy > 0) ex.busy--;
+  if (task.status == TStatus::Done) return;  // lost a speculative race
+
+  task.status = TStatus::Done;
+  task.ever_done = true;
+  task.output_node = a.node;
+  task.out_sim_sizes = oit->second.sim_sizes;
+  task.total_out_sim = oit->second.total_sim;
+  stages_[a.stage].done++;
+  stats_.tasks_completed++;
+  late_.record(sim().now() - a.launched);
+  if (a.speculative) stats_.speculative_won++;
+  trace_span(job_.stages[a.stage].name + ".t" + std::to_string(a.task) +
+                 (a.speculative ? "*" : ""),
+             "task", a.launched, sim().now(),
+             static_cast<std::uint32_t>(a.node) + 1, task.total_out_sim);
+
+  // Cancel losing sibling attempts, freeing their slots.
+  for (auto oid : std::vector<std::uint64_t>(live)) {
+    Attempt& o = attempts_.at(oid);
+    o.cancelled = true;
+    if (execs_[o.node].busy > 0) execs_[o.node].busy--;
+    BufWriter w;
+    w.write_pod<std::uint8_t>(kCancel);
+    w.write_pod<std::uint64_t>(oid);
+    send_to_exec(o.node, w.take());
+  }
+  live.clear();
+
+  const bool final_stage = a.stage + 1 == job_.stages.size();
+  if (final_stage) {
+    result_.output[a.task] = oit->second.blocks;
+    result_received_++;
+  }
+  if (stages_[a.stage].done == job_.stages[a.stage].ntasks) {
+    stages_[a.stage].end = sim().now();
+    trace_span(job_.stages[a.stage].name, "stage", stages_[a.stage].start,
+               sim().now(), 0, 0);
+    maybe_checkpoint(a.stage);
+  }
+  if (final_stage && result_received_ == job_.stages.back().ntasks) {
+    finish(true);
+    return;
+  }
+  schedule();
+}
+
+void DistRuntime::on_attempt_failed(std::uint64_t attempt_id, bool charge_budget) {
+  if (!active_) return;
+  Attempt& a = attempts_.at(attempt_id);
+  if (a.cancelled) return;
+  a.cancelled = true;
+  auto& live = tasks_[a.stage][a.task].live_attempts;
+  live.erase(std::remove(live.begin(), live.end(), attempt_id), live.end());
+  if (execs_[a.node].busy > 0 && !execs_[a.node].dead_to_driver) execs_[a.node].busy--;
+  TaskState& task = tasks_[a.stage][a.task];
+  if (task.status == TStatus::Running && live.empty()) {
+    task.status = TStatus::Pending;
+  }
+  if (charge_budget) task.failures++;
+  stats_.task_retries++;
+  count(m_retries_);
+  schedule();
+}
+
+void DistRuntime::on_fetch_failed(std::uint64_t attempt_id, std::size_t pstage,
+                                  std::size_t ptask) {
+  stats_.fetch_failures++;
+  // Lineage fault: the parent's map output is gone. Roll the parent task
+  // back to Pending (unless a checkpoint can stand in), then retry the
+  // fetching task; schedule() recomputes ancestors in topological order.
+  if (pstage < tasks_.size() && ptask < tasks_[pstage].size()) {
+    TaskState& parent = tasks_[pstage][ptask];
+    const bool source_gone =
+        parent.output_node == kNone || !execs_[parent.output_node].alive ||
+        !execs_[parent.output_node].outputs.contains(out_key(pstage, ptask));
+    if (parent.status == TStatus::Done && source_gone &&
+        !stages_[pstage].checkpointed) {
+      parent.status = TStatus::Pending;
+      parent.output_node = kNone;
+      stages_[pstage].done--;
+    }
+  }
+  on_attempt_failed(attempt_id, false);
+}
+
+void DistRuntime::on_heartbeat(std::size_t node) {
+  if (!active_ || node >= execs_.size()) return;
+  ExecState& ex = execs_[node];
+  stats_.heartbeats_received++;
+  ex.last_heartbeat = sim().now();
+  if (ex.dead_to_driver && ex.alive) {
+    // A recovered node (or a false positive) re-registers as a fresh
+    // executor; its pre-declaration outputs were already invalidated.
+    ex.dead_to_driver = false;
+    ex.busy = 0;
+    if (g_live_execs_ != nullptr) {
+      g_live_execs_->set(static_cast<std::int64_t>(live_executors()));
+    }
+    schedule();
+  }
+}
+
+void DistRuntime::invalidate_outputs_on(std::size_t node) {
+  for (std::size_t s = 0; s < job_.stages.size(); ++s) {
+    if (stage_retired(s)) continue;
+    for (std::size_t t = 0; t < job_.stages[s].ntasks; ++t) {
+      TaskState& task = tasks_[s][t];
+      if (task.status == TStatus::Done && task.output_node == node) {
+        task.status = TStatus::Pending;
+        task.output_node = kNone;
+        stages_[s].done--;
+      }
+    }
+  }
+}
+
+void DistRuntime::declare_dead(std::size_t node) {
+  ExecState& ex = execs_[node];
+  if (ex.dead_to_driver) return;
+  ex.dead_to_driver = true;
+  ex.busy = 0;
+  stats_.executors_declared_dead++;
+  if (g_live_execs_ != nullptr) {
+    g_live_execs_->set(static_cast<std::int64_t>(live_executors()));
+  }
+  // Fail this node's running attempts and roll back its shuffle outputs
+  // (lineage: ancestors whose outputs are still needed go back to Pending).
+  for (std::size_t s = 0; s < job_.stages.size(); ++s) {
+    for (std::size_t t = 0; t < job_.stages[s].ntasks; ++t) {
+      TaskState& task = tasks_[s][t];
+      for (auto id : std::vector<std::uint64_t>(task.live_attempts)) {
+        if (attempts_.at(id).node == node) on_attempt_failed(id, false);
+        if (!active_) return;
+      }
+    }
+  }
+  invalidate_outputs_on(node);
+  schedule();
+}
+
+void DistRuntime::maybe_checkpoint(std::size_t s) {
+  const StageSpec& spec = job_.stages[s];
+  if (!spec.checkpoint || dfs_ == nullptr || s + 1 == job_.stages.size()) return;
+  if (stages_[s].checkpointed || ckpt_data_.contains(s)) return;
+  std::uint64_t total = 0;
+  std::vector<std::vector<Bytes>> data(spec.ntasks);
+  for (std::size_t t = 0; t < spec.ntasks; ++t) {
+    const TaskState& task = tasks_[s][t];
+    if (task.output_node == kNone) return;
+    auto it = execs_[task.output_node].outputs.find(out_key(s, t));
+    if (it == execs_[task.output_node].outputs.end()) return;  // racing death
+    data[t] = it->second.blocks;
+    total += task.total_out_sim;
+  }
+  if (total == 0) return;
+  ckpt_data_[s] = std::move(data);
+  const std::uint64_t epoch = epoch_;
+  dfs_->write(cfg_.driver, ckpt_file(s), total, [this, s, epoch](bool ok) {
+    if (epoch_ != epoch) return;
+    if (ok) {
+      stages_[s].checkpointed = true;
+      stats_.checkpoints_written++;
+    } else {
+      ckpt_data_.erase(s);
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Heartbeats, monitoring, failure injection
+// ---------------------------------------------------------------------------
+
+void DistRuntime::heartbeat_loop(std::size_t node) {
+  if (!active_ || !execs_[node].alive) return;
+  BufWriter w;
+  w.write_pod<std::uint8_t>(kHeartbeat);
+  send_to_driver(node, cfg_.rpc_bytes, w.take());
+  const double jitter = cfg_.heartbeat_jitter > 0
+                            ? jitter_rng_.next_double() * cfg_.heartbeat_jitter
+                            : 0.0;
+  const std::uint64_t epoch = epoch_;
+  sim().schedule_after(cfg_.heartbeat_interval + jitter, [this, node, epoch] {
+    if (epoch_ == epoch) heartbeat_loop(node);
+  });
+}
+
+void DistRuntime::monitor_tick() {
+  if (!active_) return;
+  const SimTime now = sim().now();
+  for (std::size_t n = 0; n < execs_.size(); ++n) {
+    if (n == cfg_.driver) continue;
+    ExecState& ex = execs_[n];
+    if (!ex.dead_to_driver && now - ex.last_heartbeat > cfg_.heartbeat_timeout) {
+      declare_dead(n);
+      if (!active_) return;
+    }
+  }
+  // Hung-attempt sweep: guards liveness when control messages are lost.
+  // Uncharged — a timed-out attempt is lost RPCs or congestion, not a task
+  // bug; the hard launch cap in schedule() still bounds pathological churn.
+  std::vector<std::uint64_t> stale;
+  for (const auto& [id, a] : attempts_) {
+    if (!a.cancelled && now - a.launched > cfg_.attempt_timeout) stale.push_back(id);
+  }
+  for (auto id : stale) {
+    on_attempt_failed(id, false);
+    if (!active_) return;
+  }
+  const std::uint64_t epoch = epoch_;
+  sim().schedule_after(cfg_.heartbeat_interval, [this, epoch] {
+    if (epoch_ == epoch) monitor_tick();
+  });
+}
+
+void DistRuntime::schedule_next_failure(std::size_t node) {
+  const double dt = failure_rng_.next_exponential(1.0 / cfg_.node_mtbf);
+  const std::uint64_t epoch = epoch_;
+  sim().schedule_after(dt, [this, node, epoch] {
+    if (!active_ || epoch_ != epoch) return;
+    if (execs_[node].alive) {
+      kill_node(node);
+      if (cfg_.node_downtime > 0) {
+        sim().schedule_after(cfg_.node_downtime, [this, node, epoch] {
+          if (!execs_[node].alive) do_recover_node(node);
+          if (active_ && epoch_ == epoch) schedule_next_failure(node);
+        });
+        return;
+      }
+    }
+    schedule_next_failure(node);
+  });
+}
+
+void DistRuntime::kill_node(std::size_t node) {
+  if (node == cfg_.driver) {
+    throw std::invalid_argument("DistRuntime: the driver node is immortal");
+  }
+  ExecState& ex = execs_[node];
+  ex.alive = false;
+  ex.outputs.clear();
+  ex.busy = 0;
+  if (dfs_ != nullptr) dfs_->fail_node(node);
+  // The driver only learns of the death through the heartbeat timeout.
+}
+
+void DistRuntime::do_recover_node(std::size_t node) {
+  if (node == cfg_.driver) return;
+  ExecState& ex = execs_[node];
+  ex.alive = true;
+  ex.outputs.clear();
+  ex.busy = 0;
+  ex.last_heartbeat = sim().now();
+  if (dfs_ != nullptr) dfs_->recover_node(node);
+  // dead_to_driver clears when the first heartbeat arrives (re-registration).
+  if (active_) heartbeat_loop(node);
+}
+
+void DistRuntime::kill_node_at(std::size_t node, SimTime t) {
+  if (node == cfg_.driver) {
+    throw std::invalid_argument("DistRuntime: the driver node is immortal");
+  }
+  sim().schedule_at(t, [this, node] {
+    if (execs_[node].alive) kill_node(node);
+  });
+}
+
+void DistRuntime::recover_node_at(std::size_t node, SimTime t) {
+  sim().schedule_at(t, [this, node] {
+    if (!execs_[node].alive) do_recover_node(node);
+  });
+}
+
+void DistRuntime::finish(bool ok) {
+  result_.ok = ok;
+  result_.makespan = sim().now() - submit_time_;
+  active_ = false;
+  if (ok) {
+    stats_.jobs_completed++;
+  } else {
+    stats_.jobs_failed++;
+  }
+  trace_span(job_.name, "job", submit_time_, sim().now(), 0, 0);
+  JobDoneFn cb = std::move(done_cb_);
+  done_cb_ = nullptr;
+  if (cb) cb(result_);
+}
+
+}  // namespace hpbdc::dist

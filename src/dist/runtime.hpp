@@ -1,0 +1,257 @@
+#pragma once
+// Distributed dataflow runtime on the simulated cluster: a driver (hosted at
+// rank cfg.driver) splits a stage DAG into per-partition tasks and schedules
+// them onto executors on every cluster node, with
+//   * DFS-block locality preference for input stages,
+//   * shuffle-map outputs registered per node, reduce-side fetches that move
+//     bytes over the simulated network (NIC contention included) after a
+//     source-disk read,
+//   * heartbeat-based failure detection with timeout, bounded task retry,
+//     lineage-based recomputation of shuffle outputs lost to a node death,
+//     optional stage checkpointing to the DFS that truncates lineage, and
+//     LATE-style straggler speculation (the policy object is shared with
+//     src/cluster/speculation).
+//
+// The runtime is entirely event-driven on the single-threaded Simulator, so
+// every run is deterministic: heartbeat jitter, straggler assignment, and
+// random failure injection all derive sub-seeds from DistConfig::seed, and
+// network loss determinism comes from NetworkConfig::loss_seed.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/speculation.hpp"
+#include "common/rng.hpp"
+#include "dist/job.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "sim/comm.hpp"
+#include "sim/dfs.hpp"
+#include "sim/simulator.hpp"
+
+namespace hpbdc::dist {
+
+struct DistConfig {
+  std::size_t driver = 0;        // rank hosting the driver (never killed)
+  std::size_t slots_per_node = 2;
+  // Failure detection.
+  double heartbeat_interval = 0.5;
+  double heartbeat_timeout = 2.0;   // silence before an executor is declared dead
+  double heartbeat_jitter = 0.05;   // uniform [0, jitter) added per beat
+  double attempt_timeout = 120.0;   // re-queue attempts running longer than this
+  std::size_t max_task_attempts = 4;
+  // Cost model.
+  double compute_bps = 250e6;       // task processing rate at node speed 1.0
+  double task_overhead = 2e-3;      // fixed per-task startup (s)
+  double disk_bandwidth_bps = 200e6;
+  double disk_seek = 2e-3;
+  std::uint64_t rpc_bytes = 256;    // control-plane message body size
+  // Stragglers: a seeded random fraction of nodes runs at reduced speed.
+  double straggler_fraction = 0.0;
+  double straggler_speed = 0.25;
+  // LATE-style speculation (policy shared with cluster::LatePolicy).
+  bool speculate = false;
+  double speculation_threshold = 1.5;
+  // Random failure injection: per-node exponential failures with this mean
+  // time between failures (0 = disabled); failed nodes recover after
+  // node_downtime seconds (0 = stay dead).
+  double node_mtbf = 0.0;
+  double node_downtime = 10.0;
+  /// Master seed: stragglers, heartbeat jitter, and failure times all derive
+  /// sub-seeds from this single value.
+  std::uint64_t seed = 1;
+};
+
+struct DistStats {
+  std::uint64_t jobs_completed = 0;
+  std::uint64_t jobs_failed = 0;
+  std::uint64_t tasks_launched = 0;
+  std::uint64_t tasks_completed = 0;
+  std::uint64_t task_retries = 0;        // re-launches after attempt failure
+  std::uint64_t tasks_recomputed = 0;    // re-launches of previously-done tasks
+  std::uint64_t speculative_launched = 0;
+  std::uint64_t speculative_won = 0;
+  std::uint64_t shuffle_fetches = 0;
+  std::uint64_t shuffle_local_fetches = 0;
+  std::uint64_t shuffle_bytes = 0;       // simulated bytes fetched
+  std::uint64_t fetch_failures = 0;
+  std::uint64_t locality_hits = 0;       // input task placed on a block replica
+  std::uint64_t locality_misses = 0;
+  std::uint64_t heartbeats_received = 0;
+  std::uint64_t executors_declared_dead = 0;
+  std::uint64_t checkpoints_written = 0;
+  std::uint64_t checkpoint_restores = 0;  // blocks re-read from a checkpoint
+};
+
+class DistRuntime {
+ public:
+  using JobDoneFn = std::function<void(const JobResult&)>;
+
+  /// dfs is optional: without it there is no input locality and stage
+  /// checkpointing is silently disabled.
+  DistRuntime(sim::Comm& comm, DistConfig cfg, sim::Dfs* dfs = nullptr);
+
+  /// Mirror runtime counters/gauges into a registry (PR-1 obs layer).
+  void bind_metrics(obs::MetricsRegistry& reg);
+  /// Record per-stage and per-task spans with *simulated-time* timestamps;
+  /// the session's write_chrome_json() renders them directly.
+  void bind_trace(obs::TraceSession& session);
+
+  /// Run one job to completion; `done` fires (in simulated time) with the
+  /// result. One job at a time; submit again after completion.
+  void submit(JobSpec job, JobDoneFn done);
+
+  /// Failure-injection hooks for tests/benches (driver node is immortal).
+  void kill_node_at(std::size_t node, sim::SimTime t);
+  void recover_node_at(std::size_t node, sim::SimTime t);
+
+  const DistStats& stats() const noexcept { return stats_; }
+  const DistConfig& config() const noexcept { return cfg_; }
+  std::size_t live_executors() const;
+  /// Node speed factors after straggler assignment (for tests).
+  double node_speed(std::size_t node) const { return execs_[node].speed; }
+
+ private:
+  static constexpr std::size_t kNone = ~std::size_t{0};
+
+  enum class TStatus { Pending, Running, Done };
+
+  struct BlockSet {
+    std::vector<Bytes> blocks;
+    std::vector<std::uint64_t> sim_sizes;
+    std::uint64_t total_sim = 0;
+  };
+
+  struct ExecState {
+    bool alive = true;
+    double speed = 1.0;
+    bool dead_to_driver = false;     // driver's (possibly stale) view
+    std::size_t busy = 0;            // driver-side slot accounting
+    sim::SimTime last_heartbeat = 0;
+    std::map<std::uint64_t, BlockSet> outputs;  // key: stage<<32 | task
+    sim::Disk disk;
+    explicit ExecState(const DistConfig& cfg)
+        : disk(cfg.disk_bandwidth_bps, cfg.disk_seek) {}
+  };
+
+  struct TaskState {
+    TStatus status = TStatus::Pending;
+    std::size_t attempts = 0;  // total launches, including benign requeues
+    std::size_t failures = 0;  // only failures charged against max_task_attempts
+    std::vector<std::uint64_t> live_attempts;
+    std::size_t output_node = kNone;
+    std::vector<std::uint64_t> out_sim_sizes;  // per child partition
+    std::uint64_t total_out_sim = 0;
+    bool ever_done = false;  // a re-launch after this is a lineage recompute
+  };
+
+  struct StageState {
+    std::size_t done = 0;
+    bool checkpointed = false;  // checkpoint durable in the DFS
+    sim::SimTime start = -1;
+    sim::SimTime end = -1;
+  };
+
+  struct Attempt {
+    std::size_t stage = 0, task = 0, node = 0;
+    sim::SimTime launched = 0;
+    bool speculative = false;
+    bool cancelled = false;
+  };
+
+  // ---- message plumbing ----------------------------------------------------
+  enum MsgType : std::uint8_t {
+    kLaunch = 1, kCancel, kHeartbeat, kTaskDone, kTaskFailed, kFetchFailed,
+  };
+  void on_exec_msg(std::size_t node, const Bytes& payload);
+  void send_to_exec(std::size_t node, Bytes payload);
+  void send_to_driver(std::size_t node, std::uint64_t body, Bytes payload);
+
+  // ---- executor side (runs "at" a node, touching only its state) ----------
+  void exec_start(std::uint64_t attempt_id);
+  void exec_compute(std::uint64_t attempt_id,
+                    std::shared_ptr<std::vector<std::vector<Bytes>>> inputs,
+                    std::uint64_t bytes_in);
+  bool attempt_dead(std::uint64_t attempt_id) const;
+
+  // ---- driver side ---------------------------------------------------------
+  void schedule();
+  void launch(std::size_t stage, std::size_t task, std::size_t node, bool spec);
+  void on_task_done(std::uint64_t attempt_id);
+  // charge_budget: true when the failure is the task's own doing (an executor
+  // reported it failed, or the attempt timed out). Requeues caused by executor
+  // death or lost upstream map outputs are the cluster's fault and do not eat
+  // into max_task_attempts — otherwise failure churn aborts healthy jobs.
+  void on_attempt_failed(std::uint64_t attempt_id, bool charge_budget);
+  void on_fetch_failed(std::uint64_t attempt_id, std::size_t pstage,
+                       std::size_t ptask);
+  void on_heartbeat(std::size_t node);
+  void declare_dead(std::size_t node);
+  void invalidate_outputs_on(std::size_t node);
+  bool stage_retired(std::size_t s) const;
+  bool stage_available(std::size_t s) const;
+  void maybe_checkpoint(std::size_t s);
+  void monitor_tick();
+  void heartbeat_loop(std::size_t node);
+  void schedule_next_failure(std::size_t node);
+  void kill_node(std::size_t node);
+  void do_recover_node(std::size_t node);
+  void finish(bool ok);
+  void speculate();
+
+  std::string ckpt_file(std::size_t stage) const;
+  static std::uint64_t out_key(std::size_t stage, std::size_t task) {
+    return (static_cast<std::uint64_t>(stage) << 32) | task;
+  }
+  sim::Simulator& sim() { return comm_.simulator(); }
+  void trace_span(const std::string& name, const std::string& cat,
+                  sim::SimTime start, sim::SimTime end, std::uint32_t tid,
+                  std::uint64_t items);
+  void count(obs::Counter* c, std::uint64_t n = 1) {
+    if (c != nullptr) c->add(n);
+  }
+
+  sim::Comm& comm_;
+  DistConfig cfg_;
+  sim::Dfs* dfs_;
+  int tag_exec_, tag_drv_;
+
+  std::vector<ExecState> execs_;
+  Rng jitter_rng_, failure_rng_;
+  cluster::LatePolicy late_;
+
+  // Active job state. epoch_ bumps per submit so that stale scheduled
+  // continuations (heartbeat/monitor/failure loops, DFS callbacks) from a
+  // finished job recognize themselves and stand down.
+  bool active_ = false;
+  std::uint64_t epoch_ = 0;
+  JobSpec job_;
+  JobDoneFn done_cb_;
+  sim::SimTime submit_time_ = 0;
+  std::vector<StageState> stages_;
+  std::vector<std::vector<TaskState>> tasks_;  // [stage][task]
+  std::map<std::uint64_t, Attempt> attempts_;
+  std::uint64_t next_attempt_id_ = 1;
+  std::map<std::size_t, std::vector<std::vector<Bytes>>> ckpt_data_;  // stage -> per-task blocks
+  JobResult result_;
+  std::size_t result_received_ = 0;
+
+  DistStats stats_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::TraceSession* trace_ = nullptr;
+  obs::Counter* m_launched_ = nullptr;
+  obs::Counter* m_retries_ = nullptr;
+  obs::Counter* m_recomputed_ = nullptr;
+  obs::Counter* m_shuffle_bytes_ = nullptr;
+  obs::Counter* m_locality_hits_ = nullptr;
+  obs::Counter* m_locality_misses_ = nullptr;
+  obs::Counter* m_spec_launched_ = nullptr;
+  obs::Counter* m_ckpt_restores_ = nullptr;
+  obs::Gauge* g_live_execs_ = nullptr;
+};
+
+}  // namespace hpbdc::dist

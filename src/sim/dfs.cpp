@@ -27,8 +27,21 @@ std::uint64_t Dfs::file_size(const std::string& name) const {
   return it->second.size;
 }
 
-void Dfs::fail_node(std::size_t node) { down_[node] = true; }
-void Dfs::recover_node(std::size_t node) { down_[node] = false; }
+std::size_t Dfs::block_count(const std::string& name) const {
+  auto it = files_.find(name);
+  if (it == files_.end()) throw std::out_of_range("Dfs: no such file");
+  return it->second.blocks.size();
+}
+
+void Dfs::fail_node(std::size_t node) {
+  if (node >= down_.size()) throw std::out_of_range("Dfs: bad node id");
+  down_[node] = true;
+}
+
+void Dfs::recover_node(std::size_t node) {
+  if (node >= down_.size()) throw std::out_of_range("Dfs: bad node id");
+  down_[node] = false;
+}
 
 std::vector<std::size_t> Dfs::block_locations(const std::string& name,
                                               std::size_t index) const {
@@ -111,42 +124,89 @@ void Dfs::write(std::size_t client, const std::string& name, std::uint64_t size,
   stats_.blocks_written += nblocks;
 
   struct WriteState {
-    std::size_t pending_acks = 0;  // disk writes outstanding across blocks
+    std::size_t pending = 0;  // replica outcomes outstanding across blocks
+    bool failed = false;      // some block ended with zero durable replicas
     DoneFn cb;
   };
   auto st = std::make_shared<WriteState>();
-  st->pending_acks = nblocks * cfg_.replication;
+  st->pending = nblocks * cfg_.replication;
   st->cb = std::move(cb);
 
-  auto ack = [this, st] {
-    if (--st->pending_acks == 0) st->cb(true);
-  };
-
   // Namenode RPC round-trip, then the per-block replication pipelines.
-  net.send(client, cfg_.namenode, cfg_.namenode_rpc_bytes, [this, st, client, name,
-                                                            ack, &sim, &net] {
-    net.send(cfg_.namenode, client, cfg_.namenode_rpc_bytes, [this, st, client, name,
-                                                              ack, &sim, &net] {
+  net.send(client, cfg_.namenode, cfg_.namenode_rpc_bytes, [this, st, client,
+                                                            name] {
+    comm_.network().send(cfg_.namenode, client, cfg_.namenode_rpc_bytes, [this,
+                                                                          st,
+                                                                          client,
+                                                                          name] {
       const File& f = files_[name];
-      for (const Block& b : f.blocks) {
+      for (std::size_t bi = 0; bi < f.blocks.size(); ++bi) {
         // Pipeline: client -> r0 -> r1 -> ...; each hop stores to disk and
-        // forwards. A shared recursive step drives the chain.
-        auto replicas = std::make_shared<std::vector<std::size_t>>(b.replicas);
+        // forwards. A shared recursive step drives the chain. Nodes that
+        // fail before/while the pipeline reaches them are dropped from the
+        // block's replica set (the write succeeds under-replicated, exactly
+        // like an HDFS pipeline shrinking); a block that loses *every*
+        // replica fails the write.
+        auto replicas =
+            std::make_shared<std::vector<std::size_t>>(f.blocks[bi].replicas);
+        const std::uint64_t bytes = f.blocks[bi].size;
+
+        struct BlockProg {
+          std::size_t remaining = 0;
+          std::size_t written = 0;
+        };
+        auto bp = std::make_shared<BlockProg>();
+        bp->remaining = replicas->size();
+        // Every planned replica resolves exactly once: stored, or lost.
+        auto resolve = [st, bp](bool stored) {
+          if (stored) ++bp->written;
+          if (--bp->remaining == 0 && bp->written == 0) st->failed = true;
+          if (--st->pending == 0) st->cb(!st->failed);
+        };
+
         auto step = std::make_shared<std::function<void(std::size_t, std::size_t)>>();
-        const std::uint64_t bytes = b.size;
-        *step = [this, replicas, step, bytes, ack, &sim, &net](std::size_t from,
-                                                               std::size_t idx) {
+        *step = [this, replicas, step, bytes, resolve, name, bi](std::size_t from,
+                                                                 std::size_t idx) {
+          if (idx >= replicas->size()) return;
           const std::size_t target = (*replicas)[idx];
-          net.send(from, target, bytes, [this, replicas, step, bytes, ack, idx,
-                                         target, &sim] {
-            disks_[target].access(sim, bytes, ack);
-            if (idx + 1 < replicas->size()) (*step)(target, idx + 1);
-          });
+          if (down_[target]) {
+            // Dead before the data reached it: skip, forwarding from the
+            // same upstream node (pipeline recovery).
+            drop_replica(name, bi, target);
+            resolve(false);
+            (*step)(from, idx + 1);
+            return;
+          }
+          comm_.network().send(
+              from, target, bytes,
+              [this, replicas, step, bytes, resolve, name, bi, idx, target] {
+                if (down_[target]) {
+                  // Died mid-transfer: its copy and everything downstream
+                  // of it in the chain are lost.
+                  for (std::size_t j = idx; j < replicas->size(); ++j) {
+                    drop_replica(name, bi, (*replicas)[j]);
+                    resolve(false);
+                  }
+                  replicas->resize(idx);
+                  return;
+                }
+                disks_[target].access(comm_.simulator(), bytes,
+                                      [resolve] { resolve(true); });
+                (*step)(target, idx + 1);
+              });
         };
         (*step)(client, 0);
       }
     });
   });
+}
+
+void Dfs::drop_replica(const std::string& name, std::size_t block,
+                       std::size_t node) {
+  auto it = files_.find(name);
+  if (it == files_.end() || block >= it->second.blocks.size()) return;
+  auto& reps = it->second.blocks[block].replicas;
+  reps.erase(std::remove(reps.begin(), reps.end(), node), reps.end());
 }
 
 std::size_t Dfs::pick_read_replica(std::size_t client, const Block& b) const {
@@ -233,7 +293,23 @@ void Dfs::re_replicate(std::function<void()> cb) {
       for (auto r : block.replicas) {
         if (!down_[r]) live.push_back(r);
       }
-      if (live.empty() || live.size() >= cfg_.replication) continue;
+      if (live.size() > cfg_.replication) {
+        // Over-replicated: a failed node was re-replicated around, then
+        // recovered with its copy intact. Trim the tail-most live copies
+        // (re-replicated ones append at the tail) back down to R; dead
+        // entries stay — their nodes may yet come back.
+        std::size_t excess = live.size() - cfg_.replication;
+        stats_.replicas_trimmed += excess;
+        for (std::size_t i = block.replicas.size(); i-- > 0 && excess > 0;) {
+          if (!down_[block.replicas[i]]) {
+            block.replicas.erase(block.replicas.begin() +
+                                 static_cast<std::ptrdiff_t>(i));
+            --excess;
+          }
+        }
+        continue;
+      }
+      if (live.empty() || live.size() == cfg_.replication) continue;
       // Candidates: live nodes not already holding the block.
       std::vector<std::size_t> candidates;
       for (std::size_t n = 0; n < comm_.nranks(); ++n) {

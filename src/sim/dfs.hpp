@@ -67,6 +67,7 @@ struct DfsStats {
   std::uint64_t bytes_read = 0;
   std::uint64_t local_reads = 0;     // served from the client's own node
   std::uint64_t re_replications = 0;
+  std::uint64_t replicas_trimmed = 0;  // excess copies dropped after recovery
 };
 
 class Dfs {
@@ -86,6 +87,7 @@ class Dfs {
 
   bool exists(const std::string& name) const { return files_.contains(name); }
   std::uint64_t file_size(const std::string& name) const;
+  std::size_t block_count(const std::string& name) const;
 
   /// Crash / recover a datanode. Crashed nodes serve nothing.
   void fail_node(std::size_t node);
@@ -115,6 +117,7 @@ class Dfs {
 
   std::vector<std::size_t> place_replicas(std::size_t writer);
   std::size_t pick_read_replica(std::size_t client, const Block& b) const;
+  void drop_replica(const std::string& name, std::size_t block, std::size_t node);
 
   Comm& comm_;
   DfsConfig cfg_;

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "obs/metrics.hpp"
 #include "sim/simulator.hpp"
 
 namespace hpbdc::sim {
@@ -63,6 +64,15 @@ class Network {
   std::size_t nodes() const noexcept { return cfg_.nodes; }
   const NetworkStats& stats() const noexcept { return stats_; }
 
+  /// Mirror send/drop/byte counts into a registry (PR-1 obs layer): every
+  /// send() also bumps net.msgs_sent / net.bytes_sent, drops bump
+  /// net.msgs_dropped. Unbound (the default) costs one nullptr branch.
+  void bind_metrics(obs::MetricsRegistry& reg) {
+    m_msgs_ = &reg.counter("net.msgs_sent");
+    m_bytes_ = &reg.counter("net.bytes_sent");
+    m_dropped_ = &reg.counter("net.msgs_dropped");
+  }
+
   /// Number of fabric hops between two nodes under the configured topology.
   std::size_t hops(std::size_t src, std::size_t dst) const {
     if (src == dst) return 0;
@@ -91,6 +101,10 @@ class Network {
     check(dst);
     stats_.messages++;
     stats_.bytes += bytes;
+    if (m_msgs_ != nullptr) {
+      m_msgs_->add(1);
+      m_bytes_->add(bytes);
+    }
     const SimTime now = sim_.now();
     if (src == dst) {
       sim_.schedule_at(now + kLoopbackLatency, std::move(on_delivered));
@@ -102,6 +116,7 @@ class Network {
     tx_free_[src] = tx_end;
     if (cfg_.loss_probability > 0 && loss_rng_.next_bool(cfg_.loss_probability)) {
       ++stats_.dropped;  // lost in the fabric: TX was paid, nothing arrives
+      if (m_dropped_ != nullptr) m_dropped_->add(1);
       return;
     }
     const SimTime prop = static_cast<double>(hops(src, dst)) * cfg_.per_hop_latency;
@@ -131,6 +146,9 @@ class Network {
   std::vector<SimTime> tx_free_, rx_free_;
   NetworkStats stats_;
   Rng loss_rng_;
+  obs::Counter* m_msgs_ = nullptr;
+  obs::Counter* m_bytes_ = nullptr;
+  obs::Counter* m_dropped_ = nullptr;
 };
 
 }  // namespace hpbdc::sim

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 
 #include "sim/dfs.hpp"
@@ -214,6 +215,62 @@ TEST(Dfs, ReReplicationRestoresFactorAndReadability) {
   f.dfs.read(15, "/f", [&](bool r) { ok = r; });
   f.sim.run();
   EXPECT_TRUE(ok);
+}
+
+// A pipeline target dying while the write is still streaming must not sink the
+// write: the chain routes around the dead node, metadata drops the lost copy,
+// and re-replication can later restore the factor.
+TEST(Dfs, MidWritePipelineNodeFailure) {
+  DfsFixture f;
+  bool ok = false;
+  f.dfs.write(0, "/f", 128 * MiB, [&](bool r) { ok = r; });
+  // Placement is decided synchronously at write(); kill the second replica in
+  // block 0's chain before the store-and-forward hop reaches it.
+  const auto planned = f.dfs.block_locations("/f", 0);
+  ASSERT_EQ(planned.size(), 3u);
+  const std::size_t victim = planned[1];
+  f.sim.schedule_after(0.1, [&] { f.dfs.fail_node(victim); });
+  f.sim.run();
+  EXPECT_TRUE(ok);  // every block kept at least one durable copy
+  const auto after = f.dfs.block_locations("/f", 0);
+  EXPECT_LT(after.size(), 3u);
+  EXPECT_EQ(std::find(after.begin(), after.end(), victim), after.end());
+  bool repaired = false;
+  f.dfs.re_replicate([&] { repaired = true; });
+  f.sim.run();
+  EXPECT_TRUE(repaired);
+  EXPECT_EQ(f.dfs.block_locations("/f", 0).size(), 3u);
+  bool read_ok = false;
+  f.dfs.read(15, "/f", [&](bool r) { read_ok = r; });
+  f.sim.run();
+  EXPECT_TRUE(read_ok);
+}
+
+// Transient outage: fail -> re-replicate -> recover leaves the block
+// over-replicated (the recovered node still has its copy); the next
+// re-replication pass trims back down to the configured factor.
+TEST(Dfs, ReReplicationThenRecoveryTrims) {
+  DfsFixture f;
+  f.dfs.write(0, "/f", MiB, [](bool) {});
+  f.sim.run();
+  const auto before = f.dfs.block_locations("/f", 0);
+  ASSERT_EQ(before.size(), 3u);
+  f.dfs.fail_node(before[1]);
+  f.dfs.re_replicate([] {});
+  f.sim.run();
+  EXPECT_GT(f.dfs.stats().re_replications, 0u);
+  f.dfs.recover_node(before[1]);  // comes back with its data intact
+  f.dfs.re_replicate([] {});
+  f.sim.run();
+  EXPECT_GE(f.dfs.stats().replicas_trimmed, 1u);
+  const auto after = f.dfs.block_locations("/f", 0);
+  EXPECT_EQ(after.size(), 3u);
+  EXPECT_EQ(std::set<std::size_t>(after.begin(), after.end()).size(), 3u);
+  bool ok = false;
+  f.dfs.read(15, "/f", [&](bool r) { ok = r; });
+  f.sim.run();
+  EXPECT_TRUE(ok);
+  EXPECT_THROW(f.dfs.recover_node(99), std::out_of_range);
 }
 
 TEST(Dfs, ReReplicateNoopWhenHealthy) {

@@ -1,0 +1,344 @@
+// Tests for the distributed dataflow runtime (src/dist): parity with the
+// shared-memory dataflow engine (bit-for-bit), lineage-based recovery from a
+// mid-job node kill, checkpoint-truncated recomputation, straggler
+// speculation, DFS-block locality, and whole-run determinism under a fixed
+// seed.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "algos/terasort.hpp"
+#include "algos/textgen.hpp"
+#include "algos/wordcount.hpp"
+#include "dist/jobs.hpp"
+#include "dist/runtime.hpp"
+#include "exec/thread_pool.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace hpbdc::dist {
+namespace {
+
+constexpr std::uint64_t MiB = 1ULL << 20;
+
+sim::NetworkConfig star(std::size_t nodes) {
+  sim::NetworkConfig nc;
+  nc.nodes = nodes;
+  nc.topology = sim::Topology::kStar;
+  return nc;
+}
+
+sim::NetworkConfig fat_tree_16() {
+  sim::NetworkConfig nc;
+  nc.nodes = 16;
+  nc.topology = sim::Topology::kFatTree;
+  nc.hosts_per_rack = 4;
+  nc.racks_per_pod = 2;
+  return nc;
+}
+
+/// One fully wired simulated cluster + runtime; fresh per run so repeated
+/// runs start from identical state.
+struct Cluster {
+  sim::Simulator sim;
+  sim::Network net;
+  sim::Comm comm;
+  sim::Dfs dfs;
+  DistRuntime rt;
+
+  explicit Cluster(sim::NetworkConfig nc, DistConfig dc = {},
+                   sim::DfsConfig fc = {})
+      : net(sim, nc), comm(sim, net), dfs(comm, fc), rt(comm, dc, &dfs) {}
+
+  JobResult run(JobSpec job) {
+    JobResult out;
+    rt.submit(std::move(job), [&out](const JobResult& r) { out = r; });
+    sim.run();
+    return out;
+  }
+};
+
+std::vector<std::vector<std::string>> partition_lines(
+    const std::vector<std::string>& lines, std::size_t nparts) {
+  std::vector<std::vector<std::string>> parts(nparts);
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    parts[i % nparts].push_back(lines[i]);
+  }
+  return parts;
+}
+
+// ---- parity with the shared-memory engine ----------------------------------------
+
+TEST(DistRuntime, WordCountMatchesDataflowBitForBit) {
+  Rng rng(7);
+  algos::TextGenConfig tc;
+  tc.vocabulary = 300;
+  const auto lines = algos::generate_text(tc, 400, rng);
+  auto parts = std::make_shared<std::vector<std::vector<std::string>>>(
+      partition_lines(lines, 8));
+
+  DistConfig dc;
+  dc.seed = 42;
+  Cluster cl(star(8), dc);
+  obs::MetricsRegistry reg;
+  obs::TraceSession trace;
+  cl.rt.bind_metrics(reg);
+  cl.rt.bind_trace(trace);
+  const auto res = cl.run(wordcount_job(parts, 5));
+  ASSERT_TRUE(res.ok);
+  EXPECT_GT(res.makespan, 0.0);
+  const auto& st = cl.rt.stats();
+  EXPECT_EQ(st.task_retries, 0u);
+  EXPECT_EQ(st.tasks_recomputed, 0u);
+  EXPECT_EQ(st.executors_declared_dead, 0u);
+  EXPECT_EQ(st.tasks_completed, 13u);  // 8 map + 5 reduce
+
+  // Metrics mirror the stats; the trace holds per-task and per-stage spans.
+  EXPECT_EQ(reg.counter("dist.tasks_launched").value(), st.tasks_launched);
+  std::size_t task_spans = 0, stage_spans = 0;
+  for (const auto& ev : trace.events()) {
+    task_spans += ev.category == "task" ? 1 : 0;
+    stage_spans += ev.category == "stage" ? 1 : 0;
+  }
+  EXPECT_EQ(task_spans, 13u);
+  EXPECT_EQ(stage_spans, 2u);
+
+  // Same computation on the shared-memory engine.
+  ThreadPool pool{4};
+  dataflow::Context ctx{pool};
+  auto ds = dataflow::Dataset<std::string>::parallelize(ctx, lines, 8);
+  auto engine_rows = algos::word_count(ds, 5).collect();
+  std::sort(engine_rows.begin(), engine_rows.end());
+
+  EXPECT_EQ(to_bytes(wordcount_collect(res)), to_bytes(engine_rows));
+}
+
+TEST(DistRuntime, TeraSortMatchesDataflowBitForBit) {
+  Rng rng(11);
+  auto records = algos::generate_tera_records(3000, rng);
+  auto parts = std::make_shared<std::vector<std::vector<algos::TeraRecord>>>();
+  parts->resize(6);
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    (*parts)[i % 6].push_back(records[i]);
+  }
+
+  DistConfig dc;
+  dc.seed = 5;
+  Cluster cl(star(8), dc);
+  const auto res = cl.run(terasort_job(parts, 4));
+  ASSERT_TRUE(res.ok);
+  auto got = terasort_collect(res);
+  ASSERT_EQ(got.size(), records.size());
+  EXPECT_TRUE(std::is_sorted(got.begin(), got.end(), tera_less));
+
+  ThreadPool pool{4};
+  dataflow::Context ctx{pool};
+  auto engine = algos::terasort(ctx, records, 4).collect();
+  std::sort(engine.begin(), engine.end(), tera_less);
+  std::sort(got.begin(), got.end(), tera_less);  // canonical order for ties
+  EXPECT_EQ(to_bytes(got), to_bytes(engine));
+}
+
+// ---- fault tolerance -------------------------------------------------------------
+
+DistConfig fast_detect_config() {
+  DistConfig dc;
+  dc.seed = 1234;
+  dc.slots_per_node = 1;
+  dc.heartbeat_interval = 0.05;
+  dc.heartbeat_timeout = 0.25;
+  dc.heartbeat_jitter = 0.01;
+  return dc;
+}
+
+TEST(DistRuntime, NodeKillRecoversViaLineageWithSameResult) {
+  Rng rng(3);
+  algos::TextGenConfig tc;
+  tc.vocabulary = 200;
+  const auto lines = algos::generate_text(tc, 200, rng);
+  auto parts = std::make_shared<std::vector<std::vector<std::string>>>(
+      partition_lines(lines, 16));
+  // 64 MiB simulated scan per map task stretches the job so the kill and
+  // its detection land mid-flight.
+  auto make_job = [&] { return wordcount_job(parts, 32, {}, 64 * MiB); };
+
+  Cluster clean(star(8), fast_detect_config());
+  const auto base = clean.run(make_job());
+  ASSERT_TRUE(base.ok);
+  ASSERT_EQ(clean.rt.stats().task_retries, 0u);
+
+  Cluster faulty(star(8), fast_detect_config());
+  faulty.rt.kill_node_at(5, 0.6 * base.makespan);
+  const auto res = faulty.run(make_job());
+  ASSERT_TRUE(res.ok);
+  const auto& st = faulty.rt.stats();
+  EXPECT_GE(st.executors_declared_dead, 1u);
+  EXPECT_GE(st.tasks_recomputed, 1u);  // node 5's finished map outputs were lost
+  EXPECT_GT(res.makespan, base.makespan);
+  // Bit-for-bit the same answer despite the recomputation.
+  EXPECT_EQ(to_bytes(wordcount_collect(res)), to_bytes(wordcount_collect(base)));
+}
+
+TEST(DistRuntime, KilledNodeRecoversAndRejoins) {
+  auto dc = fast_detect_config();
+  Cluster cl(star(8), dc);
+  cl.rt.kill_node_at(3, 0.2);
+  cl.rt.recover_node_at(3, 0.8);
+  const auto res = cl.run(synthetic_job(3, 16, 8 * MiB));
+  ASSERT_TRUE(res.ok);
+  EXPECT_GE(cl.rt.stats().executors_declared_dead, 1u);
+  EXPECT_EQ(cl.rt.live_executors(), 8u);  // node 3 re-registered via heartbeat
+}
+
+sim::SimTime stage_end(const obs::TraceSession& trace, const std::string& stage) {
+  for (const auto& ev : trace.events()) {
+    if (ev.category == "stage" && ev.name == stage) {
+      return static_cast<double>(ev.ts_us + ev.dur_us) / 1e6;
+    }
+  }
+  ADD_FAILURE() << "no stage span " << stage;
+  return 0;
+}
+
+TEST(DistRuntime, CheckpointRecomputesStrictlyLessThanLineage) {
+  // 4-stage chain; the checkpointed variant persists s1. A node killed
+  // during s3 costs the plain variant a recompute cascade down to s0, while
+  // the checkpointed variant restarts from the s1 checkpoint.
+  struct Variant {
+    std::uint64_t recomputed = 0;
+    Bytes result;
+  };
+  auto run_variant = [](std::size_t ckpt_every) {
+    auto job = [ckpt_every] { return synthetic_job(4, 8, 4 * MiB, ckpt_every); };
+    DistConfig dc = fast_detect_config();
+    dc.slots_per_node = 2;
+    dc.compute_bps = 50e6;  // long stages: the checkpoint write finishes in s2
+    sim::DfsConfig fc;
+    fc.disk_bandwidth_bps = 2e9;
+
+    Cluster clean(star(8), dc, fc);
+    obs::TraceSession trace;
+    clean.rt.bind_trace(trace);
+    const auto base = clean.run(job());
+    EXPECT_TRUE(base.ok);
+    const sim::SimTime kill_at = stage_end(trace, "s2") + 0.01;
+
+    Cluster faulty(star(8), dc, fc);
+    faulty.rt.kill_node_at(3, kill_at);
+    const auto res = faulty.run(job());
+    EXPECT_TRUE(res.ok);
+    Variant v;
+    v.recomputed = faulty.rt.stats().tasks_recomputed;
+    if (ckpt_every > 0) {
+      EXPECT_GE(faulty.rt.stats().checkpoints_written, 1u);
+      EXPECT_GE(faulty.rt.stats().checkpoint_restores, 1u);
+    }
+    BufWriter w;
+    for (const auto& blocks : res.output)
+      for (const auto& b : blocks) w.write_bytes(b);
+    v.result = w.take();
+    return v;
+  };
+
+  const Variant plain = run_variant(0);
+  const Variant ckpt = run_variant(2);
+  EXPECT_GE(plain.recomputed, 1u);
+  EXPECT_LT(ckpt.recomputed, plain.recomputed);
+  EXPECT_EQ(plain.result, ckpt.result);  // recovery never changes the answer
+}
+
+TEST(DistRuntime, SameSeedRunsAreIdentical) {
+  auto run_once = [] {
+    auto nc = star(8);
+    nc.loss_probability = 0.01;  // lossy control plane, fixed loss_seed
+    nc.loss_seed = 999;
+    DistConfig dc = fast_detect_config();
+    dc.slots_per_node = 2;
+    dc.node_mtbf = 6.0;  // random failures drawn from the master seed
+    dc.node_downtime = 0.5;
+    // Longer than any genuine attempt (fetch queueing included) so only
+    // genuinely lost control RPCs get requeued.
+    dc.attempt_timeout = 10.0;
+    dc.max_task_attempts = 10;
+    Cluster cl(nc, dc);
+    // A light job whose per-attempt work stays well under attempt_timeout even
+    // with disk/NIC contention, so the failure churn is survivable: ~a dozen
+    // node kill/recover cycles and a few lineage recomputes per run.
+    const auto res = cl.run(synthetic_job(3, 8, 4 * MiB));
+    EXPECT_TRUE(res.ok);
+    EXPECT_GE(cl.rt.stats().executors_declared_dead, 1u);
+    EXPECT_GE(cl.rt.stats().tasks_recomputed, 1u);
+    return std::pair<JobResult, DistStats>(res, cl.rt.stats());
+  };
+  const auto [r1, s1] = run_once();
+  const auto [r2, s2] = run_once();
+  EXPECT_EQ(r1.makespan, r2.makespan);  // exact: same seed, same event order
+  EXPECT_EQ(s1.tasks_launched, s2.tasks_launched);
+  EXPECT_EQ(s1.task_retries, s2.task_retries);
+  EXPECT_EQ(s1.tasks_recomputed, s2.tasks_recomputed);
+  EXPECT_EQ(s1.executors_declared_dead, s2.executors_declared_dead);
+  EXPECT_EQ(s1.heartbeats_received, s2.heartbeats_received);
+  BufWriter w1, w2;
+  for (const auto& blocks : r1.output)
+    for (const auto& b : blocks) w1.write_bytes(b);
+  for (const auto& blocks : r2.output)
+    for (const auto& b : blocks) w2.write_bytes(b);
+  EXPECT_EQ(w1.take(), w2.take());
+}
+
+TEST(DistRuntime, SpeculationBeatsStragglersOnMakespan) {
+  auto run_once = [](bool speculate) {
+    DistConfig dc;
+    dc.seed = 77;
+    dc.slots_per_node = 2;
+    dc.straggler_fraction = 0.3;
+    dc.straggler_speed = 0.1;
+    dc.speculate = speculate;
+    Cluster cl(star(8), dc);
+    const auto res = cl.run(synthetic_job(1, 24, 16 * MiB));
+    EXPECT_TRUE(res.ok);
+    return std::pair<double, DistStats>(res.makespan, cl.rt.stats());
+  };
+  const auto [slow, slow_stats] = run_once(false);
+  const auto [fast, fast_stats] = run_once(true);
+  EXPECT_EQ(slow_stats.speculative_launched, 0u);
+  EXPECT_GE(fast_stats.speculative_launched, 1u);
+  EXPECT_LT(fast, slow);
+}
+
+TEST(DistRuntime, InputStagePrefersDfsBlockLocality) {
+  DistConfig dc;
+  dc.seed = 9;
+  Cluster cl(fat_tree_16(), dc);
+  bool written = false;
+  cl.dfs.write(0, "/input", 16 * 64 * MiB, [&](bool ok) { written = ok; });
+  cl.sim.run();
+  ASSERT_TRUE(written);
+
+  const auto res = cl.run(synthetic_job(1, 16, MiB, 0, 64 * MiB, "/input"));
+  ASSERT_TRUE(res.ok);
+  const auto& st = cl.rt.stats();
+  EXPECT_EQ(st.locality_hits + st.locality_misses, st.tasks_launched);
+  EXPECT_GT(st.locality_hits, st.locality_misses);
+}
+
+TEST(DistRuntime, RejectsBadJobs) {
+  DistConfig dc;
+  Cluster cl(star(4), dc);
+  EXPECT_THROW(cl.rt.submit(JobSpec{}, nullptr), std::invalid_argument);
+  JobSpec cyclic;
+  StageSpec st;
+  st.name = "s";
+  st.ntasks = 1;
+  st.parents = {0};  // self-reference: not topologically ordered
+  st.run = [](std::size_t, const std::vector<std::vector<Bytes>>&) {
+    return std::vector<Bytes>{};
+  };
+  cyclic.stages = {st};
+  EXPECT_THROW(cl.rt.submit(std::move(cyclic), nullptr), std::invalid_argument);
+  EXPECT_THROW(cl.rt.kill_node_at(0, 1.0), std::invalid_argument);  // driver
+}
+
+}  // namespace
+}  // namespace hpbdc::dist
