@@ -1,0 +1,324 @@
+#include "chaos/harness.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+#include "dataflow/context.hpp"
+#include "obs/metrics.hpp"
+#include "sim/comm.hpp"
+#include "sim/dfs.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace hpbdc::chaos {
+
+namespace {
+
+std::uint64_t mix_seed(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t s = a ^ (b * 0x9e3779b97f4a7c15ULL);
+  return splitmix64(s);
+}
+
+}  // namespace
+
+std::string format_replay(const ChaosConfig& cfg) {
+  char mask[32];
+  std::snprintf(mask, sizeof(mask), "0x%llx",
+                static_cast<unsigned long long>(cfg.fault_mask));
+  std::string out;
+  out += "pseed=" + std::to_string(cfg.plan_seed);
+  out += ",fseed=" + std::to_string(cfg.fault_seed);
+  out += ",nodes=" + std::to_string(cfg.plan_nodes);
+  out += ",rows=" + std::to_string(cfg.rows);
+  out += ",tasks=" + std::to_string(cfg.ntasks);
+  out += ",cluster=" + std::to_string(cfg.cluster_nodes);
+  out += ",mask=" + std::string(mask);
+  out += ",bug=" + std::to_string(cfg.inject_lineage_bug ? 1 : 0);
+  return out;
+}
+
+ChaosConfig parse_replay(const std::string& spec) {
+  ChaosConfig cfg;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    const std::string tok =
+        spec.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    pos = comma == std::string::npos ? spec.size() : comma + 1;
+    const std::size_t eq = tok.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 >= tok.size()) {
+      throw std::invalid_argument("chaos replay: malformed token '" + tok + "'");
+    }
+    const std::string key = tok.substr(0, eq);
+    const std::string val = tok.substr(eq + 1);
+    std::uint64_t num = 0;
+    try {
+      num = std::stoull(val, nullptr, 0);  // base 0: mask accepts 0x...
+    } catch (const std::exception&) {
+      throw std::invalid_argument("chaos replay: bad value in '" + tok + "'");
+    }
+    if (key == "pseed") {
+      cfg.plan_seed = num;
+    } else if (key == "fseed") {
+      cfg.fault_seed = num;
+    } else if (key == "nodes") {
+      cfg.plan_nodes = static_cast<std::size_t>(num);
+    } else if (key == "rows") {
+      cfg.rows = num;
+    } else if (key == "tasks") {
+      cfg.ntasks = static_cast<std::size_t>(num);
+    } else if (key == "cluster") {
+      cfg.cluster_nodes = static_cast<std::size_t>(num);
+    } else if (key == "mask") {
+      cfg.fault_mask = num;
+    } else if (key == "bug") {
+      cfg.inject_lineage_bug = num != 0;
+    } else {
+      throw std::invalid_argument("chaos replay: unknown key '" + key + "'");
+    }
+  }
+  if (cfg.plan_nodes == 0 || cfg.ntasks == 0 || cfg.cluster_nodes < 2) {
+    throw std::invalid_argument("chaos replay: degenerate configuration");
+  }
+  return cfg;
+}
+
+sim::FaultPlan make_fault_plan(std::uint64_t seed, const FaultGenOptions& opt) {
+  Rng rng(mix_seed(seed, 0xFA017));
+  sim::FaultPlan plan;
+  auto pick_node = [&rng, &opt] {
+    std::size_t n = rng.next_below(opt.nodes);
+    while (n == opt.protect) n = rng.next_below(opt.nodes);
+    return n;
+  };
+  // Kill/recover pairs in strictly sequential windows: at most one node down
+  // at any time, and every kill recovers after a bounded downtime — the
+  // survivability contract the differential oracle's success check rests on.
+  if (opt.nodes >= 2 && opt.max_kills > 0) {
+    const auto kills = rng.next_below(opt.max_kills + 1);
+    double cursor = 0.15;
+    for (std::uint64_t i = 0; i < kills; ++i) {
+      const double start =
+          cursor + rng.next_double() * (opt.horizon / static_cast<double>(kills + 1));
+      const double down = opt.min_downtime +
+                          rng.next_double() * (opt.max_downtime - opt.min_downtime);
+      std::size_t node;
+      if (opt.target_leader && rng.next_bool(0.6)) {
+        node = sim::FaultInjector::kLeaderTarget;
+      } else {
+        node = pick_node();
+      }
+      plan.kill(start, node).recover(start + down, node);
+      cursor = start + down + 0.2;
+    }
+  }
+  if (rng.next_bool(0.7)) {
+    const double t0 = 0.05 + rng.next_double() * opt.horizon * 0.7;
+    const double p = 0.05 + rng.next_double() * (opt.max_loss - 0.05);
+    plan.loss_burst(t0, t0 + 0.2 + rng.next_double() * 1.0, p);
+  }
+  if (rng.next_bool(0.6)) {
+    const double t0 = 0.05 + rng.next_double() * opt.horizon * 0.7;
+    const double jitter = 0.0005 + rng.next_double() * opt.max_jitter;
+    plan.reorder_burst(t0, t0 + 0.2 + rng.next_double() * 1.0, jitter);
+  }
+  if (rng.next_bool(0.5)) {
+    const double t0 = 0.05 + rng.next_double() * opt.horizon * 0.7;
+    const double extra = 0.02 + rng.next_double() * (opt.max_extra_delay - 0.02);
+    plan.delay_burst(t0, t0 + 0.2 + rng.next_double() * 0.8, extra);
+  }
+  if (opt.nodes >= 2 && opt.max_stragglers > 0) {
+    const auto slows = rng.next_below(opt.max_stragglers + 1);
+    for (std::uint64_t i = 0; i < slows; ++i) {
+      const std::size_t node = pick_node();
+      const double t0 = 0.05 + rng.next_double() * opt.horizon * 0.6;
+      const double speed =
+          opt.min_speed + rng.next_double() * (opt.max_speed - opt.min_speed);
+      plan.slow(t0, node, speed).restore_speed(t0 + 1.0 + rng.next_double() * 2.0,
+                                               node);
+    }
+  }
+  if (opt.max_dfs_losses > 0) {
+    const auto losses = rng.next_below(opt.max_dfs_losses + 1);
+    for (std::uint64_t i = 0; i < losses; ++i) {
+      plan.dfs_replica_loss(0.1 + rng.next_double() * opt.horizon);
+    }
+  }
+  std::stable_sort(
+      plan.events.begin(), plan.events.end(),
+      [](const sim::FaultEvent& a, const sim::FaultEvent& b) { return a.at < b.at; });
+  return plan;
+}
+
+ChaosOutcome run_chaos_once(const ChaosConfig& cfg, Executor& pool) {
+  ChaosOutcome out;
+  auto fail = [&out](const std::string& msg) {
+    if (out.passed) {
+      out.passed = false;
+      out.violation = msg;
+    }
+  };
+
+  const LogicalPlan plan = make_plan(cfg.plan_seed, cfg.plan_nodes, cfg.rows);
+  out.plan = plan.describe();
+
+  // ---- trusted side: fault-free shared-memory run + conservation checks --
+  obs::MetricsRegistry ref_metrics;
+  dataflow::Context::Options ctx_opts;
+  ctx_opts.metrics = &ref_metrics;
+  dataflow::Context ctx(pool, ctx_opts);
+  const std::vector<Row> expected_rows = run_reference(plan, ctx);
+  const Bytes expected = canonical_bytes(expected_rows);
+  out.result_rows = expected_rows.size();
+
+  const auto cval = [&ref_metrics](const char* name) {
+    return ref_metrics.counter(name).value();
+  };
+  if (cval("dataflow.map.records_in") != cval("dataflow.map.records_out")) {
+    fail("conservation: map records_in != records_out");
+  }
+  if (cval("dataflow.filter.records_out") > cval("dataflow.filter.records_in")) {
+    fail("conservation: filter emitted more records than it read");
+  }
+  if (cval("shuffle.records_moved") > cval("shuffle.records_in")) {
+    fail("conservation: shuffle moved more records than entered it");
+  }
+
+  // ---- system under test: dist runtime under the fault schedule ----------
+  sim::Simulator sim;
+  sim::NetworkConfig nc;
+  nc.nodes = cfg.cluster_nodes;
+  nc.topology = sim::Topology::kStar;
+  nc.loss_seed = mix_seed(cfg.fault_seed, 1);
+  sim::Network net(sim, nc);
+  sim::Comm comm(sim, net);
+  sim::Dfs dfs(comm, sim::DfsConfig{});
+
+  dist::DistConfig dc;
+  dc.driver = 0;
+  dc.slots_per_node = 2;
+  dc.heartbeat_interval = 0.1;
+  dc.heartbeat_timeout = 0.5;
+  dc.heartbeat_jitter = 0.01;
+  dc.attempt_timeout = 10.0;  // >> any genuine attempt at chaos sizes
+  dc.max_task_attempts = 8;
+  dc.speculate = true;  // injected stragglers should race speculative copies
+  dc.seed = mix_seed(cfg.plan_seed, cfg.fault_seed);
+  dist::DistRuntime rt(comm, dc, &dfs);
+  if (cfg.inject_lineage_bug) rt.set_test_disable_lineage_recompute(true);
+
+  FaultGenOptions fo;
+  fo.nodes = cfg.cluster_nodes;
+  fo.protect = dc.driver;
+  const sim::FaultPlan faults = make_fault_plan(cfg.fault_seed, fo);
+  out.fault_events = faults.events.size();
+
+  sim::FaultTargets targets;
+  targets.kill_node = [&rt, &sim](std::size_t n) { rt.kill_node_at(n, sim.now()); };
+  targets.recover_node = [&rt, &sim](std::size_t n) {
+    rt.recover_node_at(n, sim.now());
+  };
+  targets.set_node_speed = [&rt, &sim](std::size_t n, double s) {
+    rt.set_node_speed_at(n, s, sim.now());
+  };
+  targets.net = &net;
+  targets.dfs = &dfs;
+  sim::FaultInjector injector(sim, targets, mix_seed(cfg.fault_seed, 2));
+  injector.arm(faults, cfg.fault_mask);
+
+  bool done = false;
+  dist::JobResult res;
+  dist::DistStats at_done;
+  rt.submit(make_dist_job(plan, cfg.ntasks),
+            [&](const dist::JobResult& r) {
+              res = r;
+              done = true;
+              at_done = rt.stats();
+            });
+  // Drive in slices so a finished job doesn't burn the whole horizon on
+  // idle heartbeats; after completion, a short grace window surfaces any
+  // straggling task events for the quiescence check.
+  while (!done && sim.now() < cfg.horizon) {
+    sim.run_until(std::min(cfg.horizon, sim.now() + 5.0));
+  }
+  if (done) sim.run_until(sim.now() + 2.0);
+  out.fired = injector.fired();
+  out.dist_stats = rt.stats();
+
+  if (!done) {
+    fail("liveness: job not done within the simulated horizon");
+    return out;
+  }
+  out.makespan = res.makespan;
+  if (!res.ok) {
+    fail("success: survivable fault schedule aborted the job");
+  } else if (canonical_bytes(rows_from_result(res)) != expected) {
+    fail("differential: dist result differs from the fault-free reference");
+  }
+  if (at_done.max_failures_one_task > dc.max_task_attempts) {
+    fail("budget: a task exceeded max_task_attempts charged failures");
+  }
+  // Quiescence: completion freezes the task counters; late events may only
+  // move stale_events_ignored.
+  if (out.dist_stats.tasks_launched != at_done.tasks_launched ||
+      out.dist_stats.tasks_completed != at_done.tasks_completed) {
+    fail("quiescence: task activity after job completion");
+  }
+  return out;
+}
+
+ShrinkResult shrink(const ChaosConfig& failing, Executor& pool) {
+  ShrinkResult sr;
+  ChaosConfig cur = failing;
+  ChaosOutcome cur_out = run_chaos_once(cur, pool);
+  sr.runs++;
+  if (cur_out.passed) {
+    throw std::logic_error("chaos::shrink: the input configuration passes");
+  }
+
+  // Phase 1: smallest plan-node count that still fails (plans are
+  // prefix-stable, so this prunes DAG suffix nodes).
+  for (std::size_t n = 1; n < cur.plan_nodes; ++n) {
+    ChaosConfig c = cur;
+    c.plan_nodes = n;
+    ChaosOutcome o = run_chaos_once(c, pool);
+    sr.runs++;
+    if (!o.passed) {
+      cur = c;
+      cur_out = o;
+      break;
+    }
+  }
+
+  // Phase 2: delta-debug the fault schedule — drop one event at a time,
+  // keep any removal that still fails, iterate to a fixpoint.
+  constexpr std::size_t kRunBudget = 96;
+  bool changed = true;
+  while (changed && sr.runs < kRunBudget) {
+    changed = false;
+    const std::size_t nev = std::min<std::size_t>(cur_out.fault_events, 64);
+    for (std::size_t i = 0; i < nev && sr.runs < kRunBudget; ++i) {
+      if ((cur.fault_mask & (1ULL << i)) == 0) continue;
+      ChaosConfig c = cur;
+      c.fault_mask &= ~(1ULL << i);
+      ChaosOutcome o = run_chaos_once(c, pool);
+      sr.runs++;
+      if (!o.passed) {
+        cur = c;
+        cur_out = o;
+        changed = true;
+      }
+    }
+  }
+  // Normalize: bits above the schedule length arm nothing.
+  if (cur_out.fault_events < 64) {
+    cur.fault_mask &= (1ULL << cur_out.fault_events) - 1;
+  }
+  sr.minimal = cur;
+  sr.outcome = cur_out;
+  sr.replay = format_replay(cur);
+  return sr;
+}
+
+}  // namespace hpbdc::chaos

@@ -1,0 +1,104 @@
+#pragma once
+// The chaos harness proper: ties a random logical plan (plan_gen) to a
+// random fault schedule (sim::FaultPlan) on a simulated cluster, runs the
+// dist runtime under fire, and checks a differential oracle against the
+// fault-free shared-memory execution:
+//   * liveness — the job completes within a generous simulated horizon,
+//   * success  — the survivable fault schedule never aborts the job,
+//   * equality — the result row multiset is bit-for-bit the reference's,
+//   * budget   — no task consumed more than max_task_attempts charged
+//                failures,
+//   * quiescence — tasks_launched/completed freeze at job completion (late
+//                events only move the stale_events_ignored counter),
+//   * conservation — on the reference run, map records_in == records_out,
+//                filters never grow, shuffles never move more records than
+//                entered them.
+// On violation the shrinker prunes DAG suffix nodes, then delta-debugs the
+// fault-event mask, and emits a one-line replay spec that chaos_test and
+// chaos_demo accept for exact reproduction.
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "chaos/plan_gen.hpp"
+#include "dist/runtime.hpp"
+#include "sim/fault.hpp"
+
+namespace hpbdc::chaos {
+
+/// Everything one chaos run derives from; (plan_seed, fault_seed, sizes,
+/// fault_mask) is the whole replay state — see format_replay/parse_replay.
+struct ChaosConfig {
+  std::uint64_t plan_seed = 1;
+  std::uint64_t fault_seed = 1;
+  std::size_t plan_nodes = 5;
+  std::uint64_t rows = 256;       // rows per source node
+  std::size_t ntasks = 4;         // tasks per dist stage
+  std::size_t cluster_nodes = 6;  // node 0 hosts the driver
+  std::uint64_t fault_mask = ~std::uint64_t{0};  // bit i arms fault event i
+  double horizon = 600.0;  // liveness watchdog (simulated seconds)
+  /// Seeded-bug hook: disable lineage recompute in the runtime so the
+  /// harness has a known-broken target to catch and shrink.
+  bool inject_lineage_bug = false;
+};
+
+/// One line, e.g. "pseed=3,fseed=9,nodes=5,rows=256,tasks=4,cluster=6,
+/// mask=0xffffffffffffffff,bug=0". parse_replay throws std::invalid_argument
+/// on malformed specs; format/parse round-trip exactly.
+std::string format_replay(const ChaosConfig& cfg);
+ChaosConfig parse_replay(const std::string& spec);
+
+struct FaultGenOptions {
+  std::size_t nodes = 6;
+  std::size_t protect = 0;  // never killed/slowed (the driver)
+  double horizon = 5.0;     // events land in (0, horizon)
+  std::size_t max_kills = 2;
+  double min_downtime = 0.8, max_downtime = 3.0;
+  double max_loss = 0.3;             // loss-burst probability ceiling
+  double max_jitter = 0.004;         // reorder-burst delivery jitter (s)
+  double max_extra_delay = 0.12;     // heartbeat-delay burst (s); keep well
+                                     // under the detector timeout
+  std::size_t max_stragglers = 2;
+  double min_speed = 0.2, max_speed = 0.6;
+  std::size_t max_dfs_losses = 2;
+  /// Kill the current leader instead of a fixed node (Raft harness).
+  bool target_leader = false;
+};
+
+/// Seed-deterministic fault schedule. Survivability guarantees baked into
+/// the generator (the oracle depends on them): at most one node down at a
+/// time, every kill paired with a bounded-downtime recovery, loss bursts
+/// bounded in rate and duration, delay bursts below the failure-detector
+/// timeout, and DFS losses never dropping a block's last replica (enforced
+/// at fire time). At most 64 events so the shrink mask covers them all.
+sim::FaultPlan make_fault_plan(std::uint64_t seed, const FaultGenOptions& opt);
+
+struct ChaosOutcome {
+  bool passed = true;
+  std::string violation;  // first failed check; empty when passed
+  std::string plan;       // LogicalPlan::describe() of the plan under test
+  std::size_t fault_events = 0;  // schedule size before masking
+  std::array<std::uint64_t, sim::kFaultKindCount> fired{};
+  dist::DistStats dist_stats;
+  std::size_t result_rows = 0;
+  double makespan = 0;
+};
+
+/// One full differential run. `pool` executes the reference side.
+ChaosOutcome run_chaos_once(const ChaosConfig& cfg, Executor& pool);
+
+struct ShrinkResult {
+  ChaosConfig minimal;    // smallest configuration that still fails
+  ChaosOutcome outcome;   // its outcome (passed == false)
+  std::size_t runs = 0;   // shrink attempts spent
+  std::string replay;     // format_replay(minimal)
+};
+
+/// Shrink a failing config to a minimal repro: first prune plan suffix
+/// nodes (plans are prefix-stable), then delta-debug the fault-event mask
+/// one event at a time to a fixpoint. The input must fail; throws
+/// std::logic_error if it passes.
+ShrinkResult shrink(const ChaosConfig& failing, Executor& pool);
+
+}  // namespace hpbdc::chaos

@@ -60,7 +60,15 @@ DistRuntime::DistRuntime(sim::Comm& comm, DistConfig cfg, sim::Dfs* dfs)
                         return;
                       }
                       const auto id = r.read_pod<std::uint64_t>();
-                      if (!active_ || !attempts_.contains(id)) return;
+                      if (!active_ || !attempts_.contains(id)) {
+                        // A task event straggling in after the job finished
+                        // (or from a forgotten epoch) must not mutate state —
+                        // the chaos oracle checks this counter is the only
+                        // thing such events move.
+                        stats_.stale_events_ignored++;
+                        count(m_stale_events_);
+                        return;
+                      }
                       switch (type) {
                         case kTaskDone: on_task_done(id); break;
                         case kTaskFailed: on_attempt_failed(id, true); break;
@@ -85,8 +93,11 @@ void DistRuntime::bind_metrics(obs::MetricsRegistry& reg) {
   m_locality_misses_ = &reg.counter("dist.locality_misses");
   m_spec_launched_ = &reg.counter("dist.speculative_launched");
   m_ckpt_restores_ = &reg.counter("dist.checkpoint_restores");
+  m_stale_events_ = &reg.counter("dist.stale_events_ignored");
   g_live_execs_ = &reg.gauge("dist.executors_live");
   g_live_execs_->set(static_cast<std::int64_t>(live_executors()));
+  g_max_failures_ = &reg.gauge("dist.max_failures_one_task");
+  g_max_failures_->set(static_cast<std::int64_t>(stats_.max_failures_one_task));
 }
 
 void DistRuntime::bind_trace(obs::TraceSession& session) { trace_ = &session; }
@@ -263,11 +274,19 @@ void DistRuntime::launch(std::size_t stage, std::size_t task, std::size_t node,
 void DistRuntime::speculate() {
   if (!cfg_.speculate || !active_) return;
   for (std::size_t s = 0; s < job_.stages.size(); ++s) {
+    // A lineage rollback can leave a child task Running (on a doomed
+    // attempt) while its parent recomputes; a backup launched now would
+    // only fail its fetches instantly, so wait until inputs exist again.
+    if (!stage_available(s)) continue;
     for (std::size_t t = 0; t < job_.stages[s].ntasks; ++t) {
       TaskState& ts = tasks_[s][t];
       if (ts.status != TStatus::Running || ts.live_attempts.size() != 1) continue;
       const Attempt& a = attempts_.at(ts.live_attempts.front());
       if (a.speculative) continue;
+      // Speculation bypasses schedule()'s attempt cap (the task is Running,
+      // not Pending), so bound it here too: a task whose backups keep dying
+      // would otherwise relaunch them unboundedly while the original hangs.
+      if (ts.attempts >= cfg_.max_task_attempts * 25) continue;
       if (!late_.exceeds(sim().now() - a.launched)) continue;
       // Backup on the least-loaded free node other than the original's.
       std::size_t best = kNone, best_free = 0;
@@ -617,7 +636,15 @@ void DistRuntime::on_attempt_failed(std::uint64_t attempt_id, bool charge_budget
   if (task.status == TStatus::Running && live.empty()) {
     task.status = TStatus::Pending;
   }
-  if (charge_budget) task.failures++;
+  if (charge_budget) {
+    task.failures++;
+    if (task.failures > stats_.max_failures_one_task) {
+      stats_.max_failures_one_task = task.failures;
+      if (g_max_failures_ != nullptr) {
+        g_max_failures_->set(static_cast<std::int64_t>(task.failures));
+      }
+    }
+  }
   stats_.task_retries++;
   count(m_retries_);
   schedule();
@@ -629,11 +656,29 @@ void DistRuntime::on_fetch_failed(std::uint64_t attempt_id, std::size_t pstage,
   // Lineage fault: the parent's map output is gone. Roll the parent task
   // back to Pending (unless a checkpoint can stand in), then retry the
   // fetching task; schedule() recomputes ancestors in topological order.
-  if (pstage < tasks_.size() && ptask < tasks_[pstage].size()) {
+  if (!test_no_lineage_ && pstage < tasks_.size() && ptask < tasks_[pstage].size()) {
     TaskState& parent = tasks_[pstage][ptask];
     const bool source_gone =
         parent.output_node == kNone || !execs_[parent.output_node].alive ||
         !execs_[parent.output_node].outputs.contains(out_key(pstage, ptask));
+    // A checkpoint normally stands in for the lost output — but only while
+    // some replica of it is readable. If every replica holder is down, drop
+    // the checkpoint flag and recompute through lineage; leaving the flag up
+    // would keep the child's stage "available" and spin it against the
+    // unreadable checkpoint at RPC speed until its attempt budget dies.
+    if (source_gone && stages_[pstage].checkpointed) {
+      bool readable = false;
+      if (dfs_ != nullptr && ckpt_data_.contains(pstage) &&
+          dfs_->exists(ckpt_file(pstage))) {
+        for (auto r : dfs_->block_locations(ckpt_file(pstage), 0)) {
+          if (execs_[r].alive) {
+            readable = true;
+            break;
+          }
+        }
+      }
+      if (!readable) stages_[pstage].checkpointed = false;
+    }
     if (parent.status == TStatus::Done && source_gone &&
         !stages_[pstage].checkpointed) {
       parent.status = TStatus::Pending;
@@ -662,6 +707,7 @@ void DistRuntime::on_heartbeat(std::size_t node) {
 }
 
 void DistRuntime::invalidate_outputs_on(std::size_t node) {
+  if (test_no_lineage_) return;  // seeded chaos bug: lost outputs stay "done"
   for (std::size_t s = 0; s < job_.stages.size(); ++s) {
     if (stage_retired(s)) continue;
     for (std::size_t t = 0; t < job_.stages[s].ntasks; ++t) {
@@ -829,6 +875,14 @@ void DistRuntime::recover_node_at(std::size_t node, SimTime t) {
   sim().schedule_at(t, [this, node] {
     if (!execs_[node].alive) do_recover_node(node);
   });
+}
+
+void DistRuntime::set_node_speed_at(std::size_t node, double speed, SimTime t) {
+  if (node >= execs_.size()) {
+    throw std::out_of_range("DistRuntime: bad node id");
+  }
+  if (speed <= 0) throw std::invalid_argument("DistRuntime: speed must be > 0");
+  sim().schedule_at(t, [this, node, speed] { execs_[node].speed = speed; });
 }
 
 void DistRuntime::finish(bool ok) {

@@ -85,6 +85,9 @@ struct DistStats {
   std::uint64_t executors_declared_dead = 0;
   std::uint64_t checkpoints_written = 0;
   std::uint64_t checkpoint_restores = 0;  // blocks re-read from a checkpoint
+  // Invariant evidence for the chaos harness (src/chaos):
+  std::uint64_t stale_events_ignored = 0;    // task events after job completion
+  std::uint64_t max_failures_one_task = 0;   // high-water charged failures
 };
 
 class DistRuntime {
@@ -108,6 +111,15 @@ class DistRuntime {
   /// Failure-injection hooks for tests/benches (driver node is immortal).
   void kill_node_at(std::size_t node, sim::SimTime t);
   void recover_node_at(std::size_t node, sim::SimTime t);
+  /// Change a node's compute speed factor at time t (straggler injection;
+  /// affects attempts whose compute starts after t).
+  void set_node_speed_at(std::size_t node, double speed, sim::SimTime t);
+  /// Test hook (chaos harness): disable lineage rollback of lost map
+  /// outputs, the intentionally seeded bug the harness must catch. Affected
+  /// jobs spin on fetch failures until the hard attempt cap aborts them.
+  void set_test_disable_lineage_recompute(bool disable) {
+    test_no_lineage_ = disable;
+  }
 
   const DistStats& stats() const noexcept { return stats_; }
   const DistConfig& config() const noexcept { return cfg_; }
@@ -251,7 +263,10 @@ class DistRuntime {
   obs::Counter* m_locality_misses_ = nullptr;
   obs::Counter* m_spec_launched_ = nullptr;
   obs::Counter* m_ckpt_restores_ = nullptr;
+  obs::Counter* m_stale_events_ = nullptr;
   obs::Gauge* g_live_execs_ = nullptr;
+  obs::Gauge* g_max_failures_ = nullptr;
+  bool test_no_lineage_ = false;
 };
 
 }  // namespace hpbdc::dist

@@ -91,8 +91,9 @@ ThreadPool::Task* ThreadPool::find_task(std::size_t idx) {
 }
 
 void ThreadPool::run_task(Task* t, bool) {
-  (*t)();
-  delete t;
+  // Count before invoking: the task body may signal a TaskGroup waiter, and
+  // counting after would let that waiter observe completion (wait() returns)
+  // while this task is still missing from the executed totals.
   executed_.fetch_add(1, std::memory_order_relaxed);
   const int idx = current_worker_index();
   if (idx >= 0) {
@@ -101,6 +102,8 @@ void ThreadPool::run_task(Task* t, bool) {
   } else {
     external_executed_.fetch_add(1, std::memory_order_relaxed);
   }
+  (*t)();
+  delete t;
 }
 
 std::vector<std::uint64_t> ThreadPool::per_thread_executed() const {

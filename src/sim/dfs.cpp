@@ -33,14 +33,32 @@ std::size_t Dfs::block_count(const std::string& name) const {
   return it->second.blocks.size();
 }
 
-void Dfs::fail_node(std::size_t node) {
+void Dfs::set_node_down(std::size_t node, bool down) {
   if (node >= down_.size()) throw std::out_of_range("Dfs: bad node id");
-  down_[node] = true;
+  down_[node] = down;
 }
 
-void Dfs::recover_node(std::size_t node) {
+bool Dfs::node_down(std::size_t node) const {
   if (node >= down_.size()) throw std::out_of_range("Dfs: bad node id");
-  down_[node] = false;
+  return down_[node];
+}
+
+bool Dfs::lose_replica(const std::string& name, std::size_t block,
+                       std::size_t replica_idx) {
+  auto it = files_.find(name);
+  if (it == files_.end() || block >= it->second.blocks.size()) return false;
+  auto& reps = it->second.blocks[block].replicas;
+  if (reps.size() <= 1 || replica_idx >= reps.size()) return false;
+  reps.erase(reps.begin() + static_cast<std::ptrdiff_t>(replica_idx));
+  stats_.replicas_lost++;
+  return true;
+}
+
+std::vector<std::string> Dfs::file_names() const {
+  std::vector<std::string> out;
+  out.reserve(files_.size());
+  for (const auto& [name, f] : files_) out.push_back(name);
+  return out;
 }
 
 std::vector<std::size_t> Dfs::block_locations(const std::string& name,

@@ -68,6 +68,7 @@ struct DfsStats {
   std::uint64_t local_reads = 0;     // served from the client's own node
   std::uint64_t re_replications = 0;
   std::uint64_t replicas_trimmed = 0;  // excess copies dropped after recovery
+  std::uint64_t replicas_lost = 0;     // injected single-replica losses
 };
 
 class Dfs {
@@ -89,9 +90,22 @@ class Dfs {
   std::uint64_t file_size(const std::string& name) const;
   std::size_t block_count(const std::string& name) const;
 
-  /// Crash / recover a datanode. Crashed nodes serve nothing.
-  void fail_node(std::size_t node);
-  void recover_node(std::size_t node);
+  /// Crash / recover a datanode. Crashed nodes serve nothing. Thin wrappers
+  /// over set_node_down so a sim::FaultPlan and ad-hoc call sites share one
+  /// code path.
+  void fail_node(std::size_t node) { set_node_down(node, true); }
+  void recover_node(std::size_t node) { set_node_down(node, false); }
+  void set_node_down(std::size_t node, bool down);
+  bool node_down(std::size_t node) const;
+
+  /// Silently lose one replica of a block (disk corruption / lost volume, as
+  /// opposed to a whole-node crash). Refuses to destroy the last copy;
+  /// returns whether a replica was dropped. re_replicate() restores it.
+  bool lose_replica(const std::string& name, std::size_t block,
+                    std::size_t replica_idx);
+
+  /// Names of all stored files (fault injection picks targets from this).
+  std::vector<std::string> file_names() const;
 
   /// Restore the replication factor of blocks that lost replicas, copying
   /// from a surviving replica to a new node. cb fires when all transfers

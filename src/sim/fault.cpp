@@ -1,0 +1,112 @@
+#include "sim/fault.hpp"
+
+namespace hpbdc::sim {
+
+const char* fault_kind_name(FaultKind k) {
+  switch (k) {
+    case FaultKind::kNodeKill: return "node_kill";
+    case FaultKind::kNodeRecover: return "node_recover";
+    case FaultKind::kLossBurstStart: return "loss_burst_start";
+    case FaultKind::kLossBurstEnd: return "loss_burst_end";
+    case FaultKind::kReorderBurstStart: return "reorder_burst_start";
+    case FaultKind::kReorderBurstEnd: return "reorder_burst_end";
+    case FaultKind::kDelayBurstStart: return "delay_burst_start";
+    case FaultKind::kDelayBurstEnd: return "delay_burst_end";
+    case FaultKind::kNodeSlow: return "node_slow";
+    case FaultKind::kNodeSpeedRestore: return "node_speed_restore";
+    case FaultKind::kDfsReplicaLoss: return "dfs_replica_loss";
+  }
+  return "?";
+}
+
+void FaultInjector::fire(const FaultEvent& ev) {
+  auto hit = [this, &ev] { fired_[static_cast<std::size_t>(ev.kind)]++; };
+  switch (ev.kind) {
+    case FaultKind::kNodeKill: {
+      if (!targets_.kill_node) return;
+      std::size_t node = ev.node;
+      if (node == kLeaderTarget) {
+        if (!targets_.pick_leader) return;
+        const auto l = targets_.pick_leader();
+        if (!l) {
+          leader_killed_.reset();  // paired recover must also stand down
+          return;
+        }
+        node = *l;
+        leader_killed_ = node;
+      }
+      targets_.kill_node(node);
+      hit();
+      break;
+    }
+    case FaultKind::kNodeRecover: {
+      if (!targets_.recover_node) return;
+      std::size_t node = ev.node;
+      if (node == kLeaderTarget) {
+        if (!leader_killed_) return;  // the kill never resolved
+        node = *leader_killed_;
+        leader_killed_.reset();
+      }
+      targets_.recover_node(node);
+      hit();
+      break;
+    }
+    case FaultKind::kLossBurstStart:
+      if (targets_.net == nullptr) return;
+      targets_.net->set_loss_probability(ev.value);
+      hit();
+      break;
+    case FaultKind::kLossBurstEnd:
+      if (targets_.net == nullptr) return;
+      targets_.net->set_loss_probability(base_loss_);
+      hit();
+      break;
+    case FaultKind::kReorderBurstStart:
+      if (targets_.net == nullptr) return;
+      targets_.net->set_delivery_jitter(ev.value);
+      hit();
+      break;
+    case FaultKind::kReorderBurstEnd:
+      if (targets_.net == nullptr) return;
+      targets_.net->set_delivery_jitter(0);
+      hit();
+      break;
+    case FaultKind::kDelayBurstStart:
+      if (targets_.net == nullptr) return;
+      targets_.net->set_extra_delay(ev.value);
+      hit();
+      break;
+    case FaultKind::kDelayBurstEnd:
+      if (targets_.net == nullptr) return;
+      targets_.net->set_extra_delay(0);
+      hit();
+      break;
+    case FaultKind::kNodeSlow:
+      if (!targets_.set_node_speed) return;
+      targets_.set_node_speed(ev.node, ev.value);
+      hit();
+      break;
+    case FaultKind::kNodeSpeedRestore:
+      if (!targets_.set_node_speed) return;
+      targets_.set_node_speed(ev.node, 1.0);
+      hit();
+      break;
+    case FaultKind::kDfsReplicaLoss: {
+      if (targets_.dfs == nullptr) return;
+      const auto files = targets_.dfs->file_names();
+      if (files.empty()) return;
+      const auto& name = files[rng_.next_below(files.size())];
+      const std::size_t nblocks = targets_.dfs->block_count(name);
+      if (nblocks == 0) return;
+      const std::size_t block = rng_.next_below(nblocks);
+      const auto locs = targets_.dfs->block_locations(name, block);
+      if (locs.size() <= 1) return;  // never destroy the last copy
+      if (targets_.dfs->lose_replica(name, block, rng_.next_below(locs.size()))) {
+        hit();
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace hpbdc::sim

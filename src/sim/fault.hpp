@@ -1,0 +1,158 @@
+#pragma once
+// Scriptable fault injection for the simulated cluster. Before this layer,
+// every test drove faults ad hoc: Dfs::fail_node here, a hand-rolled
+// kill_node_at there, loss probability frozen in NetworkConfig. A FaultPlan
+// is instead a declarative, serializable-in-spirit timeline of fault events
+// (node kills/recoveries, message-loss and reorder bursts, fixed delivery
+// delays that stall heartbeats, per-node slowdowns, DFS replica loss); a
+// FaultInjector arms it against a Simulator and dispatches each event to a
+// target set of hooks, so the same plan can drive the dist runtime, the Raft
+// cluster, or any future subsystem. The chaos harness (src/chaos) generates
+// FaultPlans from a seed and shrinks them by masking events; the legacy
+// entry points (Dfs::fail_node, NetworkConfig::loss_probability, ...) remain
+// as thin wrappers over the same runtime setters.
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/dfs.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace hpbdc::sim {
+
+enum class FaultKind : std::uint8_t {
+  kNodeKill = 0,       // crash a node (process + its DFS datanode)
+  kNodeRecover,        // bring a killed node back
+  kLossBurstStart,     // raise network loss probability to `value`
+  kLossBurstEnd,       // restore the configured base loss probability
+  kReorderBurstStart,  // random per-message delivery jitter up to `value` (s)
+  kReorderBurstEnd,
+  kDelayBurstStart,    // fixed extra delivery delay of `value` seconds
+  kDelayBurstEnd,      //   (stalls heartbeats without reordering)
+  kNodeSlow,           // run node at speed factor `value` (straggler)
+  kNodeSpeedRestore,   // back to full speed
+  kDfsReplicaLoss,     // silently lose one replica of a random DFS block
+};
+inline constexpr std::size_t kFaultKindCount = 11;
+
+const char* fault_kind_name(FaultKind k);
+
+struct FaultEvent {
+  SimTime at = 0;
+  FaultKind kind = FaultKind::kNodeKill;
+  std::size_t node = 0;  // kill/recover/slow targets; kLeaderTarget resolves late
+  double value = 0;      // loss probability / jitter / delay / speed factor
+};
+
+/// A timeline of fault events. Build with the fluent helpers; burst helpers
+/// append the matching start/end pair. Events need not be time-sorted — the
+/// injector schedules each independently — but generators emit them sorted
+/// so event indices read chronologically in replay masks.
+struct FaultPlan {
+  std::vector<FaultEvent> events;
+
+  FaultPlan& kill(SimTime t, std::size_t node) {
+    events.push_back({t, FaultKind::kNodeKill, node, 0});
+    return *this;
+  }
+  FaultPlan& recover(SimTime t, std::size_t node) {
+    events.push_back({t, FaultKind::kNodeRecover, node, 0});
+    return *this;
+  }
+  FaultPlan& loss_burst(SimTime t0, SimTime t1, double p) {
+    events.push_back({t0, FaultKind::kLossBurstStart, 0, p});
+    events.push_back({t1, FaultKind::kLossBurstEnd, 0, 0});
+    return *this;
+  }
+  FaultPlan& reorder_burst(SimTime t0, SimTime t1, double jitter) {
+    events.push_back({t0, FaultKind::kReorderBurstStart, 0, jitter});
+    events.push_back({t1, FaultKind::kReorderBurstEnd, 0, 0});
+    return *this;
+  }
+  FaultPlan& delay_burst(SimTime t0, SimTime t1, double extra) {
+    events.push_back({t0, FaultKind::kDelayBurstStart, 0, extra});
+    events.push_back({t1, FaultKind::kDelayBurstEnd, 0, 0});
+    return *this;
+  }
+  FaultPlan& slow(SimTime t, std::size_t node, double speed) {
+    events.push_back({t, FaultKind::kNodeSlow, node, speed});
+    return *this;
+  }
+  FaultPlan& restore_speed(SimTime t, std::size_t node) {
+    events.push_back({t, FaultKind::kNodeSpeedRestore, node, 1.0});
+    return *this;
+  }
+  FaultPlan& dfs_replica_loss(SimTime t) {
+    events.push_back({t, FaultKind::kDfsReplicaLoss, 0, 0});
+    return *this;
+  }
+};
+
+/// Where fault events land. Every hook is optional: events whose target is
+/// unset are silently skipped, so one plan can drive subsystems that only
+/// understand a subset of the fault classes.
+struct FaultTargets {
+  std::function<void(std::size_t)> kill_node;
+  std::function<void(std::size_t)> recover_node;
+  std::function<void(std::size_t, double)> set_node_speed;
+  /// Resolves FaultInjector::kLeaderTarget kill events at fire time (Raft:
+  /// "kill whoever currently leads").
+  std::function<std::optional<std::size_t>()> pick_leader;
+  Network* net = nullptr;  // loss / reorder / delay bursts
+  Dfs* dfs = nullptr;      // replica loss
+};
+
+class FaultInjector {
+ public:
+  /// FaultEvent::node value meaning "resolve to the current leader when the
+  /// event fires" (requires FaultTargets::pick_leader).
+  static constexpr std::size_t kLeaderTarget = ~std::size_t{0};
+
+  FaultInjector(Simulator& sim, FaultTargets targets,
+                std::uint64_t seed = 0xFA017u)
+      : sim_(sim), targets_(std::move(targets)), rng_(seed) {
+    if (targets_.net != nullptr) {
+      base_loss_ = targets_.net->config().loss_probability;
+    }
+  }
+
+  /// Schedule every event of `plan` whose index bit is set in `mask` (bit i
+  /// gates events[i]; indices >= 64 are always armed). The mask is the
+  /// shrinker's handle: dropping a bit removes exactly one fault event.
+  void arm(const FaultPlan& plan, std::uint64_t mask = ~std::uint64_t{0}) {
+    for (std::size_t i = 0; i < plan.events.size(); ++i) {
+      if (i < 64 && (mask & (1ULL << i)) == 0) continue;
+      const FaultEvent ev = plan.events[i];
+      sim_.schedule_at(std::max(ev.at, sim_.now()),
+                       [this, ev] { fire(ev); });
+    }
+  }
+
+  /// Per-kind count of events that actually took effect (campaign stats:
+  /// "distinct fault classes hit").
+  const std::array<std::uint64_t, kFaultKindCount>& fired() const noexcept {
+    return fired_;
+  }
+  std::size_t distinct_kinds_fired() const noexcept {
+    std::size_t n = 0;
+    for (auto c : fired_) n += c > 0 ? 1 : 0;
+    return n;
+  }
+
+ private:
+  void fire(const FaultEvent& ev);
+
+  Simulator& sim_;
+  FaultTargets targets_;
+  Rng rng_;  // deterministic fire-time choices (DFS replica picks)
+  double base_loss_ = 0.0;
+  std::optional<std::size_t> leader_killed_;  // pairs leader-kill with recover
+  std::array<std::uint64_t, kFaultKindCount> fired_{};
+};
+
+}  // namespace hpbdc::sim

@@ -52,7 +52,9 @@ class Network {
         cfg_(cfg),
         tx_free_(cfg.nodes, 0.0),
         rx_free_(cfg.nodes, 0.0),
-        loss_rng_(cfg.loss_seed) {
+        loss_probability_(cfg.loss_probability),
+        loss_rng_(cfg.loss_seed),
+        jitter_rng_(cfg.loss_seed ^ 0x4a17e5ULL) {
     if (cfg.nodes == 0) throw std::invalid_argument("Network: zero nodes");
     if (cfg.bandwidth_bps <= 0) throw std::invalid_argument("Network: bad bandwidth");
     if (cfg.loss_probability < 0 || cfg.loss_probability >= 1) {
@@ -71,6 +73,35 @@ class Network {
     m_msgs_ = &reg.counter("net.msgs_sent");
     m_bytes_ = &reg.counter("net.bytes_sent");
     m_dropped_ = &reg.counter("net.msgs_dropped");
+  }
+
+  // ---- runtime fault injection (driven by sim::FaultInjector) -------------
+  // NetworkConfig::loss_probability remains the *base* rate; these setters
+  // move the live values mid-run (loss/reorder/delay bursts). The base is
+  // restored by the injector at burst end.
+
+  /// Change the live message-loss probability.
+  void set_loss_probability(double p) {
+    if (p < 0 || p >= 1) {
+      throw std::invalid_argument("Network: loss probability in [0, 1)");
+    }
+    loss_probability_ = p;
+  }
+  double loss_probability() const noexcept { return loss_probability_; }
+
+  /// Add uniform [0, max_extra) seconds of per-message delivery delay. The
+  /// NIC frees at the undelayed time, so a later message can overtake an
+  /// earlier one — this is the reorder-burst mechanism.
+  void set_delivery_jitter(double max_extra) {
+    if (max_extra < 0) throw std::invalid_argument("Network: negative jitter");
+    delivery_jitter_ = max_extra;
+  }
+
+  /// Add a fixed delay to every delivery (congested-fabric model; stalls
+  /// heartbeats and control RPCs without reordering them).
+  void set_extra_delay(double d) {
+    if (d < 0) throw std::invalid_argument("Network: negative delay");
+    extra_delay_ = d;
   }
 
   /// Number of fabric hops between two nodes under the configured topology.
@@ -114,7 +145,7 @@ class Network {
     const SimTime tx_start = std::max(now, tx_free_[src]);
     const SimTime tx_end = tx_start + ser;
     tx_free_[src] = tx_end;
-    if (cfg_.loss_probability > 0 && loss_rng_.next_bool(cfg_.loss_probability)) {
+    if (loss_probability_ > 0 && loss_rng_.next_bool(loss_probability_)) {
       ++stats_.dropped;  // lost in the fabric: TX was paid, nothing arrives
       if (m_dropped_ != nullptr) m_dropped_->add(1);
       return;
@@ -123,7 +154,11 @@ class Network {
     const SimTime rx_start = std::max(tx_end + prop, rx_free_[dst]);
     const SimTime rx_end = rx_start + ser;
     rx_free_[dst] = rx_end;
-    sim_.schedule_at(rx_end, std::move(on_delivered));
+    SimTime deliver = rx_end + extra_delay_;
+    if (delivery_jitter_ > 0) {
+      deliver += jitter_rng_.next_double() * delivery_jitter_;
+    }
+    sim_.schedule_at(deliver, std::move(on_delivered));
   }
 
   /// Pure cost query (no event scheduled, no NIC state touched): the
@@ -145,7 +180,11 @@ class Network {
   NetworkConfig cfg_;
   std::vector<SimTime> tx_free_, rx_free_;
   NetworkStats stats_;
+  double loss_probability_ = 0.0;  // live value; cfg_ holds the base
+  double delivery_jitter_ = 0.0;   // max extra per-message delay (reorder)
+  double extra_delay_ = 0.0;       // fixed extra delivery delay
   Rng loss_rng_;
+  Rng jitter_rng_;
   obs::Counter* m_msgs_ = nullptr;
   obs::Counter* m_bytes_ = nullptr;
   obs::Counter* m_dropped_ = nullptr;

@@ -1,0 +1,369 @@
+// Chaos-harness suite: plan-generator invariants, fault-schedule generator
+// bounds, injector masking, the fixed-seed differential smoke batch, the
+// seeded-bug catch-and-shrink acceptance test, linearizability checking of
+// handcrafted histories, and Raft-under-chaos runs.
+//
+// This binary has its own main (not gtest_main): it strips a
+// `--replay=<spec>` flag so a one-line spec printed by the shrinker can be
+// replayed exactly:
+//   chaos_test --gtest_filter='ChaosReplay.FromCommandLine'
+//       "--replay=pseed=3,fseed=9,nodes=5,rows=256,tasks=4,cluster=6,mask=0x1f,bug=1"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "chaos/harness.hpp"
+#include "chaos/linearizability.hpp"
+#include "chaos/plan_gen.hpp"
+#include "exec/thread_pool.hpp"
+#include "sim/fault.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace hpbdc::chaos {
+namespace {
+
+std::string g_replay_spec;  // set by main() from --replay=
+
+Executor& pool() {
+  static ThreadPool p(4);
+  return p;
+}
+
+/// Smoke/campaign seed -> configuration: vary every dimension with the seed
+/// so the batch covers plan shapes, cluster pressure, and fault schedules.
+ChaosConfig smoke_config(std::uint64_t seed) {
+  ChaosConfig cfg;
+  cfg.plan_seed = seed;
+  cfg.fault_seed = seed * 7 + 1;
+  cfg.plan_nodes = 3 + static_cast<std::size_t>(seed % 5);
+  cfg.rows = 96 + (seed % 3) * 64;
+  cfg.ntasks = 2 + static_cast<std::size_t>(seed % 3);
+  cfg.cluster_nodes = 5 + static_cast<std::size_t>(seed % 2);
+  return cfg;
+}
+
+TEST(ChaosPlan, GenerationIsPrefixStable) {
+  const auto big = make_plan(42, 9, 128);
+  const auto small = make_plan(42, 6, 128);
+  ASSERT_EQ(small.nodes.size(), 6u);
+  for (std::size_t i = 0; i < small.nodes.size(); ++i) {
+    EXPECT_EQ(small.nodes[i].op, big.nodes[i].op) << "node " << i;
+    EXPECT_EQ(small.nodes[i].left, big.nodes[i].left) << "node " << i;
+    EXPECT_EQ(small.nodes[i].right, big.nodes[i].right) << "node " << i;
+    EXPECT_EQ(small.nodes[i].salt, big.nodes[i].salt) << "node " << i;
+    EXPECT_EQ(small.nodes[i].checkpoint, big.nodes[i].checkpoint) << "node " << i;
+  }
+}
+
+TEST(ChaosPlan, ParentsPrecedeChildrenAndSinksAreChildless) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const auto plan = make_plan(seed, 8, 64);
+    std::set<std::size_t> consumed;
+    for (std::size_t i = 0; i < plan.nodes.size(); ++i) {
+      const auto& n = plan.nodes[i];
+      if (n.left != PlanNode::kNoParent) {
+        EXPECT_LT(n.left, i);
+        consumed.insert(n.left);
+      }
+      if (n.right != PlanNode::kNoParent) {
+        EXPECT_LT(n.right, i);
+        consumed.insert(n.right);
+      }
+    }
+    ASSERT_FALSE(plan.sinks.empty());
+    for (const auto s : plan.sinks) EXPECT_EQ(consumed.count(s), 0u);
+  }
+}
+
+TEST(ChaosPlan, DistMatchesReferenceWithoutFaults) {
+  ChaosConfig cfg = smoke_config(7);
+  cfg.fault_mask = 0;  // schedule generated but nothing armed
+  const auto out = run_chaos_once(cfg, pool());
+  EXPECT_TRUE(out.passed) << out.violation << "\nplan: " << out.plan;
+  EXPECT_GT(out.result_rows, 0u);
+}
+
+TEST(ChaosReplay, FormatParseRoundTrip) {
+  ChaosConfig cfg;
+  cfg.plan_seed = 31;
+  cfg.fault_seed = 99;
+  cfg.plan_nodes = 7;
+  cfg.rows = 192;
+  cfg.ntasks = 3;
+  cfg.cluster_nodes = 5;
+  cfg.fault_mask = 0x2eULL;
+  cfg.inject_lineage_bug = true;
+  const std::string spec = format_replay(cfg);
+  const ChaosConfig back = parse_replay(spec);
+  EXPECT_EQ(format_replay(back), spec);
+  EXPECT_EQ(back.plan_seed, cfg.plan_seed);
+  EXPECT_EQ(back.fault_mask, cfg.fault_mask);
+  EXPECT_EQ(back.inject_lineage_bug, cfg.inject_lineage_bug);
+}
+
+TEST(ChaosReplay, RejectsMalformedSpecs) {
+  EXPECT_THROW(parse_replay("pseed"), std::invalid_argument);
+  EXPECT_THROW(parse_replay("pseed=abc"), std::invalid_argument);
+  EXPECT_THROW(parse_replay("wat=1"), std::invalid_argument);
+  EXPECT_THROW(parse_replay("pseed=1,cluster=1"), std::invalid_argument);
+}
+
+TEST(ChaosReplay, FromCommandLine) {
+  if (g_replay_spec.empty()) {
+    GTEST_SKIP() << "no --replay=<spec> given";
+  }
+  const ChaosConfig cfg = parse_replay(g_replay_spec);
+  const auto out = run_chaos_once(cfg, pool());
+  EXPECT_TRUE(out.passed) << "replayed violation: " << out.violation
+                          << "\nplan: " << out.plan;
+}
+
+TEST(ChaosFaults, SchedulesAreBoundedSortedAndSurvivable) {
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    const auto plan = make_fault_plan(seed, FaultGenOptions{});
+    ASSERT_LE(plan.events.size(), 64u);
+    std::uint64_t kills = 0, recovers = 0;
+    for (std::size_t i = 0; i < plan.events.size(); ++i) {
+      if (i > 0) {
+        EXPECT_GE(plan.events[i].at, plan.events[i - 1].at);
+      }
+      EXPECT_GT(plan.events[i].at, 0.0);
+      if (plan.events[i].kind == sim::FaultKind::kNodeKill) kills++;
+      if (plan.events[i].kind == sim::FaultKind::kNodeRecover) recovers++;
+      if (plan.events[i].kind == sim::FaultKind::kNodeKill ||
+          plan.events[i].kind == sim::FaultKind::kNodeSlow) {
+        EXPECT_NE(plan.events[i].node, 0u) << "protected node targeted";
+      }
+    }
+    EXPECT_EQ(kills, recovers) << "every kill must pair with a recovery";
+  }
+}
+
+TEST(ChaosFaults, InjectorAppliesAndMasks) {
+  sim::Simulator sim;
+  sim::NetworkConfig nc;
+  nc.nodes = 2;
+  sim::Network net(sim, nc);
+  sim::FaultPlan plan;
+  plan.loss_burst(1.0, 2.0, 0.25).delay_burst(3.0, 4.0, 0.05);
+
+  sim::FaultTargets targets;
+  targets.net = &net;
+  sim::FaultInjector inj(sim, targets);
+  inj.arm(plan, /*mask=*/0b0011);  // only the loss burst
+  sim.schedule_at(1.5, [&net] { EXPECT_DOUBLE_EQ(net.loss_probability(), 0.25); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(net.loss_probability(), 0.0);  // burst ended, base restored
+  EXPECT_EQ(inj.fired()[static_cast<std::size_t>(sim::FaultKind::kLossBurstStart)], 1u);
+  EXPECT_EQ(inj.fired()[static_cast<std::size_t>(sim::FaultKind::kDelayBurstStart)], 0u)
+      << "masked event must not fire";
+  EXPECT_EQ(inj.distinct_kinds_fired(), 2u);  // loss start + end
+}
+
+/// The tier-1 smoke batch: >= 50 fixed-seed differential runs, zero oracle
+/// violations, several distinct fault classes exercised. Kept under the
+/// 30-second budget by the small plan/row sizes in smoke_config.
+TEST(ChaosSmoke, FixedSeedBatch) {
+  std::set<std::string> kinds;
+  std::size_t total_faults_fired = 0;
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    const ChaosConfig cfg = smoke_config(seed);
+    const auto out = run_chaos_once(cfg, pool());
+    ASSERT_TRUE(out.passed) << "seed " << seed << ": " << out.violation
+                            << "\nreplay: " << format_replay(cfg)
+                            << "\nplan: " << out.plan;
+    for (std::size_t k = 0; k < sim::kFaultKindCount; ++k) {
+      if (out.fired[k] > 0) {
+        kinds.insert(sim::fault_kind_name(static_cast<sim::FaultKind>(k)));
+        total_faults_fired += out.fired[k];
+      }
+    }
+  }
+  EXPECT_GE(kinds.size(), 5u) << "batch should hit several distinct fault classes";
+  EXPECT_GE(total_faults_fired, 50u);
+}
+
+/// Full campaign, opt-in: HPBDC_CHAOS_RUNS=500 ctest -R Campaign.
+TEST(ChaosSmoke, CampaignEnvGated) {
+  const char* env = std::getenv("HPBDC_CHAOS_RUNS");
+  if (env == nullptr) {
+    GTEST_SKIP() << "set HPBDC_CHAOS_RUNS=<n> to run the full campaign";
+  }
+  const std::uint64_t runs = std::strtoull(env, nullptr, 10);
+  for (std::uint64_t seed = 1000; seed < 1000 + runs; ++seed) {
+    const auto out = run_chaos_once(smoke_config(seed), pool());
+    ASSERT_TRUE(out.passed) << "seed " << seed << ": " << out.violation
+                            << "\nreplay: " << format_replay(smoke_config(seed));
+  }
+}
+
+/// Acceptance: an intentionally seeded bug (lineage recompute disabled via
+/// the test hook) is caught by the oracle and shrunk to a replayable spec.
+TEST(ChaosShrink, SeededLineageBugIsCaughtAndShrunk) {
+  ChaosConfig failing;
+  bool found = false;
+  for (std::uint64_t seed = 1; seed <= 25 && !found; ++seed) {
+    ChaosConfig cfg = smoke_config(seed);
+    cfg.inject_lineage_bug = true;
+    const auto out = run_chaos_once(cfg, pool());
+    if (!out.passed) {
+      failing = cfg;
+      found = true;
+    }
+  }
+  ASSERT_TRUE(found) << "no smoke seed tripped the seeded lineage bug";
+
+  const ShrinkResult sr = shrink(failing, pool());
+  EXPECT_FALSE(sr.outcome.passed);
+  EXPECT_LE(sr.minimal.plan_nodes, failing.plan_nodes);
+  EXPECT_GE(sr.runs, 2u);
+  ASSERT_FALSE(sr.replay.empty());
+
+  // The one-line spec reproduces the violation exactly.
+  const ChaosConfig replayed = parse_replay(sr.replay);
+  const auto again = run_chaos_once(replayed, pool());
+  EXPECT_FALSE(again.passed);
+  EXPECT_EQ(again.violation, sr.outcome.violation);
+}
+
+TEST(ChaosShrink, RefusesPassingInput) {
+  ChaosConfig cfg = smoke_config(3);
+  cfg.fault_mask = 0;
+  EXPECT_THROW(shrink(cfg, pool()), std::logic_error);
+}
+
+// --- linearizability checker on handcrafted histories -------------------
+
+KvOp op(KvOpKind kind, std::uint64_t key, std::uint64_t value, double invoke,
+        double respond) {
+  KvOp o;
+  o.kind = kind;
+  o.key = key;
+  o.value = value;
+  o.invoke = invoke;
+  o.respond = respond;
+  o.complete = true;
+  return o;
+}
+
+TEST(Linearizability, AcceptsSequentialPerKeyHistory) {
+  std::vector<KvOp> h{
+      op(KvOpKind::kRead, 1, 0, 0.0, 0.5),   // initial value
+      op(KvOpKind::kWrite, 1, 7, 1.0, 1.5),
+      op(KvOpKind::kRead, 1, 7, 2.0, 2.5),
+      op(KvOpKind::kWrite, 2, 9, 0.0, 4.0),  // other key, overlapping times
+      op(KvOpKind::kRead, 2, 9, 5.0, 5.5),
+  };
+  EXPECT_TRUE(linearizable(h));
+}
+
+TEST(Linearizability, AcceptsConcurrentReadsEitherValue) {
+  // Write of 3 overlaps both reads: one may see 0, the other 3, in either
+  // real-time order, as long as the register never goes backwards.
+  std::vector<KvOp> h{
+      op(KvOpKind::kWrite, 5, 3, 0.0, 10.0),
+      op(KvOpKind::kRead, 5, 0, 1.0, 2.0),
+      op(KvOpKind::kRead, 5, 3, 3.0, 4.0),
+  };
+  EXPECT_TRUE(linearizable(h));
+}
+
+TEST(Linearizability, RejectsStaleReadAfterAcknowledgedWrite) {
+  std::vector<KvOp> h{
+      op(KvOpKind::kWrite, 1, 7, 0.0, 1.0),
+      op(KvOpKind::kRead, 1, 0, 2.0, 3.0),  // stale: write already acked
+  };
+  std::string why;
+  EXPECT_FALSE(linearizable(h, &why));
+  EXPECT_NE(why.find("key 1"), std::string::npos);
+}
+
+TEST(Linearizability, RejectsValueGoingBackwards) {
+  std::vector<KvOp> h{
+      op(KvOpKind::kWrite, 1, 7, 0.0, 1.0),
+      op(KvOpKind::kWrite, 1, 8, 2.0, 3.0),
+      op(KvOpKind::kRead, 1, 8, 4.0, 5.0),
+      op(KvOpKind::kRead, 1, 7, 6.0, 7.0),  // register moved backwards
+  };
+  EXPECT_FALSE(linearizable(h));
+}
+
+TEST(Linearizability, IncompleteWriteMayApplyOrDrop) {
+  KvOp w;  // invoked, never acknowledged
+  w.kind = KvOpKind::kWrite;
+  w.key = 1;
+  w.value = 42;
+  w.invoke = 0.0;
+  w.complete = false;
+
+  // Dropped entirely: later read of 0 is fine.
+  EXPECT_TRUE(linearizable({w, op(KvOpKind::kRead, 1, 0, 1.0, 2.0)}));
+  // Applied late: read of 42 is also fine.
+  EXPECT_TRUE(linearizable({w, op(KvOpKind::kRead, 1, 42, 1.0, 2.0)}));
+  // But it cannot un-apply: 42 then 0 is a violation.
+  EXPECT_FALSE(linearizable({w, op(KvOpKind::kRead, 1, 42, 1.0, 2.0),
+                             op(KvOpKind::kRead, 1, 0, 3.0, 4.0)}));
+}
+
+TEST(Linearizability, IgnoresIncompleteReads) {
+  KvOp r;
+  r.kind = KvOpKind::kRead;
+  r.key = 1;
+  r.value = 999;  // meaningless; never returned
+  r.invoke = 0.5;
+  r.complete = false;
+  EXPECT_TRUE(linearizable({op(KvOpKind::kWrite, 1, 7, 0.0, 1.0), r}));
+}
+
+// --- Raft under chaos ----------------------------------------------------
+
+TEST(RaftChaos, HistoriesLinearizableUnderLeaderKills) {
+  std::size_t total_complete = 0;
+  std::uint64_t kills = 0;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    RaftChaosOptions opt;
+    opt.seed = seed;
+    const auto out = run_raft_chaos(opt);
+    EXPECT_TRUE(out.passed) << "seed " << seed << ": " << out.violation;
+    total_complete += out.ops_complete;
+    kills += out.fired[static_cast<std::size_t>(sim::FaultKind::kNodeKill)];
+  }
+  EXPECT_GT(total_complete, 20u) << "most client ops should commit";
+  EXPECT_GE(kills, 2u) << "the batch should include leader kills";
+}
+
+TEST(RaftChaos, DeterministicPerSeed) {
+  RaftChaosOptions opt;
+  opt.seed = 5;
+  const auto a = run_raft_chaos(opt);
+  const auto b = run_raft_chaos(opt);
+  ASSERT_EQ(a.history.size(), b.history.size());
+  for (std::size_t i = 0; i < a.history.size(); ++i) {
+    EXPECT_EQ(a.history[i].complete, b.history[i].complete) << i;
+    EXPECT_EQ(a.history[i].value, b.history[i].value) << i;
+    EXPECT_DOUBLE_EQ(a.history[i].respond, b.history[i].respond) << i;
+  }
+}
+
+}  // namespace
+}  // namespace hpbdc::chaos
+
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--replay=", 0) == 0) {
+      hpbdc::chaos::g_replay_spec = a.substr(9);
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int n = static_cast<int>(args.size());
+  ::testing::InitGoogleTest(&n, args.data());
+  return RUN_ALL_TESTS();
+}

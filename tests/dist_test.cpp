@@ -323,6 +323,108 @@ TEST(DistRuntime, InputStagePrefersDfsBlockLocality) {
   EXPECT_GT(st.locality_hits, st.locality_misses);
 }
 
+// ---- chaos-harness-motivated regression scenarios --------------------------------
+
+TEST(DistRuntime, KillingSoleHolderOfAllMapOutputsRecomputesTheStage) {
+  // Pin every map task to node 1 via DFS locality (first replica of every
+  // input block lives on the writer), so node 1 ends up the only holder of
+  // the whole map stage's shuffle outputs. Killing it right after the stage
+  // completes forces a full-stage lineage rollback; the input stays readable
+  // through each block's second replica.
+  auto dc = fast_detect_config();
+  dc.slots_per_node = 8;  // node 1 can hold every map task at once
+  sim::DfsConfig fc;
+  fc.replication = 2;
+  auto make_cluster = [&] {
+    auto cl = std::make_unique<Cluster>(star(8), dc, fc);
+    bool written = false;
+    cl->dfs.write(1, "/pin", 4 * fc.block_size, [&](bool ok) { written = ok; });
+    cl->sim.run();
+    EXPECT_TRUE(written);
+    return cl;
+  };
+  auto make_job = [&] { return synthetic_job(2, 4, 4 * MiB, 0, 64 * MiB, "/pin"); };
+
+  auto clean = make_cluster();
+  obs::TraceSession trace;
+  clean->rt.bind_trace(trace);
+  const auto base = clean->run(make_job());
+  ASSERT_TRUE(base.ok);
+  ASSERT_EQ(clean->rt.stats().locality_hits, 4u);  // all maps ran on node 1
+
+  auto faulty = make_cluster();
+  faulty->rt.kill_node_at(1, stage_end(trace, "s0") + 0.01);
+  const auto res = faulty->run(make_job());
+  ASSERT_TRUE(res.ok);
+  const auto& st = faulty->rt.stats();
+  EXPECT_GE(st.executors_declared_dead, 1u);
+  EXPECT_GE(st.tasks_recomputed, 4u);  // the whole map stage came back
+  BufWriter wa, wb;
+  for (const auto& blocks : base.output)
+    for (const auto& b : blocks) wa.write_bytes(b);
+  for (const auto& blocks : res.output)
+    for (const auto& b : blocks) wb.write_bytes(b);
+  EXPECT_EQ(wa.take(), wb.take());
+}
+
+TEST(DistRuntime, CheckpointWriteRacesHolderDeath) {
+  // Slow DFS disks keep the s1 checkpoint's replication pipeline in flight
+  // when a holder of s1 outputs dies: the driver already snapshotted the
+  // stage's blocks, so the write must complete and recovery must still
+  // produce the fault-free answer from checkpoint restores and/or lineage.
+  auto job = [] { return synthetic_job(4, 8, 4 * MiB, /*checkpoint_every=*/2); };
+  DistConfig dc = fast_detect_config();
+  dc.slots_per_node = 2;
+  dc.compute_bps = 50e6;
+  sim::DfsConfig fc;
+  fc.disk_bandwidth_bps = 50e6;  // 8x4MiB checkpoint: write spans stage s2
+
+  Cluster clean(star(8), dc, fc);
+  obs::TraceSession trace;
+  clean.rt.bind_trace(trace);
+  const auto base = clean.run(job());
+  ASSERT_TRUE(base.ok);
+
+  Cluster faulty(star(8), dc, fc);
+  faulty.rt.kill_node_at(3, stage_end(trace, "s1") + 0.05);
+  const auto res = faulty.run(job());
+  ASSERT_TRUE(res.ok);
+  const auto& st = faulty.rt.stats();
+  EXPECT_GE(st.checkpoints_written, 1u);  // the racing write still landed
+  EXPECT_GE(st.tasks_recomputed + st.checkpoint_restores, 1u);
+  BufWriter wa, wb;
+  for (const auto& blocks : base.output)
+    for (const auto& b : blocks) wa.write_bytes(b);
+  for (const auto& blocks : res.output)
+    for (const auto& b : blocks) wb.write_bytes(b);
+  EXPECT_EQ(wa.take(), wb.take());
+}
+
+TEST(DistRuntime, SpeculationRacesAGenuineMidJobStraggler) {
+  // A node turns straggler mid-stage (set_node_speed_at, not the static
+  // straggler_fraction config): LATE must launch a backup that races the
+  // genuine slow attempt, and winning must beat the no-speculation run.
+  auto run_once = [](bool speculate, bool slowdown) {
+    DistConfig dc;
+    dc.seed = 77;
+    dc.slots_per_node = 2;
+    dc.speculate = speculate;
+    Cluster cl(star(8), dc);
+    if (slowdown) cl.rt.set_node_speed_at(5, 0.08, 0.15);
+    const auto res = cl.run(synthetic_job(1, 24, 16 * MiB));
+    EXPECT_TRUE(res.ok);
+    return std::pair<double, DistStats>(res.makespan, cl.rt.stats());
+  };
+  const auto [healthy, healthy_stats] = run_once(true, false);
+  const auto [unaided, unaided_stats] = run_once(false, true);
+  const auto [raced, raced_stats] = run_once(true, true);
+  EXPECT_EQ(unaided_stats.speculative_launched, 0u);
+  EXPECT_GE(raced_stats.speculative_launched, 1u);
+  EXPECT_GE(raced_stats.speculative_won, 1u);  // the backup beat the straggler
+  EXPECT_LT(raced, unaided);
+  EXPECT_GT(raced, healthy);  // the straggler still cost something
+}
+
 TEST(DistRuntime, RejectsBadJobs) {
   DistConfig dc;
   Cluster cl(star(4), dc);

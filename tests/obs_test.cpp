@@ -240,5 +240,80 @@ TEST(TraceSession, WriteChromeJsonFileRoundTrips) {
   EXPECT_NE(buf.str().find("file-span"), std::string::npos);
 }
 
+// ---- concurrency (this suite carries the `sanitize` ctest label) -----------------
+
+TEST(LatencyHistogram, StripeMergeConservesTotalsUnderConcurrentSnapshots) {
+  // Recorders hammer the striped shards while a reader repeatedly merges
+  // them; every intermediate snapshot must be internally consistent (a shard
+  // is never observed mid-update) and the final merge must conserve both the
+  // record count and the sum.
+  constexpr std::size_t kThreads = 4, kPerThread = 5000;
+  MetricsRegistry reg;
+  LatencyHistogram& h = reg.histogram("chaos.latency");
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    std::uint64_t last = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      const Histogram snap = h.snapshot();
+      EXPECT_GE(snap.count(), last);  // merged counts only grow
+      EXPECT_LE(snap.count(), kThreads * kPerThread);
+      last = snap.count();
+    }
+  });
+  std::vector<std::thread> writers;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&h, t] {
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        h.record(static_cast<double>(t + 1));
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+  stop.store(true, std::memory_order_release);
+  reader.join();
+
+  const Histogram final_snap = h.snapshot();
+  EXPECT_EQ(final_snap.count(), kThreads * kPerThread);
+  double expect_sum = 0;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    expect_sum += static_cast<double>((t + 1) * kPerThread);
+  }
+  const double expect_mean = expect_sum / static_cast<double>(kThreads * kPerThread);
+  EXPECT_NEAR(final_snap.mean(), expect_mean, 1e-9 * expect_mean);
+  EXPECT_DOUBLE_EQ(final_snap.min(), 1.0);
+  EXPECT_DOUBLE_EQ(final_snap.max(), static_cast<double>(kThreads));
+}
+
+TEST(TraceSession, ChromeJsonExportConcurrentWithRecording) {
+  // Exports race live span recording: every intermediate JSON must already
+  // be well-formed (the exporter snapshots under the session lock), and the
+  // final export sees every span from every thread exactly once.
+  constexpr std::size_t kThreads = 4, kSpans = 200;
+  TraceSession tr;
+  std::vector<std::thread> workers;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&tr, t] {
+      for (std::size_t i = 0; i < kSpans; ++i) {
+        Span s(&tr, "w" + std::to_string(t) + "-" + std::to_string(i), "task");
+        s.set_items(i);
+      }
+    });
+  }
+  for (int round = 0; round < 20; ++round) {
+    std::ostringstream os;
+    tr.write_chrome_json(os);
+    ASSERT_TRUE(json_well_formed(os.str()));
+  }
+  for (auto& w : workers) w.join();
+
+  EXPECT_EQ(tr.event_count(), kThreads * kSpans);
+  std::ostringstream os;
+  tr.write_chrome_json(os);
+  EXPECT_TRUE(json_well_formed(os.str()));
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    EXPECT_NE(os.str().find("w" + std::to_string(t) + "-0"), std::string::npos);
+  }
+}
+
 }  // namespace
 }  // namespace hpbdc::obs

@@ -8,7 +8,10 @@
 
 #include "common/rng.hpp"
 #include "common/serialize.hpp"
+#include "dataflow/dataset.hpp"
+#include "dataflow/pair_ops.hpp"
 #include "dataflow/shuffle.hpp"
+#include "exec/parallel.hpp"
 #include "exec/thread_pool.hpp"
 #include "storage/compression.hpp"
 #include "storage/dedup.hpp"
@@ -147,6 +150,96 @@ TEST_P(Seeded, ShufflePreservesEveryRecord) {
   std::map<std::uint64_t, std::uint64_t> got;
   for (const auto& p : out) {
     for (const auto& [k, v] : p) got[k] += v;
+  }
+  EXPECT_EQ(got, expect);
+}
+
+// ---- exec primitives: grain=0 convention across the serial-fallback edge ---------
+
+TEST_P(Seeded, ParallelSortGrainZeroMatchesStdSortAcrossFallbackEdge) {
+  // parallel_sort drops to std::sort below 2048 elements; grain=0 must pick
+  // a sane default on both sides of that edge, and explicit grains (down to
+  // pathological 1-element blocks) must agree with the serial answer.
+  ThreadPool pool(4);
+  Rng rng(GetParam());
+  const std::size_t sizes[] = {0,    1,    2,    2047,
+                               2048, 2049, 4096, 2048 + rng.next_below(8192)};
+  for (const std::size_t n : sizes) {
+    std::vector<std::uint64_t> base(n);
+    for (auto& v : base) v = rng.next_below(1000);  // duplicates likely
+    auto expect = base;
+    std::sort(expect.begin(), expect.end());
+    for (const std::size_t grain : {std::size_t{0}, std::size_t{1},
+                                    std::size_t{37}, std::size_t{1024}, n}) {
+      if (grain == 1 && n > 4096) continue;  // one task per element: keep it quick
+      auto got = base;
+      parallel_sort(pool, got.begin(), got.end(), std::less<>{}, grain);
+      ASSERT_EQ(got, expect) << "n=" << n << " grain=" << grain;
+    }
+  }
+}
+
+TEST_P(Seeded, ParallelScanGrainZeroMatchesSerialAcrossFallbackEdge) {
+  // Same convention for the two-pass scan (serial fallback below 4096).
+  ThreadPool pool(4);
+  Rng rng(GetParam());
+  const std::size_t sizes[] = {0,    1,    4095, 4096,
+                               4097, 8192, 4096 + rng.next_below(8192)};
+  for (const std::size_t n : sizes) {
+    std::vector<std::uint64_t> in(n);
+    for (auto& v : in) v = rng.next_below(1 << 20);
+    std::vector<std::uint64_t> expect(n);
+    std::uint64_t acc = 0;
+    for (std::size_t i = 0; i < n; ++i) expect[i] = acc += in[i];
+    for (const std::size_t grain :
+         {std::size_t{0}, std::size_t{13}, std::size_t{1024}, n}) {
+      std::vector<std::uint64_t> got;
+      parallel_inclusive_scan(
+          pool, in, got, [](std::uint64_t a, std::uint64_t b) { return a + b; },
+          std::uint64_t{0}, grain);
+      ASSERT_EQ(got, expect) << "n=" << n << " grain=" << grain;
+    }
+  }
+}
+
+// ---- binary-safe keys through the dataflow shuffle -------------------------------
+
+TEST_P(Seeded, BinarySafeStringKeysSurviveReduceByKey) {
+  // Keys with embedded NULs, 0xFF runs, and arbitrary bytes must hash,
+  // shuffle, and compare correctly — any sloppy C-string handling in the
+  // shuffle path truncates at the first NUL and merges distinct keys.
+  ThreadPool pool(4);
+  dataflow::Context ctx(pool);
+  Rng rng(GetParam());
+  std::vector<std::string> keys;
+  for (std::size_t i = 0; i < 40; ++i) {
+    std::string k(1 + rng.next_below(12), '\0');
+    for (auto& c : k) c = static_cast<char>(rng.next_below(256));
+    keys.push_back(std::move(k));
+  }
+  keys.emplace_back("\0", 1);          // lone NUL
+  keys.emplace_back("\0\0", 2);        // NUL-prefix pair: distinct from above
+  keys.emplace_back("a\0b", 3);        // NUL in the middle
+  keys.emplace_back("a\0c", 3);        // differs only after the NUL
+  keys.emplace_back(4, '\xff');
+
+  std::vector<std::pair<std::string, std::uint64_t>> rows;
+  std::map<std::string, std::uint64_t> expect;
+  const auto records = 2000 + rng.next_below(4000);
+  for (std::uint64_t i = 0; i < records; ++i) {
+    const auto& k = keys[rng.next_below(keys.size())];
+    rows.emplace_back(k, i);
+    expect[k] += i;
+  }
+  auto ds = dataflow::Dataset<std::pair<std::string, std::uint64_t>>::parallelize(
+      ctx, rows, 1 + rng.next_below(8));
+  auto reduced = dataflow::reduce_by_key(
+      ds, [](std::uint64_t a, std::uint64_t b) { return a + b; },
+      1 + rng.next_below(8), rng.next_bool(0.5));
+  std::map<std::string, std::uint64_t> got;
+  for (auto& [k, v] : reduced.collect()) {
+    ASSERT_EQ(got.count(k), 0u);  // each key appears exactly once post-reduce
+    got[k] = v;
   }
   EXPECT_EQ(got, expect);
 }
