@@ -18,6 +18,7 @@
 #include "chaos/harness.hpp"
 #include "chaos/linearizability.hpp"
 #include "exec/thread_pool.hpp"
+#include "obs/metrics.hpp"
 
 namespace {
 
@@ -37,7 +38,10 @@ ChaosConfig campaign_config(std::uint64_t seed, bool bug) {
 }
 
 void print_outcome(const ChaosOutcome& out) {
-  std::cout << "  plan: " << out.plan << "\n  violation: " << out.violation
+  std::cout << "  plan: " << out.plan << "\n  optimized: " << out.optimized
+            << " (rules=" << out.opt_stats.rules_applied()
+            << " stages_eliminated=" << out.opt_stats.stages_eliminated << ")"
+            << "\n  violation: " << out.violation
             << "\n  stats: launched=" << out.dist_stats.tasks_launched
             << " completed=" << out.dist_stats.tasks_completed
             << " retries=" << out.dist_stats.task_retries
@@ -72,9 +76,11 @@ int main(int argc, char** argv) {
 
   ThreadPool pool(4);
 
+  obs::MetricsRegistry plan_metrics;  // optimizer rule counters, whole campaign
+
   if (!replay.empty()) {
     const ChaosConfig cfg = parse_replay(replay);
-    const auto out = run_chaos_once(cfg, pool);
+    const auto out = run_chaos_once(cfg, pool, &plan_metrics);
     std::cout << (out.passed ? "PASS " : "FAIL ") << format_replay(cfg) << "\n";
     print_outcome(out);
     return out.passed ? 0 : 1;
@@ -85,7 +91,7 @@ int main(int argc, char** argv) {
   const auto t0 = std::chrono::steady_clock::now();
   for (std::uint64_t seed = seed0; seed < seed0 + runs; ++seed) {
     const ChaosConfig cfg = campaign_config(seed, bug);
-    const auto out = run_chaos_once(cfg, pool);
+    const auto out = run_chaos_once(cfg, pool, &plan_metrics);
     for (std::size_t k = 0; k < sim::kFaultKindCount; ++k) {
       if (out.fired[k] > 0) {
         kinds.insert(sim::fault_kind_name(static_cast<sim::FaultKind>(k)));
@@ -123,6 +129,15 @@ int main(int argc, char** argv) {
             << static_cast<std::uint64_t>(runs / secs * 60) << " plans/min), "
             << kinds.size() << " distinct fault classes, " << violations
             << " violations\n";
+  const auto pc = [&plan_metrics](const char* name) {
+    return plan_metrics.counter(name).value();
+  };
+  std::cout << "optimizer: fuse_narrow=" << pc("plan.rules_applied.fuse_narrow")
+            << " push_filter=" << pc("plan.rules_applied.push_filter")
+            << " combine=" << pc("plan.rules_applied.combine")
+            << " shuffle_elim=" << pc("plan.rules_applied.shuffle_elim")
+            << " prune_dead=" << pc("plan.rules_applied.prune_dead")
+            << " stages_eliminated=" << pc("plan.stages_eliminated") << "\n";
   std::cout << "fault classes:";
   for (const auto& k : kinds) std::cout << " " << k;
   std::cout << "\nraft: 4 histories, " << raft_ops << " committed ops, "

@@ -151,7 +151,8 @@ sim::FaultPlan make_fault_plan(std::uint64_t seed, const FaultGenOptions& opt) {
   return plan;
 }
 
-ChaosOutcome run_chaos_once(const ChaosConfig& cfg, Executor& pool) {
+ChaosOutcome run_chaos_once(const ChaosConfig& cfg, Executor& pool,
+                            obs::MetricsRegistry* plan_metrics) {
   ChaosOutcome out;
   auto fail = [&out](const std::string& msg) {
     if (out.passed) {
@@ -160,15 +161,16 @@ ChaosOutcome run_chaos_once(const ChaosConfig& cfg, Executor& pool) {
     }
   };
 
-  const LogicalPlan plan = make_plan(cfg.plan_seed, cfg.plan_nodes, cfg.rows);
-  out.plan = plan.describe();
+  const LogicalPlan raw = make_plan(cfg.plan_seed, cfg.plan_nodes, cfg.rows);
+  out.plan = raw.describe();
 
   // ---- trusted side: fault-free shared-memory run + conservation checks --
+  // The RAW plan is the reference; the optimizer never touches it.
   obs::MetricsRegistry ref_metrics;
   dataflow::Context::Options ctx_opts;
   ctx_opts.metrics = &ref_metrics;
   dataflow::Context ctx(pool, ctx_opts);
-  const std::vector<Row> expected_rows = run_reference(plan, ctx);
+  const std::vector<Row> expected_rows = run_reference(raw, ctx);
   const Bytes expected = canonical_bytes(expected_rows);
   out.result_rows = expected_rows.size();
 
@@ -183,6 +185,17 @@ ChaosOutcome run_chaos_once(const ChaosConfig& cfg, Executor& pool) {
   }
   if (cval("shuffle.records_moved") > cval("shuffle.records_in")) {
     fail("conservation: shuffle moved more records than entered it");
+  }
+
+  // ---- optimizer under test: both engines execute the OPTIMIZED plan -----
+  // Fault-free local run first: a mismatch here is an unsound rewrite,
+  // isolated from any scheduling/recovery effect. A plain Context (no
+  // metrics) keeps the conservation counters above untouched.
+  const LogicalPlan plan = plan::optimize(raw, &out.opt_stats, plan_metrics);
+  out.optimized = plan.describe();
+  dataflow::Context opt_ctx(pool);
+  if (canonical_bytes(plan::lower_local(plan, opt_ctx)) != expected) {
+    fail("optimizer: optimized plan differs from the raw reference locally");
   }
 
   // ---- system under test: dist runtime under the fault schedule ----------

@@ -2,7 +2,12 @@
 // The chaos harness proper: ties a random logical plan (plan_gen) to a
 // random fault schedule (sim::FaultPlan) on a simulated cluster, runs the
 // dist runtime under fire, and checks a differential oracle against the
-// fault-free shared-memory execution:
+// fault-free shared-memory execution. Every run also exercises the plan
+// optimizer (plan/optimizer.hpp): the UNOPTIMIZED plan on the shared-memory
+// engine is the trusted reference, and the OPTIMIZED plan executes on both
+// engines — locally fault-free (any mismatch is an unsound rewrite) and on
+// the dist runtime under faults (a mismatch is a rewrite or recovery bug).
+// The checks, in order:
 //   * liveness — the job completes within a generous simulated horizon,
 //   * success  — the survivable fault schedule never aborts the job,
 //   * equality — the result row multiset is bit-for-bit the reference's,
@@ -23,6 +28,7 @@
 
 #include "chaos/plan_gen.hpp"
 #include "dist/runtime.hpp"
+#include "plan/optimizer.hpp"
 #include "sim/fault.hpp"
 
 namespace hpbdc::chaos {
@@ -77,16 +83,21 @@ sim::FaultPlan make_fault_plan(std::uint64_t seed, const FaultGenOptions& opt);
 struct ChaosOutcome {
   bool passed = true;
   std::string violation;  // first failed check; empty when passed
-  std::string plan;       // LogicalPlan::describe() of the plan under test
-  std::size_t fault_events = 0;  // schedule size before masking
+  std::string plan;       // LogicalPlan::describe() of the raw plan
+  std::string optimized;  // describe() of the optimized plan actually run
+  plan::OptimizerStats opt_stats;  // per-rule application counts
+  std::size_t fault_events = 0;    // schedule size before masking
   std::array<std::uint64_t, sim::kFaultKindCount> fired{};
   dist::DistStats dist_stats;
   std::size_t result_rows = 0;
   double makespan = 0;
 };
 
-/// One full differential run. `pool` executes the reference side.
-ChaosOutcome run_chaos_once(const ChaosConfig& cfg, Executor& pool);
+/// One full differential run. `pool` executes the reference side. When
+/// `plan_metrics` is non-null the optimizer bumps its
+/// plan.rules_applied.<rule> / plan.stages_eliminated counters there.
+ChaosOutcome run_chaos_once(const ChaosConfig& cfg, Executor& pool,
+                            obs::MetricsRegistry* plan_metrics = nullptr);
 
 struct ShrinkResult {
   ChaosConfig minimal;    // smallest configuration that still fails

@@ -1,146 +1,18 @@
 #include "chaos/plan_gen.hpp"
 
-#include <algorithm>
-#include <map>
-
 #include "common/hash.hpp"
 #include "common/rng.hpp"
-#include "dataflow/pair_ops.hpp"
 
 namespace hpbdc::chaos {
 
 namespace {
-
-// Keys live in a small fixed domain so reduce_by_key and join always see
-// collisions (the interesting case) at chaos-harness row counts.
-constexpr std::uint64_t kKeyDomain = 64;
 
 std::uint64_t node_seed(std::uint64_t plan_seed, std::uint64_t i) {
   std::uint64_t s = plan_seed ^ ((i + 1) * 0x9e3779b97f4a7c15ULL);
   return splitmix64(s);
 }
 
-// ---- per-operator row semantics -------------------------------------------
-// Single source of truth: the reference execution and the dist job both call
-// exactly these, so the differential oracle compares scheduling, not
-// operator definitions.
-
-std::vector<Row> source_rows(std::uint64_t salt, std::uint64_t n) {
-  std::vector<Row> out;
-  out.reserve(n);
-  Rng rng(salt);
-  for (std::uint64_t i = 0; i < n; ++i) {
-    out.emplace_back(rng.next_below(kKeyDomain), rng());
-  }
-  return out;
-}
-
-Row map_row(const Row& r, std::uint64_t salt) {
-  return {mix64(r.first * 0x9e3779b97f4a7c15ULL + salt) % kKeyDomain,
-          r.second * 6364136223846793005ULL + salt};
-}
-
-bool filter_keep(const Row& r, std::uint64_t salt) {
-  return (mix64(r.first ^ (r.second * 3) ^ salt) & 1) == 0;
-}
-
-void flat_map_row(const Row& r, std::uint64_t salt, std::vector<Row>& out) {
-  const std::uint64_t n = mix64(r.first ^ r.second ^ salt) % 3;  // 0..2 copies
-  for (std::uint64_t j = 0; j < n; ++j) {
-    out.emplace_back(mix64(r.first + j + salt) % kKeyDomain, r.second + j * salt);
-  }
-}
-
-std::uint64_t reduce_combine(std::uint64_t a, std::uint64_t b) {
-  return a + b;  // wrapping sum: commutative and associative
-}
-
-Row join_rows(std::uint64_t k, std::uint64_t v, std::uint64_t w) {
-  return {k, v * 1000003ULL + mix64(w)};
-}
-
-std::uint64_t sort_key(const Row& r, std::uint64_t salt) {
-  return mix64(r.first ^ salt);
-}
-
-// ---- dist-stage plumbing --------------------------------------------------
-
-/// Hash-partition rows by key into ntasks serialized blocks (the invariant
-/// every chaos stage maintains at its output boundary).
-std::vector<Bytes> partition_rows(std::vector<Row> rows, std::size_t ntasks) {
-  std::vector<std::vector<Row>> parts(ntasks);
-  for (const Row& r : rows) {
-    parts[hash_u64(r.first) % ntasks].push_back(r);
-  }
-  std::vector<Bytes> out;
-  out.reserve(ntasks);
-  for (auto& p : parts) out.push_back(to_bytes(p));
-  return out;
-}
-
-/// Concatenate parent `pi`'s blocks for this task, in parent-task order
-/// (deterministic regardless of fetch completion order).
-std::vector<Row> gather_rows(const std::vector<std::vector<Bytes>>& inputs,
-                             std::size_t pi) {
-  std::vector<Row> rows;
-  for (const Bytes& b : inputs.at(pi)) {
-    auto part = from_bytes<std::vector<Row>>(b);
-    rows.insert(rows.end(), part.begin(), part.end());
-  }
-  return rows;
-}
-
-std::vector<Row> local_join(const std::vector<Row>& lhs,
-                            const std::vector<Row>& rhs) {
-  std::multimap<std::uint64_t, std::uint64_t> left_by_key;
-  for (const Row& r : lhs) left_by_key.emplace(r.first, r.second);
-  std::vector<Row> out;
-  for (const Row& r : rhs) {
-    auto [lo, hi] = left_by_key.equal_range(r.first);
-    for (auto it = lo; it != hi; ++it) {
-      out.push_back(join_rows(r.first, it->second, r.second));
-    }
-  }
-  return out;
-}
-
 }  // namespace
-
-const char* op_name(OpKind k) {
-  switch (k) {
-    case OpKind::kSource: return "source";
-    case OpKind::kMap: return "map";
-    case OpKind::kFilter: return "filter";
-    case OpKind::kFlatMap: return "flat_map";
-    case OpKind::kReduceByKey: return "reduce_by_key";
-    case OpKind::kJoin: return "join";
-    case OpKind::kSortBy: return "sort_by";
-    case OpKind::kDistinct: return "distinct";
-  }
-  return "?";
-}
-
-std::string LogicalPlan::describe() const {
-  std::string out;
-  for (std::size_t i = 0; i < nodes.size(); ++i) {
-    const PlanNode& nd = nodes[i];
-    if (!out.empty()) out += ' ';
-    out += std::to_string(i);
-    out += ':';
-    out += op_name(nd.op);
-    if (nd.left != PlanNode::kNoParent) {
-      out += '(';
-      out += std::to_string(nd.left);
-      if (nd.right != PlanNode::kNoParent) {
-        out += ',';
-        out += std::to_string(nd.right);
-      }
-      out += ')';
-    }
-    if (nd.checkpoint) out += '*';
-  }
-  return out;
-}
 
 LogicalPlan make_plan(std::uint64_t seed, std::size_t nnodes,
                       std::uint64_t rows_per_source) {
@@ -149,8 +21,9 @@ LogicalPlan make_plan(std::uint64_t seed, std::size_t nnodes,
   plan.rows_per_source = rows_per_source;
   if (nnodes == 0) nnodes = 1;
   for (std::size_t i = 0; i < nnodes; ++i) {
-    // Fixed draw order (salt, op, parents, checkpoint) from a per-node rng:
-    // node i never depends on nnodes, which is what makes plans prefix-stable.
+    // Fixed draw order (salt, op, parents, checkpoint, variant) from a
+    // per-node rng: node i never depends on nnodes, which is what makes
+    // plans prefix-stable.
     Rng rng(node_seed(seed, i));
     PlanNode nd;
     nd.salt = rng();
@@ -183,6 +56,13 @@ LogicalPlan make_plan(std::uint64_t seed, std::size_t nnodes,
       }
     }
     nd.checkpoint = rng.next_bool(0.25);
+    // Trailing variant draw (added with the optimizer): half the maps become
+    // key-preserving and half the filters key-only, so the pushdown rule has
+    // commuting pairs to find. A trailing draw keeps every earlier draw —
+    // and thus the DAG shape — bit-identical, preserving prefix stability.
+    const bool variant = rng.next_bool(0.5);
+    if (variant && nd.op == OpKind::kMap) nd.op = OpKind::kMapValues;
+    if (variant && nd.op == OpKind::kFilter) nd.op = OpKind::kFilterKey;
     plan.nodes.push_back(nd);
   }
   std::vector<bool> consumed(plan.nodes.size(), false);
@@ -194,199 +74,6 @@ LogicalPlan make_plan(std::uint64_t seed, std::size_t nnodes,
     if (!consumed[i]) plan.sinks.push_back(i);
   }
   return plan;
-}
-
-std::vector<Row> run_reference(const LogicalPlan& plan, dataflow::Context& ctx) {
-  using DS = dataflow::Dataset<Row>;
-  std::vector<DS> built(plan.nodes.size());
-  for (std::size_t i = 0; i < plan.nodes.size(); ++i) {
-    const PlanNode& nd = plan.nodes[i];
-    const std::uint64_t salt = nd.salt;
-    switch (nd.op) {
-      case OpKind::kSource:
-        built[i] = DS::parallelize(ctx, source_rows(salt, nd.rows), 4);
-        break;
-      case OpKind::kMap:
-        built[i] = built[nd.left].map(
-            [salt](const Row& r) { return map_row(r, salt); });
-        break;
-      case OpKind::kFilter:
-        built[i] = built[nd.left].filter(
-            [salt](const Row& r) { return filter_keep(r, salt); });
-        break;
-      case OpKind::kFlatMap:
-        built[i] = built[nd.left].flat_map([salt](const Row& r) {
-          std::vector<Row> out;
-          flat_map_row(r, salt, out);
-          return out;
-        });
-        break;
-      case OpKind::kReduceByKey:
-        built[i] = dataflow::reduce_by_key(
-            built[nd.left],
-            [](std::uint64_t a, std::uint64_t b) { return reduce_combine(a, b); },
-            4);
-        break;
-      case OpKind::kJoin:
-        built[i] =
-            dataflow::join(built[nd.left], built[nd.right], 4)
-                .map([](const std::pair<std::uint64_t,
-                                        std::pair<std::uint64_t, std::uint64_t>>&
-                            r) {
-                  return join_rows(r.first, r.second.first, r.second.second);
-                });
-        break;
-      case OpKind::kSortBy:
-        built[i] = built[nd.left].sort_by(
-            [salt](const Row& r) { return sort_key(r, salt); }, 4);
-        break;
-      case OpKind::kDistinct:
-        built[i] = built[nd.left].distinct(4);
-        break;
-    }
-  }
-  DS out = built[plan.sinks.front()];
-  for (std::size_t s = 1; s < plan.sinks.size(); ++s) {
-    out = out.union_with(built[plan.sinks[s]]);
-  }
-  return out.collect();
-}
-
-dist::JobSpec make_dist_job(const LogicalPlan& plan, std::size_t ntasks) {
-  dist::JobSpec job;
-  job.name = "chaos";
-  for (std::size_t i = 0; i < plan.nodes.size(); ++i) {
-    const PlanNode& nd = plan.nodes[i];
-    const std::uint64_t salt = nd.salt;
-    dist::StageSpec st;
-    st.name = "n" + std::to_string(i);
-    st.ntasks = ntasks;
-    st.checkpoint = nd.checkpoint;
-    switch (nd.op) {
-      case OpKind::kSource: {
-        const std::uint64_t rows = nd.rows;
-        // Task t owns the rows with index ≡ t (mod ntasks): disjoint slices
-        // whose union is exactly the reference source.
-        st.run = [salt, rows, ntasks](std::size_t task,
-                                      const std::vector<std::vector<Bytes>>&) {
-          const auto all = source_rows(salt, rows);
-          std::vector<Row> mine;
-          for (std::size_t j = task; j < all.size(); j += ntasks) {
-            mine.push_back(all[j]);
-          }
-          return partition_rows(std::move(mine), ntasks);
-        };
-        st.input_bytes_per_task = std::max<std::uint64_t>(1, rows * 16 / ntasks);
-        break;
-      }
-      case OpKind::kMap:
-        st.parents = {nd.left};
-        st.run = [salt, ntasks](std::size_t,
-                                const std::vector<std::vector<Bytes>>& in) {
-          auto rows = gather_rows(in, 0);
-          for (Row& r : rows) r = map_row(r, salt);
-          return partition_rows(std::move(rows), ntasks);
-        };
-        break;
-      case OpKind::kFilter:
-        st.parents = {nd.left};
-        st.run = [salt, ntasks](std::size_t,
-                                const std::vector<std::vector<Bytes>>& in) {
-          auto rows = gather_rows(in, 0);
-          std::erase_if(rows, [salt](const Row& r) { return !filter_keep(r, salt); });
-          return partition_rows(std::move(rows), ntasks);
-        };
-        break;
-      case OpKind::kFlatMap:
-        st.parents = {nd.left};
-        st.run = [salt, ntasks](std::size_t,
-                                const std::vector<std::vector<Bytes>>& in) {
-          const auto rows = gather_rows(in, 0);
-          std::vector<Row> out;
-          for (const Row& r : rows) flat_map_row(r, salt, out);
-          return partition_rows(std::move(out), ntasks);
-        };
-        break;
-      case OpKind::kReduceByKey:
-        st.parents = {nd.left};
-        st.run = [ntasks](std::size_t,
-                          const std::vector<std::vector<Bytes>>& in) {
-          // All rows of a key land in one task (upstream hash partitioning),
-          // so the local reduce is globally exact.
-          std::map<std::uint64_t, std::uint64_t> acc;
-          for (const Row& r : gather_rows(in, 0)) {
-            auto [it, fresh] = acc.emplace(r.first, r.second);
-            if (!fresh) it->second = reduce_combine(it->second, r.second);
-          }
-          std::vector<Row> rows(acc.begin(), acc.end());
-          return partition_rows(std::move(rows), ntasks);
-        };
-        break;
-      case OpKind::kJoin:
-        st.parents = {nd.left, nd.right};
-        st.run = [ntasks](std::size_t,
-                          const std::vector<std::vector<Bytes>>& in) {
-          return partition_rows(local_join(gather_rows(in, 0), gather_rows(in, 1)),
-                                ntasks);
-        };
-        break;
-      case OpKind::kSortBy:
-        st.parents = {nd.left};
-        st.run = [salt, ntasks](std::size_t,
-                                const std::vector<std::vector<Bytes>>& in) {
-          auto rows = gather_rows(in, 0);
-          std::sort(rows.begin(), rows.end(),
-                    [salt](const Row& a, const Row& b) {
-                      const auto ka = sort_key(a, salt), kb = sort_key(b, salt);
-                      return ka != kb ? ka < kb : a < b;
-                    });
-          return partition_rows(std::move(rows), ntasks);
-        };
-        break;
-      case OpKind::kDistinct:
-        st.parents = {nd.left};
-        st.run = [ntasks](std::size_t,
-                          const std::vector<std::vector<Bytes>>& in) {
-          auto rows = gather_rows(in, 0);
-          std::sort(rows.begin(), rows.end());
-          rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
-          return partition_rows(std::move(rows), ntasks);
-        };
-        break;
-    }
-    job.stages.push_back(std::move(st));
-  }
-  dist::StageSpec fin;
-  fin.name = "collect";
-  fin.ntasks = ntasks;
-  fin.parents = plan.sinks;
-  fin.run = [nsinks = plan.sinks.size()](
-                std::size_t, const std::vector<std::vector<Bytes>>& in) {
-    std::vector<Row> rows;
-    for (std::size_t pi = 0; pi < nsinks; ++pi) {
-      auto part = gather_rows(in, pi);
-      rows.insert(rows.end(), part.begin(), part.end());
-    }
-    return std::vector<Bytes>{to_bytes(rows)};
-  };
-  job.stages.push_back(std::move(fin));
-  return job;
-}
-
-std::vector<Row> rows_from_result(const dist::JobResult& res) {
-  std::vector<Row> rows;
-  for (const auto& blocks : res.output) {
-    for (const Bytes& b : blocks) {
-      auto part = from_bytes<std::vector<Row>>(b);
-      rows.insert(rows.end(), part.begin(), part.end());
-    }
-  }
-  return rows;
-}
-
-Bytes canonical_bytes(std::vector<Row> rows) {
-  std::sort(rows.begin(), rows.end());
-  return to_bytes(rows);
 }
 
 }  // namespace hpbdc::chaos

@@ -1,12 +1,8 @@
 #pragma once
-// Random logical-plan generation for the chaos harness: seed-deterministic
-// DAGs of map / filter / flat_map / reduce_by_key / join / sort_by /
-// distinct operators over synthetic (key, value) rows, executable on BOTH
-// the shared-memory dataflow engine (the trusted oracle) and the
-// distributed runtime (the system under test). The two executions share the
-// exact same per-operator row functions, so any multiset difference in the
-// final rows is a scheduling/recovery bug, not an operator-semantics
-// mismatch.
+// Random logical-plan generation for the chaos harness. The plan IR itself
+// now lives in src/plan (plan::LogicalPlan and friends) — this header only
+// keeps the seeded generator plus aliases and thin forwarders, so existing
+// chaos call sites and --replay specs keep working unchanged.
 //
 // Plans are PREFIX-STABLE: node i is derived only from (seed, i), so
 // make_plan(seed, n - 1) is make_plan(seed, n) minus its last node. The
@@ -14,69 +10,34 @@
 // without perturbing the remaining plan.
 
 #include <cstdint>
-#include <string>
-#include <utility>
 #include <vector>
 
-#include "common/serialize.hpp"
-#include "dataflow/dataset.hpp"
-#include "dist/job.hpp"
+#include "plan/lower.hpp"
+#include "plan/plan.hpp"
 
 namespace hpbdc::chaos {
 
-/// Every edge in a chaos plan carries (key, value) rows, so any operator's
-/// output can feed any other operator.
-using Row = std::pair<std::uint64_t, std::uint64_t>;
-
-enum class OpKind : std::uint8_t {
-  kSource,       // seeded synthetic rows
-  kMap,          // key and value remix (salted hash)
-  kFilter,       // keep rows whose salted hash is even
-  kFlatMap,      // 0..2 derived rows per input row
-  kReduceByKey,  // wrapping-sum combine (commutative + associative)
-  kJoin,         // inner join of two parents on key
-  kSortBy,       // multiset identity; exercises the sort paths
-  kDistinct,     // row-level dedup
-};
-
-const char* op_name(OpKind k);
-
-struct PlanNode {
-  static constexpr std::size_t kNoParent = ~std::size_t{0};
-  OpKind op = OpKind::kSource;
-  std::size_t left = kNoParent;
-  std::size_t right = kNoParent;  // joins only
-  std::uint64_t salt = 0;         // per-node mixing constant
-  std::uint64_t rows = 0;         // sources only: row count
-  bool checkpoint = false;        // dist execution persists this stage
-};
-
-struct LogicalPlan {
-  std::uint64_t seed = 0;
-  std::uint64_t rows_per_source = 0;
-  std::vector<PlanNode> nodes;     // parents always precede children
-  std::vector<std::size_t> sinks;  // childless nodes; their union is the result
-  /// One-line structure summary, e.g. "0:source 1:map(0) 2:join(0,1)".
-  std::string describe() const;
-};
+// The IR, re-exported: src/chaos defines no plan types of its own anymore.
+using Row = plan::Row;
+using OpKind = plan::OpKind;
+using PlanNode = plan::PlanNode;
+using LogicalPlan = plan::LogicalPlan;
+using plan::canonical_bytes;
+using plan::op_name;
+using plan::rows_from_result;
 
 LogicalPlan make_plan(std::uint64_t seed, std::size_t nnodes,
                       std::uint64_t rows_per_source);
 
 /// Fault-free execution on the shared-memory dataflow engine.
-std::vector<Row> run_reference(const LogicalPlan& plan, dataflow::Context& ctx);
+inline std::vector<Row> run_reference(const LogicalPlan& p,
+                                      dataflow::Context& ctx) {
+  return plan::lower_local(p, ctx);
+}
 
-/// The same plan as a dist-runtime job: one stage per plan node plus a final
-/// collect stage over the sinks. Every stage hash-partitions its output by
-/// key with a fixed task count, so the key-based operators (reduce, join,
-/// distinct) are exact per-partition.
-dist::JobSpec make_dist_job(const LogicalPlan& plan, std::size_t ntasks);
-
-/// Final rows of a dist run of make_dist_job (unsorted).
-std::vector<Row> rows_from_result(const dist::JobResult& res);
-
-/// Canonical fingerprint for the differential oracle: sort the row multiset
-/// and serialize — two runs agree iff these bytes are identical.
-Bytes canonical_bytes(std::vector<Row> rows);
+/// The plan as a dist-runtime job (see plan::lower_dist).
+inline dist::JobSpec make_dist_job(const LogicalPlan& p, std::size_t ntasks) {
+  return plan::lower_dist(p, ntasks);
+}
 
 }  // namespace hpbdc::chaos

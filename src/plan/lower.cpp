@@ -1,0 +1,323 @@
+#include "plan/lower.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/hash.hpp"
+#include "dataflow/pair_ops.hpp"
+
+namespace hpbdc::plan {
+
+namespace {
+
+constexpr std::size_t kLocalParts = 4;
+
+// ---- dist-stage plumbing --------------------------------------------------
+
+/// Hash-partition rows by key into ntasks serialized blocks (the invariant
+/// every plan stage maintains at its output boundary).
+std::vector<Bytes> partition_rows(std::vector<Row> rows, std::size_t ntasks) {
+  std::vector<std::vector<Row>> parts(ntasks);
+  for (const Row& r : rows) {
+    parts[hash_u64(r.first) % ntasks].push_back(r);
+  }
+  std::vector<Bytes> out;
+  out.reserve(ntasks);
+  for (auto& p : parts) out.push_back(to_bytes(p));
+  return out;
+}
+
+/// Concatenate parent `pi`'s blocks for this task, in parent-task order
+/// (deterministic regardless of fetch completion order).
+std::vector<Row> gather_rows(const std::vector<std::vector<Bytes>>& inputs,
+                             std::size_t pi) {
+  std::vector<Row> rows;
+  for (const Bytes& b : inputs.at(pi)) {
+    auto part = from_bytes<std::vector<Row>>(b);
+    rows.insert(rows.end(), part.begin(), part.end());
+  }
+  return rows;
+}
+
+std::vector<Row> local_join(const std::vector<Row>& lhs,
+                            const std::vector<Row>& rhs) {
+  std::multimap<std::uint64_t, std::uint64_t> left_by_key;
+  for (const Row& r : lhs) left_by_key.emplace(r.first, r.second);
+  std::vector<Row> out;
+  for (const Row& r : rhs) {
+    auto [lo, hi] = left_by_key.equal_range(r.first);
+    for (auto it = lo; it != hi; ++it) {
+      out.push_back(join_rows(r.first, it->second, r.second));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Row> lower_local(const LogicalPlan& plan, dataflow::Context& ctx) {
+  using DS = dataflow::Dataset<Row>;
+  std::vector<DS> built(plan.nodes.size());
+  for (std::size_t i = 0; i < plan.nodes.size(); ++i) {
+    const PlanNode& nd = plan.nodes[i];
+    const std::uint64_t salt = nd.salt;
+    switch (nd.op) {
+      case OpKind::kSource:
+        built[i] = DS::parallelize(ctx, source_rows(salt, nd.rows), kLocalParts);
+        break;
+      case OpKind::kMap:
+        built[i] = built[nd.left].map(
+            [salt](const Row& r) { return map_row(r, salt); });
+        break;
+      case OpKind::kMapValues:
+        built[i] = built[nd.left].map(
+            [salt](const Row& r) { return map_value_row(r, salt); });
+        break;
+      case OpKind::kFilter:
+        built[i] = built[nd.left].filter(
+            [salt](const Row& r) { return filter_keep(r, salt); });
+        break;
+      case OpKind::kFilterKey:
+        built[i] = built[nd.left].filter(
+            [salt](const Row& r) { return filter_key_keep(r, salt); });
+        break;
+      case OpKind::kFlatMap:
+        built[i] = built[nd.left].flat_map([salt](const Row& r) {
+          std::vector<Row> out;
+          flat_map_row(r, salt, out);
+          return out;
+        });
+        break;
+      case OpKind::kFused: {
+        // The whole pipeline runs in one pass over each partition; a source
+        // head materializes its rows first. Per-row steps distribute over
+        // disjoint partitions, so this equals the unfused node chain.
+        const std::vector<NarrowStep> steps = nd.steps;
+        DS head = steps.front().op == OpKind::kSource
+                      ? DS::parallelize(
+                            ctx, source_rows(steps.front().salt, steps.front().rows),
+                            kLocalParts)
+                      : built[nd.left];
+        const std::size_t first = steps.front().op == OpKind::kSource ? 1 : 0;
+        built[i] = head.map_partitions([steps, first](const std::vector<Row>& part) {
+          return apply_steps(steps, first, part);
+        });
+        break;
+      }
+      case OpKind::kReduceByKey:
+        built[i] = dataflow::reduce_by_key(
+            built[nd.left],
+            [](std::uint64_t a, std::uint64_t b) { return reduce_combine(a, b); },
+            kLocalParts);
+        break;
+      case OpKind::kJoin:
+        built[i] =
+            dataflow::join(built[nd.left], built[nd.right], kLocalParts)
+                .map([](const std::pair<std::uint64_t,
+                                        std::pair<std::uint64_t, std::uint64_t>>&
+                            r) {
+                  return join_rows(r.first, r.second.first, r.second.second);
+                });
+        break;
+      case OpKind::kSortBy:
+        built[i] = built[nd.left].sort_by(
+            [salt](const Row& r) { return sort_key(r, salt); }, kLocalParts);
+        break;
+      case OpKind::kDistinct:
+        built[i] = built[nd.left].distinct(kLocalParts);
+        break;
+    }
+    if (nd.combine_output) {
+      // Map-side combine at the node's output boundary: per-partition
+      // pre-aggregation, exact because the downstream reduce re-combines.
+      built[i] = built[i].map_partitions(
+          [](const std::vector<Row>& part) { return combine_rows(part); });
+    }
+  }
+  DS out = built[plan.sinks.front()];
+  for (std::size_t s = 1; s < plan.sinks.size(); ++s) {
+    out = out.union_with(built[plan.sinks[s]]);
+  }
+  return out.collect();
+}
+
+dist::JobSpec lower_dist(const LogicalPlan& plan, std::size_t ntasks) {
+  dist::JobSpec job;
+  job.name = "plan";
+  for (std::size_t i = 0; i < plan.nodes.size(); ++i) {
+    const PlanNode& nd = plan.nodes[i];
+    const std::uint64_t salt = nd.salt;
+    const bool combine = nd.combine_output;
+    // Every stage ends the same way: optional map-side combine, then
+    // hash-partition by key.
+    auto finalize = [combine, ntasks](std::vector<Row> rows) {
+      if (combine) rows = combine_rows(std::move(rows));
+      return partition_rows(std::move(rows), ntasks);
+    };
+    dist::StageSpec st;
+    st.name = "n" + std::to_string(i);
+    st.ntasks = ntasks;
+    st.checkpoint = nd.checkpoint;
+    switch (nd.op) {
+      case OpKind::kSource: {
+        const std::uint64_t rows = nd.rows;
+        // Task t owns the rows with index ≡ t (mod ntasks): disjoint slices
+        // whose union is exactly the reference source.
+        st.run = [salt, rows, ntasks, finalize](
+                     std::size_t task, const std::vector<std::vector<Bytes>>&) {
+          const auto all = source_rows(salt, rows);
+          std::vector<Row> mine;
+          for (std::size_t j = task; j < all.size(); j += ntasks) {
+            mine.push_back(all[j]);
+          }
+          return finalize(std::move(mine));
+        };
+        st.input_bytes_per_task = std::max<std::uint64_t>(1, rows * 16 / ntasks);
+        break;
+      }
+      case OpKind::kMap:
+        st.parents = {nd.left};
+        st.run = [salt, finalize](std::size_t,
+                                  const std::vector<std::vector<Bytes>>& in) {
+          auto rows = gather_rows(in, 0);
+          for (Row& r : rows) r = map_row(r, salt);
+          return finalize(std::move(rows));
+        };
+        break;
+      case OpKind::kMapValues:
+        st.parents = {nd.left};
+        st.run = [salt, finalize](std::size_t,
+                                  const std::vector<std::vector<Bytes>>& in) {
+          auto rows = gather_rows(in, 0);
+          for (Row& r : rows) r = map_value_row(r, salt);
+          return finalize(std::move(rows));
+        };
+        break;
+      case OpKind::kFilter:
+        st.parents = {nd.left};
+        st.run = [salt, finalize](std::size_t,
+                                  const std::vector<std::vector<Bytes>>& in) {
+          auto rows = gather_rows(in, 0);
+          std::erase_if(rows, [salt](const Row& r) { return !filter_keep(r, salt); });
+          return finalize(std::move(rows));
+        };
+        break;
+      case OpKind::kFilterKey:
+        st.parents = {nd.left};
+        st.run = [salt, finalize](std::size_t,
+                                  const std::vector<std::vector<Bytes>>& in) {
+          auto rows = gather_rows(in, 0);
+          std::erase_if(rows,
+                        [salt](const Row& r) { return !filter_key_keep(r, salt); });
+          return finalize(std::move(rows));
+        };
+        break;
+      case OpKind::kFlatMap:
+        st.parents = {nd.left};
+        st.run = [salt, finalize](std::size_t,
+                                  const std::vector<std::vector<Bytes>>& in) {
+          const auto rows = gather_rows(in, 0);
+          std::vector<Row> out;
+          for (const Row& r : rows) flat_map_row(r, salt, out);
+          return finalize(std::move(out));
+        };
+        break;
+      case OpKind::kFused: {
+        // The whole pipeline is ONE stage — this is where fusion pays on the
+        // dist runtime: each absorbed node was a full shuffle round-trip.
+        const std::vector<NarrowStep> steps = nd.steps;
+        if (steps.front().op == OpKind::kSource) {
+          const std::uint64_t rows = steps.front().rows;
+          const std::uint64_t ssalt = steps.front().salt;
+          st.run = [ssalt, rows, ntasks, steps, finalize](
+                       std::size_t task, const std::vector<std::vector<Bytes>>&) {
+            const auto all = source_rows(ssalt, rows);
+            std::vector<Row> mine;
+            for (std::size_t j = task; j < all.size(); j += ntasks) {
+              mine.push_back(all[j]);
+            }
+            return finalize(apply_steps(steps, 1, std::move(mine)));
+          };
+          st.input_bytes_per_task = std::max<std::uint64_t>(1, rows * 16 / ntasks);
+        } else {
+          st.parents = {nd.left};
+          st.run = [steps, finalize](std::size_t,
+                                     const std::vector<std::vector<Bytes>>& in) {
+            return finalize(apply_steps(steps, 0, gather_rows(in, 0)));
+          };
+        }
+        break;
+      }
+      case OpKind::kReduceByKey:
+        st.parents = {nd.left};
+        st.run = [finalize](std::size_t,
+                            const std::vector<std::vector<Bytes>>& in) {
+          // All rows of a key land in one task (upstream hash partitioning),
+          // so the local reduce is globally exact — even when the upstream
+          // stage pre-combined, this merges the per-task partials.
+          std::vector<Row> rows = combine_rows(gather_rows(in, 0));
+          return finalize(std::move(rows));
+        };
+        break;
+      case OpKind::kJoin:
+        st.parents = {nd.left, nd.right};
+        st.run = [finalize](std::size_t,
+                            const std::vector<std::vector<Bytes>>& in) {
+          return finalize(local_join(gather_rows(in, 0), gather_rows(in, 1)));
+        };
+        break;
+      case OpKind::kSortBy:
+        st.parents = {nd.left};
+        st.run = [salt, finalize](std::size_t,
+                                  const std::vector<std::vector<Bytes>>& in) {
+          auto rows = gather_rows(in, 0);
+          std::sort(rows.begin(), rows.end(),
+                    [salt](const Row& a, const Row& b) {
+                      const auto ka = sort_key(a, salt), kb = sort_key(b, salt);
+                      return ka != kb ? ka < kb : a < b;
+                    });
+          return finalize(std::move(rows));
+        };
+        break;
+      case OpKind::kDistinct:
+        st.parents = {nd.left};
+        st.run = [finalize](std::size_t,
+                            const std::vector<std::vector<Bytes>>& in) {
+          auto rows = gather_rows(in, 0);
+          std::sort(rows.begin(), rows.end());
+          rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+          return finalize(std::move(rows));
+        };
+        break;
+    }
+    job.stages.push_back(std::move(st));
+  }
+  dist::StageSpec fin;
+  fin.name = "collect";
+  fin.ntasks = ntasks;
+  fin.parents = plan.sinks;
+  fin.run = [nsinks = plan.sinks.size()](
+                std::size_t, const std::vector<std::vector<Bytes>>& in) {
+    std::vector<Row> rows;
+    for (std::size_t pi = 0; pi < nsinks; ++pi) {
+      auto part = gather_rows(in, pi);
+      rows.insert(rows.end(), part.begin(), part.end());
+    }
+    return std::vector<Bytes>{to_bytes(rows)};
+  };
+  job.stages.push_back(std::move(fin));
+  return job;
+}
+
+std::vector<Row> rows_from_result(const dist::JobResult& res) {
+  std::vector<Row> rows;
+  for (const auto& blocks : res.output) {
+    for (const Bytes& b : blocks) {
+      auto part = from_bytes<std::vector<Row>>(b);
+      rows.insert(rows.end(), part.begin(), part.end());
+    }
+  }
+  return rows;
+}
+
+}  // namespace hpbdc::plan

@@ -1,0 +1,31 @@
+#pragma once
+// The two physical lowerings of a plan::LogicalPlan. Both consume raw and
+// optimized plans alike — fused nodes run their pipeline in one pass
+// (map_partitions locally, one dist stage remotely) and combine_output
+// inserts a per-partition/per-task map-side combine before the boundary —
+// so the chaos differential oracle can execute the optimized plan on both
+// engines and compare it bit-for-bit against the raw plan's rows.
+
+#include <cstddef>
+#include <vector>
+
+#include "dataflow/dataset.hpp"
+#include "dist/job.hpp"
+#include "plan/plan.hpp"
+
+namespace hpbdc::plan {
+
+/// Execute on the shared-memory dataflow engine and collect the sink union.
+std::vector<Row> lower_local(const LogicalPlan& plan, dataflow::Context& ctx);
+
+/// The plan as a dist-runtime job: one stage per plan node (a fused node is
+/// ONE stage for its whole pipeline) plus a final collect stage over the
+/// sinks. Every stage hash-partitions its output by key with a fixed task
+/// count, so the key-based operators (reduce, join, distinct) are exact
+/// per-partition.
+dist::JobSpec lower_dist(const LogicalPlan& plan, std::size_t ntasks);
+
+/// Final rows of a dist run of lower_dist (unsorted).
+std::vector<Row> rows_from_result(const dist::JobResult& res);
+
+}  // namespace hpbdc::plan

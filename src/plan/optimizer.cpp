@@ -1,0 +1,219 @@
+#include "plan/optimizer.hpp"
+
+#include <algorithm>
+
+#include "obs/metrics.hpp"
+
+namespace hpbdc::plan {
+
+namespace {
+constexpr std::size_t kNone = PlanNode::kNoParent;
+}  // namespace
+
+LogicalPlan optimize(const LogicalPlan& in, OptimizerStats* stats_out,
+                     obs::MetricsRegistry* metrics) {
+  OptimizerStats st;
+  // Work on a stable-id graph: nodes keep their original indices, rewrites
+  // flip `alive` flags and re-point edges, and a deterministic topological
+  // renumbering happens once at emission.
+  std::vector<PlanNode> g = in.nodes;
+  std::vector<bool> alive(g.size(), true);
+  std::vector<std::size_t> sinks = in.sinks;
+
+  // Consumer edges are recounted on demand: plans are small (tens of nodes)
+  // and recounting keeps every rewrite trivially consistent.
+  auto sole_consumer = [&](std::size_t id) -> std::size_t {
+    std::size_t found = kNone, edges = 0;
+    for (std::size_t j = 0; j < g.size(); ++j) {
+      if (!alive[j]) continue;
+      if (g[j].left == id) { found = j; ++edges; }
+      if (g[j].right == id) { found = j; ++edges; }
+    }
+    return edges == 1 ? found : kNone;
+  };
+  auto is_sink = [&](std::size_t id) {
+    return std::find(sinks.begin(), sinks.end(), id) != sinks.end();
+  };
+  // Re-point every consumer edge and sink entry of `from` at `to`.
+  auto repoint = [&](std::size_t from, std::size_t to) {
+    for (std::size_t j = 0; j < g.size(); ++j) {
+      if (!alive[j]) continue;
+      if (g[j].left == from) g[j].left = to;
+      if (g[j].right == from) g[j].right = to;
+    }
+    for (std::size_t& s : sinks) {
+      if (s == from) s = to;
+    }
+  };
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+
+    // ---- rule: prune_dead — non-sink nodes with no path to a sink --------
+    {
+      std::vector<bool> reach(g.size(), false);
+      std::vector<std::size_t> stack;
+      for (std::size_t s : sinks) {
+        if (!reach[s]) { reach[s] = true; stack.push_back(s); }
+      }
+      while (!stack.empty()) {
+        const std::size_t id = stack.back();
+        stack.pop_back();
+        for (const std::size_t p : {g[id].left, g[id].right}) {
+          if (p != kNone && !reach[p]) { reach[p] = true; stack.push_back(p); }
+        }
+      }
+      for (std::size_t id = 0; id < g.size(); ++id) {
+        if (alive[id] && !reach[id]) {
+          alive[id] = false;
+          ++st.prune_dead;
+          ++st.stages_eliminated;
+          changed = true;
+        }
+      }
+    }
+
+    // ---- rule: shuffle_elim — identity wide ops over unique inputs -------
+    // A reduce_by_key (or distinct) fed directly by a reduce_by_key sees one
+    // row per key, so it is a multiset identity; distinct after distinct
+    // likewise. The node's input is already hash-partitioned on the same key
+    // by the upstream wide op, so dropping it removes an entire shuffle.
+    for (std::size_t id = 0; id < g.size(); ++id) {
+      if (!alive[id]) continue;
+      const PlanNode& nd = g[id];
+      if (nd.left == kNone || !alive[nd.left]) continue;
+      const OpKind pop = g[nd.left].op;
+      const bool identity =
+          (nd.op == OpKind::kReduceByKey && pop == OpKind::kReduceByKey) ||
+          (nd.op == OpKind::kDistinct &&
+           (pop == OpKind::kReduceByKey || pop == OpKind::kDistinct));
+      if (!identity) continue;
+      repoint(id, nd.left);
+      alive[id] = false;
+      ++st.shuffle_elim;
+      ++st.stages_eliminated;
+      changed = true;
+    }
+
+    // ---- rule: push_filter — move filters toward the source --------------
+    for (std::size_t id = 0; id < g.size(); ++id) {
+      if (!alive[id]) continue;
+      if (g[id].op != OpKind::kFilter && g[id].op != OpKind::kFilterKey) continue;
+      const std::size_t p = g[id].left;
+      if (p == kNone || !alive[p] || is_sink(p)) continue;
+      if (sole_consumer(p) != id) continue;
+      const OpKind pop = g[p].op;
+      // Row-preserving ops commute with any row predicate; a key-preserving
+      // map commutes with a key-only predicate.
+      const bool commutes =
+          pop == OpKind::kSortBy || pop == OpKind::kDistinct ||
+          (g[id].op == OpKind::kFilterKey && pop == OpKind::kMapValues);
+      if (!commutes || g[p].left == kNone) continue;
+      const std::size_t gp = g[p].left;
+      repoint(id, p);  // consumers (and sink entries) of the filter → upstream op
+      g[id].left = gp;
+      g[p].left = id;
+      ++st.push_filter;
+      changed = true;
+    }
+
+    // ---- rule: combine — map-side combine ahead of reduce_by_key ---------
+    for (std::size_t id = 0; id < g.size(); ++id) {
+      if (!alive[id]) continue;
+      if (g[id].op != OpKind::kReduceByKey) continue;
+      const std::size_t p = g[id].left;
+      if (p == kNone || !alive[p] || is_sink(p)) continue;
+      if (sole_consumer(p) != id) continue;
+      // A reduce's output is already one row per key; pre-combining it again
+      // would be a per-stage no-op cost.
+      if (g[p].op == OpKind::kReduceByKey || g[p].combine_output) continue;
+      g[p].combine_output = true;
+      ++st.combine;
+      changed = true;
+    }
+
+    // ---- rule: fuse_narrow — pipeline single-consumer narrow chains ------
+    // The child may itself be an already-fused pipeline (as long as it has a
+    // parent, i.e. no source head): its steps splice onto the parent's.
+    for (std::size_t id = 0; id < g.size(); ++id) {
+      if (!alive[id]) continue;
+      if (!is_narrow(g[id].op) && g[id].op != OpKind::kFused) continue;
+      const std::size_t p = g[id].left;
+      if (p == kNone || !alive[p] || is_sink(p)) continue;
+      if (sole_consumer(p) != id) continue;
+      PlanNode& pn = g[p];
+      if (!is_narrow(pn.op) && pn.op != OpKind::kSource &&
+          pn.op != OpKind::kFused) {
+        continue;
+      }
+      // combine_output marks a shuffle boundary; it is only ever set when
+      // the sole consumer is a reduce, so a narrow consumer rules it out.
+      if (pn.combine_output) continue;
+      if (pn.op != OpKind::kFused) {
+        pn.steps = {NarrowStep{pn.op, pn.salt, pn.rows}};
+        pn.op = OpKind::kFused;
+      }
+      if (g[id].op == OpKind::kFused) {
+        pn.steps.insert(pn.steps.end(), g[id].steps.begin(), g[id].steps.end());
+      } else {
+        pn.steps.push_back(NarrowStep{g[id].op, g[id].salt, 0});
+      }
+      pn.checkpoint = pn.checkpoint || g[id].checkpoint;
+      pn.combine_output = g[id].combine_output;
+      repoint(id, p);
+      alive[id] = false;
+      ++st.fuse_narrow;
+      ++st.stages_eliminated;
+      changed = true;
+    }
+  }
+
+  // ---- emission: deterministic topological renumbering --------------------
+  // Min-id Kahn order. On an already-optimized (topo-ordered) plan this is
+  // the identity permutation, which together with the rules' fixpoint makes
+  // optimize() idempotent.
+  const std::size_t n = g.size();
+  std::vector<std::size_t> order;
+  std::vector<bool> emitted(n, false);
+  order.reserve(n);
+  for (;;) {
+    std::size_t pick = kNone;
+    for (std::size_t id = 0; id < n; ++id) {
+      if (!alive[id] || emitted[id]) continue;
+      const bool lok = g[id].left == kNone || emitted[g[id].left];
+      const bool rok = g[id].right == kNone || emitted[g[id].right];
+      if (lok && rok) { pick = id; break; }
+    }
+    if (pick == kNone) break;
+    emitted[pick] = true;
+    order.push_back(pick);
+  }
+
+  LogicalPlan out;
+  out.seed = in.seed;
+  out.rows_per_source = in.rows_per_source;
+  std::vector<std::size_t> remap(n, kNone);
+  for (std::size_t k = 0; k < order.size(); ++k) remap[order[k]] = k;
+  for (const std::size_t id : order) {
+    PlanNode nd = g[id];
+    if (nd.left != kNone) nd.left = remap[nd.left];
+    if (nd.right != kNone) nd.right = remap[nd.right];
+    out.nodes.push_back(std::move(nd));
+  }
+  out.sinks.reserve(sinks.size());
+  for (const std::size_t s : sinks) out.sinks.push_back(remap[s]);
+
+  if (stats_out) *stats_out = st;
+  if (metrics) {
+    metrics->counter("plan.rules_applied.fuse_narrow").add(st.fuse_narrow);
+    metrics->counter("plan.rules_applied.push_filter").add(st.push_filter);
+    metrics->counter("plan.rules_applied.combine").add(st.combine);
+    metrics->counter("plan.rules_applied.shuffle_elim").add(st.shuffle_elim);
+    metrics->counter("plan.rules_applied.prune_dead").add(st.prune_dead);
+    metrics->counter("plan.stages_eliminated").add(st.stages_eliminated);
+  }
+  return out;
+}
+
+}  // namespace hpbdc::plan

@@ -1,0 +1,64 @@
+#pragma once
+// Deterministic rule-based optimizer over plan::LogicalPlan. Five rewrite
+// rules, iterated to a fixpoint, so optimize() is idempotent:
+//
+//   prune_dead    — drop non-sink nodes with no path to a sink.
+//   shuffle_elim  — drop a reduce_by_key/distinct whose input is already
+//                   one-row-per-key (produced by an upstream reduce_by_key,
+//                   or by distinct for distinct): the op is an identity and
+//                   its hash-partitioned shuffle is pure waste.
+//   push_filter   — move a filter below a commuting upstream op it is the
+//                   sole consumer of: any row filter commutes with sort_by
+//                   and distinct (row-preserving), and a key-only filter
+//                   (kFilterKey) commutes with a key-preserving map
+//                   (kMapValues).
+//   combine       — set combine_output on the sole producer feeding a
+//                   reduce_by_key, inserting a map-side combine before the
+//                   shuffle boundary (sound: the combine is commutative and
+//                   associative, so pre-aggregating partials per task/
+//                   partition never changes the final per-key sum).
+//   fuse_narrow   — collapse single-consumer chains of narrow ops (and a
+//                   source head) into one kFused pipeline node, so the whole
+//                   chain executes as a single stage with no intermediate
+//                   materialization.
+//
+// Soundness: every operator is a function of its input row multiset
+// (plan.hpp), and each rule preserves the multiset reaching every surviving
+// consumer and sink, so the optimized plan's canonical_bytes equal the raw
+// plan's. The chaos harness enforces exactly that on every differential run
+// (src/chaos/harness.cpp) — the 20-case suite plus the seeded campaigns are
+// the optimizer's regression oracle.
+
+#include <cstdint>
+#include <iosfwd>
+
+#include "plan/plan.hpp"
+
+namespace hpbdc::obs {
+class MetricsRegistry;
+}
+
+namespace hpbdc::plan {
+
+struct OptimizerStats {
+  std::uint64_t fuse_narrow = 0;    // chain merges (one per absorbed node)
+  std::uint64_t push_filter = 0;    // filter/upstream swaps
+  std::uint64_t combine = 0;        // combine_output flags set
+  std::uint64_t shuffle_elim = 0;   // identity wide ops dropped
+  std::uint64_t prune_dead = 0;     // unreachable nodes dropped
+  /// Dist stages removed versus the raw plan (every dropped or absorbed
+  /// node was one hash-partitioned stage).
+  std::uint64_t stages_eliminated = 0;
+  std::uint64_t rules_applied() const {
+    return fuse_narrow + push_filter + combine + shuffle_elim + prune_dead;
+  }
+};
+
+/// Rewrite `in` to a fixpoint of the five rules. Pure and deterministic: the
+/// result depends only on `in`. When `stats` is non-null the per-rule
+/// application counts are written there; when `metrics` is non-null the
+/// counters plan.rules_applied.<rule> and plan.stages_eliminated are bumped.
+LogicalPlan optimize(const LogicalPlan& in, OptimizerStats* stats = nullptr,
+                     obs::MetricsRegistry* metrics = nullptr);
+
+}  // namespace hpbdc::plan

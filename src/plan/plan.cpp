@@ -1,0 +1,182 @@
+#include "plan/plan.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/hash.hpp"
+#include "common/rng.hpp"
+
+namespace hpbdc::plan {
+
+static_assert(static_cast<std::size_t>(OpKind::kFused) + 1 == kOpKindCount,
+              "kOpKindCount out of sync with OpKind — update it and every "
+              "switch the -Wswitch warnings point at");
+
+const char* op_name(OpKind k) {
+  // No default: -Wswitch turns a forgotten kind into a build warning instead
+  // of garbage in a shrink --replay line.
+  switch (k) {
+    case OpKind::kSource: return "source";
+    case OpKind::kMap: return "map";
+    case OpKind::kFilter: return "filter";
+    case OpKind::kFlatMap: return "flat_map";
+    case OpKind::kReduceByKey: return "reduce_by_key";
+    case OpKind::kJoin: return "join";
+    case OpKind::kSortBy: return "sort_by";
+    case OpKind::kDistinct: return "distinct";
+    case OpKind::kMapValues: return "map_values";
+    case OpKind::kFilterKey: return "filter_key";
+    case OpKind::kFused: return "fused";
+  }
+  return "invalid";  // unreachable for in-range values
+}
+
+std::string LogicalPlan::describe() const {
+  std::string out;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const PlanNode& nd = nodes[i];
+    if (!out.empty()) out += ' ';
+    out += std::to_string(i);
+    out += ':';
+    out += op_name(nd.op);
+    if (nd.op == OpKind::kFused) {
+      out += '[';
+      for (std::size_t s = 0; s < nd.steps.size(); ++s) {
+        if (s) out += '+';
+        out += op_name(nd.steps[s].op);
+      }
+      out += ']';
+    }
+    if (nd.left != PlanNode::kNoParent) {
+      out += '(';
+      out += std::to_string(nd.left);
+      if (nd.right != PlanNode::kNoParent) {
+        out += ',';
+        out += std::to_string(nd.right);
+      }
+      out += ')';
+    }
+    if (nd.checkpoint) out += '*';
+    if (nd.combine_output) out += "+combine";
+  }
+  return out;
+}
+
+std::vector<Row> source_rows(std::uint64_t salt, std::uint64_t n) {
+  std::vector<Row> out;
+  out.reserve(n);
+  Rng rng(salt);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    out.emplace_back(rng.next_below(kKeyDomain), rng());
+  }
+  return out;
+}
+
+Row map_row(const Row& r, std::uint64_t salt) {
+  return {mix64(r.first * 0x9e3779b97f4a7c15ULL + salt) % kKeyDomain,
+          r.second * 6364136223846793005ULL + salt};
+}
+
+Row map_value_row(const Row& r, std::uint64_t salt) {
+  return {r.first, mix64(r.second + salt) * 6364136223846793005ULL + salt};
+}
+
+bool filter_keep(const Row& r, std::uint64_t salt) {
+  return (mix64(r.first ^ (r.second * 3) ^ salt) & 1) == 0;
+}
+
+bool filter_key_keep(const Row& r, std::uint64_t salt) {
+  return (mix64(r.first * 0x94d049bb133111ebULL + salt) & 1) == 0;
+}
+
+void flat_map_row(const Row& r, std::uint64_t salt, std::vector<Row>& out) {
+  const std::uint64_t n = mix64(r.first ^ r.second ^ salt) % 3;  // 0..2 copies
+  for (std::uint64_t j = 0; j < n; ++j) {
+    out.emplace_back(mix64(r.first + j + salt) % kKeyDomain, r.second + j * salt);
+  }
+}
+
+std::uint64_t reduce_combine(std::uint64_t a, std::uint64_t b) {
+  return a + b;  // wrapping sum: commutative and associative
+}
+
+Row join_rows(std::uint64_t k, std::uint64_t v, std::uint64_t w) {
+  return {k, v * 1000003ULL + mix64(w)};
+}
+
+std::uint64_t sort_key(const Row& r, std::uint64_t salt) {
+  return mix64(r.first ^ salt);
+}
+
+bool is_narrow(OpKind k) {
+  switch (k) {
+    case OpKind::kMap:
+    case OpKind::kMapValues:
+    case OpKind::kFilter:
+    case OpKind::kFilterKey:
+    case OpKind::kFlatMap:
+      return true;
+    case OpKind::kSource:
+    case OpKind::kReduceByKey:
+    case OpKind::kJoin:
+    case OpKind::kSortBy:
+    case OpKind::kDistinct:
+    case OpKind::kFused:
+      return false;
+  }
+  return false;
+}
+
+std::vector<Row> apply_steps(const std::vector<NarrowStep>& steps,
+                             std::size_t first, std::vector<Row> rows) {
+  for (std::size_t s = first; s < steps.size(); ++s) {
+    const std::uint64_t salt = steps[s].salt;
+    switch (steps[s].op) {
+      case OpKind::kMap:
+        for (Row& r : rows) r = map_row(r, salt);
+        break;
+      case OpKind::kMapValues:
+        for (Row& r : rows) r = map_value_row(r, salt);
+        break;
+      case OpKind::kFilter:
+        std::erase_if(rows, [salt](const Row& r) { return !filter_keep(r, salt); });
+        break;
+      case OpKind::kFilterKey:
+        std::erase_if(rows,
+                      [salt](const Row& r) { return !filter_key_keep(r, salt); });
+        break;
+      case OpKind::kFlatMap: {
+        std::vector<Row> next;
+        for (const Row& r : rows) flat_map_row(r, salt, next);
+        rows = std::move(next);
+        break;
+      }
+      case OpKind::kSource:
+      case OpKind::kReduceByKey:
+      case OpKind::kJoin:
+      case OpKind::kSortBy:
+      case OpKind::kDistinct:
+      case OpKind::kFused:
+        // A source head is materialized by the caller; wide ops and nested
+        // fused nodes never appear inside a pipeline.
+        break;
+    }
+  }
+  return rows;
+}
+
+std::vector<Row> combine_rows(std::vector<Row> rows) {
+  std::map<std::uint64_t, std::uint64_t> acc;
+  for (const Row& r : rows) {
+    auto [it, fresh] = acc.emplace(r.first, r.second);
+    if (!fresh) it->second = reduce_combine(it->second, r.second);
+  }
+  return {acc.begin(), acc.end()};
+}
+
+Bytes canonical_bytes(std::vector<Row> rows) {
+  std::sort(rows.begin(), rows.end());
+  return to_bytes(rows);
+}
+
+}  // namespace hpbdc::plan

@@ -1,0 +1,130 @@
+#pragma once
+// First-class logical-plan IR shared by every engine in the repo. A
+// LogicalPlan is a DAG of (key, value)-row operators; the chaos generator
+// (src/chaos/plan_gen) produces them, the rule-based optimizer
+// (plan/optimizer.hpp) rewrites them, and the two lowerings
+// (plan/lower.hpp) execute them on the shared-memory dataflow engine and on
+// the distributed runtime. Both lowerings call the exact same per-operator
+// row functions declared here, so a multiset difference between two
+// executions of the same plan is a scheduling/optimizer bug, never an
+// operator-semantics mismatch.
+//
+// Every operator is a function of the input row MULTISET only (map / filter
+// / flat_map are per-row, reduce_by_key's combine is commutative and
+// associative, sort_by is a multiset identity, distinct is multiset→set),
+// which is what makes rewrites checkable with a canonical sorted-bytes
+// comparison — see canonical_bytes().
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/serialize.hpp"
+
+namespace hpbdc::plan {
+
+/// Every edge in a plan carries (key, value) rows, so any operator's output
+/// can feed any other operator.
+using Row = std::pair<std::uint64_t, std::uint64_t>;
+
+/// Keys live in a small fixed domain so reduce_by_key and join always see
+/// collisions (the interesting case) at harness row counts.
+inline constexpr std::uint64_t kKeyDomain = 64;
+
+enum class OpKind : std::uint8_t {
+  kSource,       // seeded synthetic rows
+  kMap,          // key and value remix (salted hash)
+  kFilter,       // keep rows whose salted hash of (key, value) is even
+  kFlatMap,      // 0..2 derived rows per input row
+  kReduceByKey,  // wrapping-sum combine (commutative + associative)
+  kJoin,         // inner join of two parents on key
+  kSortBy,       // multiset identity; exercises the sort paths
+  kDistinct,     // row-level dedup
+  kMapValues,    // key-preserving value remix (filters on key commute past it)
+  kFilterKey,    // keep rows whose salted hash of the key alone is even
+  kFused,        // optimizer-built pipeline of narrow steps; one stage
+};
+
+/// Keep in sync with the enum above; op_name()'s switch has no default so
+/// -Wswitch flags a missing case, and the static_assert in plan.cpp pins the
+/// count — adding a kind without naming it is a compile-time error, not a
+/// "?" in a shrink --replay line.
+inline constexpr std::size_t kOpKindCount = 11;
+
+const char* op_name(OpKind k);
+
+/// One element of a kFused pipeline: a narrow op (or the source head) plus
+/// the salt it runs with. `rows` is meaningful only when op == kSource.
+struct NarrowStep {
+  OpKind op = OpKind::kMap;
+  std::uint64_t salt = 0;
+  std::uint64_t rows = 0;
+  friend bool operator==(const NarrowStep&, const NarrowStep&) = default;
+};
+
+struct PlanNode {
+  static constexpr std::size_t kNoParent = ~std::size_t{0};
+  OpKind op = OpKind::kSource;
+  std::size_t left = kNoParent;
+  std::size_t right = kNoParent;  // joins only
+  std::uint64_t salt = 0;         // per-node mixing constant
+  std::uint64_t rows = 0;         // sources only: row count
+  bool checkpoint = false;        // dist execution persists this stage
+  /// kFused only: the pipelined steps, parent-first. steps[0] may be a
+  /// kSource head, in which case the node has no parent.
+  std::vector<NarrowStep> steps;
+  /// Optimizer rule 3: pre-aggregate this node's output by key (map-side
+  /// combine) before the stage boundary. Sound only because the optimizer
+  /// sets it solely when the single consumer is a kReduceByKey with the
+  /// same commutative+associative combine.
+  bool combine_output = false;
+  friend bool operator==(const PlanNode&, const PlanNode&) = default;
+};
+
+struct LogicalPlan {
+  std::uint64_t seed = 0;
+  std::uint64_t rows_per_source = 0;
+  std::vector<PlanNode> nodes;     // parents always precede children
+  std::vector<std::size_t> sinks;  // their union is the plan result
+  /// One-line structure summary, e.g. "0:source 1:map(0) 2:join(0,1)".
+  /// Fused nodes render their pipeline ("0:fused[source+map+filter]") and a
+  /// combine_output flag renders as a "+combine" suffix.
+  std::string describe() const;
+  friend bool operator==(const LogicalPlan&, const LogicalPlan&) = default;
+};
+
+// ---- per-operator row semantics -------------------------------------------
+// Single source of truth for every engine and for the optimizer's fused
+// pipelines.
+
+std::vector<Row> source_rows(std::uint64_t salt, std::uint64_t n);
+Row map_row(const Row& r, std::uint64_t salt);
+Row map_value_row(const Row& r, std::uint64_t salt);  // keeps r.first
+bool filter_keep(const Row& r, std::uint64_t salt);
+bool filter_key_keep(const Row& r, std::uint64_t salt);  // reads r.first only
+void flat_map_row(const Row& r, std::uint64_t salt, std::vector<Row>& out);
+std::uint64_t reduce_combine(std::uint64_t a, std::uint64_t b);
+Row join_rows(std::uint64_t k, std::uint64_t v, std::uint64_t w);
+std::uint64_t sort_key(const Row& r, std::uint64_t salt);
+
+/// True for the per-row ops the fusion rule may pipeline (map, map_values,
+/// filter, filter_key, flat_map).
+bool is_narrow(OpKind k);
+
+/// Run a fused pipeline's steps [first, steps.size()) over `rows` in one
+/// pass. Used by both lowerings and usable on any row slice: every step is
+/// per-row, so applying the pipeline to disjoint slices and uniting the
+/// outputs equals applying it to the union.
+std::vector<Row> apply_steps(const std::vector<NarrowStep>& steps,
+                             std::size_t first, std::vector<Row> rows);
+
+/// In-place map-side combine: collapse `rows` to one row per key with
+/// reduce_combine, deterministically ordered by key.
+std::vector<Row> combine_rows(std::vector<Row> rows);
+
+/// Canonical fingerprint for differential oracles: sort the row multiset
+/// and serialize — two runs agree iff these bytes are identical.
+Bytes canonical_bytes(std::vector<Row> rows);
+
+}  // namespace hpbdc::plan

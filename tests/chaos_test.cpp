@@ -171,12 +171,17 @@ TEST(ChaosFaults, InjectorAppliesAndMasks) {
 TEST(ChaosSmoke, FixedSeedBatch) {
   std::set<std::string> kinds;
   std::size_t total_faults_fired = 0;
+  std::uint64_t total_rules = 0, total_stages_gone = 0;
   for (std::uint64_t seed = 1; seed <= 50; ++seed) {
     const ChaosConfig cfg = smoke_config(seed);
     const auto out = run_chaos_once(cfg, pool());
     ASSERT_TRUE(out.passed) << "seed " << seed << ": " << out.violation
                             << "\nreplay: " << format_replay(cfg)
-                            << "\nplan: " << out.plan;
+                            << "\nplan: " << out.plan
+                            << "\noptimized: " << out.optimized;
+    ASSERT_FALSE(out.optimized.empty()) << "seed " << seed;
+    total_rules += out.opt_stats.rules_applied();
+    total_stages_gone += out.opt_stats.stages_eliminated;
     for (std::size_t k = 0; k < sim::kFaultKindCount; ++k) {
       if (out.fired[k] > 0) {
         kinds.insert(sim::fault_kind_name(static_cast<sim::FaultKind>(k)));
@@ -186,6 +191,10 @@ TEST(ChaosSmoke, FixedSeedBatch) {
   }
   EXPECT_GE(kinds.size(), 5u) << "batch should hit several distinct fault classes";
   EXPECT_GE(total_faults_fired, 50u);
+  // The smoke batch is also the optimizer's oracle: the runs above executed
+  // OPTIMIZED plans against raw references, so the rules must actually fire.
+  EXPECT_GT(total_rules, 0u) << "optimizer never rewrote a smoke plan";
+  EXPECT_GT(total_stages_gone, 0u);
 }
 
 /// Full campaign, opt-in: HPBDC_CHAOS_RUNS=500 ctest -R Campaign.

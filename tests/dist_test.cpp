@@ -425,6 +425,27 @@ TEST(DistRuntime, SpeculationRacesAGenuineMidJobStraggler) {
   EXPECT_GT(raced, healthy);  // the straggler still cost something
 }
 
+TEST(DistRuntime, CheckpointChargesSimulatedNotRealBytes) {
+  // synthetic_job blocks are 8-byte lineage fingerprints with a simulated
+  // size override — the DFS write for a checkpointed stage must charge the
+  // simulated total (what F10/F11 sweep against), not the real Bytes size.
+  Cluster cl(star(6));
+  const std::size_t ntasks = 4;
+  const auto res = cl.run(synthetic_job(/*nstages=*/3, ntasks,
+                                        /*block_sim_bytes=*/MiB,
+                                        /*checkpoint_every=*/1));
+  ASSERT_TRUE(res.ok);
+  ASSERT_GE(cl.rt.stats().checkpoints_written, 2u);  // stages 0 and 1
+  const std::uint64_t expected = ntasks * ntasks * MiB;  // per stage
+  std::size_t ckpt_files = 0;
+  for (const auto& name : cl.dfs.file_names()) {
+    if (name.rfind("/.ckpt/", 0) != 0) continue;
+    ++ckpt_files;
+    EXPECT_EQ(cl.dfs.file_size(name), expected) << name;
+  }
+  EXPECT_EQ(ckpt_files, 2u);
+}
+
 TEST(DistRuntime, RejectsBadJobs) {
   DistConfig dc;
   Cluster cl(star(4), dc);
