@@ -1,0 +1,121 @@
+#pragma once
+// Machine-readable results for the bench_* binaries. Every bench keeps its
+// human-readable tables on stdout; passing --json=FILE additionally dumps
+// the headline numbers as one JSON document so CI and notebooks can track
+// them across commits without scraping tables:
+//
+//   {
+//     "bench": "f12_job_service",
+//     "metrics": [
+//       {"name": "p99_latency_s", "value": 1.25,
+//        "labels": {"tenants": "8", "load": "2x"}},
+//       ...
+//     ]
+//   }
+//
+// Usage:
+//   int main(int argc, char** argv) {
+//     bench::JsonWriter json("f12_job_service", argc, argv);
+//     ...
+//     json.metric("p99_latency_s", p99, {{"tenants", "8"}, {"load", "2x"}});
+//   }  // written at scope exit; no-op when --json was not passed
+//
+// Header-only and dependency-free: values are doubles, labels are strings,
+// and the writer escapes strings itself.
+
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hpbdc::bench {
+
+class JsonWriter {
+ public:
+  using Labels = std::vector<std::pair<std::string, std::string>>;
+
+  JsonWriter(std::string bench_name, int argc, char** argv)
+      : bench_(std::move(bench_name)) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.rfind("--json=", 0) == 0) path_ = arg.substr(7);
+    }
+  }
+
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  bool enabled() const noexcept { return !path_.empty(); }
+
+  void metric(const std::string& name, double value, Labels labels = {}) {
+    metrics_.push_back({name, value, std::move(labels)});
+  }
+
+  /// Write the document now (idempotent; also runs at destruction).
+  void flush() {
+    if (path_.empty() || flushed_) return;
+    flushed_ = true;
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench_json: cannot open %s\n", path_.c_str());
+      return;
+    }
+    std::fprintf(f, "{\n  \"bench\": %s,\n  \"metrics\": [",
+                 quoted(bench_).c_str());
+    for (std::size_t i = 0; i < metrics_.size(); ++i) {
+      const Metric& m = metrics_[i];
+      std::fprintf(f, "%s\n    {\"name\": %s, \"value\": %.17g",
+                   i == 0 ? "" : ",", quoted(m.name).c_str(), m.value);
+      if (!m.labels.empty()) {
+        std::fprintf(f, ", \"labels\": {");
+        for (std::size_t l = 0; l < m.labels.size(); ++l) {
+          std::fprintf(f, "%s%s: %s", l == 0 ? "" : ", ",
+                       quoted(m.labels[l].first).c_str(),
+                       quoted(m.labels[l].second).c_str());
+        }
+        std::fprintf(f, "}");
+      }
+      std::fprintf(f, "}");
+    }
+    std::fprintf(f, "\n  ]\n}\n");
+    std::fclose(f);
+  }
+
+  ~JsonWriter() { flush(); }
+
+ private:
+  struct Metric {
+    std::string name;
+    double value;
+    Labels labels;
+  };
+
+  static std::string quoted(const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", c);
+            out += buf;
+          } else {
+            out += c;
+          }
+      }
+    }
+    out += '"';
+    return out;
+  }
+
+  std::string bench_;
+  std::string path_;
+  std::vector<Metric> metrics_;
+  bool flushed_ = false;
+};
+
+}  // namespace hpbdc::bench

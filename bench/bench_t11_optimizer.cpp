@@ -12,6 +12,7 @@
 #include <iostream>
 #include <string>
 
+#include "bench_json.hpp"
 #include "chaos/plan_gen.hpp"
 #include "common/stats.hpp"
 #include "dataflow/context.hpp"
@@ -77,7 +78,8 @@ std::string mb(std::uint64_t bytes) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonWriter json("t11_optimizer", argc, argv);
   ThreadPool pool(4);
   obs::MetricsRegistry reg;  // optimizer counters across the whole bench
 
@@ -104,8 +106,17 @@ int main() {
             std::to_string(od.stages), mb(dr.shuffle_bytes),
             mb(od.shuffle_bytes), Table::num(dr.makespan, 2),
             Table::num(od.makespan, 2), std::to_string(st.rules_applied())});
+    const std::string seed_label = std::to_string(seed);
+    json.metric("stages_raw", static_cast<double>(dr.stages),
+                {{"seed", seed_label}});
+    json.metric("stages_opt", static_cast<double>(od.stages),
+                {{"seed", seed_label}});
+    json.metric("makespan_raw_s", dr.makespan, {{"seed", seed_label}});
+    json.metric("makespan_opt_s", od.makespan, {{"seed", seed_label}});
   }
   t1.print(std::cout);
+  json.metric("shuffle_bytes_raw_total", static_cast<double>(sum_raw_bytes));
+  json.metric("shuffle_bytes_opt_total", static_cast<double>(sum_opt_bytes));
   std::cout << "  " << better_stages << "/" << total
             << " plans lost stages; total shuffle " << mb(sum_raw_bytes)
             << " MB -> " << mb(sum_opt_bytes) << " MB\n\n";
@@ -130,6 +141,10 @@ int main() {
             mb(dr.shuffle_bytes), mb(od.shuffle_bytes),
             Table::num(dr.makespan, 2), Table::num(od.makespan, 2),
             Table::num(wr * 1e3, 2), Table::num(wo * 1e3, 2)});
+    json.metric("makespan_raw_s", dr.makespan, {{"job", j.name}});
+    json.metric("makespan_opt_s", od.makespan, {{"job", j.name}});
+    json.metric("local_wall_raw_s", wr, {{"job", j.name}});
+    json.metric("local_wall_opt_s", wo, {{"job", j.name}});
   }
   t2.print(std::cout);
 

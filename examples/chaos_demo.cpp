@@ -8,9 +8,12 @@
 //   $ ./chaos_demo --runs=500 --seed=1000  # bigger sweep, different seeds
 //   $ ./chaos_demo --bug                   # seed the lineage bug, watch it shrink
 //   $ ./chaos_demo "--replay=pseed=2,fseed=15,nodes=5,rows=224,tasks=4,cluster=5,mask=0x3f,bug=1"
+//   $ ./chaos_demo --runs=50 --replay-out=repro.txt   # CI: persist the shrunk
+//                                                     # spec as an artifact
 
 #include <chrono>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <set>
 #include <string>
@@ -56,7 +59,7 @@ void print_outcome(const ChaosOutcome& out) {
 int main(int argc, char** argv) {
   std::uint64_t runs = 100, seed0 = 1;
   bool bug = false;
-  std::string replay;
+  std::string replay, replay_out;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a.rfind("--runs=", 0) == 0) {
@@ -67,9 +70,11 @@ int main(int argc, char** argv) {
       bug = true;
     } else if (a.rfind("--replay=", 0) == 0) {
       replay = a.substr(9);
+    } else if (a.rfind("--replay-out=", 0) == 0) {
+      replay_out = a.substr(13);
     } else {
       std::cerr << "usage: chaos_demo [--runs=N] [--seed=S] [--bug] "
-                   "[--replay=SPEC]\n";
+                   "[--replay=SPEC] [--replay-out=FILE]\n";
       return 2;
     }
   }
@@ -107,6 +112,13 @@ int main(int argc, char** argv) {
               << sr.outcome.fault_events << " fault events pre-mask):\n"
               << "  --replay=" << sr.replay << "\n";
     print_outcome(sr.outcome);
+    if (!replay_out.empty()) {
+      // Persist the shrunk spec so CI can upload it as a workflow artifact:
+      // the file is the whole repro, one line, pasteable into chaos_demo or
+      // chaos_test.
+      std::ofstream f(replay_out);
+      f << "--replay=" << sr.replay << "\n";
+    }
     break;  // one shrunk repro per invocation is the useful unit
   }
   const double secs =

@@ -151,6 +151,33 @@ sim::FaultPlan make_fault_plan(std::uint64_t seed, const FaultGenOptions& opt) {
   return plan;
 }
 
+std::vector<KillEvent> make_kill_schedule(std::uint64_t seed, std::size_t nodes,
+                                          std::size_t protect, std::size_t kills,
+                                          double horizon, double min_downtime,
+                                          double max_downtime) {
+  if (nodes < 2 || protect >= nodes) {
+    throw std::invalid_argument("make_kill_schedule: need >= 2 nodes, protect in range");
+  }
+  if (min_downtime <= 0 || max_downtime < min_downtime || horizon <= 0) {
+    throw std::invalid_argument("make_kill_schedule: degenerate window");
+  }
+  Rng rng(mix_seed(seed, 0x5EACF));
+  std::vector<KillEvent> out;
+  double cursor = 0.15;
+  for (std::size_t i = 0; i < kills; ++i) {
+    KillEvent ev;
+    ev.node = rng.next_below(nodes);
+    while (ev.node == protect) ev.node = rng.next_below(nodes);
+    ev.kill_time =
+        cursor + rng.next_double() * (horizon / static_cast<double>(kills + 1));
+    ev.recover_time = ev.kill_time + min_downtime +
+                      rng.next_double() * (max_downtime - min_downtime);
+    cursor = ev.recover_time + 0.2;  // sequential windows: one node down max
+    out.push_back(ev);
+  }
+  return out;
+}
+
 ChaosOutcome run_chaos_once(const ChaosConfig& cfg, Executor& pool,
                             obs::MetricsRegistry* plan_metrics) {
   ChaosOutcome out;

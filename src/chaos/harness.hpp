@@ -25,6 +25,7 @@
 #include <array>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "chaos/plan_gen.hpp"
 #include "dist/runtime.hpp"
@@ -79,6 +80,26 @@ struct FaultGenOptions {
 /// timeout, and DFS losses never dropping a block's last replica (enforced
 /// at fire time). At most 64 events so the shrink mask covers them all.
 sim::FaultPlan make_fault_plan(std::uint64_t seed, const FaultGenOptions& opt);
+
+/// One executor kill with its paired recovery, as plain data.
+struct KillEvent {
+  std::size_t node = 0;
+  double kill_time = 0;
+  double recover_time = 0;
+};
+
+/// Seed-deterministic executor-kill schedule for service-level campaigns
+/// (src/serve): exactly `kills` kill/recover pairs in strictly sequential
+/// windows (at most one node down at any time), never touching `protect`,
+/// spread over (0, horizon). Same survivability contract as the kill pairs
+/// of make_fault_plan, but returned as data so callers driving a
+/// dist::JobSlotPool — where a kill must fan out across every slot — can
+/// apply it through kill_node_at/recover_node_at.
+std::vector<KillEvent> make_kill_schedule(std::uint64_t seed, std::size_t nodes,
+                                          std::size_t protect, std::size_t kills,
+                                          double horizon,
+                                          double min_downtime = 0.8,
+                                          double max_downtime = 3.0);
 
 struct ChaosOutcome {
   bool passed = true;

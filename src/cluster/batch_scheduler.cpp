@@ -33,7 +33,8 @@ struct SimState {
   std::size_t free_nodes;
   std::priority_queue<Running, std::vector<Running>, std::greater<>> running;
   std::list<Job> queue;  // pending, arrival order
-  std::unordered_map<std::uint32_t, double> usage;  // fair-share node-seconds
+  UsageLedger usage;     // fair-share node-seconds (shared accounting type)
+  double aging_rate = 0.0;
   std::uint64_t backfilled = 0;
 };
 
@@ -41,7 +42,7 @@ void start_job(SimState& st, std::vector<JobOutcome>& out, const Job& j, double 
                double& busy_node_seconds) {
   st.free_nodes -= j.nodes;
   st.running.push(Running{t + j.runtime, t + j.estimate, j.nodes});
-  st.usage[j.user] += static_cast<double>(j.nodes) * j.runtime;
+  st.usage.charge(j.user, static_cast<double>(j.nodes) * j.runtime);
   busy_node_seconds += static_cast<double>(j.nodes) * j.runtime;
   JobOutcome o;
   o.id = j.id;
@@ -81,10 +82,17 @@ void dispatch(SimState& st, SchedPolicy policy, std::vector<JobOutcome>& out,
     }
     case SchedPolicy::kFairShare: {
       while (!st.queue.empty()) {
+        // Effective key: accumulated usage minus the aging credit earned in
+        // the queue (aged_priority). aging_rate == 0 reproduces the classic
+        // usage-ordered policy exactly.
+        auto key = [&st, t](const Job& j) {
+          return aged_priority(st.usage.usage(j.user), t - j.arrival,
+                               st.aging_rate);
+        };
         auto best = st.queue.begin();
         for (auto it = st.queue.begin(); it != st.queue.end(); ++it) {
-          const double u_it = st.usage[it->user];
-          const double u_best = st.usage[best->user];
+          const double u_it = key(*it);
+          const double u_best = key(*best);
           if (u_it < u_best || (u_it == u_best && it->arrival < best->arrival)) {
             best = it;
           }
@@ -151,7 +159,8 @@ void dispatch(SimState& st, SchedPolicy policy, std::vector<JobOutcome>& out,
 }  // namespace
 
 ScheduleResult simulate_schedule(std::size_t cluster_nodes, SchedPolicy policy,
-                                 std::vector<Job> jobs) {
+                                 std::vector<Job> jobs,
+                                 const FairShareOptions& fair) {
   if (cluster_nodes == 0) throw std::invalid_argument("simulate_schedule: empty cluster");
   for (const auto& j : jobs) {
     if (j.nodes == 0 || j.nodes > cluster_nodes) {
@@ -166,6 +175,8 @@ ScheduleResult simulate_schedule(std::size_t cluster_nodes, SchedPolicy policy,
 
   SimState st;
   st.free_nodes = cluster_nodes;
+  st.usage = fair.initial_usage;
+  st.aging_rate = fair.aging_rate;
   std::vector<JobOutcome> out;
   out.reserve(jobs.size());
   double busy_node_seconds = 0;

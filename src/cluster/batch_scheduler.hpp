@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "cluster/fair_share.hpp"
 #include "common/rng.hpp"
 
 namespace hpbdc::cluster {
@@ -52,9 +53,21 @@ struct ScheduleResult {
   std::uint64_t backfilled = 0;  // jobs started ahead of an earlier arrival
 };
 
+/// Fair-share knobs (ignored by the other policies). Usage accounting goes
+/// through cluster::UsageLedger, the accounting shared with the serve-layer
+/// DRF scheduler; aging_rate > 0 turns on the starvation guard: a queued
+/// job's effective key is aged_priority(usage, wait, aging_rate), so a
+/// high-usage tenant stuck behind an endless stream of fresh zero-usage
+/// arrivals still runs once its aging credit outweighs the usage gap.
+struct FairShareOptions {
+  double aging_rate = 0.0;    // usage credit per second of queue wait
+  UsageLedger initial_usage;  // pre-existing per-user balances
+};
+
 /// Simulate the full trace to completion under the given policy.
 ScheduleResult simulate_schedule(std::size_t cluster_nodes, SchedPolicy policy,
-                                 std::vector<Job> jobs);
+                                 std::vector<Job> jobs,
+                                 const FairShareOptions& fair = {});
 
 // --- Workload generation -------------------------------------------------
 

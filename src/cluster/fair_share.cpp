@@ -1,0 +1,69 @@
+#include "cluster/fair_share.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hpbdc::cluster {
+
+void UsageLedger::charge(std::uint32_t tenant, double amount) {
+  if (amount < 0) throw std::invalid_argument("UsageLedger: negative charge");
+  usage_[tenant] += amount;
+}
+
+void UsageLedger::refund(std::uint32_t tenant, double amount) {
+  if (amount < 0) throw std::invalid_argument("UsageLedger: negative refund");
+  auto it = usage_.find(tenant);
+  if (it == usage_.end()) return;
+  it->second = std::max(0.0, it->second - amount);
+}
+
+double UsageLedger::usage(std::uint32_t tenant) const {
+  auto it = usage_.find(tenant);
+  return it == usage_.end() ? 0.0 : it->second;
+}
+
+DrfLedger::DrfLedger(std::vector<double> capacities) : cap_(std::move(capacities)) {
+  if (cap_.empty()) throw std::invalid_argument("DrfLedger: no resources");
+  for (double c : cap_) {
+    if (c <= 0) throw std::invalid_argument("DrfLedger: capacity must be > 0");
+  }
+}
+
+void DrfLedger::acquire(std::uint32_t tenant, const std::vector<double>& demand) {
+  if (demand.size() != cap_.size()) {
+    throw std::invalid_argument("DrfLedger: demand/capacity size mismatch");
+  }
+  auto& u = use_[tenant];
+  if (u.empty()) u.assign(cap_.size(), 0.0);
+  for (std::size_t r = 0; r < cap_.size(); ++r) u[r] += demand[r];
+}
+
+void DrfLedger::release(std::uint32_t tenant, const std::vector<double>& demand) {
+  if (demand.size() != cap_.size()) {
+    throw std::invalid_argument("DrfLedger: demand/capacity size mismatch");
+  }
+  auto it = use_.find(tenant);
+  if (it == use_.end()) return;
+  for (std::size_t r = 0; r < cap_.size(); ++r) {
+    it->second[r] = std::max(0.0, it->second[r] - demand[r]);
+  }
+}
+
+double DrfLedger::dominant_share(std::uint32_t tenant) const {
+  auto it = use_.find(tenant);
+  if (it == use_.end()) return 0.0;
+  double share = 0.0;
+  for (std::size_t r = 0; r < cap_.size(); ++r) {
+    share = std::max(share, it->second[r] / cap_[r]);
+  }
+  return share;
+}
+
+double DrfLedger::total_in_use(std::size_t resource) const {
+  if (resource >= cap_.size()) throw std::out_of_range("DrfLedger: bad resource");
+  double total = 0.0;
+  for (const auto& [tenant, u] : use_) total += u[resource];
+  return total;
+}
+
+}  // namespace hpbdc::cluster

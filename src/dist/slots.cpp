@@ -1,0 +1,84 @@
+#include "dist/slots.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hpbdc::dist {
+
+JobSlotPool::JobSlotPool(sim::Comm& comm, DistConfig cfg, std::size_t slots,
+                         sim::Dfs* dfs)
+    : comm_(comm), cfg_(cfg) {
+  if (slots == 0) throw std::invalid_argument("JobSlotPool: zero slots");
+  cfg_.node_mtbf = 0.0;  // per-slot injectors would fire independently
+  for (std::size_t i = 0; i < slots; ++i) {
+    DistConfig sc = cfg_;
+    std::uint64_t s = cfg_.seed ^ ((i + 1) * 0x9e3779b97f4a7c15ULL);
+    sc.seed = splitmix64(s);
+    slots_.push_back(std::make_unique<Slot>(comm, sc, dfs));
+  }
+}
+
+void JobSlotPool::submit(JobSpec job, DistRuntime::JobDoneFn done) {
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    Slot& slot = *slots_[i];
+    if (slot.busy) continue;
+    slot.busy = true;
+    ++busy_;
+    slot.rt.submit(std::move(job),
+                   [this, i, done = std::move(done)](const JobResult& r) {
+                     slots_[i]->busy = false;
+                     --busy_;
+                     if (done) done(r);
+                   });
+    return;
+  }
+  throw std::logic_error("JobSlotPool: saturated (check saturated() first)");
+}
+
+void JobSlotPool::kill_node_at(std::size_t node, sim::SimTime t) {
+  for (auto& s : slots_) s->rt.kill_node_at(node, t);
+}
+
+void JobSlotPool::recover_node_at(std::size_t node, sim::SimTime t) {
+  for (auto& s : slots_) s->rt.recover_node_at(node, t);
+}
+
+void JobSlotPool::set_node_speed_at(std::size_t node, double speed,
+                                    sim::SimTime t) {
+  for (auto& s : slots_) s->rt.set_node_speed_at(node, speed, t);
+}
+
+void JobSlotPool::bind_metrics(obs::MetricsRegistry& reg) {
+  for (auto& s : slots_) s->rt.bind_metrics(reg);
+}
+
+DistStats JobSlotPool::aggregate_stats() const {
+  DistStats sum;
+  for (const auto& s : slots_) {
+    const DistStats& st = s->rt.stats();
+    sum.jobs_completed += st.jobs_completed;
+    sum.jobs_failed += st.jobs_failed;
+    sum.tasks_launched += st.tasks_launched;
+    sum.tasks_completed += st.tasks_completed;
+    sum.task_retries += st.task_retries;
+    sum.tasks_recomputed += st.tasks_recomputed;
+    sum.speculative_launched += st.speculative_launched;
+    sum.speculative_won += st.speculative_won;
+    sum.shuffle_fetches += st.shuffle_fetches;
+    sum.shuffle_local_fetches += st.shuffle_local_fetches;
+    sum.shuffle_bytes += st.shuffle_bytes;
+    sum.fetch_failures += st.fetch_failures;
+    sum.locality_hits += st.locality_hits;
+    sum.locality_misses += st.locality_misses;
+    sum.heartbeats_received += st.heartbeats_received;
+    sum.executors_declared_dead += st.executors_declared_dead;
+    sum.checkpoints_written += st.checkpoints_written;
+    sum.checkpoint_restores += st.checkpoint_restores;
+    sum.stale_events_ignored += st.stale_events_ignored;
+    sum.max_failures_one_task =
+        std::max(sum.max_failures_one_task, st.max_failures_one_task);
+  }
+  return sum;
+}
+
+}  // namespace hpbdc::dist

@@ -1,0 +1,78 @@
+#pragma once
+// Concurrent job slots for the distributed runtime. A DistRuntime runs ONE
+// job at a time by design (its scheduling state is per-job); JobSlotPool
+// turns the same simulated cluster into a K-way job executor by hosting K
+// independent DistRuntime instances over one Comm. Every slot sees the same
+// node ids and shares the simulated network fabric (NIC/link contention is
+// real across jobs) and the optional DFS; per-slot control planes use
+// distinct Comm tags, so messages never cross-deliver. Fault injection fans
+// out to every slot: a node kill takes the executor down for all in-flight
+// jobs at once, exactly like a machine death under a multi-job service.
+//
+// This is the execution backend of the serve layer (src/serve): saturation
+// (`busy() == slots()`) is the backpressure signal the service propagates
+// upstream, and per-job completion callbacks free the slot before they fire
+// so a scheduler can dispatch the next queued job from inside the callback.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "dist/runtime.hpp"
+
+namespace hpbdc::dist {
+
+class JobSlotPool {
+ public:
+  /// Slot i's runtime derives its seed from cfg.seed and i, so concurrent
+  /// jobs do not share heartbeat-jitter streams but the whole pool is still
+  /// pinned by one seed. cfg.node_mtbf is forced to 0: with K runtimes the
+  /// per-slot injectors would each kill nodes independently — drive faults
+  /// through kill_node_at/recover_node_at instead.
+  JobSlotPool(sim::Comm& comm, DistConfig cfg, std::size_t slots,
+              sim::Dfs* dfs = nullptr);
+
+  std::size_t slots() const noexcept { return slots_.size(); }
+  std::size_t busy() const noexcept { return busy_; }
+  bool saturated() const noexcept { return busy_ == slots_.size(); }
+
+  /// Run `job` on a free slot; throws std::logic_error when saturated (check
+  /// saturated() first — the serve layer queues instead of submitting). The
+  /// slot is freed BEFORE `done` runs, so the callback may submit again.
+  void submit(JobSpec job, DistRuntime::JobDoneFn done);
+
+  /// Fault injection, fanned out to every slot (and the shared DFS, which
+  /// tolerates the resulting duplicate fail/recover calls).
+  void kill_node_at(std::size_t node, sim::SimTime t);
+  void recover_node_at(std::size_t node, sim::SimTime t);
+  void set_node_speed_at(std::size_t node, double speed, sim::SimTime t);
+
+  /// Shared-name metrics: counters accumulate across slots, gauges reflect
+  /// the most recent writer (slots agree on liveness, so this is coherent).
+  void bind_metrics(obs::MetricsRegistry& reg);
+
+  /// Element-wise sum of every slot's DistStats.
+  DistStats aggregate_stats() const;
+
+  std::size_t live_executors() const { return slots_.front()->rt.live_executors(); }
+  const DistConfig& config() const noexcept { return cfg_; }
+  DistRuntime& slot_runtime(std::size_t i) { return slots_.at(i)->rt; }
+  sim::Simulator& simulator() noexcept { return comm_.simulator(); }
+  std::size_t cluster_nodes() const noexcept { return comm_.nranks(); }
+
+ private:
+  struct Slot {
+    DistRuntime rt;
+    bool busy = false;
+    Slot(sim::Comm& comm, const DistConfig& cfg, sim::Dfs* dfs)
+        : rt(comm, cfg, dfs) {}
+  };
+
+  sim::Comm& comm_;
+  DistConfig cfg_;
+  std::vector<std::unique_ptr<Slot>> slots_;
+  std::size_t busy_ = 0;
+};
+
+}  // namespace hpbdc::dist

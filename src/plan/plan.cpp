@@ -179,4 +179,54 @@ Bytes canonical_bytes(std::vector<Row> rows) {
   return to_bytes(rows);
 }
 
+namespace {
+
+/// Order-sensitive hash fold (parents and fused steps are sequences).
+constexpr std::uint64_t fold(std::uint64_t h, std::uint64_t v) noexcept {
+  return mix64(h ^ (mix64(v) + 0x9e3779b97f4a7c15ULL + (h << 12) + (h >> 4)));
+}
+
+std::uint64_t node_fingerprint(const LogicalPlan& plan, std::size_t i,
+                               std::vector<std::uint64_t>& memo) {
+  if (memo[i] != 0) return memo[i];
+  const PlanNode& nd = plan.nodes[i];
+  std::uint64_t h = fold(0x5e97c6a1u, static_cast<std::uint64_t>(nd.op));
+  h = fold(h, nd.salt);
+  h = fold(h, nd.rows);
+  h = fold(h, nd.combine_output ? 1 : 0);
+  for (const NarrowStep& s : nd.steps) {
+    h = fold(h, static_cast<std::uint64_t>(s.op));
+    h = fold(h, s.salt);
+    h = fold(h, s.rows);
+  }
+  // Distinct sentinels for "no parent" keep map(x) and map(x, phantom)
+  // shapes apart; parents precede children, so the recursion terminates.
+  h = fold(h, nd.left == PlanNode::kNoParent
+                   ? 0x6e6f6e65u
+                   : node_fingerprint(plan, nd.left, memo));
+  h = fold(h, nd.right == PlanNode::kNoParent
+                   ? 0x6e6f6e32u
+                   : node_fingerprint(plan, nd.right, memo));
+  if (h == 0) h = 1;  // 0 is the memo's "unset"
+  memo[i] = h;
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t fingerprint(const LogicalPlan& plan) {
+  std::vector<std::uint64_t> memo(plan.nodes.size(), 0);
+  std::vector<std::uint64_t> sinks;
+  sinks.reserve(plan.sinks.size());
+  for (std::size_t s : plan.sinks) {
+    sinks.push_back(node_fingerprint(plan, s, memo));
+  }
+  // Sinks fold in sorted-hash order: the result is a function of the sink
+  // SET, not of how the construction happened to number the nodes.
+  std::sort(sinks.begin(), sinks.end());
+  std::uint64_t h = fold(0x706c616eu, sinks.size());
+  for (std::uint64_t s : sinks) h = fold(h, s);
+  return h;
+}
+
 }  // namespace hpbdc::plan

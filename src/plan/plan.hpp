@@ -127,4 +127,15 @@ std::vector<Row> combine_rows(std::vector<Row> rows);
 /// and serialize — two runs agree iff these bytes are identical.
 Bytes canonical_bytes(std::vector<Row> rows);
 
+/// Stable 64-bit structural fingerprint of a plan, the cache/admission key
+/// of the serve layer (src/serve). Independent of node NUMBERING — each
+/// node hashes from its operator kind, parameters (salt, rows, fused steps,
+/// combine_output), and its parents' hashes, and the plan folds the sink
+/// hashes in sorted order — so two topological orderings of the same DAG
+/// fingerprint identically, while any change to an op kind, parameter, or
+/// edge changes the value. The checkpoint flag and the seed/rows_per_source
+/// metadata are execution hints, not result-determining structure, and are
+/// excluded. Join parents stay ordered (join_rows is asymmetric).
+std::uint64_t fingerprint(const LogicalPlan& plan);
+
 }  // namespace hpbdc::plan

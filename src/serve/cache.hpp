@@ -1,0 +1,59 @@
+#pragma once
+// Bounded LRU cache, header-only. The job service keys it by the 64-bit
+// fingerprint of the OPTIMIZED logical plan (plan::fingerprint): every
+// operator in the IR is a deterministic function of its input multiset, so
+// two plans with the same fingerprint produce the same result rows and a
+// hit can answer a submission without touching an executor. Kept generic
+// (any hashable key, any value) — it is a plain container with no serve
+// dependencies.
+
+#include <cstddef>
+#include <list>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+
+namespace hpbdc::serve {
+
+template <typename K, typename V>
+class LruCache {
+ public:
+  explicit LruCache(std::size_t capacity) : capacity_(capacity) {
+    if (capacity_ == 0) throw std::invalid_argument("LruCache: zero capacity");
+  }
+
+  std::size_t size() const noexcept { return map_.size(); }
+  std::size_t capacity() const noexcept { return capacity_; }
+
+  /// nullptr on miss; a hit promotes the entry to most-recently-used. The
+  /// pointer is valid until the next put().
+  const V* get(const K& key) {
+    auto it = map_.find(key);
+    if (it == map_.end()) return nullptr;
+    order_.splice(order_.begin(), order_, it->second);
+    return &it->second->second;
+  }
+
+  /// Insert or overwrite; evicts the least-recently-used entry when full.
+  void put(const K& key, V value) {
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      it->second->second = std::move(value);
+      order_.splice(order_.begin(), order_, it->second);
+      return;
+    }
+    if (map_.size() >= capacity_) {
+      map_.erase(order_.back().first);
+      order_.pop_back();
+    }
+    order_.emplace_front(key, std::move(value));
+    map_[key] = order_.begin();
+  }
+
+ private:
+  std::size_t capacity_;
+  std::list<std::pair<K, V>> order_;  // front = most recently used
+  std::unordered_map<K, typename std::list<std::pair<K, V>>::iterator> map_;
+};
+
+}  // namespace hpbdc::serve

@@ -1,0 +1,176 @@
+#include "serve/campaign.hpp"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "chaos/harness.hpp"
+#include "chaos/plan_gen.hpp"
+#include "common/rng.hpp"
+#include "common/serialize.hpp"
+#include "dataflow/context.hpp"
+#include "dist/slots.hpp"
+#include "plan/lower.hpp"
+#include "plan/plan.hpp"
+#include "sim/comm.hpp"
+#include "sim/dfs.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace hpbdc::serve {
+
+namespace {
+
+std::uint64_t mix(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t s = a * 0x9e3779b97f4a7c15ULL + b;
+  return splitmix64(s);
+}
+
+}  // namespace
+
+CampaignOutcome run_serve_campaign_once(const CampaignConfig& cfg,
+                                        Executor& pool) {
+  CampaignOutcome out;
+  auto fail = [&out](const std::string& msg) {
+    if (out.passed) {
+      out.passed = false;
+      out.violation = msg;
+    }
+  };
+
+  // ---- trusted side: fault-free shared-memory reference per plan ---------
+  std::vector<plan::LogicalPlan> plans;
+  std::vector<Bytes> refs;
+  for (std::size_t p = 0; p < cfg.distinct_plans; ++p) {
+    plans.push_back(
+        chaos::make_plan(mix(cfg.seed, 0xA0 + p), cfg.plan_nodes, cfg.rows));
+    dataflow::Context ctx(pool);
+    refs.push_back(plan::canonical_bytes(plan::lower_local(plans.back(), ctx)));
+  }
+
+  // ---- system under test: JobService over a slot pool under kills --------
+  sim::Simulator sim;
+  sim::NetworkConfig nc;
+  nc.nodes = cfg.cluster_nodes;
+  nc.topology = sim::Topology::kStar;
+  nc.loss_seed = mix(cfg.seed, 1);
+  sim::Network net(sim, nc);
+  sim::Comm comm(sim, net);
+  sim::Dfs dfs(comm, sim::DfsConfig{});
+
+  dist::DistConfig dc;
+  dc.driver = 0;
+  dc.slots_per_node = 2;
+  dc.heartbeat_interval = 0.1;
+  dc.heartbeat_timeout = 0.5;
+  dc.heartbeat_jitter = 0.01;
+  dc.attempt_timeout = 10.0;
+  dc.max_task_attempts = 8;
+  dc.speculate = true;
+  dc.seed = mix(cfg.seed, 2);
+  dist::JobSlotPool slots(comm, dc, cfg.slots, &dfs);
+
+  ServeConfig sc;
+  sc.bucket_rate = 4.0;
+  sc.bucket_burst = 8.0;
+  sc.ntasks = 3;
+  sc.cache_capacity = 64;
+  JobService svc(slots, sc);
+
+  // Kill/recover pairs fan out to every slot: one machine death hits all
+  // in-flight jobs at once, which is exactly the multi-tenant failure mode
+  // this campaign exists to exercise.
+  for (const chaos::KillEvent& ev : chaos::make_kill_schedule(
+           mix(cfg.seed, 3), cfg.cluster_nodes, dc.driver, cfg.kills,
+           cfg.arrival_window + 2.0)) {
+    slots.kill_node_at(ev.node, ev.kill_time);
+    slots.recover_node_at(ev.node, ev.recover_time);
+  }
+
+  // ---- seed-derived open-loop workload -----------------------------------
+  struct Sub {
+    double at = 0;
+    TenantId tenant = 0;
+    std::size_t plan = 0;
+    double deadline = 0;
+    int priority = 0;
+  };
+  Rng rng(mix(cfg.seed, 4));
+  std::vector<Sub> subs;
+  for (std::size_t t = 0; t < cfg.tenants; ++t) {
+    for (std::size_t j = 0; j < cfg.jobs_per_tenant; ++j) {
+      Sub s;
+      s.at = rng.next_double() * cfg.arrival_window;
+      s.tenant = static_cast<TenantId>(t);
+      s.plan = static_cast<std::size_t>(rng.next_below(cfg.distinct_plans));
+      s.priority = static_cast<int>(rng.next_below(3));
+      if (rng.next_bool(cfg.deadline_fraction)) {
+        s.deadline = s.at + 0.05 + rng.next_double() * 2.0;
+      }
+      subs.push_back(s);
+    }
+  }
+  out.submissions = subs.size();
+
+  std::vector<std::size_t> fired(subs.size(), 0);
+  double last_finish = 0;
+  for (std::size_t i = 0; i < subs.size(); ++i) {
+    sim.schedule_at(subs[i].at, [&, i] {
+      SubmitRequest req;
+      req.tenant = subs[i].tenant;
+      req.plan = plans[subs[i].plan];
+      req.deadline = subs[i].deadline;
+      req.priority = subs[i].priority;
+      svc.submit(std::move(req), [&, i](const Completion& c) {
+        fired[i]++;
+        last_finish = std::max(last_finish, c.finish_time);
+        if (c.status == Status::kCompleted &&
+            plan::canonical_bytes(c.rows) != refs[subs[i].plan]) {
+          out.mismatches++;
+        }
+      });
+    });
+  }
+
+  sim.run_until(cfg.horizon);
+  out.makespan = last_finish;
+  if (!sim.idle()) fail("liveness: events still pending at the horizon");
+
+  // ---- oracle ------------------------------------------------------------
+  for (std::size_t f : fired) {
+    if (f == 0) out.lost++;
+    if (f > 1) out.duplicates++;
+  }
+  if (out.lost > 0) {
+    fail("exactly-once: " + std::to_string(out.lost) + " submissions lost");
+  }
+  if (out.duplicates > 0) {
+    fail("exactly-once: " + std::to_string(out.duplicates) +
+         " duplicate terminal callbacks");
+  }
+  if (out.mismatches > 0) {
+    fail("correctness: " + std::to_string(out.mismatches) +
+         " completed results differ from the reference");
+  }
+
+  out.stats = svc.stats();
+  out.dist_stats = slots.aggregate_stats();
+  if (out.stats.submitted != subs.size()) {
+    fail("accounting: service submit count != workload size");
+  }
+  if (out.stats.completed + out.stats.failed + out.stats.shed !=
+      out.stats.submitted) {
+    fail("accounting: completed + failed + shed != submitted");
+  }
+  if (out.stats.failed != 0) {
+    fail("recovery: " + std::to_string(out.stats.failed) +
+         " jobs failed under a survivable kill schedule");
+  }
+  if (svc.queue_depth() != 0 || svc.running() != 0) {
+    fail("accounting: queue/running not drained at quiescence");
+  }
+  return out;
+}
+
+}  // namespace hpbdc::serve

@@ -1,0 +1,71 @@
+#pragma once
+// Service-level chaos campaign: the serve-layer analogue of the dist-layer
+// harness in src/chaos. One run derives EVERYTHING — tenant plans, arrival
+// times, priorities, deadlines, and the executor-kill schedule — from a
+// single seed, drives a multi-tenant open-loop workload through a
+// JobService backed by a JobSlotPool, kills (and recovers) executor nodes
+// mid-flight via chaos::make_kill_schedule, and checks a service-level
+// oracle:
+//
+//   exactly-once — every submission receives EXACTLY ONE terminal
+//                  completion callback: no duplicates, no lost jobs, even
+//                  when a kill takes an executor out from under several
+//                  concurrent jobs at once and the service retries them.
+//   correctness  — every kCompleted result (executor run OR cache hit) is
+//                  bit-for-bit the fault-free shared-memory reference of
+//                  the plan that was submitted — a cross-tenant cache
+//                  collision or cross-slot interference shows up here.
+//   accounting   — the service's own stats balance: submitted ==
+//                  completed + failed + shed, and the DRF ledger drains to
+//                  zero when the queue does.
+//   liveness     — the whole day completes within the simulated horizon.
+//
+// The 50-seed campaign in serve_test runs this once per seed; any failure
+// prints the seed, which reproduces the entire run bit-for-bit.
+
+#include <cstdint>
+#include <string>
+
+#include "dist/runtime.hpp"
+#include "serve/service.hpp"
+
+namespace hpbdc {
+class Executor;
+}
+
+namespace hpbdc::serve {
+
+struct CampaignConfig {
+  std::uint64_t seed = 1;
+  std::size_t tenants = 4;
+  std::size_t jobs_per_tenant = 6;
+  std::size_t distinct_plans = 3;  // < total jobs, so the cache gets hits
+  std::size_t plan_nodes = 4;
+  std::uint64_t rows = 96;        // rows per source node
+  std::size_t cluster_nodes = 6;  // node 0 hosts the drivers
+  std::size_t slots = 3;          // concurrent jobs
+  std::size_t kills = 2;          // executor kill/recover pairs
+  double arrival_window = 6.0;    // submissions land in (0, window)
+  double deadline_fraction = 0.2; // of submissions carry a tight deadline
+  double horizon = 600.0;         // liveness watchdog (simulated seconds)
+};
+
+struct CampaignOutcome {
+  bool passed = true;
+  std::string violation;  // first failed check; empty when passed
+  std::size_t submissions = 0;
+  std::size_t duplicates = 0;  // submissions with > 1 terminal callback
+  std::size_t lost = 0;        // submissions with no terminal callback
+  std::size_t mismatches = 0;  // completed results != reference rows
+  ServeStats stats;            // the service's own view of the run
+  dist::DistStats dist_stats;  // aggregate over all job slots
+  double makespan = 0;
+};
+
+/// One full campaign run. `pool` executes the fault-free shared-memory
+/// reference for each distinct plan. Deterministic in (cfg, pool size is
+/// irrelevant): rerunning with the same config reproduces the outcome.
+CampaignOutcome run_serve_campaign_once(const CampaignConfig& cfg,
+                                        Executor& pool);
+
+}  // namespace hpbdc::serve

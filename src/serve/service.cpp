@@ -1,0 +1,316 @@
+#include "serve/service.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "plan/lower.hpp"
+#include "plan/optimizer.hpp"
+
+namespace hpbdc::serve {
+
+namespace {
+
+/// Source rows the job will materialize (the DRF memory-resource estimate).
+std::uint64_t source_rows_of(const plan::LogicalPlan& p) {
+  std::uint64_t rows = 0;
+  for (const plan::PlanNode& nd : p.nodes) {
+    if (nd.op == plan::OpKind::kSource) rows += nd.rows;
+    if (nd.op == plan::OpKind::kFused && !nd.steps.empty() &&
+        nd.steps.front().op == plan::OpKind::kSource) {
+      rows += nd.steps.front().rows;
+    }
+  }
+  return rows;
+}
+
+}  // namespace
+
+const char* reject_name(Reject r) {
+  switch (r) {
+    case Reject::kRateLimited: return "rate_limited";
+    case Reject::kTenantQueueFull: return "tenant_queue_full";
+    case Reject::kGlobalQueueFull: return "global_queue_full";
+    case Reject::kBackpressure: return "backpressure";
+    case Reject::kDeadlineExpired: return "deadline_expired";
+  }
+  return "invalid";
+}
+
+JobService::JobService(dist::JobSlotPool& pool, ServeConfig cfg)
+    : pool_(pool),
+      cfg_(cfg),
+      drf_({static_cast<double>(pool.slots()), cfg.drf_work_capacity,
+            cfg.drf_mem_capacity}),
+      cache_(std::max<std::size_t>(1, cfg.cache_capacity)) {
+  if (cfg_.bucket_rate <= 0 || cfg_.bucket_burst < 1) {
+    throw std::invalid_argument("JobService: bucket must admit >= 1 request");
+  }
+  if (cfg_.ntasks == 0) throw std::invalid_argument("JobService: zero ntasks");
+  if (cfg_.max_dist_submits == 0) {
+    throw std::invalid_argument("JobService: need >= 1 dist submit");
+  }
+}
+
+void JobService::bind_metrics(obs::MetricsRegistry& reg) {
+  metrics_ = &reg;
+  m_submitted_ = &reg.counter("serve.submitted");
+  m_admitted_ = &reg.counter("serve.admitted");
+  m_shed_ = &reg.counter("serve.shed");
+  for (std::size_t r = 0; r < kRejectKindCount; ++r) {
+    m_shed_by_[r] = &reg.counter(std::string("serve.shed.") +
+                                 reject_name(static_cast<Reject>(r)));
+  }
+  m_completed_ = &reg.counter("serve.completed");
+  m_failed_ = &reg.counter("serve.failed");
+  m_cache_hit_ = &reg.counter("serve.cache_hit");
+  m_cache_miss_ = &reg.counter("serve.cache_miss");
+  m_retries_ = &reg.counter("serve.dist_retries");
+  g_queue_depth_ = &reg.gauge("serve.queue_depth");
+  g_running_ = &reg.gauge("serve.running");
+  g_backpressure_ = &reg.gauge("serve.backpressure");
+  h_latency_ = &reg.histogram("serve.latency");
+  for (auto& [tid, ts] : tenants_) {
+    ts.latency = &reg.histogram("serve.latency.tenant" + std::to_string(tid));
+  }
+}
+
+bool JobService::backpressured() const noexcept {
+  return pool_.saturated() && queued_ >= cfg_.backpressure_watermark;
+}
+
+JobService::TenantState& JobService::tenant_state(TenantId t) {
+  TenantState& ts = tenants_[t];
+  if (!ts.seen) {
+    ts.seen = true;
+    ts.tokens = cfg_.bucket_burst;
+    ts.last_refill = sim().now();
+    if (metrics_ != nullptr) {
+      ts.latency = &metrics_->histogram("serve.latency.tenant" + std::to_string(t));
+    }
+  }
+  return ts;
+}
+
+void JobService::refill_bucket(TenantState& ts, double now) {
+  ts.tokens = std::min(cfg_.bucket_burst,
+                       ts.tokens + (now - ts.last_refill) * cfg_.bucket_rate);
+  ts.last_refill = now;
+}
+
+void JobService::update_gauges() {
+  if (g_queue_depth_ != nullptr) {
+    g_queue_depth_->set(static_cast<std::int64_t>(queued_));
+  }
+  if (g_running_ != nullptr) g_running_->set(static_cast<std::int64_t>(running_));
+  if (g_backpressure_ != nullptr) g_backpressure_->set(backpressured() ? 1 : 0);
+}
+
+void JobService::shed(std::uint64_t id, TenantId tenant, double submit_time,
+                      std::uint64_t fp, Reject why, DoneFn& done) {
+  stats_.shed++;
+  stats_.shed_by[static_cast<std::size_t>(why)]++;
+  count(m_shed_);
+  count(m_shed_by_[static_cast<std::size_t>(why)]);
+  Completion c;
+  c.job_id = id;
+  c.tenant = tenant;
+  c.status = Status::kRejected;
+  c.reject = why;
+  c.submit_time = submit_time;
+  c.finish_time = sim().now();
+  c.fingerprint = fp;
+  if (done) done(c);
+}
+
+void JobService::finish(PendingJob& job, Status status, bool cache_hit,
+                        std::vector<plan::Row> rows) {
+  Completion c;
+  c.job_id = job.id;
+  c.tenant = job.tenant;
+  c.status = status;
+  c.cache_hit = cache_hit;
+  c.submit_time = job.submit_time;
+  c.finish_time = sim().now();
+  c.fingerprint = job.fp;
+  c.dist_submits = job.dist_submits;
+  c.rows = std::move(rows);
+  if (status == Status::kCompleted) {
+    stats_.completed++;
+    count(m_completed_);
+    if (h_latency_ != nullptr) h_latency_->record(c.latency());
+    TenantState& ts = tenant_state(job.tenant);
+    if (ts.latency != nullptr) ts.latency->record(c.latency());
+  } else {
+    stats_.failed++;
+    count(m_failed_);
+  }
+  if (job.done) job.done(c);
+}
+
+std::uint64_t JobService::submit(SubmitRequest req, DoneFn done) {
+  const double now = sim().now();
+  const std::uint64_t id = next_id_++;
+  stats_.submitted++;
+  count(m_submitted_);
+
+  // 1. Per-tenant token bucket.
+  TenantState& ts = tenant_state(req.tenant);
+  refill_bucket(ts, now);
+  if (ts.tokens < 1.0) {
+    shed(id, req.tenant, now, 0, Reject::kRateLimited, done);
+    return id;
+  }
+  ts.tokens -= 1.0;
+
+  // 2. Optimize once; everything downstream (cache key, scheduling demand,
+  // execution) works on the optimized plan.
+  PendingJob job;
+  job.id = id;
+  job.tenant = req.tenant;
+  job.deadline = req.deadline;
+  job.priority = req.priority;
+  job.submit_time = now;
+  job.enqueue_time = now;
+  job.optimized = plan::optimize(req.plan);
+  job.fp = plan::fingerprint(job.optimized);
+  job.demand = {1.0,
+                static_cast<double>((job.optimized.nodes.size() + 1) * cfg_.ntasks),
+                static_cast<double>(source_rows_of(job.optimized))};
+  for (std::size_t r = 0; r < job.demand.size(); ++r) {
+    job.demand_share =
+        std::max(job.demand_share, job.demand[r] / drf_.capacities()[r]);
+  }
+  job.done = std::move(done);
+
+  // 3. Result cache: a hit consumes no queue entry and no executor.
+  if (cfg_.cache_capacity > 0) {
+    if (const auto* rows = cache_.get(job.fp)) {
+      stats_.admitted++;
+      stats_.cache_hits++;
+      count(m_admitted_);
+      count(m_cache_hit_);
+      auto sp = std::make_shared<PendingJob>(std::move(job));
+      sp->dist_submits = 0;
+      std::vector<plan::Row> copy = *rows;
+      sim().schedule_after(cfg_.cache_hit_latency,
+                           [this, sp, copy = std::move(copy)]() mutable {
+                             finish(*sp, Status::kCompleted, true, std::move(copy));
+                           });
+      return id;
+    }
+    stats_.cache_misses++;
+    count(m_cache_miss_);
+  }
+
+  // 4. Load shedding: backpressure first (overload), then queue bounds.
+  if (backpressured()) {
+    shed(id, req.tenant, now, job.fp, Reject::kBackpressure, job.done);
+    return id;
+  }
+  if (ts.queue.size() >= cfg_.tenant_queue_cap) {
+    shed(id, req.tenant, now, job.fp, Reject::kTenantQueueFull, job.done);
+    return id;
+  }
+  if (queued_ >= cfg_.global_queue_cap) {
+    shed(id, req.tenant, now, job.fp, Reject::kGlobalQueueFull, job.done);
+    return id;
+  }
+
+  // 5. Admit and try to dispatch immediately.
+  stats_.admitted++;
+  count(m_admitted_);
+  ts.queue.push_back(std::move(job));
+  queued_++;
+  stats_.max_queue_depth = std::max(stats_.max_queue_depth, queued_);
+  update_gauges();
+  dispatch();
+  return id;
+}
+
+void JobService::dispatch() {
+  while (!pool_.saturated()) {
+    const double now = sim().now();
+    // Head-of-queue jobs compete on dominant share minus priority/aging
+    // credit; earliest deadline breaks ties, then lowest id (stable).
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+    TenantState* best_ts = nullptr;
+    double best_score = kInf, best_deadline = kInf;
+    std::uint64_t best_id = 0;
+    for (auto& [tid, ts] : tenants_) {
+      if (ts.queue.empty()) continue;
+      const PendingJob& head = ts.queue.front();
+      const double burden = drf_.dominant_share(tid) +
+                            cfg_.usage_weight * usage_.usage(tid);
+      const double score =
+          cluster::aged_priority(burden, now - head.enqueue_time,
+                                 cfg_.aging_rate) -
+          cfg_.priority_weight * static_cast<double>(head.priority);
+      const double dl = head.deadline > 0 ? head.deadline : kInf;
+      if (best_ts == nullptr || score < best_score ||
+          (score == best_score &&
+           (dl < best_deadline || (dl == best_deadline && head.id < best_id)))) {
+        best_ts = &ts;
+        best_score = score;
+        best_deadline = dl;
+        best_id = head.id;
+      }
+    }
+    if (best_ts == nullptr) break;
+    PendingJob job = std::move(best_ts->queue.front());
+    best_ts->queue.pop_front();
+    queued_--;
+    if (job.deadline > 0 && now > job.deadline) {
+      // Too late to be useful: shed instead of burning an executor on it.
+      shed(job.id, job.tenant, job.submit_time, job.fp,
+           Reject::kDeadlineExpired, job.done);
+      continue;
+    }
+    launch(std::move(job));
+  }
+  update_gauges();
+}
+
+void JobService::launch(PendingJob job) {
+  drf_.acquire(job.tenant, job.demand);
+  running_++;
+  stats_.max_running = std::max(stats_.max_running, running_);
+  job.launch_time = sim().now();
+  job.dist_submits++;
+  auto sp = std::make_shared<PendingJob>(std::move(job));
+  pool_.submit(plan::lower_dist(sp->optimized, cfg_.ntasks),
+               [this, sp](const dist::JobResult& r) { on_job_done(sp, r); });
+}
+
+void JobService::on_job_done(const std::shared_ptr<PendingJob>& job,
+                             const dist::JobResult& res) {
+  drf_.release(job->tenant, job->demand);
+  running_--;
+  // Executor time was consumed whether or not the run succeeded: charge the
+  // tenant its dominant-share-seconds so fairness holds across sequential
+  // jobs, not just concurrent ones.
+  usage_.charge(job->tenant,
+                job->demand_share * (sim().now() - job->launch_time));
+  if (res.ok) {
+    std::vector<plan::Row> rows = plan::rows_from_result(res);
+    if (cfg_.cache_capacity > 0) cache_.put(job->fp, rows);
+    finish(*job, Status::kCompleted, false, std::move(rows));
+  } else if (job->dist_submits < cfg_.max_dist_submits) {
+    // Runtime-level failure (e.g. attempt budget burned by a node death):
+    // retry from the front of the tenant's queue, keeping the original
+    // enqueue time so the aging credit carries over. The terminal callback
+    // fires only once, after the final attempt — exactly-once is on the
+    // service, not the caller.
+    stats_.dist_retries++;
+    count(m_retries_);
+    tenant_state(job->tenant).queue.push_front(std::move(*job));
+    queued_++;
+    stats_.max_queue_depth = std::max(stats_.max_queue_depth, queued_);
+  } else {
+    finish(*job, Status::kFailed, false, {});
+  }
+  update_gauges();
+  dispatch();
+}
+
+}  // namespace hpbdc::serve

@@ -1,0 +1,223 @@
+#pragma once
+// Multi-tenant job service: the cloud front door of the stack. JobService
+// accepts Submit{tenant, LogicalPlan, deadline, priority} requests on the
+// simulated clock and pushes them through a four-step pipeline:
+//
+//   admission — per-tenant token-bucket rate limiting, then bounded queues
+//               (per-tenant and global) with load shedding; every shed
+//               carries a typed Reject reason. When the executor pool is
+//               saturated AND total queue depth crosses the watermark the
+//               service is in BACKPRESSURE: new work is shed immediately
+//               and backpressured() tells upstream producers to pause.
+//   schedule  — admitted jobs wait in per-tenant FIFO queues; each time a
+//               job slot frees, the head-of-queue jobs compete on
+//               dominant-resource fair share (cluster::DrfLedger over
+//               {job slots, task launches, source rows}) minus a linear
+//               priority/aging credit, with earliest-deadline tie-breaks.
+//               Jobs whose deadline already passed are shed at dispatch.
+//   execute   — the winning job lowers its OPTIMIZED plan (the optimizer
+//               runs once, at admission) onto a dist::JobSlotPool slot; a
+//               runtime-level failure is retried at the service level up to
+//               max_dist_submits, so every admitted job gets EXACTLY ONE
+//               terminal completion callback.
+//   cache     — successful results enter an LRU keyed by
+//               plan::fingerprint(optimized plan); a later submission with
+//               the same fingerprint is answered in cache_hit_latency
+//               seconds without consuming a queue entry or an executor.
+//
+// Everything runs on the single-threaded Simulator, so a (config, seed,
+// arrival schedule) triple reproduces a whole serving day bit-for-bit —
+// which is what the serve-level chaos campaign (serve/campaign.hpp) leans
+// on. Metrics land under serve.* (counters, queue-depth/backpressure
+// gauges, global + per-tenant latency histograms).
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/fair_share.hpp"
+#include "dist/slots.hpp"
+#include "obs/metrics.hpp"
+#include "plan/plan.hpp"
+#include "serve/cache.hpp"
+
+namespace hpbdc::serve {
+
+using TenantId = std::uint32_t;
+
+enum class Reject : std::uint8_t {
+  kRateLimited,      // tenant token bucket empty
+  kTenantQueueFull,  // per-tenant queue at capacity
+  kGlobalQueueFull,  // service-wide queue at capacity
+  kBackpressure,     // executor pool saturated + queue over the watermark
+  kDeadlineExpired,  // deadline passed while queued (shed at dispatch)
+};
+inline constexpr std::size_t kRejectKindCount = 5;
+const char* reject_name(Reject r);
+
+enum class Status : std::uint8_t {
+  kCompleted,  // rows valid (from an executor run or the result cache)
+  kRejected,   // shed at admission or dispatch; reject says why
+  kFailed,     // runtime failed and the retry budget is spent
+};
+
+struct SubmitRequest {
+  TenantId tenant = 0;
+  plan::LogicalPlan plan;
+  double deadline = 0;  // absolute simulated time; 0 = none
+  int priority = 0;     // higher = scheduled sooner
+};
+
+/// The exactly-once terminal event of a submission.
+struct Completion {
+  std::uint64_t job_id = 0;
+  TenantId tenant = 0;
+  Status status = Status::kCompleted;
+  Reject reject = Reject::kRateLimited;  // meaningful when kRejected
+  bool cache_hit = false;
+  double submit_time = 0;
+  double finish_time = 0;
+  std::uint64_t fingerprint = 0;
+  std::size_t dist_submits = 0;  // executor runs consumed (0 for hits/sheds)
+  std::vector<plan::Row> rows;   // kCompleted only
+  double latency() const noexcept { return finish_time - submit_time; }
+};
+
+struct ServeConfig {
+  // Admission.
+  double bucket_rate = 4.0;   // tokens (submissions) per sim-second per tenant
+  double bucket_burst = 8.0;  // bucket depth
+  std::size_t tenant_queue_cap = 16;
+  std::size_t global_queue_cap = 64;
+  std::size_t backpressure_watermark = 32;  // queued jobs, pool saturated
+  // Scheduling. A queued job's score is the tenant's instantaneous DRF
+  // dominant share plus usage_weight times its accumulated dominant-share-
+  // seconds (the cluster::UsageLedger), minus the aging and priority
+  // credits; lowest score dispatches first. The accumulated term is what
+  // keeps scheduling fair across SEQUENTIAL jobs — with a free slot the
+  // instantaneous share of every tenant is zero.
+  double aging_rate = 0.02;       // dominant-share credit per queued second
+  double priority_weight = 0.02;  // dominant-share credit per priority unit
+  double usage_weight = 0.5;      // weight of accumulated past usage
+  // Execution.
+  std::size_t ntasks = 4;           // tasks per lowered dist stage
+  std::size_t max_dist_submits = 3; // executor runs per job before kFailed
+  // DRF capacity normalization for the non-slot resources; shares only
+  // compare across tenants, so scale need not match the cluster exactly.
+  double drf_work_capacity = 256;        // task launches in flight
+  double drf_mem_capacity = 1 << 20;     // source rows in flight
+  // Result cache.
+  std::size_t cache_capacity = 128;  // entries; 0 disables caching
+  double cache_hit_latency = 1e-3;   // simulated service time of a hit
+};
+
+struct ServeStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t admitted = 0;  // enqueued or served from cache
+  std::uint64_t shed = 0;
+  std::uint64_t shed_by[kRejectKindCount] = {};
+  std::uint64_t completed = 0;  // includes cache hits
+  std::uint64_t failed = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t dist_retries = 0;  // service-level resubmits after a failure
+  std::size_t max_queue_depth = 0;
+  std::size_t max_running = 0;
+};
+
+class JobService {
+ public:
+  using DoneFn = std::function<void(const Completion&)>;
+
+  JobService(dist::JobSlotPool& pool, ServeConfig cfg);
+
+  /// serve.* counters/gauges/histograms (global + lazy per-tenant latency).
+  void bind_metrics(obs::MetricsRegistry& reg);
+
+  /// Submit at the current simulated time. Returns the job id. `done` fires
+  /// exactly once per call: synchronously for sheds, after cache_hit_latency
+  /// for cache hits, and at job completion otherwise.
+  std::uint64_t submit(SubmitRequest req, DoneFn done);
+
+  /// True while the executor pool is saturated and the queue is over the
+  /// watermark — upstream producers should stop submitting.
+  bool backpressured() const noexcept;
+
+  std::size_t queue_depth() const noexcept { return queued_; }
+  std::size_t running() const noexcept { return running_; }
+  const ServeStats& stats() const noexcept { return stats_; }
+  const ServeConfig& config() const noexcept { return cfg_; }
+
+ private:
+  struct PendingJob {
+    std::uint64_t id = 0;
+    TenantId tenant = 0;
+    double deadline = 0;
+    int priority = 0;
+    double submit_time = 0;
+    double enqueue_time = 0;  // original admission; preserved across retries
+    plan::LogicalPlan optimized;
+    std::uint64_t fp = 0;
+    std::vector<double> demand;  // DRF resource vector
+    double demand_share = 0;     // max_r demand[r] / capacity[r]
+    double launch_time = 0;      // of the current executor run
+    std::size_t dist_submits = 0;
+    DoneFn done;
+  };
+
+  struct TenantState {
+    double tokens = 0;
+    double last_refill = 0;
+    bool seen = false;
+    std::deque<PendingJob> queue;
+    obs::LatencyHistogram* latency = nullptr;
+  };
+
+  sim::Simulator& sim() { return pool_.simulator(); }
+  TenantState& tenant_state(TenantId t);
+  void refill_bucket(TenantState& ts, double now);
+  void shed(std::uint64_t id, TenantId tenant, double submit_time,
+            std::uint64_t fp, Reject why, DoneFn& done);
+  void finish(PendingJob& job, Status status, bool cache_hit,
+              std::vector<plan::Row> rows);
+  void dispatch();
+  void launch(PendingJob job);
+  void on_job_done(const std::shared_ptr<PendingJob>& job,
+                   const dist::JobResult& res);
+  void update_gauges();
+  void count(obs::Counter* c, std::uint64_t n = 1) {
+    if (c != nullptr) c->add(n);
+  }
+
+  dist::JobSlotPool& pool_;
+  ServeConfig cfg_;
+  cluster::DrfLedger drf_;      // in-flight resources
+  cluster::UsageLedger usage_;  // accumulated dominant-share-seconds
+  LruCache<std::uint64_t, std::vector<plan::Row>> cache_;
+  std::map<TenantId, TenantState> tenants_;  // ordered: deterministic scans
+  std::size_t queued_ = 0;
+  std::size_t running_ = 0;
+  std::uint64_t next_id_ = 1;
+  ServeStats stats_;
+
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Counter* m_submitted_ = nullptr;
+  obs::Counter* m_admitted_ = nullptr;
+  obs::Counter* m_shed_ = nullptr;
+  obs::Counter* m_shed_by_[kRejectKindCount] = {};
+  obs::Counter* m_completed_ = nullptr;
+  obs::Counter* m_failed_ = nullptr;
+  obs::Counter* m_cache_hit_ = nullptr;
+  obs::Counter* m_cache_miss_ = nullptr;
+  obs::Counter* m_retries_ = nullptr;
+  obs::Gauge* g_queue_depth_ = nullptr;
+  obs::Gauge* g_running_ = nullptr;
+  obs::Gauge* g_backpressure_ = nullptr;
+  obs::LatencyHistogram* h_latency_ = nullptr;
+};
+
+}  // namespace hpbdc::serve

@@ -341,6 +341,75 @@ TEST(BatchSched, EmptyTrace) {
   EXPECT_EQ(res.makespan, 0.0);
 }
 
+// ---- fair-share ledger + aging (shared with the serve layer) -------------------
+
+TEST(FairShare, RefundNeverMintsPriority) {
+  UsageLedger ledger;
+  ledger.charge(0, 5.0);
+  ledger.refund(0, 10.0);  // double-refund from a task retry
+  EXPECT_EQ(ledger.usage(0), 0.0);
+  ledger.charge(0, 3.0);
+  EXPECT_EQ(ledger.usage(0), 3.0);  // not 3 - 5: the balance was clamped
+  EXPECT_THROW(ledger.charge(0, -1.0), std::invalid_argument);
+  EXPECT_THROW(ledger.refund(0, -1.0), std::invalid_argument);
+}
+
+TEST(FairShare, DrfLedgerClampsReleaseAndValidates) {
+  DrfLedger drf({4.0, 100.0});
+  drf.acquire(1, {1.0, 20.0});
+  EXPECT_DOUBLE_EQ(drf.dominant_share(1), 1.0 / 4.0);
+  drf.release(1, {5.0, 500.0});  // retried task releases more than it held
+  EXPECT_DOUBLE_EQ(drf.dominant_share(1), 0.0);
+  EXPECT_DOUBLE_EQ(drf.total_in_use(0), 0.0);
+  EXPECT_THROW(drf.acquire(1, {1.0}), std::invalid_argument);
+  EXPECT_THROW(DrfLedger({1.0, 0.0}), std::invalid_argument);
+}
+
+TEST(BatchSched, FairShareBurstyArrivalsStarveWithoutAging) {
+  // A heavy user (large pre-existing usage) submits one wide job at t=0;
+  // bursts of fresh zero-usage jobs keep arriving. Without aging every
+  // fresh arrival outranks the heavy user's queued job; with aging the
+  // queued job earns credit and overtakes arrivals whose arrival time
+  // exceeds usage/aging_rate.
+  std::vector<Job> jobs;
+  jobs.push_back(Job{0, 0.0, 10, 10, 2, 7});  // the starved heavy user
+  // Bursty fresh arrivals from t=0, twice as fast as the service rate, so
+  // the 2-node cluster is contended for the whole run.
+  for (std::uint64_t i = 1; i <= 30; ++i) {
+    jobs.push_back(Job{i, static_cast<double>(i - 1) * 5.0, 10, 10, 2, 0});
+  }
+  FairShareOptions opts;
+  opts.initial_usage.charge(7, 1000.0);
+
+  auto starved = simulate_schedule(2, SchedPolicy::kFairShare, jobs, opts);
+  std::map<std::uint64_t, JobOutcome> s;
+  for (const auto& o : starved.jobs) s[o.id] = o;
+  // aging_rate == 0: the heavy user runs dead last.
+  for (std::uint64_t i = 1; i <= 30; ++i) EXPECT_GT(s[0].start, s[i].start);
+
+  opts.aging_rate = 10.0;  // credit outweighs usage 1000 after 100 s waited
+  auto aged = simulate_schedule(2, SchedPolicy::kFairShare, jobs, opts);
+  std::map<std::uint64_t, JobOutcome> a;
+  for (const auto& o : aged.jobs) a[o.id] = o;
+  EXPECT_LT(a[0].start, s[0].start);      // aging strictly helped
+  EXPECT_LT(a[0].start, a[30].start);     // and it no longer runs last
+  // Aging must not delay anyone indefinitely either: run is still complete.
+  EXPECT_EQ(aged.jobs.size(), jobs.size());
+}
+
+TEST(BatchSched, FairShareZeroAgingMatchesLegacyBehavior) {
+  // The FairShareOptions default (no aging, empty ledger) must reproduce
+  // the original usage-then-arrival ordering exactly.
+  auto legacy = simulate_schedule(4, SchedPolicy::kFairShare, small_trace());
+  auto opt = simulate_schedule(4, SchedPolicy::kFairShare, small_trace(),
+                               FairShareOptions{});
+  ASSERT_EQ(legacy.jobs.size(), opt.jobs.size());
+  for (std::size_t i = 0; i < legacy.jobs.size(); ++i) {
+    EXPECT_EQ(legacy.jobs[i].id, opt.jobs[i].id);
+    EXPECT_DOUBLE_EQ(legacy.jobs[i].start, opt.jobs[i].start);
+  }
+}
+
 TEST(TraceGen, ProducesValidJobs) {
   Rng rng(1);
   TraceConfig cfg;

@@ -247,5 +247,71 @@ TEST(PlanLower, DistJobHasOneStagePerNodePlusCollect) {
   EXPECT_LT(opt.nodes.size(), raw.nodes.size());
 }
 
+// ---- fingerprinting (the serve-layer cache key) ---------------------------
+
+TEST(PlanFingerprint, IndependentOfNodeNumbering) {
+  // Same DAG, different construction orders: two sources into a join. In
+  // plan B the sources are numbered in the opposite order, so the node ids
+  // differ everywhere but the structure (including join sidedness) matches.
+  LogicalPlan a = chain({node(OpKind::kSource), node(OpKind::kSource),
+                         node(OpKind::kJoin, 0, 1)},
+                        {2});
+  a.nodes[0].salt = 11;
+  a.nodes[1].salt = 22;
+  a.nodes[2].salt = 33;
+  LogicalPlan b = chain({node(OpKind::kSource), node(OpKind::kSource),
+                         node(OpKind::kJoin, 1, 0)},
+                        {2});
+  b.nodes[1].salt = 11;  // b's node 1 is a's node 0
+  b.nodes[0].salt = 22;
+  b.nodes[2].salt = 33;
+  EXPECT_EQ(fingerprint(a), fingerprint(b));
+  EXPECT_EQ(fingerprint(optimize(a)), fingerprint(optimize(b)));
+
+  // Swapping the join SIDES is a different plan (join output tags sides).
+  LogicalPlan c = a;
+  std::swap(c.nodes[2].left, c.nodes[2].right);
+  EXPECT_NE(fingerprint(a), fingerprint(c));
+}
+
+TEST(PlanFingerprint, SinkOrderDoesNotMatter) {
+  LogicalPlan a = chain({node(OpKind::kSource), node(OpKind::kMap, 0),
+                         node(OpKind::kDistinct, 0)},
+                        {1, 2});
+  LogicalPlan b = a;
+  std::swap(b.sinks[0], b.sinks[1]);
+  EXPECT_EQ(fingerprint(a), fingerprint(b));
+}
+
+TEST(PlanFingerprint, SensitiveToOpKindParamsAndShape) {
+  const LogicalPlan base =
+      chain({node(OpKind::kSource), node(OpKind::kFilter, 0)}, {1});
+  LogicalPlan op_changed = base;
+  op_changed.nodes[1].op = OpKind::kMap;
+  LogicalPlan salt_changed = base;
+  salt_changed.nodes[1].salt ^= 1;
+  LogicalPlan rows_changed = base;
+  rows_changed.nodes[0].rows += 1;
+  LogicalPlan sink_dropped = base;
+  sink_dropped.sinks = {0};
+  std::set<std::uint64_t> fps{fingerprint(base), fingerprint(op_changed),
+                              fingerprint(salt_changed),
+                              fingerprint(rows_changed),
+                              fingerprint(sink_dropped)};
+  EXPECT_EQ(fps.size(), 5u);
+}
+
+TEST(PlanFingerprint, DistinctAcross200SeededOptimizedPlans) {
+  std::set<std::uint64_t> fps;
+  for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+    const LogicalPlan p =
+        optimize(chaos::make_plan(seed, 3 + seed % 5, 64 + (seed % 3) * 32));
+    const std::uint64_t fp = fingerprint(p);
+    EXPECT_EQ(fp, fingerprint(p)) << "unstable fingerprint, seed " << seed;
+    fps.insert(fp);
+  }
+  EXPECT_EQ(fps.size(), 200u) << "seeded plans collided";
+}
+
 }  // namespace
 }  // namespace hpbdc::plan

@@ -1,0 +1,358 @@
+// Tests for the multi-tenant job service (src/serve): the LRU result cache,
+// the JobSlotPool concurrency backend, admission control (token buckets,
+// bounded queues, backpressure, deadline sheds), DRF fair sharing across
+// tenants, result-cache hits bypassing the executors, metrics plumbing, and
+// the 50-seed service-level chaos campaign (executor kills under
+// multi-tenant load must preserve per-job exactly-once results).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "chaos/plan_gen.hpp"
+#include "dataflow/context.hpp"
+#include "exec/thread_pool.hpp"
+#include "obs/metrics.hpp"
+#include "plan/lower.hpp"
+#include "plan/optimizer.hpp"
+#include "serve/cache.hpp"
+#include "serve/campaign.hpp"
+#include "serve/service.hpp"
+#include "sim/comm.hpp"
+#include "sim/dfs.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace hpbdc::serve {
+namespace {
+
+Executor& ref_pool() {
+  static ThreadPool p(4);
+  return p;
+}
+
+sim::NetworkConfig star(std::size_t nodes) {
+  sim::NetworkConfig nc;
+  nc.nodes = nodes;
+  nc.topology = sim::Topology::kStar;
+  return nc;
+}
+
+dist::DistConfig dist_cfg(std::uint64_t seed = 7) {
+  dist::DistConfig dc;
+  dc.driver = 0;
+  dc.heartbeat_interval = 0.1;
+  dc.heartbeat_timeout = 0.5;
+  dc.heartbeat_jitter = 0.01;
+  dc.attempt_timeout = 10.0;
+  dc.max_task_attempts = 8;
+  dc.seed = seed;
+  return dc;
+}
+
+/// Simulated cluster + slot pool, fresh per test.
+struct ServeCluster {
+  sim::Simulator sim;
+  sim::Network net;
+  sim::Comm comm;
+  sim::Dfs dfs;
+  dist::JobSlotPool pool;
+
+  explicit ServeCluster(std::size_t nodes, std::size_t slots,
+                        dist::DistConfig dc = dist_cfg())
+      : net(sim, star(nodes)), comm(sim, net), dfs(comm, sim::DfsConfig{}),
+        pool(comm, dc, slots, &dfs) {}
+};
+
+Bytes reference_bytes(const plan::LogicalPlan& p) {
+  dataflow::Context ctx(ref_pool());
+  return plan::canonical_bytes(plan::lower_local(p, ctx));
+}
+
+// ---- LRU cache -------------------------------------------------------------------
+
+TEST(LruCache, HitPromotesAndFullEvictsLru) {
+  LruCache<int, std::string> c(2);
+  c.put(1, "one");
+  c.put(2, "two");
+  ASSERT_NE(c.get(1), nullptr);  // promotes 1; LRU is now 2
+  c.put(3, "three");             // evicts 2
+  EXPECT_EQ(c.get(2), nullptr);
+  ASSERT_NE(c.get(1), nullptr);
+  EXPECT_EQ(*c.get(1), "one");
+  ASSERT_NE(c.get(3), nullptr);
+  EXPECT_EQ(c.size(), 2u);
+}
+
+TEST(LruCache, OverwriteKeepsSizeAndZeroCapacityThrows) {
+  LruCache<int, int> c(2);
+  c.put(1, 10);
+  c.put(1, 11);
+  EXPECT_EQ(c.size(), 1u);
+  EXPECT_EQ(*c.get(1), 11);
+  EXPECT_THROW((LruCache<int, int>(0)), std::invalid_argument);
+}
+
+// ---- JobSlotPool -----------------------------------------------------------------
+
+TEST(JobSlotPool, RunsConcurrentJobsWithCorrectResults) {
+  ServeCluster cl(5, 2);
+  const auto p1 = chaos::make_plan(11, 4, 64);
+  const auto p2 = chaos::make_plan(12, 4, 64);
+  dist::JobResult r1, r2;
+  cl.pool.submit(plan::lower_dist(p1, 3),
+                 [&r1](const dist::JobResult& r) { r1 = r; });
+  cl.pool.submit(plan::lower_dist(p2, 3),
+                 [&r2](const dist::JobResult& r) { r2 = r; });
+  EXPECT_TRUE(cl.pool.saturated());
+  cl.sim.run();
+  ASSERT_TRUE(r1.ok);
+  ASSERT_TRUE(r2.ok);
+  EXPECT_EQ(plan::canonical_bytes(plan::rows_from_result(r1)),
+            reference_bytes(p1));
+  EXPECT_EQ(plan::canonical_bytes(plan::rows_from_result(r2)),
+            reference_bytes(p2));
+  EXPECT_EQ(cl.pool.busy(), 0u);
+}
+
+TEST(JobSlotPool, ThrowsWhenSaturatedAndFreesSlotBeforeCallback) {
+  ServeCluster cl(5, 1);
+  const auto p = chaos::make_plan(13, 3, 32);
+  bool resubmitted = false;
+  cl.pool.submit(plan::lower_dist(p, 2), [&](const dist::JobResult&) {
+    // The slot must already be free here: resubmission from the callback is
+    // the serve layer's dispatch path.
+    EXPECT_FALSE(cl.pool.saturated());
+    if (!resubmitted) {
+      resubmitted = true;
+      cl.pool.submit(plan::lower_dist(p, 2), [](const dist::JobResult&) {});
+    }
+  });
+  EXPECT_THROW(cl.pool.submit(plan::lower_dist(p, 2),
+                              [](const dist::JobResult&) {}),
+               std::logic_error);
+  cl.sim.run();
+  EXPECT_TRUE(resubmitted);
+}
+
+// ---- JobService ------------------------------------------------------------------
+
+TEST(JobService, CompletesAJobWithReferenceRows) {
+  ServeCluster cl(5, 2);
+  JobService svc(cl.pool, ServeConfig{});
+  const auto p = chaos::make_plan(21, 4, 64);
+  Completion last;
+  int fired = 0;
+  svc.submit({0, p, 0, 0}, [&](const Completion& c) {
+    last = c;
+    fired++;
+  });
+  cl.sim.run();
+  ASSERT_EQ(fired, 1);
+  ASSERT_EQ(last.status, Status::kCompleted);
+  EXPECT_FALSE(last.cache_hit);
+  EXPECT_EQ(last.dist_submits, 1u);
+  EXPECT_EQ(plan::canonical_bytes(last.rows), reference_bytes(p));
+  EXPECT_EQ(svc.stats().completed, 1u);
+}
+
+TEST(JobService, CacheHitSkipsExecutorsAndIsTenfoldFaster) {
+  ServeCluster cl(5, 2);
+  JobService svc(cl.pool, ServeConfig{});
+  const auto p = chaos::make_plan(22, 4, 64);
+  Completion first, second;
+  svc.submit({0, p, 0, 0}, [&](const Completion& c) { first = c; });
+  cl.sim.run();
+  ASSERT_EQ(first.status, Status::kCompleted);
+  // Different tenant, same plan: the cache is keyed by plan fingerprint.
+  svc.submit({1, p, 0, 0}, [&](const Completion& c) { second = c; });
+  cl.sim.run();
+  ASSERT_EQ(second.status, Status::kCompleted);
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(second.dist_submits, 0u);
+  EXPECT_EQ(plan::canonical_bytes(second.rows),
+            plan::canonical_bytes(first.rows));
+  EXPECT_GE(first.latency(), 10.0 * second.latency());
+  EXPECT_EQ(svc.stats().cache_hits, 1u);
+}
+
+TEST(JobService, TokenBucketShedsBurstsSynchronously) {
+  ServeCluster cl(5, 2);
+  ServeConfig cfg;
+  cfg.bucket_rate = 0.1;
+  cfg.bucket_burst = 2.0;
+  JobService svc(cl.pool, cfg);
+  const auto p = chaos::make_plan(23, 3, 32);
+  std::vector<Completion> rejected;
+  for (int i = 0; i < 4; ++i) {
+    svc.submit({0, p, 0, 0}, [&](const Completion& c) {
+      if (c.status == Status::kRejected) rejected.push_back(c);
+    });
+  }
+  // Two tokens -> two admissions; the rest shed before sim.run() even starts.
+  ASSERT_EQ(rejected.size(), 2u);
+  for (const auto& c : rejected) EXPECT_EQ(c.reject, Reject::kRateLimited);
+  EXPECT_EQ(svc.stats().shed_by[static_cast<std::size_t>(Reject::kRateLimited)],
+            2u);
+  cl.sim.run();
+  EXPECT_EQ(svc.stats().completed, 2u);
+}
+
+TEST(JobService, BoundedQueuesShedWithTypedReasons) {
+  ServeCluster cl(5, 1);
+  ServeConfig cfg;
+  cfg.bucket_rate = 1000;
+  cfg.bucket_burst = 1000;
+  cfg.tenant_queue_cap = 2;
+  cfg.global_queue_cap = 3;
+  cfg.backpressure_watermark = 1000;  // keep backpressure out of this test
+  cfg.cache_capacity = 0;             // force every job onto an executor
+  JobService svc(cl.pool, cfg);
+  std::vector<Reject> rejects;
+  auto done = [&](const Completion& c) {
+    if (c.status == Status::kRejected) rejects.push_back(c.reject);
+  };
+  // Distinct plans, one tenant: 1 runs, 2 queue, the 4th trips the tenant cap.
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    svc.submit({0, chaos::make_plan(30 + i, 3, 32), 0, 0}, done);
+  }
+  // Another tenant can still queue one (global cap 3), then trips the global.
+  svc.submit({1, chaos::make_plan(40, 3, 32), 0, 0}, done);
+  svc.submit({1, chaos::make_plan(41, 3, 32), 0, 0}, done);
+  ASSERT_EQ(rejects.size(), 2u);
+  EXPECT_EQ(rejects[0], Reject::kTenantQueueFull);
+  EXPECT_EQ(rejects[1], Reject::kGlobalQueueFull);
+  cl.sim.run();
+  EXPECT_EQ(svc.stats().completed, 4u);
+}
+
+TEST(JobService, BackpressureShedsAndSignalsUpstream) {
+  ServeCluster cl(5, 1);
+  ServeConfig cfg;
+  cfg.bucket_rate = 1000;
+  cfg.bucket_burst = 1000;
+  cfg.tenant_queue_cap = 100;
+  cfg.global_queue_cap = 100;
+  cfg.backpressure_watermark = 2;
+  cfg.cache_capacity = 0;
+  JobService svc(cl.pool, cfg);
+  std::size_t backpressure_sheds = 0;
+  auto done = [&](const Completion& c) {
+    if (c.status == Status::kRejected && c.reject == Reject::kBackpressure) {
+      backpressure_sheds++;
+    }
+  };
+  EXPECT_FALSE(svc.backpressured());
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    svc.submit({0, chaos::make_plan(50 + i, 3, 32), 0, 0}, done);
+  }
+  // 1 running + 2 queued = watermark: the service is now backpressured and
+  // submissions 4 and 5 were shed immediately.
+  EXPECT_TRUE(svc.backpressured());
+  EXPECT_EQ(backpressure_sheds, 2u);
+  cl.sim.run();
+  EXPECT_FALSE(svc.backpressured());
+  EXPECT_EQ(svc.stats().completed, 3u);
+}
+
+TEST(JobService, ExpiredDeadlineIsShedAtDispatch) {
+  ServeCluster cl(5, 1);
+  ServeConfig cfg;
+  cfg.cache_capacity = 0;
+  JobService svc(cl.pool, cfg);
+  Completion doomed;
+  svc.submit({0, chaos::make_plan(60, 4, 128), 0, 0},
+             [](const Completion&) {});
+  // Queued behind the running job with a deadline it cannot make.
+  svc.submit({0, chaos::make_plan(61, 3, 32), 1e-6, 0},
+             [&](const Completion& c) { doomed = c; });
+  cl.sim.run();
+  ASSERT_EQ(doomed.status, Status::kRejected);
+  EXPECT_EQ(doomed.reject, Reject::kDeadlineExpired);
+  EXPECT_EQ(
+      svc.stats().shed_by[static_cast<std::size_t>(Reject::kDeadlineExpired)],
+      1u);
+}
+
+TEST(JobService, DrfFavorsTheIdleTenantOverTheFlooder) {
+  ServeCluster cl(5, 1);
+  ServeConfig cfg;
+  cfg.bucket_rate = 1000;
+  cfg.bucket_burst = 1000;
+  cfg.tenant_queue_cap = 100;
+  cfg.global_queue_cap = 100;
+  cfg.backpressure_watermark = 1000;
+  cfg.cache_capacity = 0;
+  JobService svc(cl.pool, cfg);
+  std::vector<TenantId> completion_order;
+  auto done = [&](const Completion& c) {
+    if (c.status == Status::kCompleted) completion_order.push_back(c.tenant);
+  };
+  // Tenant 0 floods; tenant 1 submits one job last. While tenant 0's first
+  // job runs its DRF dominant share is positive, so tenant 1's queued job
+  // wins the next free slot ahead of tenant 0's backlog.
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    svc.submit({0, chaos::make_plan(70 + i, 3, 32), 0, 0}, done);
+  }
+  svc.submit({1, chaos::make_plan(80, 3, 32), 0, 0}, done);
+  cl.sim.run();
+  ASSERT_EQ(completion_order.size(), 4u);
+  EXPECT_EQ(completion_order[0], 0u);  // tenant 0's head started first
+  EXPECT_EQ(completion_order[1], 1u);  // then the idle tenant jumps the line
+}
+
+TEST(JobService, BindsServeMetrics) {
+  ServeCluster cl(5, 2);
+  JobService svc(cl.pool, ServeConfig{});
+  obs::MetricsRegistry reg;
+  svc.bind_metrics(reg);
+  const auto p = chaos::make_plan(90, 4, 64);
+  svc.submit({3, p, 0, 0}, [](const Completion&) {});
+  svc.submit({3, p, 0, 0}, [](const Completion&) {});
+  cl.sim.run();
+  EXPECT_EQ(reg.counter("serve.submitted").value(), 2u);
+  EXPECT_EQ(reg.counter("serve.admitted").value(), 2u);
+  EXPECT_EQ(reg.counter("serve.completed").value(), 2u);
+  EXPECT_EQ(reg.counter("serve.cache_hit").value() +
+                reg.counter("serve.cache_miss").value(),
+            2u);
+  EXPECT_EQ(reg.histogram("serve.latency").snapshot().count(), 2u);
+  EXPECT_EQ(reg.histogram("serve.latency.tenant3").snapshot().count(), 2u);
+  EXPECT_EQ(reg.gauge("serve.queue_depth").value(), 0);
+  EXPECT_EQ(reg.gauge("serve.running").value(), 0);
+}
+
+// ---- service-level chaos campaign ------------------------------------------------
+
+TEST(ServeCampaign, FiftySeedsPreserveExactlyOnceUnderKills) {
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    CampaignConfig cfg;
+    cfg.seed = seed;
+    cfg.tenants = 3 + static_cast<std::size_t>(seed % 3);
+    cfg.jobs_per_tenant = 4 + static_cast<std::size_t>(seed % 3);
+    cfg.kills = 1 + static_cast<std::size_t>(seed % 2);
+    const auto out = run_serve_campaign_once(cfg, ref_pool());
+    EXPECT_TRUE(out.passed) << "seed=" << seed << ": " << out.violation;
+    EXPECT_EQ(out.duplicates, 0u) << "seed=" << seed;
+    EXPECT_EQ(out.lost, 0u) << "seed=" << seed;
+  }
+}
+
+TEST(ServeCampaign, OneSeedReproducesBitForBit) {
+  CampaignConfig cfg;
+  cfg.seed = 7;
+  const auto a = run_serve_campaign_once(cfg, ref_pool());
+  const auto b = run_serve_campaign_once(cfg, ref_pool());
+  EXPECT_EQ(a.passed, b.passed);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.stats.completed, b.stats.completed);
+  EXPECT_EQ(a.stats.shed, b.stats.shed);
+  EXPECT_EQ(a.stats.cache_hits, b.stats.cache_hits);
+  EXPECT_EQ(a.stats.dist_retries, b.stats.dist_retries);
+  EXPECT_EQ(a.dist_stats.tasks_launched, b.dist_stats.tasks_launched);
+  EXPECT_EQ(a.dist_stats.task_retries, b.dist_stats.task_retries);
+}
+
+}  // namespace
+}  // namespace hpbdc::serve
