@@ -7,6 +7,7 @@
 //   $ ./chaos_demo                         # default 100-run campaign
 //   $ ./chaos_demo --runs=500 --seed=1000  # bigger sweep, different seeds
 //   $ ./chaos_demo --bug                   # seed the lineage bug, watch it shrink
+//   $ ./chaos_demo --runs=50 --transport=push  # push-flow shuffle under faults
 //   $ ./chaos_demo "--replay=pseed=2,fseed=15,nodes=5,rows=224,tasks=4,cluster=5,mask=0x3f,bug=1"
 //   $ ./chaos_demo --runs=50 --replay-out=repro.txt   # CI: persist the shrunk
 //                                                     # spec as an artifact
@@ -28,7 +29,8 @@ namespace {
 using namespace hpbdc;
 using namespace hpbdc::chaos;
 
-ChaosConfig campaign_config(std::uint64_t seed, bool bug) {
+ChaosConfig campaign_config(std::uint64_t seed, bool bug,
+                            dist::TransportKind transport) {
   ChaosConfig cfg;
   cfg.plan_seed = seed;
   cfg.fault_seed = seed * 7 + 1;
@@ -37,6 +39,7 @@ ChaosConfig campaign_config(std::uint64_t seed, bool bug) {
   cfg.ntasks = 2 + static_cast<std::size_t>(seed % 3);
   cfg.cluster_nodes = 5 + static_cast<std::size_t>(seed % 3);
   cfg.inject_lineage_bug = bug;
+  cfg.transport = transport;
   return cfg;
 }
 
@@ -59,6 +62,7 @@ void print_outcome(const ChaosOutcome& out) {
 int main(int argc, char** argv) {
   std::uint64_t runs = 100, seed0 = 1;
   bool bug = false;
+  dist::TransportKind transport = dist::TransportKind::kPull;
   std::string replay, replay_out;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -68,13 +72,18 @@ int main(int argc, char** argv) {
       seed0 = std::stoull(a.substr(7));
     } else if (a == "--bug") {
       bug = true;
+    } else if (a == "--transport=push") {
+      transport = dist::TransportKind::kPush;
+    } else if (a == "--transport=pull") {
+      transport = dist::TransportKind::kPull;
     } else if (a.rfind("--replay=", 0) == 0) {
       replay = a.substr(9);
     } else if (a.rfind("--replay-out=", 0) == 0) {
       replay_out = a.substr(13);
     } else {
       std::cerr << "usage: chaos_demo [--runs=N] [--seed=S] [--bug] "
-                   "[--replay=SPEC] [--replay-out=FILE]\n";
+                   "[--transport=pull|push] [--replay=SPEC] "
+                   "[--replay-out=FILE]\n";
       return 2;
     }
   }
@@ -95,7 +104,7 @@ int main(int argc, char** argv) {
   std::size_t violations = 0;
   const auto t0 = std::chrono::steady_clock::now();
   for (std::uint64_t seed = seed0; seed < seed0 + runs; ++seed) {
-    const ChaosConfig cfg = campaign_config(seed, bug);
+    const ChaosConfig cfg = campaign_config(seed, bug, transport);
     const auto out = run_chaos_once(cfg, pool, &plan_metrics);
     for (std::size_t k = 0; k < sim::kFaultKindCount; ++k) {
       if (out.fired[k] > 0) {

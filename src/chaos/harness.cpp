@@ -35,6 +35,7 @@ std::string format_replay(const ChaosConfig& cfg) {
   out += ",cluster=" + std::to_string(cfg.cluster_nodes);
   out += ",mask=" + std::string(mask);
   out += ",bug=" + std::to_string(cfg.inject_lineage_bug ? 1 : 0);
+  if (cfg.transport != dist::TransportKind::kPull) out += ",tp=1";
   return out;
 }
 
@@ -74,6 +75,9 @@ ChaosConfig parse_replay(const std::string& spec) {
       cfg.fault_mask = num;
     } else if (key == "bug") {
       cfg.inject_lineage_bug = num != 0;
+    } else if (key == "tp") {
+      cfg.transport =
+          num != 0 ? dist::TransportKind::kPush : dist::TransportKind::kPull;
     } else {
       throw std::invalid_argument("chaos replay: unknown key '" + key + "'");
     }
@@ -270,7 +274,14 @@ ChaosOutcome run_chaos_once(const ChaosConfig& cfg, Executor& pool,
   bool done = false;
   dist::JobResult res;
   dist::DistStats at_done;
-  rt.submit(make_dist_job(plan, cfg.ntasks),
+  // Push runs also flip eligible joins to broadcast lowering so the fault
+  // schedule covers multicast streams; pull runs keep the historical
+  // lowering and default options — the event stream stays bit-identical.
+  dist::RuntimeOptions ro;
+  ro.transport = cfg.transport;
+  plan::LowerDistOptions lo;
+  if (cfg.transport == dist::TransportKind::kPush) lo.broadcast_join_rows = 4096;
+  rt.submit(make_dist_job(plan, cfg.ntasks, lo), ro,
             [&](const dist::JobResult& r) {
               res = r;
               done = true;

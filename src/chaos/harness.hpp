@@ -48,11 +48,17 @@ struct ChaosConfig {
   /// Seeded-bug hook: disable lineage recompute in the runtime so the
   /// harness has a known-broken target to catch and shrink.
   bool inject_lineage_bug = false;
+  /// Shuffle transport for the dist side. Push runs additionally lower
+  /// eligible joins as broadcast (plan::LowerDistOptions) so kills land on
+  /// nodes holding in-flight flow segments, unicast and multicast both.
+  dist::TransportKind transport = dist::TransportKind::kPull;
 };
 
 /// One line, e.g. "pseed=3,fseed=9,nodes=5,rows=256,tasks=4,cluster=6,
-/// mask=0xffffffffffffffff,bug=0". parse_replay throws std::invalid_argument
-/// on malformed specs; format/parse round-trip exactly.
+/// mask=0xffffffffffffffff,bug=0". A trailing ",tp=1" is appended ONLY for
+/// push-transport configs, so pull replay specs — including every archived
+/// one — stay byte-identical. parse_replay throws std::invalid_argument on
+/// malformed specs; format/parse round-trip exactly.
 std::string format_replay(const ChaosConfig& cfg);
 ChaosConfig parse_replay(const std::string& spec);
 

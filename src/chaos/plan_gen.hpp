@@ -35,9 +35,12 @@ inline std::vector<Row> run_reference(const LogicalPlan& p,
   return plan::lower_local(p, ctx);
 }
 
-/// The plan as a dist-runtime job (see plan::lower_dist).
-inline dist::JobSpec make_dist_job(const LogicalPlan& p, std::size_t ntasks) {
-  return plan::lower_dist(p, ntasks);
+/// The plan as a dist-runtime job (see plan::lower_dist). `opts` selects
+/// physical lowering choices (e.g. broadcast joins for push-transport runs);
+/// the default is the historical hash-partitioned lowering.
+inline dist::JobSpec make_dist_job(const LogicalPlan& p, std::size_t ntasks,
+                                   const plan::LowerDistOptions& opts = {}) {
+  return plan::lower_dist(p, ntasks, opts);
 }
 
 }  // namespace hpbdc::chaos

@@ -44,6 +44,13 @@ struct StageSpec {
   /// Optional override of the simulated size of output block `child` of
   /// task `task` (the actual Bytes stay small). Unset = real byte size.
   std::function<std::uint64_t(std::size_t task, std::size_t child)> sim_out_bytes;
+  /// Broadcast distribution: every output block of a task is the task's FULL
+  /// row set (all children identical), so consumers take the union across
+  /// parent tasks instead of a partition. The push transport moves such
+  /// stages with ONE multicast stream per task instead of N unicast copies;
+  /// the pull transport still fetches per-child copies (the baseline the
+  /// flow bench compares against).
+  bool broadcast = false;
 };
 
 struct JobSpec {
@@ -58,6 +65,15 @@ struct JobResult {
   sim::SimTime makespan = 0;
   /// output[t] = result-stage task t's blocks, in task order.
   std::vector<std::vector<Bytes>> output;
+  /// Per-stage wall-clock (simulated): first launch to last completion.
+  /// Benches read shuffle-stage makespans from here (start/end are -1 for
+  /// stages that never ran, e.g. on a failed job).
+  struct StageSpan {
+    std::string name;
+    sim::SimTime start = -1;
+    sim::SimTime end = -1;
+  };
+  std::vector<StageSpan> stages;
 };
 
 }  // namespace hpbdc::dist

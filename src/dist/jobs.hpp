@@ -180,6 +180,100 @@ inline std::vector<algos::TeraRecord> terasort_collect(const JobResult& res) {
   return recs;
 }
 
+using JoinRow = std::pair<std::uint64_t, std::uint64_t>;
+
+/// Three-stage broadcast hash join, the flow bench/test workload. Stage 0
+/// (build) generates `nbuild` rows with unique keys [0, nbuild) and
+/// REPLICATES its full row set to every child (StageSpec::broadcast — the
+/// push transport moves it as one multicast stream per task, the pull
+/// transport fetches ntasks copies). Stage 1 (probe) generates `nprobe`
+/// rows with keys drawn from [0, nbuild) and hash-partitions them. Stage 2
+/// joins its probe partition against the replicated build side; every probe
+/// row matches exactly one build row, so the result has `nprobe` rows
+/// regardless of transport. `build_sim_bytes` / `probe_sim_bytes` override
+/// the simulated per-block shuffle volume (0 = real serialized size).
+inline JobSpec broadcast_join_job(std::uint64_t nbuild, std::uint64_t nprobe,
+                                  std::size_t ntasks, std::uint64_t seed,
+                                  std::uint64_t build_sim_bytes = 0,
+                                  std::uint64_t probe_sim_bytes = 0) {
+  JobSpec job;
+  job.name = "broadcast-join";
+  StageSpec build;
+  build.name = "bj-build";
+  build.ntasks = ntasks;
+  build.broadcast = true;
+  build.input_bytes_per_task = std::max<std::uint64_t>(1, nbuild * 16 / ntasks);
+  build.run = [nbuild, ntasks, seed](std::size_t task,
+                                     const std::vector<std::vector<Bytes>>&) {
+    std::vector<JoinRow> mine;
+    for (std::uint64_t j = task; j < nbuild; j += ntasks) {
+      std::uint64_t s = seed ^ (j * 0x9e3779b97f4a7c15ULL);
+      mine.emplace_back(j, splitmix64(s));
+    }
+    return std::vector<Bytes>(ntasks, to_bytes(mine));
+  };
+  if (build_sim_bytes != 0) {
+    build.sim_out_bytes = [build_sim_bytes](std::size_t, std::size_t) {
+      return build_sim_bytes;
+    };
+  }
+  StageSpec probe;
+  probe.name = "bj-probe";
+  probe.ntasks = ntasks;
+  probe.input_bytes_per_task = std::max<std::uint64_t>(1, nprobe * 16 / ntasks);
+  probe.run = [nbuild, nprobe, ntasks, seed](
+                  std::size_t task, const std::vector<std::vector<Bytes>>&) {
+    std::vector<std::vector<JoinRow>> parts(ntasks);
+    for (std::uint64_t j = task; j < nprobe; j += ntasks) {
+      std::uint64_t s = (seed + 1) ^ (j * 0x9e3779b97f4a7c15ULL);
+      const std::uint64_t key = splitmix64(s) % nbuild;
+      parts[hash_u64(key) % ntasks].emplace_back(key, splitmix64(s));
+    }
+    std::vector<Bytes> out(ntasks);
+    for (std::size_t c = 0; c < ntasks; ++c) out[c] = to_bytes(parts[c]);
+    return out;
+  };
+  if (probe_sim_bytes != 0) {
+    probe.sim_out_bytes = [probe_sim_bytes](std::size_t, std::size_t) {
+      return probe_sim_bytes;
+    };
+  }
+  StageSpec join;
+  join.name = "bj-join";
+  join.ntasks = ntasks;
+  join.parents = {0, 1};
+  join.run = [](std::size_t, const std::vector<std::vector<Bytes>>& inputs) {
+    // inputs[0] holds each build task's FULL row set: the union across
+    // parent tasks is the whole build side, exactly once.
+    std::map<std::uint64_t, std::uint64_t> build_by_key;
+    for (const Bytes& b : inputs[0]) {
+      for (auto& [k, v] : from_bytes<std::vector<JoinRow>>(b)) build_by_key[k] = v;
+    }
+    std::vector<JoinRow> out;
+    for (const Bytes& b : inputs[1]) {
+      for (auto& [k, v] : from_bytes<std::vector<JoinRow>>(b)) {
+        out.emplace_back(k, v ^ build_by_key.at(k));
+      }
+    }
+    return std::vector<Bytes>{to_bytes(out)};
+  };
+  job.stages = {std::move(build), std::move(probe), std::move(join)};
+  return job;
+}
+
+/// Join blocks merged and canonically sorted, for cross-transport parity.
+inline std::vector<JoinRow> broadcast_join_collect(const JobResult& res) {
+  std::vector<JoinRow> rows;
+  for (const auto& blocks : res.output) {
+    for (const Bytes& b : blocks) {
+      auto part = from_bytes<std::vector<JoinRow>>(b);
+      rows.insert(rows.end(), part.begin(), part.end());
+    }
+  }
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
 /// Linear chain of `nstages` all-to-all shuffles with `ntasks` tasks each.
 /// Real blocks are 8-byte lineage fingerprints (hash of everything consumed,
 /// so recomputation correctness is content-checkable); the simulated shuffle

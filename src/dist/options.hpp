@@ -1,0 +1,48 @@
+#pragma once
+// Per-job runtime options for the distributed runtime. Historically the
+// shuffle transport and its knobs were implicit (there was exactly one:
+// pull-from-registry); RuntimeOptions makes the choice explicit and travels
+// as ONE struct through every submission path — DistRuntime::submit,
+// JobSlotPool::submit, and serve::SubmitRequest — instead of growing
+// positional parameters at each layer.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace hpbdc::dist {
+
+/// Which ShuffleTransport implementation a job runs on (see transport.hpp
+/// for the contract both satisfy).
+enum class TransportKind : std::uint8_t {
+  kPull = 0,  // classic: register map output, reduce-side fetch RPCs
+  kPush = 1,  // DFI-style: producers stream segments to flow targets
+};
+
+inline const char* transport_name(TransportKind k) {
+  return k == TransportKind::kPush ? "push" : "pull";
+}
+
+/// Knobs of the push-flow transport (ignored under kPull). Defaults are
+/// sized for the simulated 10 Gbit fabric: 256 KiB segments amortize the
+/// per-message header, 4 credits keep a channel's in-flight volume around
+/// 1 MiB — enough to fill the pipe without unbounded receiver buffering.
+struct FlowOptions {
+  std::uint64_t segment_bytes = 256 * 1024;  // unit of streaming + credit
+  std::size_t credits_per_channel = 4;       // in-flight segments per (src,dst)
+  std::uint64_t ack_bytes = 64;              // credit-return message body
+  /// A consumer finding its pushed stream incomplete waits this long
+  /// (simulated seconds) for the tail segments before falling back to an
+  /// origin pull fetch — the liveness valve for segments lost to loss
+  /// bursts or a producer death mid-stream.
+  double reader_patience = 1.0;
+};
+
+/// Everything a caller may vary per job. Plain value type; default
+/// construction is the pre-redesign behavior (pull transport), which keeps
+/// existing call sites and replay specs byte-identical.
+struct RuntimeOptions {
+  TransportKind transport = TransportKind::kPull;
+  FlowOptions flow;
+};
+
+}  // namespace hpbdc::dist

@@ -81,6 +81,63 @@ DistRuntime::DistRuntime(sim::Comm& comm, DistConfig cfg, sim::Dfs* dfs)
                         default: break;
                       }
                     });
+  // Transports are built last so tag allocation order (exec, driver, flow)
+  // is fixed; the active one is selected per job in submit().
+  pull_ = std::make_unique<PullTransport>(make_transport_env());
+  push_ = std::make_unique<PushTransport>(make_transport_env());
+  transport_ = pull_.get();
+}
+
+ShuffleTransport::Env DistRuntime::make_transport_env() {
+  ShuffleTransport::Env env;
+  env.comm = &comm_;
+  env.driver = cfg_.driver;
+  env.node_alive = [this](std::size_t n) { return execs_[n].alive; };
+  env.disk = [this](std::size_t n) -> sim::Disk& { return execs_[n].disk; };
+  env.attempt_dead = [this](std::uint64_t id) { return attempt_dead(id); };
+  env.parent_output = [this](std::size_t ps, std::size_t pt) {
+    const TaskState& t = tasks_[ps][pt];
+    return ShuffleTransport::Env::ParentOutput{t.status == TStatus::Done,
+                                               t.output_node, &t.out_sim_sizes};
+  };
+  env.stage_checkpointed = [this](std::size_t ps) { return stages_[ps].checkpointed; };
+  env.ckpt_replica = [this](std::size_t ps, std::size_t near) -> std::size_t {
+    if (!stages_[ps].checkpointed || !ckpt_data_.contains(ps) || dfs_ == nullptr) {
+      return kNone;
+    }
+    std::size_t best = kNone, best_hops = ~std::size_t{0};
+    for (auto r : dfs_->block_locations(ckpt_file(ps), 0)) {
+      if (!execs_[r].alive) continue;
+      const std::size_t h = comm_.network().hops(near, r);
+      if (h < best_hops) {
+        best_hops = h;
+        best = r;
+      }
+    }
+    return best;
+  };
+  env.ckpt_block = [this](std::size_t ps, std::size_t pt, std::size_t child) {
+    return ckpt_data_.at(ps).at(pt).at(child);
+  };
+  env.count_fetch = [this](std::uint64_t bytes, bool local, bool from_ckpt) {
+    stats_.shuffle_fetches++;
+    stats_.shuffle_bytes += bytes;
+    count(m_shuffle_bytes_, bytes);
+    if (local) {
+      stats_.shuffle_local_fetches++;
+      stats_.shuffle_bytes_local += bytes;
+      count(m_shuffle_local_, bytes);
+    } else {
+      stats_.shuffle_bytes_remote += bytes;
+      count(m_shuffle_remote_, bytes);
+    }
+    if (from_ckpt) {
+      stats_.checkpoint_restores++;
+      count(m_ckpt_restores_);
+    }
+  };
+  env.count_fetch_failure = [this] { stats_.fetch_failures++; };
+  return env;
 }
 
 void DistRuntime::bind_metrics(obs::MetricsRegistry& reg) {
@@ -89,6 +146,8 @@ void DistRuntime::bind_metrics(obs::MetricsRegistry& reg) {
   m_retries_ = &reg.counter("dist.task_retries");
   m_recomputed_ = &reg.counter("dist.tasks_recomputed");
   m_shuffle_bytes_ = &reg.counter("dist.shuffle_bytes");
+  m_shuffle_local_ = &reg.counter("dist.shuffle_bytes_local");
+  m_shuffle_remote_ = &reg.counter("dist.shuffle_bytes_remote");
   m_locality_hits_ = &reg.counter("dist.locality_hits");
   m_locality_misses_ = &reg.counter("dist.locality_misses");
   m_spec_launched_ = &reg.counter("dist.speculative_launched");
@@ -98,6 +157,7 @@ void DistRuntime::bind_metrics(obs::MetricsRegistry& reg) {
   g_live_execs_->set(static_cast<std::int64_t>(live_executors()));
   g_max_failures_ = &reg.gauge("dist.max_failures_one_task");
   g_max_failures_->set(static_cast<std::int64_t>(stats_.max_failures_one_task));
+  push_->bind_metrics(reg);  // dist.flow.* fabric counters
 }
 
 void DistRuntime::bind_trace(obs::TraceSession& session) { trace_ = &session; }
@@ -128,6 +188,10 @@ std::string DistRuntime::ckpt_file(std::size_t stage) const {
 // ---------------------------------------------------------------------------
 
 void DistRuntime::submit(JobSpec job, JobDoneFn done) {
+  submit(std::move(job), RuntimeOptions{}, std::move(done));
+}
+
+void DistRuntime::submit(JobSpec job, const RuntimeOptions& opts, JobDoneFn done) {
   if (active_) throw std::logic_error("DistRuntime: a job is already running");
   if (job.stages.empty()) throw std::invalid_argument("DistRuntime: empty job");
   for (std::size_t s = 0; s < job.stages.size(); ++s) {
@@ -140,6 +204,7 @@ void DistRuntime::submit(JobSpec job, JobDoneFn done) {
   }
   ++epoch_;
   active_ = true;
+  opts_ = opts;
   job_ = std::move(job);
   done_cb_ = std::move(done);
   submit_time_ = sim().now();
@@ -155,10 +220,16 @@ void DistRuntime::submit(JobSpec job, JobDoneFn done) {
   result_.output.assign(job_.stages.back().ntasks, {});
   result_received_ = 0;
   for (auto& e : execs_) {
-    e.outputs.clear();
     e.busy = 0;
     e.last_heartbeat = submit_time_;
   }
+  // Fence BOTH transports into the new epoch (the inactive one must drop its
+  // previous job's stores/streams too), then select the active one.
+  pull_->begin_job(&job_, epoch_, opts_);
+  push_->begin_job(&job_, epoch_, opts_);
+  transport_ = opts_.transport == TransportKind::kPush
+                   ? static_cast<ShuffleTransport*>(push_.get())
+                   : static_cast<ShuffleTransport*>(pull_.get());
   const std::uint64_t epoch = epoch_;
   for (std::size_t n = 0; n < execs_.size(); ++n) {
     if (n != cfg_.driver && execs_[n].alive) heartbeat_loop(n);
@@ -197,7 +268,8 @@ bool DistRuntime::stage_retired(std::size_t s) const {
 void DistRuntime::schedule() {
   if (!active_) return;
   // Free-slot pool; refreshed lazily as launches consume slots.
-  auto pick_node = [this](const StageSpec& spec, std::size_t task) {
+  auto pick_node = [this](std::size_t stage, std::size_t task) {
+    const StageSpec& spec = job_.stages[stage];
     std::size_t best = kNone, best_free = 0;
     if (!spec.input_file.empty() && dfs_ != nullptr && dfs_->exists(spec.input_file) &&
         task < dfs_->block_count(spec.input_file)) {
@@ -211,6 +283,14 @@ void DistRuntime::schedule() {
       }
       stats_.locality_misses++;
       count(m_locality_misses_);
+    }
+    // Transport placement hint (push: the flow target already buffering this
+    // task's input). The pull transport never hints, so its scheduling is
+    // untouched.
+    const std::size_t pref = transport_->preferred_node(stage, task);
+    if (pref != kNone) {
+      auto& e = execs_[pref];
+      if (e.alive && !e.dead_to_driver && e.busy < cfg_.slots_per_node) return pref;
     }
     for (std::size_t n = 0; n < execs_.size(); ++n) {
       auto& e = execs_[n];
@@ -238,7 +318,7 @@ void DistRuntime::schedule() {
         finish(false);
         return;
       }
-      const std::size_t node = pick_node(job_.stages[s], t);
+      const std::size_t node = pick_node(s, t);
       if (node == kNone) return;  // cluster saturated; resume on next event
       launch(s, t, node, /*spec=*/false);
     }
@@ -354,118 +434,23 @@ void DistRuntime::exec_start(std::uint64_t attempt_id) {
   const StageSpec& spec = job_.stages[a.stage];
   sim::Network& net = comm_.network();
 
-  struct FetchCtx {
+  // Joint completion state: the transport's collect() is one pending unit,
+  // the stage-external input read (if any) another. Whoever finishes last
+  // triggers compute with the summed input volume.
+  struct JoinCtx {
     std::size_t pending = 0;
     bool failed = false;
     std::uint64_t bytes_in = 0;
     std::shared_ptr<std::vector<std::vector<Bytes>>> inputs;
   };
-  auto ctx = std::make_shared<FetchCtx>();
+  auto ctx = std::make_shared<JoinCtx>();
   ctx->inputs = std::make_shared<std::vector<std::vector<Bytes>>>();
-  ctx->inputs->resize(spec.parents.size());
-
-  auto fail_fetch = [this, attempt_id, ctx](std::size_t ps, std::size_t pt) {
-    if (ctx->failed) return;
-    ctx->failed = true;
-    const Attempt& a2 = attempts_.at(attempt_id);
-    BufWriter w;
-    w.write_pod<std::uint8_t>(kFetchFailed);
-    w.write_pod<std::uint64_t>(attempt_id);
-    w.write_pod<std::uint64_t>(static_cast<std::uint64_t>(ps));
-    w.write_pod<std::uint64_t>(static_cast<std::uint64_t>(pt));
-    send_to_driver(a2.node, cfg_.rpc_bytes, w.take());
-  };
-
-  // One shuffle fetch: source-disk read, then the network transfer; the real
-  // bytes are copied out of the source's block store at delivery time.
-  auto start_fetch = [this, attempt_id, ctx, &net, fail_fetch](
-                         std::size_t src, std::uint64_t bytes, bool from_ckpt,
-                         std::size_t pi, std::size_t ps, std::size_t pt) {
-    const Attempt& a2 = attempts_.at(attempt_id);
-    const std::size_t dst = a2.node;
-    const std::size_t my_task = a2.task;
-    stats_.shuffle_fetches++;
-    stats_.shuffle_bytes += bytes;
-    count(m_shuffle_bytes_, bytes);
-    if (src == dst) stats_.shuffle_local_fetches++;
-    if (from_ckpt) {
-      stats_.checkpoint_restores++;
-      count(m_ckpt_restores_);
-    }
-    auto deliver = [this, attempt_id, ctx, from_ckpt, src, pi, ps, pt, my_task,
-                    fail_fetch] {
-      if (attempt_dead(attempt_id) || ctx->failed) return;
-      Bytes data;
-      if (from_ckpt) {
-        data = ckpt_data_.at(ps).at(pt).at(my_task);
-      } else {
-        auto oit = execs_[src].outputs.find(out_key(ps, pt));
-        if (!execs_[src].alive || oit == execs_[src].outputs.end()) {
-          stats_.fetch_failures++;
-          fail_fetch(ps, pt);
-          return;
-        }
-        data = oit->second.blocks.at(my_task);
-      }
-      (*ctx->inputs)[pi][pt] = std::move(data);
-      if (--ctx->pending == 0) {
-        exec_compute(attempt_id, ctx->inputs, ctx->bytes_in);
-      }
-    };
-    execs_[src].disk.access(sim(), bytes,
-                            [this, src, dst, bytes, deliver = std::move(deliver)] {
-                              comm_.network().send(src, dst, bytes, deliver);
-                            });
-  };
-
-  // Plan the shuffle fetches; report a lineage fault if any source is gone.
-  struct Plan {
-    std::size_t src, pi, ps, pt;
-    std::uint64_t bytes;
-    bool ckpt;
-  };
-  std::vector<Plan> plan;
-  for (std::size_t pi = 0; pi < spec.parents.size(); ++pi) {
-    const std::size_t ps = spec.parents[pi];
-    (*ctx->inputs)[pi].resize(job_.stages[ps].ntasks);
-    for (std::size_t pt = 0; pt < job_.stages[ps].ntasks; ++pt) {
-      const TaskState& parent = tasks_[ps][pt];
-      if (a.task >= parent.out_sim_sizes.size() &&
-          (parent.status == TStatus::Done || stages_[ps].checkpointed)) {
-        throw std::logic_error("DistRuntime: parent stage produced too few blocks");
-      }
-      const std::size_t holder = parent.output_node;
-      const bool exec_copy = parent.status == TStatus::Done && holder != kNone &&
-                             execs_[holder].alive &&
-                             execs_[holder].outputs.contains(out_key(ps, pt));
-      if (exec_copy) {
-        plan.push_back({holder, pi, ps, pt, parent.out_sim_sizes[a.task], false});
-        continue;
-      }
-      if (stages_[ps].checkpointed && ckpt_data_.contains(ps)) {
-        // Restore from the DFS checkpoint: read from the closest live replica.
-        std::size_t best = kNone, best_hops = ~std::size_t{0};
-        for (auto r : dfs_->block_locations(ckpt_file(ps), 0)) {
-          if (!execs_[r].alive) continue;
-          const std::size_t h = net.hops(a.node, r);
-          if (h < best_hops) {
-            best_hops = h;
-            best = r;
-          }
-        }
-        if (best != kNone) {
-          plan.push_back({best, pi, ps, pt, parent.out_sim_sizes[a.task], true});
-          continue;
-        }
-      }
-      fail_fetch(ps, pt);
-      return;
-    }
-  }
 
   // Stage-external input (DFS block or local scan), charged like a fetch.
+  // Resolved before collect() so an unreadable input fails the attempt
+  // without scheduling any shuffle traffic.
   std::size_t input_src = a.node;
-  bool have_input = spec.input_bytes_per_task > 0;
+  const bool have_input = spec.input_bytes_per_task > 0;
   if (have_input && !spec.input_file.empty() && dfs_ != nullptr &&
       dfs_->exists(spec.input_file) &&
       a.task < dfs_->block_count(spec.input_file)) {
@@ -489,24 +474,46 @@ void DistRuntime::exec_start(std::uint64_t attempt_id) {
     input_src = best;
   }
 
-  ctx->pending = plan.size() + (have_input ? 1 : 0);
-  for (const auto& p : plan) ctx->bytes_in += p.bytes;
-  if (have_input) ctx->bytes_in += spec.input_bytes_per_task;
-  if (ctx->pending == 0) {
-    exec_compute(attempt_id, ctx->inputs, 0);
-    return;
-  }
-  for (const auto& p : plan) {
-    start_fetch(p.src, p.bytes, p.ckpt, p.pi, p.ps, p.pt);
-  }
+  ctx->pending = 1 + (have_input ? 1 : 0);
+
+  ShuffleTransport::CollectRequest req;
+  req.attempt_id = attempt_id;
+  req.node = a.node;
+  req.stage = a.stage;
+  req.task = a.task;
+  req.inputs = ctx->inputs;
+  req.on_ready = [this, attempt_id, ctx](std::uint64_t shuffle_bytes) {
+    if (attempt_dead(attempt_id) || ctx->failed) return;
+    ctx->bytes_in += shuffle_bytes;
+    if (--ctx->pending == 0) {
+      exec_compute(attempt_id, ctx->inputs, ctx->bytes_in);
+    }
+  };
+  req.on_missing = [this, attempt_id, ctx](std::size_t ps, std::size_t pt) {
+    if (ctx->failed) return;
+    ctx->failed = true;
+    const Attempt& a2 = attempts_.at(attempt_id);
+    BufWriter w;
+    w.write_pod<std::uint8_t>(kFetchFailed);
+    w.write_pod<std::uint64_t>(attempt_id);
+    w.write_pod<std::uint64_t>(static_cast<std::uint64_t>(ps));
+    w.write_pod<std::uint64_t>(static_cast<std::uint64_t>(pt));
+    send_to_driver(a2.node, cfg_.rpc_bytes, w.take());
+  };
+  // May complete synchronously (no shuffle parents) or fail synchronously
+  // (a parent block with no live source) — check before starting the input.
+  transport_->collect(std::move(req));
+  if (ctx->failed) return;
+
   if (have_input) {
     execs_[input_src].disk.access(
         sim(), spec.input_bytes_per_task,
         [this, input_src, attempt_id, ctx, bytes = spec.input_bytes_per_task] {
           if (attempt_dead(attempt_id) || ctx->failed) return;
           comm_.network().send(input_src, attempts_.at(attempt_id).node, bytes,
-                               [this, attempt_id, ctx] {
+                               [this, attempt_id, ctx, bytes] {
                                  if (attempt_dead(attempt_id) || ctx->failed) return;
+                                 ctx->bytes_in += bytes;
                                  if (--ctx->pending == 0) {
                                    exec_compute(attempt_id, ctx->inputs,
                                                 ctx->bytes_in);
@@ -530,7 +537,6 @@ void DistRuntime::exec_compute(
     if (attempt_dead(attempt_id)) return;
     const Attempt& a2 = attempts_.at(attempt_id);
     const StageSpec& spec = job_.stages[a2.stage];
-    ExecState& ex2 = execs_[a2.node];
     BlockSet bs;
     bs.blocks = spec.run(a2.task, *inputs);
     bs.sim_sizes.reserve(bs.blocks.size());
@@ -542,18 +548,20 @@ void DistRuntime::exec_compute(
       bs.total_sim += sz;
     }
     const std::uint64_t total = bs.total_sim;
-    ex2.outputs[out_key(a2.stage, a2.task)] = std::move(bs);
     const bool final_stage = a2.stage + 1 == job_.stages.size();
-    // Map outputs are spilled to the local disk before being announced.
-    ex2.disk.access(sim(), total, [this, attempt_id, total, final_stage] {
-      if (attempt_dead(attempt_id)) return;
-      const Attempt& a3 = attempts_.at(attempt_id);
-      BufWriter w;
-      w.write_pod<std::uint8_t>(kTaskDone);
-      w.write_pod<std::uint64_t>(attempt_id);
-      // The result stage ships its blocks to the driver in the done message.
-      send_to_driver(a3.node, final_stage ? total : cfg_.rpc_bytes, w.take());
-    });
+    // Hand the output to the transport (registry record + local-disk spill,
+    // plus flow streaming under push); it announces completion afterwards.
+    transport_->publish(
+        attempt_id, a2.node, a2.stage, a2.task, std::move(bs),
+        [this, attempt_id, total, final_stage] {
+          if (attempt_dead(attempt_id)) return;
+          const Attempt& a3 = attempts_.at(attempt_id);
+          BufWriter w;
+          w.write_pod<std::uint8_t>(kTaskDone);
+          w.write_pod<std::uint64_t>(attempt_id);
+          // The result stage ships its blocks to the driver in the done message.
+          send_to_driver(a3.node, final_stage ? total : cfg_.rpc_bytes, w.take());
+        });
   });
 }
 
@@ -568,8 +576,8 @@ void DistRuntime::on_task_done(std::uint64_t attempt_id) {
   ExecState& ex = execs_[a.node];
   if (ex.dead_to_driver) return;  // results from declared-dead executors are dropped
   TaskState& task = tasks_[a.stage][a.task];
-  auto oit = ex.outputs.find(out_key(a.stage, a.task));
-  if (task.status != TStatus::Done && (!ex.alive || oit == ex.outputs.end())) {
+  const BlockSet* pub = transport_->find(a.node, a.stage, a.task);
+  if (task.status != TStatus::Done && (!ex.alive || pub == nullptr)) {
     // The node died while the done-message was in flight: requeue, uncharged.
     on_attempt_failed(attempt_id, false);
     return;
@@ -583,8 +591,8 @@ void DistRuntime::on_task_done(std::uint64_t attempt_id) {
   task.status = TStatus::Done;
   task.ever_done = true;
   task.output_node = a.node;
-  task.out_sim_sizes = oit->second.sim_sizes;
-  task.total_out_sim = oit->second.total_sim;
+  task.out_sim_sizes = pub->sim_sizes;
+  task.total_out_sim = pub->total_sim;
   stages_[a.stage].done++;
   stats_.tasks_completed++;
   late_.record(sim().now() - a.launched);
@@ -608,7 +616,7 @@ void DistRuntime::on_task_done(std::uint64_t attempt_id) {
 
   const bool final_stage = a.stage + 1 == job_.stages.size();
   if (final_stage) {
-    result_.output[a.task] = oit->second.blocks;
+    result_.output[a.task] = pub->blocks;
     result_received_++;
   }
   if (stages_[a.stage].done == job_.stages[a.stage].ntasks) {
@@ -660,7 +668,7 @@ void DistRuntime::on_fetch_failed(std::uint64_t attempt_id, std::size_t pstage,
     TaskState& parent = tasks_[pstage][ptask];
     const bool source_gone =
         parent.output_node == kNone || !execs_[parent.output_node].alive ||
-        !execs_[parent.output_node].outputs.contains(out_key(pstage, ptask));
+        transport_->find(parent.output_node, pstage, ptask) == nullptr;
     // A checkpoint normally stands in for the lost output — but only while
     // some replica of it is readable. If every replica holder is down, drop
     // the checkpoint flag and recompute through lineage; leaving the flag up
@@ -754,9 +762,9 @@ void DistRuntime::maybe_checkpoint(std::size_t s) {
   for (std::size_t t = 0; t < spec.ntasks; ++t) {
     const TaskState& task = tasks_[s][t];
     if (task.output_node == kNone) return;
-    auto it = execs_[task.output_node].outputs.find(out_key(s, t));
-    if (it == execs_[task.output_node].outputs.end()) return;  // racing death
-    data[t] = it->second.blocks;
+    const BlockSet* bsp = transport_->find(task.output_node, s, t);
+    if (bsp == nullptr) return;  // racing death
+    data[t] = bsp->blocks;
     total += task.total_out_sim;
   }
   if (total == 0) return;
@@ -844,8 +852,8 @@ void DistRuntime::kill_node(std::size_t node) {
   }
   ExecState& ex = execs_[node];
   ex.alive = false;
-  ex.outputs.clear();
   ex.busy = 0;
+  transport_->node_killed(node);  // published blocks + in-flight flow state
   if (dfs_ != nullptr) dfs_->fail_node(node);
   // The driver only learns of the death through the heartbeat timeout.
 }
@@ -854,9 +862,9 @@ void DistRuntime::do_recover_node(std::size_t node) {
   if (node == cfg_.driver) return;
   ExecState& ex = execs_[node];
   ex.alive = true;
-  ex.outputs.clear();
   ex.busy = 0;
   ex.last_heartbeat = sim().now();
+  transport_->node_recovered(node);  // rejoins with empty memory
   if (dfs_ != nullptr) dfs_->recover_node(node);
   // dead_to_driver clears when the first heartbeat arrives (re-registration).
   if (active_) heartbeat_loop(node);
@@ -888,6 +896,11 @@ void DistRuntime::set_node_speed_at(std::size_t node, double speed, SimTime t) {
 void DistRuntime::finish(bool ok) {
   result_.ok = ok;
   result_.makespan = sim().now() - submit_time_;
+  result_.stages.clear();
+  for (std::size_t s = 0; s < stages_.size(); ++s) {
+    result_.stages.push_back(
+        JobResult::StageSpan{job_.stages[s].name, stages_[s].start, stages_[s].end});
+  }
   active_ = false;
   if (ok) {
     stats_.jobs_completed++;

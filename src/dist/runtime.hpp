@@ -3,9 +3,9 @@
 // rank cfg.driver) splits a stage DAG into per-partition tasks and schedules
 // them onto executors on every cluster node, with
 //   * DFS-block locality preference for input stages,
-//   * shuffle-map outputs registered per node, reduce-side fetches that move
-//     bytes over the simulated network (NIC contention included) after a
-//     source-disk read,
+//   * shuffle movement delegated to a per-job ShuffleTransport
+//     (transport.hpp): classic pull-from-registry, or the push-based flow
+//     shuffle (flow.hpp), selected via RuntimeOptions at submit,
 //   * heartbeat-based failure detection with timeout, bounded task retry,
 //     lineage-based recomputation of shuffle outputs lost to a node death,
 //     optional stage checkpointing to the DFS that truncates lineage, and
@@ -27,6 +27,8 @@
 #include "cluster/speculation.hpp"
 #include "common/rng.hpp"
 #include "dist/job.hpp"
+#include "dist/options.hpp"
+#include "dist/transport.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "sim/comm.hpp"
@@ -77,7 +79,9 @@ struct DistStats {
   std::uint64_t speculative_won = 0;
   std::uint64_t shuffle_fetches = 0;
   std::uint64_t shuffle_local_fetches = 0;
-  std::uint64_t shuffle_bytes = 0;       // simulated bytes fetched
+  std::uint64_t shuffle_bytes = 0;        // simulated bytes fetched (local + remote)
+  std::uint64_t shuffle_bytes_local = 0;  // same-node serves: no wire traffic
+  std::uint64_t shuffle_bytes_remote = 0; // crossed the fabric (the honest number)
   std::uint64_t fetch_failures = 0;
   std::uint64_t locality_hits = 0;       // input task placed on a block replica
   std::uint64_t locality_misses = 0;
@@ -105,8 +109,11 @@ class DistRuntime {
   void bind_trace(obs::TraceSession& session);
 
   /// Run one job to completion; `done` fires (in simulated time) with the
-  /// result. One job at a time; submit again after completion.
+  /// result. One job at a time; submit again after completion. The two-arg
+  /// form runs with default RuntimeOptions (pull transport — byte-identical
+  /// to the pre-transport-redesign runtime).
   void submit(JobSpec job, JobDoneFn done);
+  void submit(JobSpec job, const RuntimeOptions& opts, JobDoneFn done);
 
   /// Failure-injection hooks for tests/benches (driver node is immortal).
   void kill_node_at(std::size_t node, sim::SimTime t);
@@ -123,6 +130,12 @@ class DistRuntime {
 
   const DistStats& stats() const noexcept { return stats_; }
   const DistConfig& config() const noexcept { return cfg_; }
+  /// Options of the current (or most recent) job.
+  const RuntimeOptions& options() const noexcept { return opts_; }
+  /// The transport the current (or most recent) job runs on.
+  const ShuffleTransport& transport() const noexcept { return *transport_; }
+  /// Flow-fabric counters of the push transport (zeros until a push job ran).
+  const flow::FlowStats& flow_stats() const noexcept { return push_->flow_stats(); }
   std::size_t live_executors() const;
   /// Node speed factors after straggler assignment (for tests).
   double node_speed(std::size_t node) const { return execs_[node].speed; }
@@ -132,19 +145,14 @@ class DistRuntime {
 
   enum class TStatus { Pending, Running, Done };
 
-  struct BlockSet {
-    std::vector<Bytes> blocks;
-    std::vector<std::uint64_t> sim_sizes;
-    std::uint64_t total_sim = 0;
-  };
-
+  // Shuffle outputs live in the ShuffleTransport now (see transport.hpp for
+  // the ownership contract); ExecState keeps only scheduler-visible state.
   struct ExecState {
     bool alive = true;
     double speed = 1.0;
     bool dead_to_driver = false;     // driver's (possibly stale) view
     std::size_t busy = 0;            // driver-side slot accounting
     sim::SimTime last_heartbeat = 0;
-    std::map<std::uint64_t, BlockSet> outputs;  // key: stage<<32 | task
     sim::Disk disk;
     explicit ExecState(const DistConfig& cfg)
         : disk(cfg.disk_bandwidth_bps, cfg.disk_seek) {}
@@ -216,9 +224,7 @@ class DistRuntime {
   void speculate();
 
   std::string ckpt_file(std::size_t stage) const;
-  static std::uint64_t out_key(std::size_t stage, std::size_t task) {
-    return (static_cast<std::uint64_t>(stage) << 32) | task;
-  }
+  ShuffleTransport::Env make_transport_env();
   sim::Simulator& sim() { return comm_.simulator(); }
   void trace_span(const std::string& name, const std::string& cat,
                   sim::SimTime start, sim::SimTime end, std::uint32_t tid,
@@ -231,6 +237,13 @@ class DistRuntime {
   DistConfig cfg_;
   sim::Dfs* dfs_;
   int tag_exec_, tag_drv_;
+
+  // Both transports exist for the runtime's lifetime (handler/tag layout
+  // stays deterministic); transport_ points at the active one per job.
+  std::unique_ptr<PullTransport> pull_;
+  std::unique_ptr<PushTransport> push_;
+  ShuffleTransport* transport_ = nullptr;
+  RuntimeOptions opts_;
 
   std::vector<ExecState> execs_;
   Rng jitter_rng_, failure_rng_;
@@ -259,6 +272,8 @@ class DistRuntime {
   obs::Counter* m_retries_ = nullptr;
   obs::Counter* m_recomputed_ = nullptr;
   obs::Counter* m_shuffle_bytes_ = nullptr;
+  obs::Counter* m_shuffle_local_ = nullptr;
+  obs::Counter* m_shuffle_remote_ = nullptr;
   obs::Counter* m_locality_hits_ = nullptr;
   obs::Counter* m_locality_misses_ = nullptr;
   obs::Counter* m_spec_launched_ = nullptr;

@@ -19,12 +19,17 @@ JobSlotPool::JobSlotPool(sim::Comm& comm, DistConfig cfg, std::size_t slots,
 }
 
 void JobSlotPool::submit(JobSpec job, DistRuntime::JobDoneFn done) {
+  submit(std::move(job), RuntimeOptions{}, std::move(done));
+}
+
+void JobSlotPool::submit(JobSpec job, const RuntimeOptions& opts,
+                         DistRuntime::JobDoneFn done) {
   for (std::size_t i = 0; i < slots_.size(); ++i) {
     Slot& slot = *slots_[i];
     if (slot.busy) continue;
     slot.busy = true;
     ++busy_;
-    slot.rt.submit(std::move(job),
+    slot.rt.submit(std::move(job), opts,
                    [this, i, done = std::move(done)](const JobResult& r) {
                      slots_[i]->busy = false;
                      --busy_;
@@ -67,6 +72,8 @@ DistStats JobSlotPool::aggregate_stats() const {
     sum.shuffle_fetches += st.shuffle_fetches;
     sum.shuffle_local_fetches += st.shuffle_local_fetches;
     sum.shuffle_bytes += st.shuffle_bytes;
+    sum.shuffle_bytes_local += st.shuffle_bytes_local;
+    sum.shuffle_bytes_remote += st.shuffle_bytes_remote;
     sum.fetch_failures += st.fetch_failures;
     sum.locality_hits += st.locality_hits;
     sum.locality_misses += st.locality_misses;

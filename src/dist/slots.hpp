@@ -40,7 +40,11 @@ class JobSlotPool {
   /// Run `job` on a free slot; throws std::logic_error when saturated (check
   /// saturated() first — the serve layer queues instead of submitting). The
   /// slot is freed BEFORE `done` runs, so the callback may submit again.
+  /// The two-arg form uses default RuntimeOptions (pull transport); the
+  /// three-arg form carries per-job transport/flow knobs down to the slot's
+  /// DistRuntime.
   void submit(JobSpec job, DistRuntime::JobDoneFn done);
+  void submit(JobSpec job, const RuntimeOptions& opts, DistRuntime::JobDoneFn done);
 
   /// Fault injection, fanned out to every slot (and the shared DFS, which
   /// tolerates the resulting duplicate fail/recover calls).

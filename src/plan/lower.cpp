@@ -27,6 +27,64 @@ std::vector<Bytes> partition_rows(std::vector<Row> rows, std::size_t ntasks) {
   return out;
 }
 
+/// Replicate rows into ntasks identical blocks: every child of a broadcast
+/// stage receives the producer task's FULL row set.
+std::vector<Bytes> replicate_rows(const std::vector<Row>& rows,
+                                  std::size_t ntasks) {
+  return std::vector<Bytes>(ntasks, to_bytes(rows));
+}
+
+/// Source-row estimate of a source-rooted node; kNotSourceRooted when the
+/// node cannot be sized without running it.
+constexpr std::uint64_t kNotSourceRooted = ~0ULL;
+std::uint64_t source_rooted_rows(const PlanNode& nd) {
+  if (nd.op == OpKind::kSource) return nd.rows;
+  if (nd.op == OpKind::kFused && nd.steps.front().op == OpKind::kSource) {
+    return nd.steps.front().rows;
+  }
+  return kNotSourceRooted;
+}
+
+/// Marks the nodes that lower as broadcast (replicated-output) stages: the
+/// left side of every eligible join under `opts`.
+std::vector<bool> pick_broadcast_nodes(const LogicalPlan& plan,
+                                       const LowerDistOptions& opts) {
+  std::vector<bool> bcast(plan.nodes.size(), false);
+  if (opts.broadcast_join_rows == 0) return bcast;
+  // Consumer counts — a broadcast node must feed exactly one node (its
+  // join): other consumers would see replicated rows where they expect a
+  // hash partition.
+  std::vector<std::size_t> consumers(plan.nodes.size(), 0);
+  for (const PlanNode& nd : plan.nodes) {
+    switch (nd.op) {
+      case OpKind::kSource:
+        break;
+      case OpKind::kFused:
+        if (nd.steps.front().op != OpKind::kSource) ++consumers[nd.left];
+        break;
+      case OpKind::kJoin:
+        ++consumers[nd.left];
+        ++consumers[nd.right];
+        break;
+      default:
+        ++consumers[nd.left];
+        break;
+    }
+  }
+  for (const PlanNode& nd : plan.nodes) {
+    if (nd.op != OpKind::kJoin) continue;
+    const std::size_t l = nd.left;
+    if (consumers[l] != 1) continue;
+    if (std::find(plan.sinks.begin(), plan.sinks.end(), l) != plan.sinks.end()) {
+      continue;
+    }
+    const std::uint64_t rows = source_rooted_rows(plan.nodes[l]);
+    if (rows == kNotSourceRooted || rows > opts.broadcast_join_rows) continue;
+    bcast[l] = true;
+  }
+  return bcast;
+}
+
 /// Concatenate parent `pi`'s blocks for this task, in parent-task order
 /// (deterministic regardless of fetch completion order).
 std::vector<Row> gather_rows(const std::vector<std::vector<Bytes>>& inputs,
@@ -142,22 +200,32 @@ std::vector<Row> lower_local(const LogicalPlan& plan, dataflow::Context& ctx) {
 }
 
 dist::JobSpec lower_dist(const LogicalPlan& plan, std::size_t ntasks) {
+  return lower_dist(plan, ntasks, LowerDistOptions{});
+}
+
+dist::JobSpec lower_dist(const LogicalPlan& plan, std::size_t ntasks,
+                         const LowerDistOptions& opts) {
   dist::JobSpec job;
   job.name = "plan";
+  const std::vector<bool> bcast = pick_broadcast_nodes(plan, opts);
   for (std::size_t i = 0; i < plan.nodes.size(); ++i) {
     const PlanNode& nd = plan.nodes[i];
     const std::uint64_t salt = nd.salt;
     const bool combine = nd.combine_output;
+    const bool replicate = bcast[i];
     // Every stage ends the same way: optional map-side combine, then
-    // hash-partition by key.
-    auto finalize = [combine, ntasks](std::vector<Row> rows) {
+    // hash-partition by key — or, for a broadcast build side, replicate the
+    // full row set to every child.
+    auto finalize = [combine, replicate, ntasks](std::vector<Row> rows) {
       if (combine) rows = combine_rows(std::move(rows));
+      if (replicate) return replicate_rows(rows, ntasks);
       return partition_rows(std::move(rows), ntasks);
     };
     dist::StageSpec st;
     st.name = "n" + std::to_string(i);
     st.ntasks = ntasks;
     st.checkpoint = nd.checkpoint;
+    st.broadcast = replicate;
     switch (nd.op) {
       case OpKind::kSource: {
         const std::uint64_t rows = nd.rows;

@@ -7,6 +7,7 @@
 // engines and compare it bit-for-bit against the raw plan's rows.
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "dataflow/dataset.hpp"
@@ -18,12 +19,30 @@ namespace hpbdc::plan {
 /// Execute on the shared-memory dataflow engine and collect the sink union.
 std::vector<Row> lower_local(const LogicalPlan& plan, dataflow::Context& ctx);
 
+/// Physical choices for lower_dist beyond the plan itself.
+struct LowerDistOptions {
+  /// When > 0, a join whose LEFT input is a source-rooted node (kSource, or
+  /// kFused with a source head) with at most this many source rows, feeding
+  /// ONLY that join and not a sink, lowers as a BROADCAST join: the left
+  /// stage replicates its full per-task row set to every child
+  /// (StageSpec::broadcast) instead of hash-partitioning, and the join
+  /// probes the replicated build side against its hash partition of the
+  /// right side. Exact: every key's right rows still land in one task, and
+  /// the build side holds ALL left rows of those keys, so each task emits
+  /// precisely its partition of the reference join — in the same row order
+  /// as the partitioned lowering. 0 disables (the historical lowering,
+  /// byte-identical).
+  std::uint64_t broadcast_join_rows = 0;
+};
+
 /// The plan as a dist-runtime job: one stage per plan node (a fused node is
 /// ONE stage for its whole pipeline) plus a final collect stage over the
 /// sinks. Every stage hash-partitions its output by key with a fixed task
 /// count, so the key-based operators (reduce, join, distinct) are exact
 /// per-partition.
 dist::JobSpec lower_dist(const LogicalPlan& plan, std::size_t ntasks);
+dist::JobSpec lower_dist(const LogicalPlan& plan, std::size_t ntasks,
+                         const LowerDistOptions& opts);
 
 /// Final rows of a dist run of lower_dist (unsorted).
 std::vector<Row> rows_from_result(const dist::JobResult& res);

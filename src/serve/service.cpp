@@ -173,6 +173,7 @@ std::uint64_t JobService::submit(SubmitRequest req, DoneFn done) {
   job.submit_time = now;
   job.enqueue_time = now;
   job.optimized = plan::optimize(req.plan);
+  job.runtime = req.runtime;
   job.fp = plan::fingerprint(job.optimized);
   job.demand = {1.0,
                 static_cast<double>((job.optimized.nodes.size() + 1) * cfg_.ntasks),
@@ -278,7 +279,7 @@ void JobService::launch(PendingJob job) {
   job.launch_time = sim().now();
   job.dist_submits++;
   auto sp = std::make_shared<PendingJob>(std::move(job));
-  pool_.submit(plan::lower_dist(sp->optimized, cfg_.ntasks),
+  pool_.submit(plan::lower_dist(sp->optimized, cfg_.ntasks), sp->runtime,
                [this, sp](const dist::JobResult& r) { on_job_done(sp, r); });
 }
 

@@ -70,6 +70,9 @@ struct SubmitRequest {
   plan::LogicalPlan plan;
   double deadline = 0;  // absolute simulated time; 0 = none
   int priority = 0;     // higher = scheduled sooner
+  /// Per-job executor options (shuffle transport + flow knobs), carried
+  /// through queueing/retries down to DistRuntime::submit. Defaults = pull.
+  dist::RuntimeOptions runtime;
 };
 
 /// The exactly-once terminal event of a submission.
@@ -161,6 +164,7 @@ class JobService {
     double submit_time = 0;
     double enqueue_time = 0;  // original admission; preserved across retries
     plan::LogicalPlan optimized;
+    dist::RuntimeOptions runtime;
     std::uint64_t fp = 0;
     std::vector<double> demand;  // DRF resource vector
     double demand_share = 0;     // max_r demand[r] / capacity[r]

@@ -66,6 +66,25 @@ class Comm {
               });
   }
 
+  /// Multicast with an explicit simulated body size: one fabric frame from
+  /// src fans out to every rank in `dsts` (see Network::multicast), invoking
+  /// each destination's (dst, tag) handler with the shared payload. The
+  /// push-flow shuffle uses this for broadcast distribution.
+  void multicast_sized(std::size_t src, const std::vector<std::size_t>& dsts,
+                       int tag, std::uint64_t body_bytes, Bytes payload = {}) {
+    const auto wire = body_bytes + kHeaderBytes;
+    net_.multicast(src, dsts, wire,
+                   [this, src, tag, p = std::move(payload)](std::size_t dst) {
+                     auto it = handlers_.find(key(dst, tag));
+                     if (it == handlers_.end()) {
+                       ++dropped_;
+                       return;
+                     }
+                     Handler h = it->second;
+                     h(src, p);
+                   });
+  }
+
   /// Messages delivered to a (rank, tag) with no registered handler.
   std::uint64_t dropped() const noexcept { return dropped_; }
 

@@ -161,6 +161,52 @@ class Network {
     sim_.schedule_at(deliver, std::move(on_delivered));
   }
 
+  /// Transfer `bytes` from src to every node in `dsts` as ONE fabric
+  /// multicast: the source pays TX serialization once (switch replication —
+  /// the whole point over N unicasts), each destination pays its own RX
+  /// serialization, and loss/jitter roll per destination on the last hop.
+  /// stats_.bytes counts the frame once; per-destination deliveries invoke
+  /// on_delivered(dst). A dst equal to src costs only the loopback latency.
+  void multicast(std::size_t src, const std::vector<std::size_t>& dsts,
+                 std::uint64_t bytes,
+                 std::function<void(std::size_t dst)> on_delivered) {
+    check(src);
+    stats_.messages++;
+    stats_.bytes += bytes;
+    if (m_msgs_ != nullptr) {
+      m_msgs_->add(1);
+      m_bytes_->add(bytes);
+    }
+    const SimTime now = sim_.now();
+    const double ser = static_cast<double>(bytes) / cfg_.bandwidth_bps;
+    const SimTime tx_start = std::max(now, tx_free_[src]);
+    const SimTime tx_end = tx_start + ser;
+    tx_free_[src] = tx_end;
+    auto shared_cb =
+        std::make_shared<std::function<void(std::size_t)>>(std::move(on_delivered));
+    for (const std::size_t dst : dsts) {
+      check(dst);
+      if (dst == src) {
+        sim_.schedule_at(now + kLoopbackLatency, [shared_cb, dst] { (*shared_cb)(dst); });
+        continue;
+      }
+      if (loss_probability_ > 0 && loss_rng_.next_bool(loss_probability_)) {
+        ++stats_.dropped;  // last-hop loss: this replica never arrives
+        if (m_dropped_ != nullptr) m_dropped_->add(1);
+        continue;
+      }
+      const SimTime prop = static_cast<double>(hops(src, dst)) * cfg_.per_hop_latency;
+      const SimTime rx_start = std::max(tx_end + prop, rx_free_[dst]);
+      const SimTime rx_end = rx_start + ser;
+      rx_free_[dst] = rx_end;
+      SimTime deliver = rx_end + extra_delay_;
+      if (delivery_jitter_ > 0) {
+        deliver += jitter_rng_.next_double() * delivery_jitter_;
+      }
+      sim_.schedule_at(deliver, [shared_cb, dst] { (*shared_cb)(dst); });
+    }
+  }
+
   /// Pure cost query (no event scheduled, no NIC state touched): the
   /// uncontended latency of a transfer. Used by analytical baselines.
   double uncontended_latency(std::size_t src, std::size_t dst, std::uint64_t bytes) const {
