@@ -11,6 +11,12 @@
 //   $ ./chaos_demo "--replay=pseed=2,fseed=15,nodes=5,rows=224,tasks=4,cluster=5,mask=0x3f,bug=1"
 //   $ ./chaos_demo --runs=50 --replay-out=repro.txt   # CI: persist the shrunk
 //                                                     # spec as an artifact
+//   $ ./chaos_demo --streaming --runs=25   # streaming oracle: kill a node
+//                                          # mid-window, require bit-identical
+//                                          # committed windows after recovery
+//
+// --replay= accepts both spec flavors and dispatches on the prefix
+// ("pseed=" batch, "spseed=" streaming).
 
 #include <chrono>
 #include <cstring>
@@ -21,6 +27,7 @@
 
 #include "chaos/harness.hpp"
 #include "chaos/linearizability.hpp"
+#include "chaos/streaming_oracle.hpp"
 #include "exec/thread_pool.hpp"
 #include "obs/metrics.hpp"
 
@@ -43,6 +50,67 @@ ChaosConfig campaign_config(std::uint64_t seed, bool bug,
   return cfg;
 }
 
+StreamChaosConfig stream_campaign_config(std::uint64_t seed, bool bug,
+                                         dist::TransportKind transport) {
+  StreamChaosConfig cfg;
+  cfg.plan_seed = seed;
+  cfg.kill_seed = seed * 11 + 3;
+  cfg.plan_nodes = 3 + static_cast<std::size_t>(seed % 4);
+  cfg.rows = 128 + (seed % 3) * 64;
+  cfg.ntasks = 2 + static_cast<std::size_t>(seed % 2);
+  cfg.cluster_nodes = 5 + static_cast<std::size_t>(seed % 2);
+  cfg.kills = 1 + static_cast<std::size_t>(seed % 2);
+  cfg.inject_restore_bug = bug;
+  cfg.transport = transport;
+  return cfg;
+}
+
+void print_stream_outcome(const StreamChaosOutcome& out) {
+  std::cout << "  plan: " << out.plan << "\n  violation: " << out.violation
+            << "\n  stats: rows=" << out.result_rows
+            << " epochs=" << out.epochs_completed
+            << " recoveries=" << out.recoveries
+            << " kills=" << out.kills_scheduled << " makespan=" << out.makespan
+            << "s\n";
+}
+
+/// Streaming campaign: each run is reference vs fault-free vs killed-and-
+/// recovered, all three committed multisets bit-identical. Returns the
+/// process exit code.
+int run_stream_campaign(std::uint64_t runs, std::uint64_t seed0, bool bug,
+                        dist::TransportKind transport,
+                        const std::string& replay_out) {
+  std::size_t violations = 0;
+  std::uint64_t recoveries = 0, epochs = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::uint64_t seed = seed0; seed < seed0 + runs; ++seed) {
+    const StreamChaosConfig cfg = stream_campaign_config(seed, bug, transport);
+    const auto out = run_stream_chaos_once(cfg);
+    recoveries += out.recoveries;
+    epochs += out.epochs_completed;
+    if (out.passed) continue;
+    violations++;
+    std::cout << "VIOLATION at " << format_stream_replay(cfg) << "\n";
+    print_stream_outcome(out);
+    std::cout << "shrinking...\n";
+    const StreamShrinkResult sr = shrink_stream(cfg);
+    std::cout << "minimal repro after " << sr.runs << " runs:\n"
+              << "  --replay=" << sr.replay << "\n";
+    print_stream_outcome(sr.outcome);
+    if (!replay_out.empty()) {
+      std::ofstream f(replay_out);
+      f << "--replay=" << sr.replay << "\n";
+    }
+    break;
+  }
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  std::cout << "streaming campaign: " << runs << " differential runs in " << secs
+            << "s, " << epochs << " epochs completed, " << recoveries
+            << " checkpoint recoveries, " << violations << " violations\n";
+  return violations == 0 ? 0 : 1;
+}
+
 void print_outcome(const ChaosOutcome& out) {
   std::cout << "  plan: " << out.plan << "\n  optimized: " << out.optimized
             << " (rules=" << out.opt_stats.rules_applied()
@@ -61,7 +129,7 @@ void print_outcome(const ChaosOutcome& out) {
 
 int main(int argc, char** argv) {
   std::uint64_t runs = 100, seed0 = 1;
-  bool bug = false;
+  bool bug = false, streaming = false, transport_set = false;
   dist::TransportKind transport = dist::TransportKind::kPull;
   std::string replay, replay_out;
   for (int i = 1; i < argc; ++i) {
@@ -72,17 +140,21 @@ int main(int argc, char** argv) {
       seed0 = std::stoull(a.substr(7));
     } else if (a == "--bug") {
       bug = true;
+    } else if (a == "--streaming") {
+      streaming = true;
     } else if (a == "--transport=push") {
       transport = dist::TransportKind::kPush;
+      transport_set = true;
     } else if (a == "--transport=pull") {
       transport = dist::TransportKind::kPull;
+      transport_set = true;
     } else if (a.rfind("--replay=", 0) == 0) {
       replay = a.substr(9);
     } else if (a.rfind("--replay-out=", 0) == 0) {
       replay_out = a.substr(13);
     } else {
       std::cerr << "usage: chaos_demo [--runs=N] [--seed=S] [--bug] "
-                   "[--transport=pull|push] [--replay=SPEC] "
+                   "[--streaming] [--transport=pull|push] [--replay=SPEC] "
                    "[--replay-out=FILE]\n";
       return 2;
     }
@@ -93,11 +165,27 @@ int main(int argc, char** argv) {
   obs::MetricsRegistry plan_metrics;  // optimizer rule counters, whole campaign
 
   if (!replay.empty()) {
+    if (replay.rfind("spseed=", 0) == 0) {
+      const StreamChaosConfig cfg = parse_stream_replay(replay);
+      const auto out = run_stream_chaos_once(cfg);
+      std::cout << (out.passed ? "PASS " : "FAIL ") << format_stream_replay(cfg)
+                << "\n";
+      print_stream_outcome(out);
+      return out.passed ? 0 : 1;
+    }
     const ChaosConfig cfg = parse_replay(replay);
     const auto out = run_chaos_once(cfg, pool, &plan_metrics);
     std::cout << (out.passed ? "PASS " : "FAIL ") << format_replay(cfg) << "\n";
     print_outcome(out);
     return out.passed ? 0 : 1;
+  }
+
+  if (streaming) {
+    // The streaming oracle defaults to the push transport (streaming is
+    // push-shaped); --transport=pull still overrides for differential runs.
+    const dist::TransportKind tk =
+        transport_set ? transport : dist::TransportKind::kPush;
+    return run_stream_campaign(runs, seed0, bug, tk, replay_out);
   }
 
   std::set<std::string> kinds;

@@ -1,0 +1,233 @@
+#include "chaos/streaming_oracle.hpp"
+
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "chaos/harness.hpp"
+#include "chaos/plan_gen.hpp"
+#include "dstream/runtime.hpp"
+#include "dstream/streaming.hpp"
+#include "sim/comm.hpp"
+#include "sim/dfs.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace hpbdc::chaos {
+
+namespace {
+
+/// Windowing knobs shared by every oracle run: a ~4 s stream (rows / rate)
+/// of tumbling half-second windows, so a kill schedule over (0, 3) always
+/// lands mid-stream and usually mid-window.
+dstream::StreamingOptions stream_opts(const StreamChaosConfig& cfg) {
+  dstream::StreamingOptions o;
+  o.ntasks = cfg.ntasks;
+  o.rate = 48.0;
+  o.window = 0.5;
+  return o;
+}
+
+struct RunResult {
+  bool done = false;
+  dstream::StreamResult result;
+  dstream::StreamStats stats;
+};
+
+/// One distributed execution on a fresh simulated cluster, with an optional
+/// kill schedule applied through the runtime's ground-truth fault hooks.
+RunResult run_distributed(const StreamChaosConfig& cfg,
+                          const dstream::StreamJobSpec& spec,
+                          const std::vector<KillEvent>& kills) {
+  sim::Simulator sim;
+  sim::NetworkConfig nc;
+  nc.nodes = cfg.cluster_nodes;
+  nc.topology = sim::Topology::kStar;
+  sim::Network net(sim, nc);
+  sim::Comm comm(sim, net);
+  sim::Dfs dfs(comm, sim::DfsConfig{});
+  dstream::StreamConfig sc;
+  sc.buggy_restore = cfg.inject_restore_bug;
+  dstream::StreamRuntime rt(comm, sc, &dfs);
+  for (const KillEvent& k : kills) {
+    rt.kill_node_at(k.node, k.kill_time);
+    rt.recover_node_at(k.node, k.recover_time);
+  }
+  dist::RuntimeOptions ro;
+  ro.transport = cfg.transport;
+  RunResult rr;
+  rt.submit(spec, ro, [&](const dstream::StreamResult& r) {
+    rr.result = r;
+    rr.done = true;
+    rr.stats = rt.stats();
+  });
+  sim.run_until(cfg.horizon);
+  if (!rr.done) rr.stats = rt.stats();
+  return rr;
+}
+
+}  // namespace
+
+std::string format_stream_replay(const StreamChaosConfig& cfg) {
+  std::string out;
+  out += "spseed=" + std::to_string(cfg.plan_seed);
+  out += ",skseed=" + std::to_string(cfg.kill_seed);
+  out += ",nodes=" + std::to_string(cfg.plan_nodes);
+  out += ",rows=" + std::to_string(cfg.rows);
+  out += ",tasks=" + std::to_string(cfg.ntasks);
+  out += ",cluster=" + std::to_string(cfg.cluster_nodes);
+  out += ",kills=" + std::to_string(cfg.kills);
+  if (cfg.inject_restore_bug) out += ",bug=1";
+  if (cfg.transport != dist::TransportKind::kPush) out += ",tp=0";
+  return out;
+}
+
+StreamChaosConfig parse_stream_replay(const std::string& spec) {
+  StreamChaosConfig cfg;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    const std::string tok =
+        spec.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    pos = comma == std::string::npos ? spec.size() : comma + 1;
+    const std::size_t eq = tok.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 >= tok.size()) {
+      throw std::invalid_argument("stream replay: malformed token '" + tok + "'");
+    }
+    const std::string key = tok.substr(0, eq);
+    std::uint64_t num = 0;
+    try {
+      num = std::stoull(tok.substr(eq + 1), nullptr, 0);
+    } catch (const std::exception&) {
+      throw std::invalid_argument("stream replay: bad value in '" + tok + "'");
+    }
+    if (key == "spseed") {
+      cfg.plan_seed = num;
+    } else if (key == "skseed") {
+      cfg.kill_seed = num;
+    } else if (key == "nodes") {
+      cfg.plan_nodes = static_cast<std::size_t>(num);
+    } else if (key == "rows") {
+      cfg.rows = num;
+    } else if (key == "tasks") {
+      cfg.ntasks = static_cast<std::size_t>(num);
+    } else if (key == "cluster") {
+      cfg.cluster_nodes = static_cast<std::size_t>(num);
+    } else if (key == "kills") {
+      cfg.kills = static_cast<std::size_t>(num);
+    } else if (key == "bug") {
+      cfg.inject_restore_bug = num != 0;
+    } else if (key == "tp") {
+      cfg.transport =
+          num != 0 ? dist::TransportKind::kPush : dist::TransportKind::kPull;
+    } else {
+      throw std::invalid_argument("stream replay: unknown key '" + key + "'");
+    }
+  }
+  if (cfg.plan_nodes == 0 || cfg.ntasks == 0 || cfg.cluster_nodes < 2) {
+    throw std::invalid_argument("stream replay: degenerate configuration");
+  }
+  return cfg;
+}
+
+StreamChaosOutcome run_stream_chaos_once(const StreamChaosConfig& cfg) {
+  StreamChaosOutcome out;
+  const LogicalPlan plan = make_plan(cfg.plan_seed, cfg.plan_nodes, cfg.rows);
+  out.plan = plan.describe();
+  const dstream::StreamJobSpec spec = lower_streaming(plan, stream_opts(cfg));
+
+  const Bytes want =
+      dstream::canonical_stream_bytes(dstream::reference_streaming(spec));
+
+  // Fault-free distributed run: catches lowering/runtime bugs independent of
+  // recovery, and doubles as the bit-identical baseline for the faulted run.
+  const RunResult clean = run_distributed(cfg, spec, {});
+  if (!clean.done) {
+    out.passed = false;
+    out.violation = "liveness: fault-free run exceeded the horizon";
+    return out;
+  }
+  const Bytes clean_bytes = dstream::canonical_stream_bytes(clean.result.rows());
+  if (clean_bytes != want) {
+    out.passed = false;
+    out.violation = "fault-free distributed output differs from reference";
+    return out;
+  }
+
+  // Kills land in (0, 3): the stream runs ~4 s, so every kill hits a live
+  // window. Downtimes use the harness defaults (min 0.8 s), which keep each
+  // outage comfortably above the runtime's heartbeat timeout.
+  const std::vector<KillEvent> kills = make_kill_schedule(
+      cfg.kill_seed, cfg.cluster_nodes, /*protect=*/0, cfg.kills, /*horizon=*/3.0);
+  out.kills_scheduled = kills.size();
+  const RunResult faulted = run_distributed(cfg, spec, kills);
+  out.epochs_completed = faulted.stats.epochs_completed;
+  out.recoveries = faulted.stats.recoveries;
+  out.makespan = faulted.result.makespan;
+  out.result_rows = faulted.result.committed.size();
+  if (!faulted.done) {
+    out.passed = false;
+    out.violation = "liveness: faulted run exceeded the horizon";
+    return out;
+  }
+  if (faulted.stats.epochs_completed == 0) {
+    out.passed = false;
+    out.violation = "progress: faulted run completed zero epochs";
+    return out;
+  }
+  const Bytes faulted_bytes =
+      dstream::canonical_stream_bytes(faulted.result.rows());
+  if (faulted_bytes != want) {
+    out.passed = false;
+    out.violation = "faulted output differs from reference (exactly-once broken)";
+    return out;
+  }
+  if (faulted_bytes != clean_bytes) {
+    out.passed = false;
+    out.violation = "faulted output not bit-identical to the fault-free run";
+    return out;
+  }
+  return out;
+}
+
+StreamShrinkResult shrink_stream(const StreamChaosConfig& failing) {
+  StreamShrinkResult sr;
+  StreamChaosConfig cur = failing;
+  StreamChaosOutcome cur_out = run_stream_chaos_once(cur);
+  ++sr.runs;
+  if (cur_out.passed) {
+    throw std::logic_error("shrink_stream: input configuration passes");
+  }
+  // Pass 1: prune plan suffix nodes (make_plan is prefix-stable).
+  while (cur.plan_nodes > 1) {
+    StreamChaosConfig cand = cur;
+    --cand.plan_nodes;
+    const StreamChaosOutcome o = run_stream_chaos_once(cand);
+    ++sr.runs;
+    if (!o.passed) {
+      cur = cand;
+      cur_out = o;
+    } else {
+      break;
+    }
+  }
+  // Pass 2: drop kills one at a time.
+  while (cur.kills > 0) {
+    StreamChaosConfig cand = cur;
+    --cand.kills;
+    const StreamChaosOutcome o = run_stream_chaos_once(cand);
+    ++sr.runs;
+    if (!o.passed) {
+      cur = cand;
+      cur_out = o;
+    } else {
+      break;
+    }
+  }
+  sr.minimal = cur;
+  sr.outcome = std::move(cur_out);
+  sr.replay = format_stream_replay(sr.minimal);
+  return sr;
+}
+
+}  // namespace hpbdc::chaos

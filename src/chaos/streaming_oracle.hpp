@@ -1,0 +1,82 @@
+#pragma once
+// Streaming differential oracle: the chaos harness's counterpart of
+// run_chaos_once for the distributed streaming runtime (src/dstream). One
+// run takes a seeded logical plan, lowers it to a streaming job, and
+// executes it three ways:
+//
+//   1. reference_streaming — trusted timing-free local evaluation,
+//   2. a fault-free distributed run on a fresh simulated cluster,
+//   3. a faulted distributed run under a seeded executor-kill schedule
+//      (make_kill_schedule: kills land mid-stream, i.e. mid-window, and
+//      every kill pairs with a recovery),
+//
+// and requires all three committed multisets to be BIT-IDENTICAL under
+// canonical_stream_bytes — the exactly-once guarantee: a node killed
+// mid-window must not lose, duplicate, or re-time a single committed row.
+// Liveness (completion within the horizon) and progress (>= 1 completed
+// epoch) are checked on both distributed runs. On violation,
+// shrink_stream() prunes plan suffix nodes, then drops kills, to a minimal
+// one-line replay spec.
+
+#include <cstdint>
+#include <string>
+
+#include "dist/options.hpp"
+
+namespace hpbdc::chaos {
+
+/// Whole replay state of one streaming chaos run. Field meanings mirror
+/// ChaosConfig; kill_seed drives make_kill_schedule instead of a full
+/// FaultPlan (the streaming runtime injects kills through its own
+/// kill_node_at/recover_node_at, same as the serve campaigns).
+struct StreamChaosConfig {
+  std::uint64_t plan_seed = 1;
+  std::uint64_t kill_seed = 1;
+  std::size_t plan_nodes = 4;
+  std::uint64_t rows = 192;       // events per source stage
+  std::size_t ntasks = 2;         // tasks per streaming stage
+  std::size_t cluster_nodes = 6;  // node 0 hosts coordinator + sink
+  std::size_t kills = 1;
+  double horizon = 600.0;  // liveness watchdog (simulated seconds)
+  /// Streaming is push-shaped; pull is kept for differential coverage.
+  dist::TransportKind transport = dist::TransportKind::kPush;
+  /// Seeded-bug hook: arm StreamConfig::buggy_restore (sources resume one
+  /// event past the checkpointed offset) so the oracle has a known-broken
+  /// target to catch and shrink.
+  bool inject_restore_bug = false;
+};
+
+/// One line, e.g. "spseed=3,skseed=9,nodes=4,rows=192,tasks=2,cluster=6,
+/// kills=1". The "spseed" prefix keeps streaming specs distinguishable from
+/// batch ones (chaos_demo --replay dispatches on it). ",bug=1" and ",tp=0"
+/// are appended only when armed/non-default, so minimal specs stay short.
+std::string format_stream_replay(const StreamChaosConfig& cfg);
+StreamChaosConfig parse_stream_replay(const std::string& spec);
+
+struct StreamChaosOutcome {
+  bool passed = true;
+  std::string violation;  // first failed check; empty when passed
+  std::string plan;       // LogicalPlan::describe()
+  std::size_t result_rows = 0;
+  std::uint64_t epochs_completed = 0;  // faulted run
+  std::uint64_t recoveries = 0;        // faulted run
+  std::uint64_t kills_scheduled = 0;
+  double makespan = 0;  // faulted run
+};
+
+/// One full differential run (reference, fault-free, faulted).
+StreamChaosOutcome run_stream_chaos_once(const StreamChaosConfig& cfg);
+
+struct StreamShrinkResult {
+  StreamChaosConfig minimal;
+  StreamChaosOutcome outcome;  // its outcome (passed == false)
+  std::size_t runs = 0;
+  std::string replay;  // format_stream_replay(minimal)
+};
+
+/// Shrink a failing config: prune plan suffix nodes (plans are
+/// prefix-stable), then drop kills, to a fixpoint. The input must fail;
+/// throws std::logic_error if it passes.
+StreamShrinkResult shrink_stream(const StreamChaosConfig& failing);
+
+}  // namespace hpbdc::chaos

@@ -145,6 +145,32 @@ class WindowedAggregator {
   /// Force-close every open window (end of stream).
   void flush() { fire_up_to(std::numeric_limits<double>::infinity()); }
 
+  /// Fire every window with end <= wm, leaving the internal bounded-lateness
+  /// watermark untouched. This is the hook for EXTERNALLY driven watermarks:
+  /// the distributed streaming runtime (src/dstream) constructs aggregators
+  /// with allowed_lateness = +infinity (which disables the internal watermark
+  /// and its late-drop path entirely) and advances them from barrier-aligned
+  /// channel watermarks instead.
+  void advance_watermark(double wm) { fire_up_to(wm); }
+
+  /// Visit every open accumulator as fn(start, end, key, value) — the state a
+  /// checkpoint must capture. Iteration order is unspecified beyond being
+  /// grouped by ascending window end; callers needing determinism sort.
+  template <typename Fn>
+  void for_each_open(Fn&& fn) const {
+    for (const auto& [end, per_key] : state_) {
+      for (const auto& [wk, slot] : per_key) fn(wk.start, end, wk.key, slot.value);
+    }
+  }
+
+  /// Re-insert one open accumulator (checkpoint restore). The window must not
+  /// already have fired; restoring into a fresh aggregator is the intended use.
+  void restore_open(double start, double end, const K& key, Acc value) {
+    auto& slot = state_[end][WindowKey{start, key}];
+    slot.value = std::move(value);
+    slot.initialized = true;
+  }
+
   std::vector<WindowResult<K, Acc>> take_results() { return std::move(results_); }
   std::uint64_t late_dropped() const noexcept { return late_dropped_; }
   std::size_t open_windows() const noexcept { return state_.size(); }
@@ -362,6 +388,36 @@ class WindowJoin {
   std::vector<JoinResult<K, L, R>> take_results() { return std::move(results_); }
   std::uint64_t late_dropped() const noexcept { return late_dropped_; }
   std::size_t open_windows() const noexcept { return state_.size(); }
+
+  /// Expire every window with end <= wm without touching the internal
+  /// watermark — the externally-driven counterpart of advance on the
+  /// aggregator (see WindowedAggregator::advance_watermark); src/dstream
+  /// drives this from barrier-aligned channel watermarks.
+  void advance_watermark(double wm) { expire(wm); }
+
+  /// Visit buffered build/probe events as fn(window_end, key, payload); the
+  /// window start is end − size for the tumbling spec this join uses.
+  template <typename Fn>
+  void for_each_left(Fn&& fn) const {
+    for (const auto& [end, ws] : state_) {
+      for (const auto& [k, v] : ws.left) fn(end, k, v);
+    }
+  }
+  template <typename Fn>
+  void for_each_right(Fn&& fn) const {
+    for (const auto& [end, ws] : state_) {
+      for (const auto& [k, v] : ws.right) fn(end, k, v);
+    }
+  }
+
+  /// Checkpoint restore: re-buffer one event without probing (the pairs it
+  /// already produced are part of downstream state, not this operator's).
+  void restore_left(double window_end, const K& key, L payload) {
+    state_[window_end].left.emplace(key, std::move(payload));
+  }
+  void restore_right(double window_end, const K& key, R payload) {
+    state_[window_end].right.emplace(key, std::move(payload));
+  }
 
   /// Total buffered events across open windows (state-size metric for F4).
   std::size_t buffered() const noexcept {

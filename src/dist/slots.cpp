@@ -40,6 +40,23 @@ void JobSlotPool::submit(JobSpec job, const RuntimeOptions& opts,
   throw std::logic_error("JobSlotPool: saturated (check saturated() first)");
 }
 
+std::size_t JobSlotPool::reserve_slot() {
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i]->busy) continue;
+    slots_[i]->busy = true;
+    ++busy_;
+    return i;
+  }
+  throw std::logic_error("JobSlotPool: saturated (check saturated() first)");
+}
+
+void JobSlotPool::release_slot(std::size_t i) {
+  Slot& slot = *slots_.at(i);
+  if (!slot.busy) throw std::logic_error("JobSlotPool: slot not reserved");
+  slot.busy = false;
+  --busy_;
+}
+
 void JobSlotPool::kill_node_at(std::size_t node, sim::SimTime t) {
   for (auto& s : slots_) s->rt.kill_node_at(node, t);
 }

@@ -46,6 +46,15 @@ class JobSlotPool {
   void submit(JobSpec job, DistRuntime::JobDoneFn done);
   void submit(JobSpec job, const RuntimeOptions& opts, DistRuntime::JobDoneFn done);
 
+  /// Take a slot out of rotation without running a batch job on it — the
+  /// serve layer parks a long-lived STREAMING job here so admission control
+  /// and the saturation/backpressure signals see one executor slot held for
+  /// the job's whole lifetime (epochs, not a single run). Returns the slot
+  /// index; throws std::logic_error when saturated. release_slot() returns
+  /// it to rotation (idempotence is NOT provided; release exactly once).
+  std::size_t reserve_slot();
+  void release_slot(std::size_t i);
+
   /// Fault injection, fanned out to every slot (and the shared DFS, which
   /// tolerates the resulting duplicate fail/recover calls).
   void kill_node_at(std::size_t node, sim::SimTime t);

@@ -1,0 +1,239 @@
+#include "dstream/streaming.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+#include <map>
+#include <set>
+#include <stdexcept>
+
+#include "common/hash.hpp"
+#include "dataflow/stream.hpp"
+
+namespace hpbdc::dstream {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+std::uint64_t double_bits(double d) {
+  std::uint64_t b;
+  static_assert(sizeof(b) == sizeof(d));
+  std::memcpy(&b, &d, sizeof(b));
+  return b;
+}
+
+/// Uniform [0, 1) from a hash, deterministic across platforms.
+double u01(std::uint64_t h) { return static_cast<double>(h >> 11) * 0x1.0p-53; }
+
+}  // namespace
+
+StreamJobSpec lower_streaming(const plan::LogicalPlan& plan,
+                              const StreamingOptions& opts) {
+  if (plan.nodes.empty()) throw std::invalid_argument("lower_streaming: empty plan");
+  if (opts.ntasks == 0) throw std::invalid_argument("lower_streaming: zero ntasks");
+  if (opts.disorder >= opts.lateness) {
+    throw std::invalid_argument(
+        "lower_streaming: disorder must stay under the lateness bound "
+        "(otherwise ordinary jitter is dropped as late)");
+  }
+  StreamJobSpec spec;
+  spec.opts = opts;
+  spec.stages.reserve(plan.nodes.size() + 1);
+  for (const plan::PlanNode& nd : plan.nodes) {
+    StreamStage st;
+    switch (nd.op) {
+      case plan::OpKind::kSource:
+        st.kind = StreamStage::Kind::kSource;
+        st.salt = nd.salt;
+        st.rows = nd.rows;
+        break;
+      case plan::OpKind::kFused:
+        if (!nd.steps.empty() && nd.steps.front().op == plan::OpKind::kSource) {
+          st.kind = StreamStage::Kind::kSource;
+          st.salt = nd.steps.front().salt;
+          st.rows = nd.steps.front().rows;
+          st.steps.assign(nd.steps.begin() + 1, nd.steps.end());
+        } else {
+          st.kind = StreamStage::Kind::kStateless;
+          st.steps = nd.steps;
+          st.parents.push_back(nd.left);
+        }
+        break;
+      case plan::OpKind::kMap:
+      case plan::OpKind::kMapValues:
+      case plan::OpKind::kFilter:
+      case plan::OpKind::kFilterKey:
+      case plan::OpKind::kFlatMap:
+        st.kind = StreamStage::Kind::kStateless;
+        st.steps.push_back(plan::NarrowStep{nd.op, nd.salt, 0});
+        st.parents.push_back(nd.left);
+        break;
+      case plan::OpKind::kSortBy:
+        // Streams are unordered multisets; sort_by is the identity here just
+        // as it is for the batch canonical comparison.
+        st.kind = StreamStage::Kind::kStateless;
+        st.parents.push_back(nd.left);
+        break;
+      case plan::OpKind::kReduceByKey:
+        st.kind = StreamStage::Kind::kAggregate;
+        st.parents.push_back(nd.left);
+        break;
+      case plan::OpKind::kDistinct:
+        st.kind = StreamStage::Kind::kDistinct;
+        st.parents.push_back(nd.left);
+        break;
+      case plan::OpKind::kJoin:
+        st.kind = StreamStage::Kind::kJoin;
+        st.parents.push_back(nd.left);
+        st.parents.push_back(nd.right);
+        break;
+    }
+    spec.stages.push_back(std::move(st));
+  }
+  StreamStage sink;
+  sink.kind = StreamStage::Kind::kSink;
+  sink.parents = plan.sinks;
+  spec.stages.push_back(std::move(sink));
+  return spec;
+}
+
+std::vector<SourceItem> source_partition_items(const StreamStage& stage,
+                                               const StreamingOptions& opts,
+                                               std::size_t part, std::size_t nparts,
+                                               std::uint64_t* late_dropped) {
+  if (stage.kind != StreamStage::Kind::kSource) {
+    throw std::invalid_argument("source_partition_items: not a source stage");
+  }
+  const std::vector<plan::Row> rows = plan::source_rows(stage.salt, stage.rows);
+  std::vector<SourceItem> items;
+  double max_seen = -kInf;
+  for (std::uint64_t j = part; j < stage.rows; j += nparts) {
+    const double base = static_cast<double>(j) / opts.rate;
+    const std::uint64_t h = mix64(stage.salt ^ (j * 0x9e3779b97f4a7c15ULL));
+    const bool very_late = mix64(h ^ 0xd1b54a32d192ed03ULL) % 1000 < opts.late_permille;
+    const double t = std::max(
+        0.0, very_late ? base - opts.very_late : base - opts.disorder * u01(h));
+    // The per-partition watermark gate. Dropping here (not at the operators)
+    // is what makes lateness deterministic: the decision depends only on this
+    // partition's own deterministic stream, never on cross-node timing.
+    if (t < max_seen - opts.lateness) {
+      if (late_dropped != nullptr) ++*late_dropped;
+      continue;
+    }
+    max_seen = std::max(max_seen, t);
+    SourceItem it;
+    it.time = t;
+    it.emit_at = base;
+    it.wm_after = max_seen - opts.lateness;
+    it.rows = plan::apply_steps(stage.steps, 0, {rows[j]});
+    items.push_back(std::move(it));
+  }
+  return items;
+}
+
+std::vector<TimedRow> reference_streaming(const StreamJobSpec& spec) {
+  using dataflow::stream::WindowSpec;
+  using dataflow::stream::assign_windows;
+  const WindowSpec wspec = WindowSpec::tumbling(spec.opts.window);
+
+  std::vector<std::vector<TimedRow>> outs(spec.stages.size());
+  for (std::size_t s = 0; s < spec.stages.size(); ++s) {
+    const StreamStage& st = spec.stages[s];
+    std::vector<TimedRow>& out = outs[s];
+    switch (st.kind) {
+      case StreamStage::Kind::kSource: {
+        for (std::size_t p = 0; p < spec.opts.ntasks; ++p) {
+          for (const SourceItem& it :
+               source_partition_items(st, spec.opts, p, spec.opts.ntasks)) {
+            for (const plan::Row& r : it.rows) out.push_back({it.time, r});
+          }
+        }
+        break;
+      }
+      case StreamStage::Kind::kStateless: {
+        for (const TimedRow& ev : outs[st.parents[0]]) {
+          for (const plan::Row& r : plan::apply_steps(st.steps, 0, {ev.row})) {
+            out.push_back({ev.time, r});
+          }
+        }
+        break;
+      }
+      case StreamStage::Kind::kAggregate: {
+        // (window end, key) -> running combine; ordered map for determinism.
+        std::map<std::pair<std::uint64_t, std::uint64_t>, std::uint64_t> acc;
+        std::map<std::pair<std::uint64_t, std::uint64_t>, double> ends;
+        for (const TimedRow& ev : outs[st.parents[0]]) {
+          const auto w = assign_windows(wspec, ev.time)[0];
+          const auto k = std::pair{double_bits(w.end), ev.row.first};
+          // Combine into a zero accumulator even for the first value — the
+          // distributed WindowedAggregator starts from Acc{} and combines, so
+          // the reference must fold identically.
+          auto [it, fresh] = acc.try_emplace(k, std::uint64_t{0});
+          it->second = plan::reduce_combine(it->second, ev.row.second);
+          ends[k] = w.end;
+        }
+        for (const auto& [k, v] : acc) {
+          out.push_back({ends[k], plan::Row{k.second, v}});
+        }
+        break;
+      }
+      case StreamStage::Kind::kDistinct: {
+        std::set<std::pair<std::uint64_t, plan::Row>> seen;
+        for (const TimedRow& ev : outs[st.parents[0]]) {
+          const auto w = assign_windows(wspec, ev.time)[0];
+          if (seen.insert({double_bits(w.end), ev.row}).second) {
+            out.push_back({w.end, ev.row});
+          }
+        }
+        break;
+      }
+      case StreamStage::Kind::kJoin: {
+        std::map<std::pair<std::uint64_t, std::uint64_t>,
+                 std::pair<std::vector<TimedRow>, std::vector<TimedRow>>>
+            buckets;
+        for (const TimedRow& ev : outs[st.parents[0]]) {
+          const auto w = assign_windows(wspec, ev.time)[0];
+          buckets[{double_bits(w.end), ev.row.first}].first.push_back(ev);
+        }
+        for (const TimedRow& ev : outs[st.parents[1]]) {
+          const auto w = assign_windows(wspec, ev.time)[0];
+          buckets[{double_bits(w.end), ev.row.first}].second.push_back(ev);
+        }
+        for (const auto& [k, lr] : buckets) {
+          for (const TimedRow& l : lr.first) {
+            for (const TimedRow& r : lr.second) {
+              out.push_back({std::max(l.time, r.time),
+                             plan::join_rows(k.second, l.row.second, r.row.second)});
+            }
+          }
+        }
+        break;
+      }
+      case StreamStage::Kind::kSink: {
+        for (std::size_t p : st.parents) {
+          out.insert(out.end(), outs[p].begin(), outs[p].end());
+        }
+        break;
+      }
+    }
+  }
+  return std::move(outs.back());
+}
+
+Bytes canonical_stream_bytes(std::vector<TimedRow> rows) {
+  std::sort(rows.begin(), rows.end(), [](const TimedRow& a, const TimedRow& b) {
+    const auto ab = double_bits(a.time), bb = double_bits(b.time);
+    return ab != bb ? ab < bb : a.row < b.row;
+  });
+  BufWriter w(rows.size() * 24 + 8);
+  w.write_varint(rows.size());
+  for (const TimedRow& r : rows) {
+    w.write_pod(double_bits(r.time));
+    w.write_pod(r.row.first);
+    w.write_pod(r.row.second);
+  }
+  return w.take();
+}
+
+}  // namespace hpbdc::dstream

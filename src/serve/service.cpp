@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <limits>
 #include <stdexcept>
+#include <utility>
 
+#include "dstream/runtime.hpp"
 #include "plan/lower.hpp"
 #include "plan/optimizer.hpp"
 
@@ -37,9 +39,11 @@ const char* reject_name(Reject r) {
   return "invalid";
 }
 
-JobService::JobService(dist::JobSlotPool& pool, ServeConfig cfg)
+JobService::JobService(dist::JobSlotPool& pool, ServeConfig cfg,
+                       dstream::StreamRuntime* streams)
     : pool_(pool),
       cfg_(cfg),
+      streams_(streams),
       drf_({static_cast<double>(pool.slots()), cfg.drf_work_capacity,
             cfg.drf_mem_capacity}),
       cache_(std::max<std::size_t>(1, cfg.cache_capacity)) {
@@ -134,6 +138,7 @@ void JobService::finish(PendingJob& job, Status status, bool cache_hit,
   c.finish_time = sim().now();
   c.fingerprint = job.fp;
   c.dist_submits = job.dist_submits;
+  c.epochs = job.epochs;
   c.rows = std::move(rows);
   if (status == Status::kCompleted) {
     stats_.completed++;
@@ -149,6 +154,10 @@ void JobService::finish(PendingJob& job, Status status, bool cache_hit,
 }
 
 std::uint64_t JobService::submit(SubmitRequest req, DoneFn done) {
+  if (req.streaming.has_value() && streams_ == nullptr) {
+    throw std::invalid_argument(
+        "JobService: streaming submission without a StreamRuntime backend");
+  }
   const double now = sim().now();
   const std::uint64_t id = next_id_++;
   stats_.submitted++;
@@ -174,9 +183,12 @@ std::uint64_t JobService::submit(SubmitRequest req, DoneFn done) {
   job.enqueue_time = now;
   job.optimized = plan::optimize(req.plan);
   job.runtime = req.runtime;
+  job.streaming = req.streaming;
   job.fp = plan::fingerprint(job.optimized);
+  const std::size_t job_ntasks =
+      job.streaming.has_value() ? job.streaming->ntasks : cfg_.ntasks;
   job.demand = {1.0,
-                static_cast<double>((job.optimized.nodes.size() + 1) * cfg_.ntasks),
+                static_cast<double>((job.optimized.nodes.size() + 1) * job_ntasks),
                 static_cast<double>(source_rows_of(job.optimized))};
   for (std::size_t r = 0; r < job.demand.size(); ++r) {
     job.demand_share =
@@ -185,7 +197,11 @@ std::uint64_t JobService::submit(SubmitRequest req, DoneFn done) {
   job.done = std::move(done);
 
   // 3. Result cache: a hit consumes no queue entry and no executor.
-  if (cfg_.cache_capacity > 0) {
+  // Streaming jobs bypass it entirely — lookup AND insert — since a
+  // continuous job's output depends on source timing and epoch cadence, not
+  // just the plan fingerprint, and must never answer (or poison) a batch
+  // submission of the same plan.
+  if (cfg_.cache_capacity > 0 && !job.streaming.has_value()) {
     if (const auto* rows = cache_.get(job.fp)) {
       stats_.admitted++;
       stats_.cache_hits++;
@@ -241,6 +257,10 @@ void JobService::dispatch() {
     for (auto& [tid, ts] : tenants_) {
       if (ts.queue.empty()) continue;
       const PendingJob& head = ts.queue.front();
+      // The streaming backend runs one job at a time; a streaming head waits
+      // (without blocking the tenant's batch competitors elsewhere) until the
+      // previous stream finishes and frees both the backend and its slot.
+      if (head.streaming.has_value() && streams_->busy()) continue;
       const double burden = drf_.dominant_share(tid) +
                             cfg_.usage_weight * usage_.usage(tid);
       const double score =
@@ -273,6 +293,10 @@ void JobService::dispatch() {
 }
 
 void JobService::launch(PendingJob job) {
+  if (job.streaming.has_value()) {
+    launch_streaming(std::move(job));
+    return;
+  }
   drf_.acquire(job.tenant, job.demand);
   running_++;
   stats_.max_running = std::max(stats_.max_running, running_);
@@ -281,6 +305,54 @@ void JobService::launch(PendingJob job) {
   auto sp = std::make_shared<PendingJob>(std::move(job));
   pool_.submit(plan::lower_dist(sp->optimized, cfg_.ntasks), sp->runtime,
                [this, sp](const dist::JobResult& r) { on_job_done(sp, r); });
+}
+
+void JobService::launch_streaming(PendingJob job) {
+  // The job holds resources for its WHOLE lifetime: one pool slot (so batch
+  // admission, saturation, and backpressure all see the stream as a running
+  // tenant) plus its DRF demand vector. Usage, by contrast, accrues per
+  // completed epoch — a long-lived stream steadily loses scheduling priority
+  // to its tenant's batch jobs instead of looking free until it ends.
+  drf_.acquire(job.tenant, job.demand);
+  running_++;
+  stats_.max_running = std::max(stats_.max_running, running_);
+  stats_.streaming_launched++;
+  job.launch_time = sim().now();
+  job.dist_submits++;
+  const std::size_t slot = pool_.reserve_slot();
+  auto sp = std::make_shared<PendingJob>(std::move(job));
+  dstream::StreamJobSpec spec =
+      dstream::lower_streaming(sp->optimized, *sp->streaming);
+  streams_->submit(
+      std::move(spec), sp->runtime,
+      [this, sp, slot](const dstream::StreamResult& r) {
+        usage_.charge(sp->tenant,
+                      sp->demand_share * (sim().now() - sp->launch_time));
+        drf_.release(sp->tenant, sp->demand);
+        running_--;
+        pool_.release_slot(slot);
+        std::vector<plan::Row> rows;
+        if (r.ok) {
+          rows.reserve(r.committed.size());
+          for (const dstream::CommittedRow& c : r.committed) {
+            rows.push_back(c.row.row);
+          }
+        }
+        // No service-level retry: the stream runtime already recovers from
+        // node deaths internally, so a terminal failure here is structural.
+        finish(*sp, r.ok ? Status::kCompleted : Status::kFailed, false,
+               std::move(rows));
+        update_gauges();
+        dispatch();
+      },
+      [this, sp](std::uint64_t /*epoch*/, double /*sink_watermark*/) {
+        const double now = sim().now();
+        usage_.charge(sp->tenant,
+                      sp->demand_share * (now - sp->launch_time));
+        sp->launch_time = now;
+        sp->epochs++;
+        stats_.streaming_epochs++;
+      });
 }
 
 void JobService::on_job_done(const std::shared_ptr<PendingJob>& job,

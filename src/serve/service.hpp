@@ -36,14 +36,20 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "cluster/fair_share.hpp"
 #include "dist/slots.hpp"
+#include "dstream/streaming.hpp"
 #include "obs/metrics.hpp"
 #include "plan/plan.hpp"
 #include "serve/cache.hpp"
+
+namespace hpbdc::dstream {
+class StreamRuntime;
+}  // namespace hpbdc::dstream
 
 namespace hpbdc::serve {
 
@@ -72,7 +78,16 @@ struct SubmitRequest {
   int priority = 0;     // higher = scheduled sooner
   /// Per-job executor options (shuffle transport + flow knobs), carried
   /// through queueing/retries down to DistRuntime::submit. Defaults = pull.
+  /// Streaming jobs normally select the push transport here — the credit-
+  /// paced flow channels are what give the runtime real backpressure.
   dist::RuntimeOptions runtime;
+  /// Present = this is a STREAMING job: the plan lowers through
+  /// dstream::lower_streaming onto the service's StreamRuntime instead of a
+  /// batch slot. The job holds one pool slot for its whole run (admission
+  /// and backpressure see it like any tenant), skips the result cache
+  /// (continuous output is not a memoizable function of the plan), and is
+  /// DRF-charged per completed epoch rather than once at job end.
+  std::optional<dstream::StreamingOptions> streaming;
 };
 
 /// The exactly-once terminal event of a submission.
@@ -86,6 +101,7 @@ struct Completion {
   double finish_time = 0;
   std::uint64_t fingerprint = 0;
   std::size_t dist_submits = 0;  // executor runs consumed (0 for hits/sheds)
+  std::uint64_t epochs = 0;      // streaming jobs: completed epochs
   std::vector<plan::Row> rows;   // kCompleted only
   double latency() const noexcept { return finish_time - submit_time; }
 };
@@ -128,6 +144,8 @@ struct ServeStats {
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
   std::uint64_t dist_retries = 0;  // service-level resubmits after a failure
+  std::uint64_t streaming_launched = 0;
+  std::uint64_t streaming_epochs = 0;  // DRF charge points across all stream jobs
   std::size_t max_queue_depth = 0;
   std::size_t max_running = 0;
 };
@@ -136,7 +154,11 @@ class JobService {
  public:
   using DoneFn = std::function<void(const Completion&)>;
 
-  JobService(dist::JobSlotPool& pool, ServeConfig cfg);
+  /// `streams` is the (single-job) streaming backend; nullptr = streaming
+  /// submissions are rejected with std::invalid_argument. Batch-only callers
+  /// are unchanged.
+  JobService(dist::JobSlotPool& pool, ServeConfig cfg,
+             dstream::StreamRuntime* streams = nullptr);
 
   /// serve.* counters/gauges/histograms (global + lazy per-tenant latency).
   void bind_metrics(obs::MetricsRegistry& reg);
@@ -165,11 +187,13 @@ class JobService {
     double enqueue_time = 0;  // original admission; preserved across retries
     plan::LogicalPlan optimized;
     dist::RuntimeOptions runtime;
+    std::optional<dstream::StreamingOptions> streaming;
     std::uint64_t fp = 0;
     std::vector<double> demand;  // DRF resource vector
     double demand_share = 0;     // max_r demand[r] / capacity[r]
-    double launch_time = 0;      // of the current executor run
+    double launch_time = 0;  // current run; streaming: last DRF charge point
     std::size_t dist_submits = 0;
+    std::uint64_t epochs = 0;  // streaming: completed epochs so far
     DoneFn done;
   };
 
@@ -190,6 +214,7 @@ class JobService {
               std::vector<plan::Row> rows);
   void dispatch();
   void launch(PendingJob job);
+  void launch_streaming(PendingJob job);
   void on_job_done(const std::shared_ptr<PendingJob>& job,
                    const dist::JobResult& res);
   void update_gauges();
@@ -199,6 +224,7 @@ class JobService {
 
   dist::JobSlotPool& pool_;
   ServeConfig cfg_;
+  dstream::StreamRuntime* streams_ = nullptr;
   cluster::DrfLedger drf_;      // in-flight resources
   cluster::UsageLedger usage_;  // accumulated dominant-share-seconds
   LruCache<std::uint64_t, std::vector<plan::Row>> cache_;

@@ -19,6 +19,7 @@
 #include "chaos/harness.hpp"
 #include "chaos/linearizability.hpp"
 #include "chaos/plan_gen.hpp"
+#include "chaos/streaming_oracle.hpp"
 #include "exec/thread_pool.hpp"
 #include "sim/fault.hpp"
 #include "sim/network.hpp"
@@ -116,6 +117,14 @@ TEST(ChaosReplay, RejectsMalformedSpecs) {
 TEST(ChaosReplay, FromCommandLine) {
   if (g_replay_spec.empty()) {
     GTEST_SKIP() << "no --replay=<spec> given";
+  }
+  // Streaming specs lead with "spseed="; batch specs with "pseed=".
+  if (g_replay_spec.rfind("spseed=", 0) == 0) {
+    const StreamChaosConfig cfg = parse_stream_replay(g_replay_spec);
+    const auto out = run_stream_chaos_once(cfg);
+    EXPECT_TRUE(out.passed) << "replayed violation: " << out.violation
+                            << "\nplan: " << out.plan;
+    return;
   }
   const ChaosConfig cfg = parse_replay(g_replay_spec);
   const auto out = run_chaos_once(cfg, pool());
@@ -244,6 +253,110 @@ TEST(ChaosShrink, RefusesPassingInput) {
   ChaosConfig cfg = smoke_config(3);
   cfg.fault_mask = 0;
   EXPECT_THROW(shrink(cfg, pool()), std::logic_error);
+}
+
+// --- streaming differential oracle (src/dstream under kills) ------------
+
+/// Streaming campaign seed -> configuration, same spirit as smoke_config:
+/// vary plan shape, parallelism, cluster size, and kill count with the seed.
+StreamChaosConfig stream_smoke_config(std::uint64_t seed) {
+  StreamChaosConfig cfg;
+  cfg.plan_seed = seed;
+  cfg.kill_seed = seed * 11 + 3;
+  cfg.plan_nodes = 3 + static_cast<std::size_t>(seed % 4);
+  cfg.rows = 128 + (seed % 3) * 64;
+  cfg.ntasks = 2 + static_cast<std::size_t>(seed % 2);
+  cfg.cluster_nodes = 5 + static_cast<std::size_t>(seed % 2);
+  cfg.kills = 1 + static_cast<std::size_t>(seed % 2);
+  return cfg;
+}
+
+TEST(StreamChaosReplay, FormatParseRoundTrip) {
+  StreamChaosConfig cfg = stream_smoke_config(13);
+  cfg.inject_restore_bug = true;
+  cfg.transport = dist::TransportKind::kPull;
+  const std::string spec = format_stream_replay(cfg);
+  const StreamChaosConfig back = parse_stream_replay(spec);
+  EXPECT_EQ(back.plan_seed, cfg.plan_seed);
+  EXPECT_EQ(back.kill_seed, cfg.kill_seed);
+  EXPECT_EQ(back.plan_nodes, cfg.plan_nodes);
+  EXPECT_EQ(back.rows, cfg.rows);
+  EXPECT_EQ(back.ntasks, cfg.ntasks);
+  EXPECT_EQ(back.cluster_nodes, cfg.cluster_nodes);
+  EXPECT_EQ(back.kills, cfg.kills);
+  EXPECT_EQ(back.inject_restore_bug, cfg.inject_restore_bug);
+  EXPECT_EQ(back.transport, cfg.transport);
+  EXPECT_EQ(format_stream_replay(back), spec);
+
+  // Default transport (push) and unarmed bug must not appear in the spec.
+  const std::string plain = format_stream_replay(stream_smoke_config(13));
+  EXPECT_EQ(plain.find("tp="), std::string::npos);
+  EXPECT_EQ(plain.find("bug="), std::string::npos);
+
+  EXPECT_THROW(parse_stream_replay("spseed=1,bogus"), std::invalid_argument);
+  EXPECT_THROW(parse_stream_replay("spseed=1,what=2"), std::invalid_argument);
+}
+
+TEST(StreamChaosSmoke, FixedSeedBatch) {
+  std::uint64_t total_recoveries = 0;
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    const StreamChaosConfig cfg = stream_smoke_config(seed);
+    const auto out = run_stream_chaos_once(cfg);
+    ASSERT_TRUE(out.passed) << "seed " << seed << ": " << out.violation
+                            << "\nreplay: " << format_stream_replay(cfg)
+                            << "\nplan: " << out.plan;
+    EXPECT_GE(out.epochs_completed, 1u) << "seed " << seed;
+    total_recoveries += out.recoveries;
+  }
+  EXPECT_GT(total_recoveries, 0u)
+      << "a kill batch should force at least one checkpoint recovery";
+}
+
+/// Full streaming campaign, opt-in: HPBDC_STREAM_CHAOS_RUNS=25 ctest.
+TEST(StreamChaosSmoke, CampaignEnvGated) {
+  const char* env = std::getenv("HPBDC_STREAM_CHAOS_RUNS");
+  if (env == nullptr) {
+    GTEST_SKIP() << "set HPBDC_STREAM_CHAOS_RUNS=<n> to run the full campaign";
+  }
+  const std::uint64_t runs = std::strtoull(env, nullptr, 10);
+  for (std::uint64_t seed = 2000; seed < 2000 + runs; ++seed) {
+    const auto out = run_stream_chaos_once(stream_smoke_config(seed));
+    ASSERT_TRUE(out.passed)
+        << "seed " << seed << ": " << out.violation
+        << "\nreplay: " << format_stream_replay(stream_smoke_config(seed));
+  }
+}
+
+/// Acceptance: the seeded restore off-by-one (sources resume one event past
+/// the checkpointed offset) is caught by the oracle and shrunk to a spec.
+TEST(StreamChaosShrink, SeededRestoreBugIsCaughtAndShrunk) {
+  StreamChaosConfig failing;
+  bool found = false;
+  for (std::uint64_t seed = 1; seed <= 25 && !found; ++seed) {
+    StreamChaosConfig cfg = stream_smoke_config(seed);
+    cfg.inject_restore_bug = true;
+    const auto out = run_stream_chaos_once(cfg);
+    if (!out.passed) {
+      failing = cfg;
+      found = true;
+    }
+  }
+  ASSERT_TRUE(found) << "no smoke seed tripped the seeded restore bug";
+
+  const StreamShrinkResult sr = shrink_stream(failing);
+  EXPECT_FALSE(sr.outcome.passed);
+  EXPECT_LE(sr.minimal.plan_nodes, failing.plan_nodes);
+  EXPECT_GE(sr.runs, 2u);
+  ASSERT_FALSE(sr.replay.empty());
+
+  const StreamChaosConfig replayed = parse_stream_replay(sr.replay);
+  const auto again = run_stream_chaos_once(replayed);
+  EXPECT_FALSE(again.passed);
+  EXPECT_EQ(again.violation, sr.outcome.violation);
+}
+
+TEST(StreamChaosShrink, RefusesPassingInput) {
+  EXPECT_THROW(shrink_stream(stream_smoke_config(1)), std::logic_error);
 }
 
 // --- linearizability checker on handcrafted histories -------------------

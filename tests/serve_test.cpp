@@ -12,6 +12,8 @@
 
 #include "chaos/plan_gen.hpp"
 #include "dataflow/context.hpp"
+#include "dstream/runtime.hpp"
+#include "dstream/streaming.hpp"
 #include "exec/thread_pool.hpp"
 #include "obs/metrics.hpp"
 #include "plan/lower.hpp"
@@ -321,6 +323,91 @@ TEST(JobService, BindsServeMetrics) {
   EXPECT_EQ(reg.histogram("serve.latency.tenant3").snapshot().count(), 2u);
   EXPECT_EQ(reg.gauge("serve.queue_depth").value(), 0);
   EXPECT_EQ(reg.gauge("serve.running").value(), 0);
+}
+
+// ---- streaming admission ---------------------------------------------------------
+
+TEST(JobService, StreamingJobHoldsASlotChargesEpochsAndSkipsTheCache) {
+  ServeCluster cl(6, 2);
+  dstream::StreamRuntime streams(cl.comm, dstream::StreamConfig{}, &cl.dfs);
+  JobService svc(cl.pool, ServeConfig{}, &streams);
+  const auto p = chaos::make_plan(95, 4, 96);
+  SubmitRequest req;
+  req.tenant = 0;
+  req.plan = p;
+  req.runtime.transport = dist::TransportKind::kPush;
+  req.streaming = dstream::StreamingOptions{};
+  Completion c1, c2;
+  svc.submit(req, [&](const Completion& c) { c1 = c; });
+  // Mid-stream the pool must show the held slot (admission control sees the
+  // stream as a running job for its whole lifetime, not per epoch).
+  cl.sim.schedule_at(0.25, [&] {
+    EXPECT_EQ(cl.pool.busy(), 1u);
+    EXPECT_TRUE(streams.busy());
+  });
+  cl.sim.run();
+  ASSERT_EQ(c1.status, Status::kCompleted);
+  EXPECT_GT(c1.epochs, 0u);
+  EXPECT_EQ(c1.dist_submits, 1u);
+  EXPECT_EQ(cl.pool.busy(), 0u);
+  // The service optimizes before lowering, so the trusted reference must
+  // start from the same optimized plan.
+  const auto spec = dstream::lower_streaming(plan::optimize(p), *req.streaming);
+  std::vector<plan::Row> want;
+  for (const auto& tr : dstream::reference_streaming(spec)) {
+    want.push_back(tr.row);
+  }
+  EXPECT_EQ(plan::canonical_bytes(c1.rows), plan::canonical_bytes(want));
+  // Same plan again: streaming neither answers from nor fills the cache.
+  svc.submit(req, [&](const Completion& c) { c2 = c; });
+  cl.sim.run();
+  ASSERT_EQ(c2.status, Status::kCompleted);
+  EXPECT_FALSE(c2.cache_hit);
+  EXPECT_EQ(c2.dist_submits, 1u);
+  EXPECT_EQ(svc.stats().cache_hits, 0u);
+  EXPECT_EQ(svc.stats().cache_misses, 0u);
+  EXPECT_EQ(svc.stats().streaming_launched, 2u);
+  EXPECT_GE(svc.stats().streaming_epochs, c1.epochs + c2.epochs);
+}
+
+TEST(JobService, SecondStreamWaitsForTheBackendWhileBatchProceeds) {
+  ServeCluster cl(6, 2);
+  dstream::StreamRuntime streams(cl.comm, dstream::StreamConfig{}, &cl.dfs);
+  ServeConfig cfg;
+  cfg.cache_capacity = 0;
+  JobService svc(cl.pool, cfg, &streams);
+  SubmitRequest s1;
+  s1.tenant = 0;
+  s1.plan = chaos::make_plan(96, 3, 64);
+  s1.runtime.transport = dist::TransportKind::kPush;
+  s1.streaming = dstream::StreamingOptions{};
+  SubmitRequest s2 = s1;
+  s2.tenant = 1;
+  s2.plan = chaos::make_plan(97, 3, 64);
+  Completion c1, c2, cb;
+  svc.submit(s1, [&](const Completion& c) { c1 = c; });
+  svc.submit(s2, [&](const Completion& c) { c2 = c; });
+  // A batch tenant takes the second slot right away: the queued stream waits
+  // on the single-job backend without starving anyone else.
+  svc.submit({2, chaos::make_plan(98, 3, 32), 0, 0},
+             [&](const Completion& c) { cb = c; });
+  cl.sim.run();
+  ASSERT_EQ(c1.status, Status::kCompleted);
+  ASSERT_EQ(c2.status, Status::kCompleted);
+  ASSERT_EQ(cb.status, Status::kCompleted);
+  EXPECT_LT(cb.finish_time, c2.finish_time);
+  EXPECT_GE(c2.finish_time, c1.finish_time);  // streams serialized on the backend
+  EXPECT_EQ(svc.stats().streaming_launched, 2u);
+}
+
+TEST(JobService, StreamingSubmissionWithoutBackendThrows) {
+  ServeCluster cl(5, 1);
+  JobService svc(cl.pool, ServeConfig{});
+  SubmitRequest req;
+  req.plan = chaos::make_plan(99, 3, 32);
+  req.streaming = dstream::StreamingOptions{};
+  EXPECT_THROW(svc.submit(req, [](const Completion&) {}),
+               std::invalid_argument);
 }
 
 // ---- service-level chaos campaign ------------------------------------------------

@@ -63,6 +63,12 @@ TEST(Watermark, TrailsMaxByLateness) {
   EXPECT_DOUBLE_EQ(wm.observe(20.0), 18.0);
 }
 
+TEST(Watermark, InfiniteLatenessNeverAdvances) {
+  BoundedLatenessWatermark wm(std::numeric_limits<double>::infinity());
+  wm.observe(1e12);
+  EXPECT_EQ(wm.current(), -std::numeric_limits<double>::infinity());
+}
+
 // ---- windowed aggregation ----------------------------------------------------------
 
 using CountAgg = WindowedAggregator<int, int, int, int (*)(const int&),
@@ -134,6 +140,55 @@ TEST(WindowedAggregator, OutOfOrderWithinLatenessCounted) {
   EXPECT_EQ(per_window[10.0], 1);
 }
 
+TEST(WindowedAggregator, EventExactlyAtTheLatenessBoundIsKept) {
+  // The drop test is STRICT (<): an event landing exactly ON the watermark is
+  // still accepted. This pins the boundary the dstream source gate mirrors —
+  // both sides must agree or distributed and reference runs diverge by
+  // exactly the boundary events.
+  CountAgg agg(WindowSpec::tumbling(10.0), 1.0, key_of, count_agg);
+  agg.on_event({20.0, 1});  // watermark -> 19
+  agg.on_event({19.0, 3});  // exactly at the bound: kept, lands in [10,20)
+  EXPECT_EQ(agg.late_dropped(), 0u);
+  agg.on_event({18.999, 5});  // a hair under: dropped
+  EXPECT_EQ(agg.late_dropped(), 1u);
+  agg.flush();
+  std::map<double, int> per_window;
+  for (const auto& r : agg.take_results()) per_window[r.window.start] += r.value;
+  EXPECT_EQ(per_window[10.0], 1);
+  EXPECT_EQ(per_window[20.0], 1);
+}
+
+TEST(WindowedAggregator, ExternalWatermarkHooksRoundTripOpenState) {
+  // dstream's checkpoint path: +inf lateness disables the internal watermark
+  // (nothing fires, nothing drops), for_each_open snapshots, restore_open
+  // rebuilds a fresh instance, and advance_watermark fires externally.
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  CountAgg agg(WindowSpec::tumbling(10.0), kInf, key_of, count_agg);
+  agg.on_event({1.0, 1});
+  agg.on_event({2.0, 2});
+  agg.on_event({15.0, 3});  // would fire [0,10) under an internal watermark
+  EXPECT_EQ(agg.take_results().size(), 0u);
+  EXPECT_EQ(agg.open_windows(), 2u);
+
+  CountAgg restored(WindowSpec::tumbling(10.0), kInf, key_of, count_agg);
+  std::size_t snapshotted = 0;
+  agg.for_each_open([&](double start, double end, const int& key, const int& v) {
+    restored.restore_open(start, end, key, v);
+    snapshotted++;
+  });
+  EXPECT_EQ(snapshotted, 3u);  // [0,10)x{key0,key1} + [10,20)x{key1}
+
+  restored.advance_watermark(10.0);
+  std::map<int, int> counts;
+  for (const auto& r : restored.take_results()) {
+    EXPECT_DOUBLE_EQ(r.window.start, 0.0);
+    counts[r.key] = r.value;
+  }
+  EXPECT_EQ(counts[1], 1);
+  EXPECT_EQ(counts[0], 1);
+  EXPECT_EQ(restored.open_windows(), 1u);  // [10,20) still open
+}
+
 TEST(WindowedAggregator, SlidingDoubleCounts) {
   auto agg = make_windowed_aggregator<int, int>(
       WindowSpec::sliding(10.0, 5.0), 0.0, [](const int&) { return 0; },
@@ -195,6 +250,47 @@ TEST(SessionAggregator, WatermarkClosesIdleSessions) {
   auto results = agg.take_results();
   ASSERT_EQ(results.size(), 1u);
   EXPECT_EQ(results[0].key, 0);
+}
+
+TEST(SessionAggregator, LateEventExtendsTheCurrentSessionNotTheEmittedOne) {
+  // Order-sensitive behavior, locked on purpose: one live session per key
+  // means an out-of-order event that WOULD have bridged an already-emitted
+  // session instead extends the current session backward. t=1 opens a
+  // session; t=4.5 exceeds the gap, so [1, 3) emits and a new session opens;
+  // the late bridge event t=3 (within lateness, and within gap of BOTH the
+  // emitted session's end and the current session) merges into the current
+  // session only — the emitted result is never resurrected or amended.
+  SessionAggregator<int, int, int, int (*)(const int&), void (*)(int&, const int&)>
+      agg(2.0, 3.0, key_of, count_agg);
+  agg.on_event({1.0, 0});
+  agg.on_event({4.5, 0});  // gap exceeded: session [1, 3) emits
+  auto first = agg.take_results();
+  ASSERT_EQ(first.size(), 1u);
+  EXPECT_DOUBLE_EQ(first[0].window.start, 1.0);
+  EXPECT_DOUBLE_EQ(first[0].window.end, 3.0);
+  EXPECT_EQ(first[0].value, 1);
+  agg.on_event({3.0, 0});  // late bridge: watermark is 1.5, so accepted
+  agg.flush();
+  auto rest = agg.take_results();
+  ASSERT_EQ(rest.size(), 1u);
+  EXPECT_DOUBLE_EQ(rest[0].window.start, 3.0);  // extended backward
+  EXPECT_DOUBLE_EQ(rest[0].window.end, 6.5);    // last(4.5) + gap
+  EXPECT_EQ(rest[0].value, 2);
+}
+
+TEST(SessionAggregator, EventExactlyAtTheLatenessBoundIsKept) {
+  SessionAggregator<int, int, int, int (*)(const int&), void (*)(int&, const int&)>
+      agg(2.0, 1.0, key_of, count_agg);
+  agg.on_event({10.0, 0});  // watermark -> 9
+  agg.on_event({9.0, 0});   // exactly at the bound: joins the session
+  EXPECT_EQ(agg.late_dropped(), 0u);
+  agg.on_event({8.999, 0});  // under it: dropped
+  EXPECT_EQ(agg.late_dropped(), 1u);
+  agg.flush();
+  auto results = agg.take_results();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_DOUBLE_EQ(results[0].window.start, 9.0);
+  EXPECT_EQ(results[0].value, 2);
 }
 
 // ---- window join --------------------------------------------------------------------
@@ -262,6 +358,36 @@ TEST(WindowJoin, LateEventsDroppedAndCounted) {
   j.on_right({10.0, Purchase{1, 3.0}});  // watermark is 50
   EXPECT_EQ(j.late_dropped(), 1u);
   EXPECT_TRUE(j.take_results().empty());
+}
+
+TEST(WindowJoin, StateHooksRestoreWithoutReProbing) {
+  // Checkpoint round trip: buffered events move to a fresh join via
+  // for_each_* / restore_*; restore must NOT re-probe (the pairs the
+  // original already emitted live downstream), but a new arrival against the
+  // restored state must still match.
+  ClickPurchaseJoin j(10.0, 0.0, click_key, purchase_key);
+  j.on_left({1.0, Click{7, "home"}});
+  j.on_right({2.0, Purchase{7, 9.99}});  // matches immediately
+  ASSERT_EQ(j.take_results().size(), 1u);
+
+  ClickPurchaseJoin restored(10.0, 0.0, click_key, purchase_key);
+  j.for_each_left([&](double end, int key, const Click& c) {
+    restored.restore_left(end, key, c);
+  });
+  j.for_each_right([&](double end, int key, const Purchase& p) {
+    restored.restore_right(end, key, p);
+  });
+  EXPECT_EQ(restored.take_results().size(), 0u);  // no re-probe on restore
+  EXPECT_EQ(restored.buffered(), 2u);
+
+  restored.on_right({3.0, Purchase{7, 1.25}});  // probes the restored click
+  auto results = restored.take_results();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].left.page, "home");
+  EXPECT_DOUBLE_EQ(results[0].right.amount, 1.25);
+
+  restored.advance_watermark(10.0);  // external expiry, internal wm untouched
+  EXPECT_EQ(restored.open_windows(), 0u);
 }
 
 TEST(WindowJoin, SymmetricProbeOrderIrrelevant) {
