@@ -14,6 +14,9 @@
 //   $ ./chaos_demo --streaming --runs=25   # streaming oracle: kill a node
 //                                          # mid-window, require bit-identical
 //                                          # committed windows after recovery
+//   $ ./chaos_demo --runs=25 --ec-checkpoints  # erasure-coded checkpoints:
+//                                          # shard-loss + repair-race faults,
+//                                          # EC placement oracle armed
 //
 // --replay= accepts both spec flavors and dispatches on the prefix
 // ("pseed=" batch, "spseed=" streaming).
@@ -37,7 +40,7 @@ using namespace hpbdc;
 using namespace hpbdc::chaos;
 
 ChaosConfig campaign_config(std::uint64_t seed, bool bug,
-                            dist::TransportKind transport) {
+                            dist::TransportKind transport, bool ec) {
   ChaosConfig cfg;
   cfg.plan_seed = seed;
   cfg.fault_seed = seed * 7 + 1;
@@ -47,11 +50,12 @@ ChaosConfig campaign_config(std::uint64_t seed, bool bug,
   cfg.cluster_nodes = 5 + static_cast<std::size_t>(seed % 3);
   cfg.inject_lineage_bug = bug;
   cfg.transport = transport;
+  cfg.ec_checkpoints = ec;
   return cfg;
 }
 
 StreamChaosConfig stream_campaign_config(std::uint64_t seed, bool bug,
-                                         dist::TransportKind transport) {
+                                         dist::TransportKind transport, bool ec) {
   StreamChaosConfig cfg;
   cfg.plan_seed = seed;
   cfg.kill_seed = seed * 11 + 3;
@@ -62,6 +66,7 @@ StreamChaosConfig stream_campaign_config(std::uint64_t seed, bool bug,
   cfg.kills = 1 + static_cast<std::size_t>(seed % 2);
   cfg.inject_restore_bug = bug;
   cfg.transport = transport;
+  cfg.ec_checkpoints = ec;
   return cfg;
 }
 
@@ -78,13 +83,13 @@ void print_stream_outcome(const StreamChaosOutcome& out) {
 /// recovered, all three committed multisets bit-identical. Returns the
 /// process exit code.
 int run_stream_campaign(std::uint64_t runs, std::uint64_t seed0, bool bug,
-                        dist::TransportKind transport,
+                        dist::TransportKind transport, bool ec,
                         const std::string& replay_out) {
   std::size_t violations = 0;
   std::uint64_t recoveries = 0, epochs = 0;
   const auto t0 = std::chrono::steady_clock::now();
   for (std::uint64_t seed = seed0; seed < seed0 + runs; ++seed) {
-    const StreamChaosConfig cfg = stream_campaign_config(seed, bug, transport);
+    const StreamChaosConfig cfg = stream_campaign_config(seed, bug, transport, ec);
     const auto out = run_stream_chaos_once(cfg);
     recoveries += out.recoveries;
     epochs += out.epochs_completed;
@@ -129,7 +134,7 @@ void print_outcome(const ChaosOutcome& out) {
 
 int main(int argc, char** argv) {
   std::uint64_t runs = 100, seed0 = 1;
-  bool bug = false, streaming = false, transport_set = false;
+  bool bug = false, streaming = false, transport_set = false, ec = false;
   dist::TransportKind transport = dist::TransportKind::kPull;
   std::string replay, replay_out;
   for (int i = 1; i < argc; ++i) {
@@ -148,14 +153,16 @@ int main(int argc, char** argv) {
     } else if (a == "--transport=pull") {
       transport = dist::TransportKind::kPull;
       transport_set = true;
+    } else if (a == "--ec-checkpoints") {
+      ec = true;
     } else if (a.rfind("--replay=", 0) == 0) {
       replay = a.substr(9);
     } else if (a.rfind("--replay-out=", 0) == 0) {
       replay_out = a.substr(13);
     } else {
       std::cerr << "usage: chaos_demo [--runs=N] [--seed=S] [--bug] "
-                   "[--streaming] [--transport=pull|push] [--replay=SPEC] "
-                   "[--replay-out=FILE]\n";
+                   "[--streaming] [--transport=pull|push] [--ec-checkpoints] "
+                   "[--replay=SPEC] [--replay-out=FILE]\n";
       return 2;
     }
   }
@@ -185,14 +192,14 @@ int main(int argc, char** argv) {
     // push-shaped); --transport=pull still overrides for differential runs.
     const dist::TransportKind tk =
         transport_set ? transport : dist::TransportKind::kPush;
-    return run_stream_campaign(runs, seed0, bug, tk, replay_out);
+    return run_stream_campaign(runs, seed0, bug, tk, ec, replay_out);
   }
 
   std::set<std::string> kinds;
   std::size_t violations = 0;
   const auto t0 = std::chrono::steady_clock::now();
   for (std::uint64_t seed = seed0; seed < seed0 + runs; ++seed) {
-    const ChaosConfig cfg = campaign_config(seed, bug, transport);
+    const ChaosConfig cfg = campaign_config(seed, bug, transport, ec);
     const auto out = run_chaos_once(cfg, pool, &plan_metrics);
     for (std::size_t k = 0; k < sim::kFaultKindCount; ++k) {
       if (out.fired[k] > 0) {

@@ -36,6 +36,8 @@ std::string format_replay(const ChaosConfig& cfg) {
   out += ",mask=" + std::string(mask);
   out += ",bug=" + std::to_string(cfg.inject_lineage_bug ? 1 : 0);
   if (cfg.transport != dist::TransportKind::kPull) out += ",tp=1";
+  if (cfg.ec_checkpoints) out += ",ec=1";
+  if (cfg.inject_ec_placement_bug) out += ",ecbug=1";
   return out;
 }
 
@@ -78,6 +80,10 @@ ChaosConfig parse_replay(const std::string& spec) {
     } else if (key == "tp") {
       cfg.transport =
           num != 0 ? dist::TransportKind::kPush : dist::TransportKind::kPull;
+    } else if (key == "ec") {
+      cfg.ec_checkpoints = num != 0;
+    } else if (key == "ecbug") {
+      cfg.inject_ec_placement_bug = num != 0;
     } else {
       throw std::invalid_argument("chaos replay: unknown key '" + key + "'");
     }
@@ -147,6 +153,20 @@ sim::FaultPlan make_fault_plan(std::uint64_t seed, const FaultGenOptions& opt) {
     const auto losses = rng.next_below(opt.max_dfs_losses + 1);
     for (std::uint64_t i = 0; i < losses; ++i) {
       plan.dfs_replica_loss(0.1 + rng.next_double() * opt.horizon);
+    }
+  }
+  // EC draws come LAST: plans generated with the knobs off consume exactly
+  // the historical RNG stream, keeping archived replay masks valid.
+  if (opt.max_shard_losses > 0) {
+    const auto losses = rng.next_below(opt.max_shard_losses + 1);
+    for (std::uint64_t i = 0; i < losses; ++i) {
+      plan.dfs_shard_loss_above_m(0.3 + rng.next_double() * opt.horizon);
+    }
+  }
+  if (opt.max_repair_kicks > 0) {
+    const auto kicks = rng.next_below(opt.max_repair_kicks + 1);
+    for (std::uint64_t i = 0; i < kicks; ++i) {
+      plan.dfs_repair_race(0.3 + rng.next_double() * opt.horizon);
     }
   }
   std::stable_sort(
@@ -237,7 +257,18 @@ ChaosOutcome run_chaos_once(const ChaosConfig& cfg, Executor& pool,
   nc.loss_seed = mix_seed(cfg.fault_seed, 1);
   sim::Network net(sim, nc);
   sim::Comm comm(sim, net);
-  sim::Dfs dfs(comm, sim::DfsConfig{});
+  sim::DfsConfig dfc;
+  if (cfg.ec_checkpoints) {
+    // RS(3, 2) fits the default 6-node cluster with one node down; repair
+    // runs in the background, throttled, so it races reads and the
+    // dfs_repair_race fault meaningfully.
+    dfc.ec_data_shards = 3;
+    dfc.ec_parity_shards = 2;
+    dfc.auto_repair_delay = 0.5;
+    dfc.repair_bandwidth_bps = 100e6;
+  }
+  sim::Dfs dfs(comm, dfc);
+  if (cfg.inject_ec_placement_bug) dfs.set_test_collapse_ec_placement(true);
 
   dist::DistConfig dc;
   dc.driver = 0;
@@ -255,6 +286,10 @@ ChaosOutcome run_chaos_once(const ChaosConfig& cfg, Executor& pool,
   FaultGenOptions fo;
   fo.nodes = cfg.cluster_nodes;
   fo.protect = dc.driver;
+  if (cfg.ec_checkpoints) {
+    fo.max_shard_losses = 2;
+    fo.max_repair_kicks = 1;
+  }
   const sim::FaultPlan faults = make_fault_plan(cfg.fault_seed, fo);
   out.fault_events = faults.events.size();
 
@@ -279,6 +314,9 @@ ChaosOutcome run_chaos_once(const ChaosConfig& cfg, Executor& pool,
   // lowering and default options — the event stream stays bit-identical.
   dist::RuntimeOptions ro;
   ro.transport = cfg.transport;
+  if (cfg.ec_checkpoints) {
+    ro.checkpoint_policy = sim::StoragePolicy::kErasureCoded;
+  }
   plan::LowerDistOptions lo;
   if (cfg.transport == dist::TransportKind::kPush) lo.broadcast_join_rows = 4096;
   rt.submit(make_dist_job(plan, cfg.ntasks, lo), ro,
@@ -296,6 +334,28 @@ ChaosOutcome run_chaos_once(const ChaosConfig& cfg, Executor& pool,
   if (done) sim.run_until(sim.now() + 2.0);
   out.fired = injector.fired();
   out.dist_stats = rt.stats();
+
+  // EC placement oracle (checked even when the job hung: the invariant is
+  // about storage state, not completion): no node may hold live shards of
+  // two different slots of one stripe — the anti-affinity guarantee the
+  // (k, m) loss tolerance rests on.
+  if (cfg.ec_checkpoints) {
+    for (const auto& name : dfs.ec_file_names()) {
+      for (std::size_t b = 0; b < dfs.block_count(name) && out.passed; ++b) {
+        std::vector<std::size_t> live_nodes;
+        for (const auto& holders : dfs.stripe_locations(name, b)) {
+          for (auto n : holders) {
+            if (dfs.node_down(n)) continue;
+            if (std::find(live_nodes.begin(), live_nodes.end(), n) !=
+                live_nodes.end()) {
+              fail("ec_placement: two live shards of a stripe share a node");
+            }
+            live_nodes.push_back(n);
+          }
+        }
+      }
+    }
+  }
 
   if (!done) {
     fail("liveness: job not done within the simulated horizon");

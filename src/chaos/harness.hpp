@@ -52,13 +52,24 @@ struct ChaosConfig {
   /// eligible joins as broadcast (plan::LowerDistOptions) so kills land on
   /// nodes holding in-flight flow segments, unicast and multicast both.
   dist::TransportKind transport = dist::TransportKind::kPull;
+  /// Store stage checkpoints erasure coded (RS(3,2), background repair on)
+  /// and extend the fault schedule with shard-loss-above-m and repair-race
+  /// events. Adds the EC placement oracle: no two live shards of a stripe
+  /// may ever share a node.
+  bool ec_checkpoints = false;
+  /// Seeded-bug hook: collapse EC shard placement onto a single node
+  /// (Dfs::set_test_collapse_ec_placement), the known-broken target the
+  /// ec= replay round-trip catches and shrinks. Implies ec_checkpoints
+  /// semantics only when ec_checkpoints is also set.
+  bool inject_ec_placement_bug = false;
 };
 
 /// One line, e.g. "pseed=3,fseed=9,nodes=5,rows=256,tasks=4,cluster=6,
-/// mask=0xffffffffffffffff,bug=0". A trailing ",tp=1" is appended ONLY for
-/// push-transport configs, so pull replay specs — including every archived
-/// one — stay byte-identical. parse_replay throws std::invalid_argument on
-/// malformed specs; format/parse round-trip exactly.
+/// mask=0xffffffffffffffff,bug=0". Trailing ",tp=1" / ",ec=1" / ",ecbug=1"
+/// are appended ONLY for non-default configs (push transport, EC
+/// checkpoints, planted EC placement bug), so archived replay specs stay
+/// byte-identical. parse_replay throws std::invalid_argument on malformed
+/// specs; format/parse round-trip exactly.
 std::string format_replay(const ChaosConfig& cfg);
 ChaosConfig parse_replay(const std::string& spec);
 
@@ -77,6 +88,11 @@ struct FaultGenOptions {
   std::size_t max_dfs_losses = 2;
   /// Kill the current leader instead of a fixed node (Raft harness).
   bool target_leader = false;
+  /// EC fault classes; both default 0 so legacy plans (and their replay
+  /// masks) stay byte-identical — the generator draws for these AFTER every
+  /// pre-existing draw.
+  std::size_t max_shard_losses = 0;  // dfs_shard_loss_above_m events
+  std::size_t max_repair_kicks = 0;  // dfs_repair_race events
 };
 
 /// Seed-deterministic fault schedule. Survivability guarantees baked into

@@ -25,6 +25,7 @@ dstream::StreamingOptions stream_opts(const StreamChaosConfig& cfg) {
   o.ntasks = cfg.ntasks;
   o.rate = 48.0;
   o.window = 0.5;
+  if (cfg.ec_checkpoints) o.checkpoint_policy = sim::StoragePolicy::kErasureCoded;
   return o;
 }
 
@@ -45,7 +46,17 @@ RunResult run_distributed(const StreamChaosConfig& cfg,
   nc.topology = sim::Topology::kStar;
   sim::Network net(sim, nc);
   sim::Comm comm(sim, net);
-  sim::Dfs dfs(comm, sim::DfsConfig{});
+  sim::DfsConfig dfc;
+  if (cfg.ec_checkpoints) {
+    // RS(3, 2): anti-affine placement over >= 5 live nodes means a single
+    // node outage costs at most one shard per stripe — well inside the
+    // m = 2 tolerance, so recovery reads degrade instead of failing.
+    dfc.ec_data_shards = 3;
+    dfc.ec_parity_shards = 2;
+    dfc.auto_repair_delay = 0.5;
+    dfc.repair_bandwidth_bps = 100e6;
+  }
+  sim::Dfs dfs(comm, dfc);
   dstream::StreamConfig sc;
   sc.buggy_restore = cfg.inject_restore_bug;
   dstream::StreamRuntime rt(comm, sc, &dfs);
@@ -79,6 +90,7 @@ std::string format_stream_replay(const StreamChaosConfig& cfg) {
   out += ",kills=" + std::to_string(cfg.kills);
   if (cfg.inject_restore_bug) out += ",bug=1";
   if (cfg.transport != dist::TransportKind::kPush) out += ",tp=0";
+  if (cfg.ec_checkpoints) out += ",ec=1";
   return out;
 }
 
@@ -120,6 +132,8 @@ StreamChaosConfig parse_stream_replay(const std::string& spec) {
     } else if (key == "tp") {
       cfg.transport =
           num != 0 ? dist::TransportKind::kPush : dist::TransportKind::kPull;
+    } else if (key == "ec") {
+      cfg.ec_checkpoints = num != 0;
     } else {
       throw std::invalid_argument("stream replay: unknown key '" + key + "'");
     }

@@ -44,12 +44,17 @@ struct StreamChaosConfig {
   /// event past the checkpointed offset) so the oracle has a known-broken
   /// target to catch and shrink.
   bool inject_restore_bug = false;
+  /// Store epoch checkpoints erasure coded (RS(3,2), background repair on)
+  /// on both distributed runs; recovery during a one-node outage then rides
+  /// on degraded reads instead of replica choice.
+  bool ec_checkpoints = false;
 };
 
 /// One line, e.g. "spseed=3,skseed=9,nodes=4,rows=192,tasks=2,cluster=6,
 /// kills=1". The "spseed" prefix keeps streaming specs distinguishable from
-/// batch ones (chaos_demo --replay dispatches on it). ",bug=1" and ",tp=0"
-/// are appended only when armed/non-default, so minimal specs stay short.
+/// batch ones (chaos_demo --replay dispatches on it). ",bug=1", ",tp=0" and
+/// ",ec=1" are appended only when armed/non-default, so minimal specs stay
+/// short.
 std::string format_stream_replay(const StreamChaosConfig& cfg);
 StreamChaosConfig parse_stream_replay(const std::string& spec);
 

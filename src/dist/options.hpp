@@ -9,6 +9,8 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "sim/policy.hpp"
+
 namespace hpbdc::dist {
 
 /// Which ShuffleTransport implementation a job runs on (see transport.hpp
@@ -43,6 +45,10 @@ struct FlowOptions {
 struct RuntimeOptions {
   TransportKind transport = TransportKind::kPull;
   FlowOptions flow;
+  /// Durability policy for stage checkpoints written to the DFS. Shuffle
+  /// spill stays replicated regardless (hot, short-lived); checkpoints are
+  /// the cold, large artifacts erasure coding is built for.
+  sim::StoragePolicy checkpoint_policy = sim::StoragePolicy::kReplicated;
 };
 
 }  // namespace hpbdc::dist

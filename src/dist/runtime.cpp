@@ -670,22 +670,15 @@ void DistRuntime::on_fetch_failed(std::uint64_t attempt_id, std::size_t pstage,
         parent.output_node == kNone || !execs_[parent.output_node].alive ||
         transport_->find(parent.output_node, pstage, ptask) == nullptr;
     // A checkpoint normally stands in for the lost output — but only while
-    // some replica of it is readable. If every replica holder is down, drop
+    // it is actually servable: some live replica (replicated) or >= k live
+    // shards (erasure coded; a degraded read still counts). Otherwise drop
     // the checkpoint flag and recompute through lineage; leaving the flag up
     // would keep the child's stage "available" and spin it against the
     // unreadable checkpoint at RPC speed until its attempt budget dies.
     if (source_gone && stages_[pstage].checkpointed) {
-      bool readable = false;
-      if (dfs_ != nullptr && ckpt_data_.contains(pstage) &&
-          dfs_->exists(ckpt_file(pstage))) {
-        for (auto r : dfs_->block_locations(ckpt_file(pstage), 0)) {
-          if (execs_[r].alive) {
-            readable = true;
-            break;
-          }
-        }
-      }
-      if (!readable) stages_[pstage].checkpointed = false;
+      const bool servable = dfs_ != nullptr && ckpt_data_.contains(pstage) &&
+                            dfs_->readable(ckpt_file(pstage));
+      if (!servable) stages_[pstage].checkpointed = false;
     }
     if (parent.status == TStatus::Done && source_gone &&
         !stages_[pstage].checkpointed) {
@@ -770,7 +763,8 @@ void DistRuntime::maybe_checkpoint(std::size_t s) {
   if (total == 0) return;
   ckpt_data_[s] = std::move(data);
   const std::uint64_t epoch = epoch_;
-  dfs_->write(cfg_.driver, ckpt_file(s), total, [this, s, epoch](bool ok) {
+  dfs_->write(cfg_.driver, ckpt_file(s), total, opts_.checkpoint_policy,
+              [this, s, epoch](bool ok) {
     if (epoch_ != epoch) return;
     if (ok) {
       stages_[s].checkpointed = true;

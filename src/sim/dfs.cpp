@@ -2,17 +2,36 @@
 
 #include <algorithm>
 #include <memory>
+#include <set>
 #include <stdexcept>
 
 namespace hpbdc::sim {
 
-Dfs::Dfs(Comm& comm, DfsConfig cfg) : comm_(comm), cfg_(cfg) {
+const char* read_status_name(ReadStatus s) {
+  switch (s) {
+    case ReadStatus::kOk: return "ok";
+    case ReadStatus::kDegraded: return "degraded";
+    case ReadStatus::kNoSuchFile: return "no_such_file";
+    case ReadStatus::kUnavailable: return "unavailable";
+  }
+  return "?";
+}
+
+Dfs::Dfs(Comm& comm, DfsConfig cfg)
+    : comm_(comm),
+      cfg_(cfg),
+      ring_(cfg.ring_vnodes == 0 ? 1 : cfg.ring_vnodes),
+      rs_(cfg.ec_data_shards, cfg.ec_parity_shards) {
   if (cfg_.replication == 0 || cfg_.replication > comm.nranks()) {
     throw std::invalid_argument("Dfs: bad replication factor");
   }
   if (cfg_.block_size == 0) throw std::invalid_argument("Dfs: zero block size");
+  if (cfg_.ec_data_shards == 0 || cfg_.ec_parity_shards == 0) {
+    throw std::invalid_argument("Dfs: RS(k, m) needs k >= 1 and m >= 1");
+  }
   disks_.assign(comm.nranks(), Disk(cfg_.disk_bandwidth_bps, cfg_.disk_seek));
   down_.assign(comm.nranks(), false);
+  for (std::size_t n = 0; n < comm.nranks(); ++n) ring_.add_node(n);
 }
 
 std::size_t Dfs::rack_of(std::size_t node) const {
@@ -33,9 +52,56 @@ std::size_t Dfs::block_count(const std::string& name) const {
   return it->second.blocks.size();
 }
 
+StoragePolicy Dfs::file_policy(const std::string& name) const {
+  auto it = files_.find(name);
+  if (it == files_.end()) throw std::out_of_range("Dfs: no such file");
+  return it->second.policy;
+}
+
+std::size_t Dfs::live_holder(const std::vector<std::size_t>& holders) const {
+  for (auto n : holders) {
+    if (!down_[n]) return n;
+  }
+  return comm_.nranks();  // sentinel: none
+}
+
+bool Dfs::block_readable(const Block& b) const {
+  if (b.shards.empty()) {
+    for (auto r : b.replicas) {
+      if (!down_[r]) return true;
+    }
+    return false;
+  }
+  std::size_t live = 0;
+  for (const auto& holders : b.shards) {
+    if (live_holder(holders) != comm_.nranks()) ++live;
+  }
+  return live >= cfg_.ec_data_shards;
+}
+
+bool Dfs::readable(const std::string& name) const {
+  auto it = files_.find(name);
+  if (it == files_.end()) return false;
+  for (const Block& b : it->second.blocks) {
+    if (!block_readable(b)) return false;
+  }
+  return true;
+}
+
 void Dfs::set_node_down(std::size_t node, bool down) {
   if (node >= down_.size()) throw std::out_of_range("Dfs: bad node id");
+  if (down_[node] == down) return;
   down_[node] = down;
+  // The placement ring tracks LIVE membership: crashed nodes take no new
+  // shards, and consistent hashing keeps the reshuffle to ~1/n of keys.
+  if (down && ring_.contains(node)) {
+    ring_.remove_node(node);
+  } else if (!down && !ring_.contains(node)) {
+    ring_.add_node(node);
+  }
+  // Both directions are repair triggers: a crash creates missing copies, a
+  // recovery can create excess ones (the trim pass).
+  arm_auto_repair();
 }
 
 bool Dfs::node_down(std::size_t node) const {
@@ -47,10 +113,26 @@ bool Dfs::lose_replica(const std::string& name, std::size_t block,
                        std::size_t replica_idx) {
   auto it = files_.find(name);
   if (it == files_.end() || block >= it->second.blocks.size()) return false;
-  auto& reps = it->second.blocks[block].replicas;
+  auto& b = it->second.blocks[block];
+  if (!b.shards.empty()) return false;  // EC stripes lose shards, not replicas
+  auto& reps = b.replicas;
   if (reps.size() <= 1 || replica_idx >= reps.size()) return false;
   reps.erase(reps.begin() + static_cast<std::ptrdiff_t>(replica_idx));
   stats_.replicas_lost++;
+  arm_auto_repair();
+  return true;
+}
+
+bool Dfs::lose_shard(const std::string& name, std::size_t block,
+                     std::size_t shard_idx) {
+  auto it = files_.find(name);
+  if (it == files_.end() || block >= it->second.blocks.size()) return false;
+  Block& b = it->second.blocks[block];
+  if (shard_idx >= b.shards.size() || b.shards[shard_idx].empty()) return false;
+  b.shards[shard_idx].clear();
+  if (!b.shard_data.empty()) b.shard_data[shard_idx].clear();
+  stats_.shards_lost++;
+  arm_auto_repair();
   return true;
 }
 
@@ -61,14 +143,43 @@ std::vector<std::string> Dfs::file_names() const {
   return out;
 }
 
+std::vector<std::string> Dfs::ec_file_names() const {
+  std::vector<std::string> out;
+  for (const auto& [name, f] : files_) {
+    if (f.policy == StoragePolicy::kErasureCoded) out.push_back(name);
+  }
+  return out;
+}
+
 std::vector<std::size_t> Dfs::block_locations(const std::string& name,
                                               std::size_t index) const {
   auto it = files_.find(name);
   if (it == files_.end() || index >= it->second.blocks.size()) {
     throw std::out_of_range("Dfs: no such block");
   }
-  return it->second.blocks[index].replicas;
+  const Block& b = it->second.blocks[index];
+  if (b.shards.empty()) return b.replicas;
+  std::vector<std::size_t> out;
+  for (const auto& holders : b.shards) {
+    for (auto n : holders) {
+      if (std::find(out.begin(), out.end(), n) == out.end()) out.push_back(n);
+    }
+  }
+  return out;
 }
+
+std::vector<std::vector<std::size_t>> Dfs::stripe_locations(
+    const std::string& name, std::size_t index) const {
+  auto it = files_.find(name);
+  if (it == files_.end() || index >= it->second.blocks.size()) {
+    throw std::out_of_range("Dfs: no such block");
+  }
+  return it->second.blocks[index].shards;
+}
+
+// ---------------------------------------------------------------------------
+// Placement
+// ---------------------------------------------------------------------------
 
 std::vector<std::size_t> Dfs::place_replicas(std::size_t writer) {
   std::vector<std::size_t> live;
@@ -115,10 +226,62 @@ std::vector<std::size_t> Dfs::place_replicas(std::size_t writer) {
   return out.size() == cfg_.replication ? out : std::vector<std::size_t>{};
 }
 
+std::vector<std::size_t> Dfs::place_shards(
+    const std::string& name, std::size_t block, std::size_t count,
+    const std::vector<std::size_t>& exclude) {
+  const std::string key = name + "#" + std::to_string(block);
+  if (test_collapse_ec_placement_) {
+    // Planted bug: the whole stripe lands on the ring owner of the key.
+    if (ring_.node_count() == 0) return {};
+    return std::vector<std::size_t>(count,
+                                    static_cast<std::size_t>(ring_.lookup(key)));
+  }
+  if (ring_.node_count() < exclude.size() + count) return {};
+
+  // Rack-aware anti-affinity: cap shards per rack at ceil(width / racks) so
+  // one rack loss never costs more than ~width/racks shards of a stripe.
+  const std::size_t width = count + exclude.size();
+  std::map<std::size_t, std::size_t> rack_load;
+  std::set<std::size_t> live_racks;
+  for (std::size_t n = 0; n < comm_.nranks(); ++n) {
+    if (!down_[n]) live_racks.insert(rack_of(n));
+  }
+  const bool cap_racks = cfg_.rack_aware && live_racks.size() > 1;
+  const std::size_t cap =
+      cap_racks ? (width + live_racks.size() - 1) / live_racks.size() : width;
+  for (auto n : exclude) rack_load[rack_of(n)]++;
+
+  std::vector<std::size_t> out;
+  auto taken = [&](std::size_t n) {
+    return std::find(exclude.begin(), exclude.end(), n) != exclude.end() ||
+           std::find(out.begin(), out.end(), n) != out.end();
+  };
+  ring_.walk(key, [&](std::uint64_t nid) {
+    const auto n = static_cast<std::size_t>(nid);
+    if (!taken(n) && rack_load[rack_of(n)] < cap) {
+      out.push_back(n);
+      rack_load[rack_of(n)]++;
+    }
+    return out.size() < count;
+  });
+  if (out.size() < count) {
+    // Relax the rack cap: anti-affinity per NODE is the hard constraint.
+    ring_.walk(key, [&](std::uint64_t nid) {
+      const auto n = static_cast<std::size_t>(nid);
+      if (!taken(n)) out.push_back(n);
+      return out.size() < count;
+    });
+  }
+  return out.size() == count ? out : std::vector<std::size_t>{};
+}
+
+// ---------------------------------------------------------------------------
+// Writes
+// ---------------------------------------------------------------------------
+
 void Dfs::write(std::size_t client, const std::string& name, std::uint64_t size,
-                DoneFn cb) {
+                StoragePolicy policy, DoneFn cb) {
   Simulator& sim = comm_.simulator();
-  Network& net = comm_.network();
   if (size == 0 || files_.contains(name)) {
     sim.schedule_after(0.0, [cb] { cb(false); });
     return;
@@ -126,31 +289,87 @@ void Dfs::write(std::size_t client, const std::string& name, std::uint64_t size,
   // Block layout and placement are decided up front (namenode metadata).
   File file;
   file.size = size;
+  file.policy = policy;
+  const std::size_t k = cfg_.ec_data_shards;
+  const std::size_t m = cfg_.ec_parity_shards;
   for (std::uint64_t off = 0; off < size; off += cfg_.block_size) {
     Block b;
     b.size = std::min<std::uint64_t>(cfg_.block_size, size - off);
-    b.replicas = place_replicas(client);
-    if (b.replicas.empty()) {
-      sim.schedule_after(0.0, [cb] { cb(false); });
-      return;
+    if (policy == StoragePolicy::kReplicated) {
+      b.replicas = place_replicas(client);
+      if (b.replicas.empty()) {
+        sim.schedule_after(0.0, [cb] { cb(false); });
+        return;
+      }
+    } else {
+      b.shard_size = (b.size + k - 1) / k;
+      const auto nodes = place_shards(name, file.blocks.size(), k + m, {});
+      if (nodes.empty()) {
+        sim.schedule_after(0.0, [cb] { cb(false); });
+        return;
+      }
+      b.shards.reserve(k + m);
+      for (auto n : nodes) b.shards.push_back({n});
     }
     file.blocks.push_back(std::move(b));
   }
-  const auto nblocks = file.blocks.size();
-  files_[name] = file;
-  stats_.bytes_written += size;
+  files_[name] = std::move(file);
+  start_write(client, name, std::move(cb));
+}
+
+void Dfs::put(std::size_t client, const std::string& name,
+              std::vector<std::uint8_t> content, StoragePolicy policy, DoneFn cb) {
+  if (files_.contains(name) || content.empty()) {
+    comm_.simulator().schedule_after(0.0, [cb] { cb(false); });
+    return;
+  }
+  const std::uint64_t size = content.size();
+  write(client, name, size, policy, std::move(cb));
+  auto it = files_.find(name);
+  if (it == files_.end()) return;  // write rejected (no placement capacity)
+  File& f = it->second;
+  f.has_content = true;
+  if (policy == StoragePolicy::kReplicated) {
+    f.content = std::move(content);
+    return;
+  }
+  // Stripe each block's bytes into k data + m parity shards.
+  std::uint64_t off = 0;
+  for (Block& b : f.blocks) {
+    std::vector<std::uint8_t> blob(content.begin() + static_cast<std::ptrdiff_t>(off),
+                                   content.begin() +
+                                       static_cast<std::ptrdiff_t>(off + b.size));
+    off += b.size;
+    b.shard_data = storage::ReedSolomon::split(blob, cfg_.ec_data_shards);
+    // split() pads to shard_size; keep metadata and payload widths in sync.
+    for (auto& s : b.shard_data) s.resize(b.shard_size, 0);
+    const auto parity = rs_.encode(b.shard_data);
+    b.shard_data.insert(b.shard_data.end(), parity.begin(), parity.end());
+  }
+}
+
+void Dfs::start_write(std::size_t client, const std::string& name, DoneFn cb) {
+  Network& net = comm_.network();
+  const File& f = files_.at(name);
+  const auto nblocks = f.blocks.size();
+  stats_.bytes_written += f.size;
   stats_.blocks_written += nblocks;
+  if (f.policy == StoragePolicy::kErasureCoded) stats_.ec_blocks_written += nblocks;
 
   struct WriteState {
-    std::size_t pending = 0;  // replica outcomes outstanding across blocks
-    bool failed = false;      // some block ended with zero durable replicas
+    std::size_t pending = 0;  // replica/shard outcomes outstanding across blocks
+    bool failed = false;      // some block ended below its durability floor
     DoneFn cb;
   };
   auto st = std::make_shared<WriteState>();
-  st->pending = nblocks * cfg_.replication;
+  std::size_t outcomes = 0;
+  for (const Block& b : f.blocks) {
+    outcomes += b.shards.empty() ? b.replicas.size() : b.shards.size();
+  }
+  st->pending = outcomes;
   st->cb = std::move(cb);
 
-  // Namenode RPC round-trip, then the per-block replication pipelines.
+  // Namenode RPC round-trip, then the per-block transfer fan-out.
   net.send(client, cfg_.namenode, cfg_.namenode_rpc_bytes, [this, st, client,
                                                             name] {
     comm_.network().send(cfg_.namenode, client, cfg_.namenode_rpc_bytes, [this,
@@ -159,64 +378,129 @@ void Dfs::write(std::size_t client, const std::string& name, std::uint64_t size,
                                                                           name] {
       const File& f = files_[name];
       for (std::size_t bi = 0; bi < f.blocks.size(); ++bi) {
-        // Pipeline: client -> r0 -> r1 -> ...; each hop stores to disk and
-        // forwards. A shared recursive step drives the chain. Nodes that
-        // fail before/while the pipeline reaches them are dropped from the
-        // block's replica set (the write succeeds under-replicated, exactly
-        // like an HDFS pipeline shrinking); a block that loses *every*
-        // replica fails the write.
-        auto replicas =
-            std::make_shared<std::vector<std::size_t>>(f.blocks[bi].replicas);
-        const std::uint64_t bytes = f.blocks[bi].size;
-
-        struct BlockProg {
-          std::size_t remaining = 0;
-          std::size_t written = 0;
-        };
-        auto bp = std::make_shared<BlockProg>();
-        bp->remaining = replicas->size();
-        // Every planned replica resolves exactly once: stored, or lost.
-        auto resolve = [st, bp](bool stored) {
-          if (stored) ++bp->written;
-          if (--bp->remaining == 0 && bp->written == 0) st->failed = true;
-          if (--st->pending == 0) st->cb(!st->failed);
-        };
-
-        auto step = std::make_shared<std::function<void(std::size_t, std::size_t)>>();
-        *step = [this, replicas, step, bytes, resolve, name, bi](std::size_t from,
-                                                                 std::size_t idx) {
-          if (idx >= replicas->size()) return;
-          const std::size_t target = (*replicas)[idx];
-          if (down_[target]) {
-            // Dead before the data reached it: skip, forwarding from the
-            // same upstream node (pipeline recovery).
-            drop_replica(name, bi, target);
-            resolve(false);
-            (*step)(from, idx + 1);
-            return;
-          }
-          comm_.network().send(
-              from, target, bytes,
-              [this, replicas, step, bytes, resolve, name, bi, idx, target] {
-                if (down_[target]) {
-                  // Died mid-transfer: its copy and everything downstream
-                  // of it in the chain are lost.
-                  for (std::size_t j = idx; j < replicas->size(); ++j) {
-                    drop_replica(name, bi, (*replicas)[j]);
-                    resolve(false);
-                  }
-                  replicas->resize(idx);
-                  return;
-                }
-                disks_[target].access(comm_.simulator(), bytes,
-                                      [resolve] { resolve(true); });
-                (*step)(target, idx + 1);
-              });
-        };
-        (*step)(client, 0);
+        if (f.blocks[bi].shards.empty()) {
+          write_block_replicated(client, name, bi, st);
+        } else {
+          write_block_ec(client, name, bi, st);
+        }
       }
     });
   });
+}
+
+template <typename StatePtr>
+void Dfs::write_block_replicated(std::size_t client, const std::string& name,
+                                 std::size_t bi, StatePtr st) {
+  // Pipeline: client -> r0 -> r1 -> ...; each hop stores to disk and
+  // forwards. A shared recursive step drives the chain. Nodes that fail
+  // before/while the pipeline reaches them are dropped from the block's
+  // replica set (the write succeeds under-replicated, exactly like an HDFS
+  // pipeline shrinking); a block that loses *every* replica fails the write.
+  const File& f = files_.at(name);
+  auto replicas = std::make_shared<std::vector<std::size_t>>(f.blocks[bi].replicas);
+  const std::uint64_t bytes = f.blocks[bi].size;
+
+  struct BlockProg {
+    std::size_t remaining = 0;
+    std::size_t written = 0;
+  };
+  auto bp = std::make_shared<BlockProg>();
+  bp->remaining = replicas->size();
+  // Every planned replica resolves exactly once: stored, or lost.
+  auto resolve = [st, bp](bool stored) {
+    if (stored) ++bp->written;
+    if (--bp->remaining == 0 && bp->written == 0) st->failed = true;
+    if (--st->pending == 0) st->cb(!st->failed);
+  };
+
+  auto step = std::make_shared<std::function<void(std::size_t, std::size_t)>>();
+  *step = [this, replicas, step, bytes, resolve, name, bi](std::size_t from,
+                                                           std::size_t idx) {
+    if (idx >= replicas->size()) return;
+    const std::size_t target = (*replicas)[idx];
+    if (down_[target]) {
+      // Dead before the data reached it: skip, forwarding from the
+      // same upstream node (pipeline recovery).
+      drop_replica(name, bi, target);
+      resolve(false);
+      (*step)(from, idx + 1);
+      return;
+    }
+    comm_.network().send(
+        from, target, bytes,
+        [this, replicas, step, bytes, resolve, name, bi, idx, target] {
+          if (down_[target]) {
+            // Died mid-transfer: its copy and everything downstream
+            // of it in the chain are lost.
+            for (std::size_t j = idx; j < replicas->size(); ++j) {
+              drop_replica(name, bi, (*replicas)[j]);
+              resolve(false);
+            }
+            replicas->resize(idx);
+            return;
+          }
+          disks_[target].access(comm_.simulator(), bytes, [this, bytes, resolve] {
+            stats_.bytes_physical += bytes;
+            resolve(true);
+          });
+          (*step)(target, idx + 1);
+        });
+  };
+  (*step)(client, 0);
+}
+
+template <typename StatePtr>
+void Dfs::write_block_ec(std::size_t client, const std::string& name,
+                         std::size_t bi, StatePtr st) {
+  // Shards fan out from the writer in parallel (no pipeline: every shard is
+  // distinct data). A shard whose target dies before the bytes land is
+  // dropped from the stripe; the block is durable iff >= k shards stored.
+  const File& f = files_.at(name);
+  const Block& b = f.blocks[bi];
+  const std::uint64_t sbytes = b.shard_size;
+  const std::size_t k = cfg_.ec_data_shards;
+
+  struct BlockProg {
+    std::size_t remaining = 0;
+    std::size_t written = 0;
+  };
+  auto bp = std::make_shared<BlockProg>();
+  bp->remaining = b.shards.size();
+  auto resolve = [this, st, bp, k](bool stored) {
+    if (stored) ++bp->written;
+    if (--bp->remaining == 0 && bp->written < k) st->failed = true;
+    if (--st->pending == 0) st->cb(!st->failed);
+  };
+
+  for (std::size_t slot = 0; slot < b.shards.size(); ++slot) {
+    const std::size_t target = b.shards[slot][0];
+    auto drop = [this, name, bi, slot] {
+      auto it = files_.find(name);
+      if (it != files_.end() && bi < it->second.blocks.size() &&
+          slot < it->second.blocks[bi].shards.size()) {
+        it->second.blocks[bi].shards[slot].clear();
+      }
+    };
+    if (down_[target]) {
+      drop();
+      resolve(false);
+      continue;
+    }
+    comm_.network().send(client, target, sbytes,
+                         [this, sbytes, target, resolve, drop] {
+                           if (down_[target]) {
+                             drop();
+                             resolve(false);
+                             return;
+                           }
+                           disks_[target].access(comm_.simulator(), sbytes,
+                                                 [this, sbytes, resolve] {
+                                                   stats_.bytes_physical += sbytes;
+                                                   stats_.shards_written++;
+                                                   resolve(true);
+                                                 });
+                         });
+  }
 }
 
 void Dfs::drop_replica(const std::string& name, std::size_t block,
@@ -226,6 +510,10 @@ void Dfs::drop_replica(const std::string& name, std::size_t block,
   auto& reps = it->second.blocks[block].replicas;
   reps.erase(std::remove(reps.begin(), reps.end(), node), reps.end());
 }
+
+// ---------------------------------------------------------------------------
+// Reads
+// ---------------------------------------------------------------------------
 
 std::size_t Dfs::pick_read_replica(std::size_t client, const Block& b) const {
   std::size_t best = comm_.nranks();  // sentinel: none
@@ -242,60 +530,187 @@ std::size_t Dfs::pick_read_replica(std::size_t client, const Block& b) const {
 }
 
 void Dfs::read(std::size_t client, const std::string& name, DoneFn cb) {
+  read_ex(client, name,
+          [cb](ReadStatus s, const std::vector<std::uint8_t>&) { cb(read_ok(s)); });
+}
+
+void Dfs::read_ex(std::size_t client, const std::string& name, ReadFn cb) {
   Simulator& sim = comm_.simulator();
   Network& net = comm_.network();
   auto it = files_.find(name);
   if (it == files_.end()) {
-    sim.schedule_after(0.0, [cb] { cb(false); });
+    stats_.failed_reads++;
+    sim.schedule_after(0.0, [cb] { cb(ReadStatus::kNoSuchFile, {}); });
     return;
   }
   const File& f = it->second;
 
   struct ReadState {
     std::size_t pending = 0;
-    bool failed = false;
-    DoneFn cb;
+    bool unavailable = false;
+    bool degraded = false;
+    std::vector<std::vector<std::uint8_t>> block_bytes;
+    ReadFn cb;
   };
   auto st = std::make_shared<ReadState>();
   st->pending = f.blocks.size();
+  st->block_bytes.resize(f.blocks.size());
   st->cb = std::move(cb);
-  auto done_one = [st](bool ok) {
-    if (!ok) st->failed = true;
-    if (--st->pending == 0) st->cb(!st->failed);
+  auto finish = [this, st, name] {
+    const ReadStatus status = st->unavailable ? ReadStatus::kUnavailable
+                              : st->degraded  ? ReadStatus::kDegraded
+                                              : ReadStatus::kOk;
+    std::vector<std::uint8_t> data;
+    if (read_ok(status)) {
+      auto fit = files_.find(name);
+      if (fit != files_.end() && fit->second.has_content) {
+        if (!fit->second.content.empty()) {
+          data = fit->second.content;  // replicated content: the single copy
+        } else {
+          for (auto& bb : st->block_bytes) {
+            data.insert(data.end(), bb.begin(), bb.end());
+          }
+        }
+      }
+    } else {
+      stats_.failed_reads++;
+    }
+    st->cb(status, data);
+  };
+  auto done_one = [st, finish](bool ok) {
+    if (!ok) st->unavailable = true;
+    if (--st->pending == 0) finish();
   };
 
   net.send(client, cfg_.namenode, cfg_.namenode_rpc_bytes, [this, st, client, name,
-                                                            done_one, &sim, &net] {
-    net.send(cfg_.namenode, client, cfg_.namenode_rpc_bytes, [this, st, client, name,
-                                                              done_one, &sim, &net] {
+                                                            done_one] {
+    comm_.network().send(cfg_.namenode, client, cfg_.namenode_rpc_bytes,
+                         [this, st, client, name, done_one] {
       auto fit = files_.find(name);
       if (fit == files_.end()) {
         for (std::size_t i = 0; i < st->pending; ++i) done_one(false);
         return;
       }
-      for (const Block& b : fit->second.blocks) {
-        const std::size_t replica = pick_read_replica(client, b);
-        if (replica == comm_.nranks()) {
-          sim.schedule_after(0.0, [done_one] { done_one(false); });
-          continue;
+      for (std::size_t bi = 0; bi < fit->second.blocks.size(); ++bi) {
+        const Block& b = fit->second.blocks[bi];
+        if (b.shards.empty()) {
+          read_block_replicated(client, b, done_one);
+        } else {
+          read_block_ec(client, name, bi, st, done_one);
         }
-        ++stats_.blocks_read;
-        stats_.bytes_read += b.size;
-        if (replica == client) ++stats_.local_reads;
-        const std::uint64_t bytes = b.size;
-        // Disk read at the replica, then the network transfer to the client.
-        disks_[replica].access(sim, bytes, [this, replica, client, bytes, done_one,
-                                            &net] {
-          net.send(replica, client, bytes, [done_one] { done_one(true); });
-        });
       }
     });
   });
 }
 
+template <typename DoneOne>
+void Dfs::read_block_replicated(std::size_t client, const Block& b,
+                                DoneOne done_one) {
+  Simulator& sim = comm_.simulator();
+  const std::size_t replica = pick_read_replica(client, b);
+  if (replica == comm_.nranks()) {
+    sim.schedule_after(0.0, [done_one] { done_one(false); });
+    return;
+  }
+  ++stats_.blocks_read;
+  stats_.bytes_read += b.size;
+  if (replica == client) ++stats_.local_reads;
+  const std::uint64_t bytes = b.size;
+  // Disk read at the replica, then the network transfer to the client.
+  disks_[replica].access(sim, bytes, [this, replica, client, bytes, done_one] {
+    comm_.network().send(replica, client, bytes, [done_one] { done_one(true); });
+  });
+}
+
+template <typename StatePtr, typename DoneOne>
+void Dfs::read_block_ec(std::size_t client, const std::string& name,
+                        std::size_t bi, StatePtr st, DoneOne done_one) {
+  Simulator& sim = comm_.simulator();
+  const Block& b = files_.at(name).blocks[bi];
+  const std::size_t k = cfg_.ec_data_shards;
+
+  // Survivors in slot order: data shards first (slots 0..k-1), so a healthy
+  // stripe reads pure data and pays no reconstruction.
+  std::vector<std::size_t> chosen;  // slots to fetch
+  for (std::size_t slot = 0; slot < b.shards.size() && chosen.size() < k; ++slot) {
+    if (live_holder(b.shards[slot]) != comm_.nranks()) chosen.push_back(slot);
+  }
+  if (chosen.size() < k) {
+    sim.schedule_after(0.0, [done_one] { done_one(false); });
+    return;
+  }
+  const bool degraded = chosen.back() >= k;  // some parity shard stood in
+  ++stats_.blocks_read;
+  stats_.bytes_read += b.size;
+  if (degraded) {
+    ++stats_.degraded_reads;
+    st->degraded = true;
+  }
+
+  struct BlockRead {
+    std::size_t remaining = 0;
+  };
+  auto br = std::make_shared<BlockRead>();
+  br->remaining = chosen.size();
+  const std::uint64_t sbytes = b.shard_size;
+  auto shard_done = [this, br, st, bi, name, chosen, done_one] {
+    if (--br->remaining > 0) return;
+    // All k shards at the client: reconstruct content-bearing blocks from
+    // exactly the shards that were fetched (never a lost shard's stale
+    // bytes) — the bit-identity guarantee degraded-read tests assert.
+    auto fit = files_.find(name);
+    if (fit != files_.end() && fit->second.has_content) {
+      const Block& blk = fit->second.blocks[bi];
+      std::vector<std::optional<storage::Shard>> avail(blk.shards.size());
+      for (auto slot : chosen) avail[slot] = blk.shard_data[slot];
+      const auto data = rs_.decode(avail);
+      st->block_bytes[bi] = storage::ReedSolomon::join(data, blk.size);
+    }
+    done_one(true);
+  };
+  for (auto slot : chosen) {
+    const std::size_t holder = live_holder(b.shards[slot]);
+    disks_[holder].access(sim, sbytes, [this, holder, client, sbytes, shard_done] {
+      if (holder == client) {
+        shard_done();  // local shard: no fabric transfer
+      } else {
+        comm_.network().send(holder, client, sbytes, shard_done);
+      }
+    });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Repair
+// ---------------------------------------------------------------------------
+
+void Dfs::arm_auto_repair() {
+  if (cfg_.auto_repair_delay <= 0 || repair_armed_) return;
+  repair_armed_ = true;
+  comm_.simulator().schedule_after(cfg_.auto_repair_delay, [this] {
+    repair_armed_ = false;
+    re_replicate([] {});
+  });
+}
+
+void Dfs::repair_admit(std::uint64_t bytes, std::function<void()> cb) {
+  Simulator& sim = comm_.simulator();
+  if (cfg_.repair_bandwidth_bps <= 0) {
+    cb();
+    return;
+  }
+  const SimTime start = std::max(sim.now(), repair_free_);
+  repair_free_ = start + static_cast<double>(bytes) / cfg_.repair_bandwidth_bps;
+  if (start <= sim.now()) {
+    cb();
+  } else {
+    sim.schedule_at(start, std::move(cb));
+  }
+}
+
 void Dfs::re_replicate(std::function<void()> cb) {
   Simulator& sim = comm_.simulator();
-  Network& net = comm_.network();
+  ++stats_.repair_passes;
 
   struct RepairState {
     std::size_t pending = 0;
@@ -306,7 +721,12 @@ void Dfs::re_replicate(std::function<void()> cb) {
 
   std::vector<std::function<void()>> transfers;
   for (auto& [name, file] : files_) {
-    for (auto& block : file.blocks) {
+    for (std::size_t bi = 0; bi < file.blocks.size(); ++bi) {
+      Block& block = file.blocks[bi];
+      if (!block.shards.empty()) {
+        plan_ec_repair(name, bi, st, transfers);
+        continue;
+      }
       std::vector<std::size_t> live;
       for (auto r : block.replicas) {
         if (!down_[r]) live.push_back(r);
@@ -346,11 +766,14 @@ void Dfs::re_replicate(std::function<void()> cb) {
         ++stats_.re_replications;
         const std::uint64_t bytes = block.size;
         ++st->pending;
-        transfers.push_back([this, src, dst, bytes, st, &sim, &net] {
-          disks_[src].access(sim, bytes, [this, src, dst, bytes, st, &sim, &net] {
-            net.send(src, dst, bytes, [this, dst, bytes, st, &sim] {
-              disks_[dst].access(sim, bytes, [st] {
-                if (--st->pending == 0) st->cb();
+        transfers.push_back([this, src, dst, bytes, st] {
+          repair_admit(bytes, [this, src, dst, bytes, st] {
+            disks_[src].access(comm_.simulator(), bytes, [this, src, dst, bytes, st] {
+              comm_.network().send(src, dst, bytes, [this, dst, bytes, st] {
+                disks_[dst].access(comm_.simulator(), bytes, [this, bytes, st] {
+                  stats_.bytes_physical += bytes;
+                  if (--st->pending == 0) st->cb();
+                });
               });
             });
           });
@@ -363,6 +786,122 @@ void Dfs::re_replicate(std::function<void()> cb) {
     return;
   }
   for (auto& t : transfers) t();
+}
+
+template <typename StatePtr>
+void Dfs::plan_ec_repair(const std::string& name, std::size_t bi, StatePtr st,
+                         std::vector<std::function<void()>>& transfers) {
+  File& file = files_.at(name);
+  Block& block = file.blocks[bi];
+  const std::size_t k = cfg_.ec_data_shards;
+
+  // Trim over-repaired slots first: a recovered node brought its shard
+  // back after repair already re-encoded it elsewhere. Keep the head-most
+  // live holder (the original placement), drop the rest.
+  for (auto& holders : block.shards) {
+    std::size_t live_seen = 0;
+    for (std::size_t i = 0; i < holders.size();) {
+      if (!down_[holders[i]] && ++live_seen > 1) {
+        holders.erase(holders.begin() + static_cast<std::ptrdiff_t>(i));
+        ++stats_.shards_trimmed;
+      } else {
+        ++i;
+      }
+    }
+  }
+
+  std::vector<std::size_t> lost_slots;     // no live holder
+  std::vector<std::size_t> survivor_slots; // >= 1 live holder, slot order
+  std::vector<std::size_t> exclude;        // nodes already holding live shards
+  for (std::size_t slot = 0; slot < block.shards.size(); ++slot) {
+    const std::size_t holder = live_holder(block.shards[slot]);
+    if (holder == comm_.nranks()) {
+      lost_slots.push_back(slot);
+    } else {
+      survivor_slots.push_back(slot);
+      exclude.push_back(holder);
+    }
+  }
+  if (lost_slots.empty() || survivor_slots.size() < k) return;  // healthy/unrepairable
+
+  const auto targets = place_shards(name, bi, lost_slots.size(), exclude);
+  if (targets.empty()) return;  // no anti-affine capacity right now
+
+  // Re-encode lost content shards up front (pure metadata: the new holders
+  // are only published when their disk writes land, so a concurrent
+  // degraded read still reconstructs from survivors).
+  if (file.has_content && !block.shard_data.empty()) {
+    std::vector<std::optional<storage::Shard>> avail(block.shards.size());
+    for (auto slot : survivor_slots) avail[slot] = block.shard_data[slot];
+    const auto data = rs_.decode(avail);
+    for (auto slot : lost_slots) {
+      if (slot < k) {
+        block.shard_data[slot] = data[slot];
+      } else {
+        block.shard_data[slot] = rs_.encode(data)[slot - k];
+      }
+    }
+  }
+
+  // Repair flow: k survivor shards stream to the first target (the repair
+  // worker), which re-encodes and distributes the rebuilt shards.
+  const std::uint64_t sbytes = block.shard_size;
+  const std::size_t t0 = targets[0];
+  struct StripeState {
+    std::size_t fetched = 0;
+  };
+  auto ss = std::make_shared<StripeState>();
+  st->pending += lost_slots.size();
+
+  auto distribute = [this, st, name, bi, lost_slots, targets, sbytes, t0] {
+    for (std::size_t i = 0; i < lost_slots.size(); ++i) {
+      const std::size_t slot = lost_slots[i];
+      const std::size_t tgt = targets[i];
+      auto store = [this, st, name, bi, slot, tgt, sbytes] {
+        disks_[tgt].access(comm_.simulator(), sbytes,
+                           [this, st, name, bi, slot, tgt, sbytes] {
+          if (!down_[tgt]) {
+            auto it = files_.find(name);
+            if (it != files_.end() && bi < it->second.blocks.size() &&
+                slot < it->second.blocks[bi].shards.size()) {
+              it->second.blocks[bi].shards[slot].push_back(tgt);
+            }
+            ++stats_.shards_repaired;
+            stats_.repair_bytes_written += sbytes;
+            stats_.bytes_physical += sbytes;
+          }
+          if (--st->pending == 0) st->cb();
+        });
+      };
+      if (tgt == t0) {
+        store();
+      } else {
+        comm_.network().send(t0, tgt, sbytes, store);
+      }
+    }
+  };
+
+  const std::size_t k_needed = k;
+  for (std::size_t i = 0; i < k_needed; ++i) {
+    const std::size_t src = exclude[i];  // live holder of survivor_slots[i]
+    transfers.push_back([this, src, t0, sbytes, ss, k_needed, distribute] {
+      stats_.repair_bytes_read += sbytes;
+      repair_admit(sbytes, [this, src, t0, sbytes, ss, k_needed, distribute] {
+        Simulator& sim = comm_.simulator();
+        disks_[src].access(sim, sbytes, [this, src, t0, sbytes, ss, k_needed,
+                                         distribute] {
+          auto arrived = [ss, k_needed, distribute] {
+            if (++ss->fetched == k_needed) distribute();
+          };
+          if (src == t0) {
+            arrived();
+          } else {
+            comm_.network().send(src, t0, sbytes, arrived);
+          }
+        });
+      });
+    });
+  }
 }
 
 }  // namespace hpbdc::sim

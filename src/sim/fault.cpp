@@ -15,6 +15,8 @@ const char* fault_kind_name(FaultKind k) {
     case FaultKind::kNodeSlow: return "node_slow";
     case FaultKind::kNodeSpeedRestore: return "node_speed_restore";
     case FaultKind::kDfsReplicaLoss: return "dfs_replica_loss";
+    case FaultKind::kDfsShardLossAboveM: return "dfs_shard_loss_above_m";
+    case FaultKind::kDfsRepairRace: return "dfs_repair_race";
   }
   return "?";
 }
@@ -106,6 +108,39 @@ void FaultInjector::fire(const FaultEvent& ev) {
       }
       break;
     }
+    case FaultKind::kDfsShardLossAboveM: {
+      if (targets_.dfs == nullptr) return;
+      const auto files = targets_.dfs->ec_file_names();
+      if (files.empty()) return;
+      const auto& name = files[rng_.next_below(files.size())];
+      const std::size_t nblocks = targets_.dfs->block_count(name);
+      if (nblocks == 0) return;
+      const std::size_t block = rng_.next_below(nblocks);
+      // Drop live slots (random order) until fewer than k survive: one past
+      // what RS(k, m) tolerates, so the stripe is genuinely unreadable.
+      const auto stripe = targets_.dfs->stripe_locations(name, block);
+      const std::size_t k = targets_.dfs->config().ec_data_shards;
+      std::vector<std::size_t> live_slots;
+      for (std::size_t slot = 0; slot < stripe.size(); ++slot) {
+        bool alive = false;
+        for (auto n : stripe[slot]) alive = alive || !targets_.dfs->node_down(n);
+        if (alive) live_slots.push_back(slot);
+      }
+      if (live_slots.size() < k) return;  // already below tolerance
+      rng_.shuffle(live_slots);
+      bool any = false;
+      while (live_slots.size() >= k) {
+        any = targets_.dfs->lose_shard(name, block, live_slots.back()) || any;
+        live_slots.pop_back();
+      }
+      if (any) hit();
+      break;
+    }
+    case FaultKind::kDfsRepairRace:
+      if (targets_.dfs == nullptr) return;
+      targets_.dfs->re_replicate([] {});
+      hit();
+      break;
   }
 }
 

@@ -37,8 +37,10 @@ enum class FaultKind : std::uint8_t {
   kNodeSlow,           // run node at speed factor `value` (straggler)
   kNodeSpeedRestore,   // back to full speed
   kDfsReplicaLoss,     // silently lose one replica of a random DFS block
+  kDfsShardLossAboveM, // drop shards of one random EC stripe below k live
+  kDfsRepairRace,      // kick an immediate repair pass mid-run
 };
-inline constexpr std::size_t kFaultKindCount = 11;
+inline constexpr std::size_t kFaultKindCount = 13;
 
 const char* fault_kind_name(FaultKind k);
 
@@ -89,6 +91,19 @@ struct FaultPlan {
   }
   FaultPlan& dfs_replica_loss(SimTime t) {
     events.push_back({t, FaultKind::kDfsReplicaLoss, 0, 0});
+    return *this;
+  }
+  /// Drop shards of one random EC stripe until fewer than k live shards
+  /// remain — past the m-loss tolerance, so reads of it must fail typed
+  /// (and the reader must survive via lineage/regeneration, not hang).
+  FaultPlan& dfs_shard_loss_above_m(SimTime t) {
+    events.push_back({t, FaultKind::kDfsShardLossAboveM, 0, 0});
+    return *this;
+  }
+  /// Fire an unsolicited repair pass, racing background repair against
+  /// in-flight reads/writes and any scheduled auto-repair.
+  FaultPlan& dfs_repair_race(SimTime t) {
+    events.push_back({t, FaultKind::kDfsRepairRace, 0, 0});
     return *this;
   }
 };

@@ -72,6 +72,23 @@ class HashRing {
     return out;
   }
 
+  /// Visit every distinct physical node clockwise from the key's ring
+  /// position, in ring order, until `visit` returns false or the ring is
+  /// exhausted. The generalization of lookup_n that placement policies with
+  /// per-node constraints (e.g. the DFS rack-aware shard anti-affinity)
+  /// build on: a caller can skip a node and keep walking.
+  template <typename Visitor>
+  void walk(std::string_view key, Visitor&& visit) const {
+    if (ring_.empty()) throw std::logic_error("HashRing: empty ring");
+    auto it = ring_.lower_bound(hash_str(key));
+    std::set<std::uint64_t> seen;
+    while (seen.size() < nodes_.size()) {
+      if (it == ring_.end()) it = ring_.begin();
+      if (seen.insert(it->second).second && !visit(it->second)) return;
+      ++it;
+    }
+  }
+
  private:
   static std::uint64_t vnode_hash(std::uint64_t node_id, std::size_t vnode) {
     return hash_combine(hash_u64(node_id), hash_u64(vnode + 0x5bd1e995));

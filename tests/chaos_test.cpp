@@ -255,6 +255,72 @@ TEST(ChaosShrink, RefusesPassingInput) {
   EXPECT_THROW(shrink(cfg, pool()), std::logic_error);
 }
 
+// --- erasure-coded checkpoint mode (sim/dfs EC path under chaos) --------
+
+TEST(ChaosReplay, EcKeysRoundTrip) {
+  ChaosConfig cfg = smoke_config(9);
+  cfg.ec_checkpoints = true;
+  cfg.inject_ec_placement_bug = true;
+  const std::string spec = format_replay(cfg);
+  EXPECT_NE(spec.find("ec=1"), std::string::npos);
+  EXPECT_NE(spec.find("ecbug=1"), std::string::npos);
+  const ChaosConfig back = parse_replay(spec);
+  EXPECT_TRUE(back.ec_checkpoints);
+  EXPECT_TRUE(back.inject_ec_placement_bug);
+  EXPECT_EQ(format_replay(back), spec);
+  // Defaults stay out of the spec so legacy replays remain byte-identical.
+  const std::string plain = format_replay(smoke_config(9));
+  EXPECT_EQ(plain.find("ec="), std::string::npos);
+  EXPECT_EQ(plain.find("ecbug="), std::string::npos);
+}
+
+/// EC smoke batch: the differential oracle plus the EC placement oracle over
+/// fixed seeds, with checkpoints striped RS(3, 2) and the fault plan drawing
+/// shard losses and repair kicks.
+TEST(ChaosSmoke, EcCheckpointFixedSeedBatch) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    ChaosConfig cfg = smoke_config(seed);
+    cfg.ec_checkpoints = true;
+    const auto out = run_chaos_once(cfg, pool());
+    ASSERT_TRUE(out.passed) << "seed " << seed << ": " << out.violation
+                            << "\nreplay: " << format_replay(cfg)
+                            << "\nplan: " << out.plan;
+  }
+}
+
+/// Acceptance for the EC battery: the seeded placement bug (every shard of a
+/// stripe collapses onto one ring owner) is caught by the EC placement
+/// oracle, shrunk, and the shrunk `ec=`-bearing replay spec reproduces the
+/// violation exactly.
+TEST(ChaosShrink, SeededEcPlacementBugIsCaughtAndShrunk) {
+  ChaosConfig failing;
+  bool found = false;
+  for (std::uint64_t seed = 1; seed <= 25 && !found; ++seed) {
+    ChaosConfig cfg = smoke_config(seed);
+    cfg.ec_checkpoints = true;
+    cfg.inject_ec_placement_bug = true;
+    const auto out = run_chaos_once(cfg, pool());
+    if (!out.passed) {
+      failing = cfg;
+      found = true;
+    }
+  }
+  ASSERT_TRUE(found) << "no smoke seed tripped the seeded EC placement bug";
+
+  const ShrinkResult sr = shrink(failing, pool());
+  EXPECT_FALSE(sr.outcome.passed);
+  ASSERT_FALSE(sr.replay.empty());
+  EXPECT_NE(sr.replay.find("ec=1"), std::string::npos);
+  EXPECT_NE(sr.replay.find("ecbug=1"), std::string::npos);
+
+  const ChaosConfig replayed = parse_replay(sr.replay);
+  EXPECT_TRUE(replayed.ec_checkpoints);
+  EXPECT_TRUE(replayed.inject_ec_placement_bug);
+  const auto again = run_chaos_once(replayed, pool());
+  EXPECT_FALSE(again.passed);
+  EXPECT_EQ(again.violation, sr.outcome.violation);
+}
+
 // --- streaming differential oracle (src/dstream under kills) ------------
 
 /// Streaming campaign seed -> configuration, same spirit as smoke_config:
@@ -357,6 +423,35 @@ TEST(StreamChaosShrink, SeededRestoreBugIsCaughtAndShrunk) {
 
 TEST(StreamChaosShrink, RefusesPassingInput) {
   EXPECT_THROW(shrink_stream(stream_smoke_config(1)), std::logic_error);
+}
+
+TEST(StreamChaosReplay, EcKeyRoundTrip) {
+  StreamChaosConfig cfg = stream_smoke_config(5);
+  cfg.ec_checkpoints = true;
+  const std::string spec = format_stream_replay(cfg);
+  EXPECT_NE(spec.find("ec=1"), std::string::npos);
+  const StreamChaosConfig back = parse_stream_replay(spec);
+  EXPECT_TRUE(back.ec_checkpoints);
+  EXPECT_EQ(format_stream_replay(back), spec);
+  EXPECT_EQ(format_stream_replay(stream_smoke_config(5)).find("ec="),
+            std::string::npos);
+}
+
+/// EC streaming smoke: exactly-once epochs with checkpoints striped RS(3, 2),
+/// so recovery reads mid-outage reconstruct from parity instead of stalling.
+TEST(StreamChaosSmoke, EcCheckpointFixedSeedBatch) {
+  std::uint64_t total_recoveries = 0;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    StreamChaosConfig cfg = stream_smoke_config(seed);
+    cfg.ec_checkpoints = true;
+    const auto out = run_stream_chaos_once(cfg);
+    ASSERT_TRUE(out.passed) << "seed " << seed << ": " << out.violation
+                            << "\nreplay: " << format_stream_replay(cfg);
+    EXPECT_GE(out.epochs_completed, 1u) << "seed " << seed;
+    total_recoveries += out.recoveries;
+  }
+  EXPECT_GT(total_recoveries, 0u)
+      << "EC kill batch should force at least one checkpoint recovery";
 }
 
 // --- linearizability checker on handcrafted histories -------------------

@@ -309,5 +309,222 @@ TEST(Dfs, HigherReplicationSlowsWrites) {
   EXPECT_LT(r3, 3 * r1);
 }
 
+
+// ---- erasure-coded storage path -----------------------------------------------------
+
+namespace {
+
+/// Deterministic payload with per-index structure so a mis-ordered or
+/// mis-reconstructed shard cannot collide with the expected bytes.
+std::vector<std::uint8_t> pattern_bytes(std::size_t n, std::uint8_t salt) {
+  std::vector<std::uint8_t> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<std::uint8_t>((i * 131 + salt) ^ (i >> 8));
+  }
+  return v;
+}
+
+}  // namespace
+
+TEST(DfsEc, WriteStripesAntiAffineWithLowOverhead) {
+  DfsFixture f;
+  bool ok = false;
+  f.dfs.write(1, "/ec", 128 * MiB, StoragePolicy::kErasureCoded,
+              [&](bool w) { ok = w; });
+  f.sim.run();
+  ASSERT_TRUE(ok);
+  EXPECT_EQ(f.dfs.file_policy("/ec"), StoragePolicy::kErasureCoded);
+  EXPECT_EQ(f.dfs.block_count("/ec"), 2u);  // 128 MiB / 64 MiB blocks
+  for (std::size_t b = 0; b < f.dfs.block_count("/ec"); ++b) {
+    const auto stripe = f.dfs.stripe_locations("/ec", b);
+    ASSERT_EQ(stripe.size(), f.dfs.ec_stripe_width());  // k + m = 6 slots
+    std::set<std::size_t> nodes;
+    for (const auto& slot : stripe) {
+      ASSERT_EQ(slot.size(), 1u);  // one holder per shard slot when healthy
+      EXPECT_TRUE(nodes.insert(slot[0]).second)
+          << "two shards of block " << b << " share node " << slot[0];
+    }
+  }
+  // RS(4, 2): durable bytes are 1.5x the logical bytes, not 3x.
+  const auto& st = f.dfs.stats();
+  EXPECT_EQ(st.ec_blocks_written, 2u);
+  EXPECT_EQ(st.shards_written, 12u);
+  EXPECT_DOUBLE_EQ(static_cast<double>(st.bytes_physical) /
+                       static_cast<double>(st.bytes_written),
+                   1.5);
+}
+
+TEST(DfsEc, PutAndReadBackBitIdentical) {
+  DfsConfig cfg;
+  cfg.block_size = MiB;
+  DfsFixture f(cfg);
+  // Three blocks, last one partial, size not a multiple of k.
+  const auto content = pattern_bytes(2 * MiB + 700 * 1024 + 13, 0x5a);
+  bool stored = false;
+  f.dfs.put(0, "/ec", content, StoragePolicy::kErasureCoded,
+            [&](bool w) { stored = w; });
+  f.sim.run();
+  ASSERT_TRUE(stored);
+  ReadStatus status{};
+  std::vector<std::uint8_t> got;
+  f.dfs.read_ex(7, "/ec", [&](ReadStatus s, const std::vector<std::uint8_t>& d) {
+    status = s;
+    got = d;
+  });
+  f.sim.run();
+  EXPECT_EQ(status, ReadStatus::kOk);
+  EXPECT_EQ(got, content);
+  EXPECT_EQ(f.dfs.stats().degraded_reads, 0u);
+}
+
+// ISSUE-named regression: a degraded read racing an in-flight repair must
+// return bit-identical data. Repair publishes a shard's new location only
+// when its transfer completes, so a read planned mid-repair sees exactly the
+// committed survivors and reconstructs from those.
+TEST(DfsEc, DegradedReadDuringInFlightRepairIsBitIdentical) {
+  DfsConfig cfg;
+  cfg.block_size = MiB;
+  DfsFixture f(cfg);
+  const auto content = pattern_bytes(3 * MiB + 4099, 0xc3);
+  f.dfs.put(0, "/ec", content, StoragePolicy::kErasureCoded, [](bool) {});
+  f.sim.run();
+
+  // Knock out two data shards of block 0 — the worst repairable damage for
+  // RS(4, 2) — then start the repair and read while it is still in flight.
+  ASSERT_TRUE(f.dfs.lose_shard("/ec", 0, 0));
+  ASSERT_TRUE(f.dfs.lose_shard("/ec", 0, 1));
+  bool repaired = false;
+  f.dfs.re_replicate([&] { repaired = true; });
+  ReadStatus status{};
+  std::vector<std::uint8_t> got;
+  double read_done = -1;
+  f.dfs.read_ex(9, "/ec", [&](ReadStatus s, const std::vector<std::uint8_t>& d) {
+    status = s;
+    got = d;
+    read_done = f.sim.now();
+  });
+  f.sim.run();
+  ASSERT_TRUE(repaired);
+  EXPECT_EQ(status, ReadStatus::kDegraded);
+  EXPECT_EQ(got, content);
+  EXPECT_GE(f.dfs.stats().degraded_reads, 1u);
+  ASSERT_GE(read_done, 0.0);
+
+  // After the repair lands, the same read is clean and still bit-identical.
+  const auto degraded_before = f.dfs.stats().degraded_reads;
+  status = ReadStatus::kUnavailable;
+  got.clear();
+  f.dfs.read_ex(9, "/ec", [&](ReadStatus s, const std::vector<std::uint8_t>& d) {
+    status = s;
+    got = d;
+  });
+  f.sim.run();
+  EXPECT_EQ(status, ReadStatus::kOk);
+  EXPECT_EQ(got, content);
+  EXPECT_EQ(f.dfs.stats().degraded_reads, degraded_before);
+  EXPECT_GE(f.dfs.stats().shards_repaired, 2u);
+}
+
+// ISSUE-named regression: killing exactly m shard holders keeps the file
+// readable (degraded), while m + 1 resolves promptly with a typed
+// kUnavailable — not a hang and not a bool false.
+TEST(DfsEc, ExactlyMKillsStayReadableMPlusOneFailsTyped) {
+  DfsConfig cfg;
+  cfg.block_size = MiB;
+  DfsFixture f(cfg);
+  const auto content = pattern_bytes(MiB - 37, 0x11);  // single stripe
+  f.dfs.put(0, "/ec", content, StoragePolicy::kErasureCoded, [](bool) {});
+  f.sim.run();
+  const auto stripe = f.dfs.stripe_locations("/ec", 0);
+  ASSERT_EQ(stripe.size(), 6u);
+
+  // Kill the holders of the first m = 2 slots: still k = 4 survivors.
+  f.dfs.fail_node(stripe[0][0]);
+  f.dfs.fail_node(stripe[1][0]);
+  EXPECT_TRUE(f.dfs.readable("/ec"));
+  ReadStatus status{};
+  std::vector<std::uint8_t> got;
+  f.dfs.read_ex(stripe[5][0], "/ec",
+                [&](ReadStatus s, const std::vector<std::uint8_t>& d) {
+                  status = s;
+                  got = d;
+                });
+  f.sim.run();
+  EXPECT_EQ(status, ReadStatus::kDegraded);
+  EXPECT_TRUE(read_ok(status));
+  EXPECT_EQ(got, content);
+
+  // One more loss exceeds the parity budget: the read must fail fast with a
+  // typed status (namenode round-trip only, no data transfer, no hang).
+  f.dfs.fail_node(stripe[2][0]);
+  EXPECT_FALSE(f.dfs.readable("/ec"));
+  const auto failed_before = f.dfs.stats().failed_reads;
+  const double t0 = f.sim.now();
+  bool resolved = false;
+  f.dfs.read_ex(stripe[5][0], "/ec",
+                [&](ReadStatus s, const std::vector<std::uint8_t>& d) {
+                  resolved = true;
+                  status = s;
+                  got = d;
+                });
+  f.sim.run();
+  ASSERT_TRUE(resolved) << "unreadable EC file must resolve, not hang";
+  EXPECT_EQ(status, ReadStatus::kUnavailable);
+  EXPECT_FALSE(read_ok(status));
+  EXPECT_TRUE(got.empty());
+  EXPECT_EQ(f.dfs.stats().failed_reads, failed_before + 1);
+  EXPECT_LT(f.sim.now() - t0, 0.05);  // metadata latency, not a shard fetch
+}
+
+// ISSUE-named regression: repair re-encodes a lost shard onto a new node;
+// when the original holder later recovers, the next repair pass trims the
+// over-repaired copy so every slot keeps exactly one live holder.
+TEST(DfsEc, RepairAfterRecoverTrimsOverRepairedShards) {
+  DfsFixture f;
+  f.dfs.write(1, "/ec", 64 * MiB, StoragePolicy::kErasureCoded, [](bool) {});
+  f.sim.run();
+  const auto before = f.dfs.stripe_locations("/ec", 0);
+  const std::size_t victim = before[0][0];
+
+  f.dfs.fail_node(victim);
+  bool pass1 = false;
+  f.dfs.re_replicate([&] { pass1 = true; });
+  f.sim.run();
+  ASSERT_TRUE(pass1);
+  EXPECT_GE(f.dfs.stats().shards_repaired, 1u);
+
+  // The victim comes back with its stale shard: slot 0 now has two live
+  // holders until the planner notices.
+  f.dfs.recover_node(victim);
+  const auto mid = f.dfs.stripe_locations("/ec", 0);
+  EXPECT_EQ(mid[0].size(), 2u);
+  const auto repair_bytes_before = f.dfs.stats().repair_bytes_written;
+  bool pass2 = false;
+  f.dfs.re_replicate([&] { pass2 = true; });
+  f.sim.run();
+  ASSERT_TRUE(pass2);
+  EXPECT_GE(f.dfs.stats().shards_trimmed, 1u);
+  // Trimming is metadata-only: the second pass moves no repair bytes.
+  EXPECT_EQ(f.dfs.stats().repair_bytes_written, repair_bytes_before);
+  for (std::size_t b = 0; b < f.dfs.block_count("/ec"); ++b) {
+    std::set<std::size_t> nodes;
+    for (const auto& slot : f.dfs.stripe_locations("/ec", b)) {
+      ASSERT_EQ(slot.size(), 1u) << "slot still over-replicated";
+      EXPECT_FALSE(f.dfs.node_down(slot[0]));
+      EXPECT_TRUE(nodes.insert(slot[0]).second);
+    }
+  }
+}
+
+TEST(DfsEc, ShuffleSpillStaysReplicatedByDefault) {
+  DfsFixture f;
+  f.dfs.write(2, "/spill", 64 * MiB, [](bool) {});
+  f.dfs.write(3, "/ckpt", 64 * MiB, StoragePolicy::kErasureCoded, [](bool) {});
+  f.sim.run();
+  EXPECT_EQ(f.dfs.file_policy("/spill"), StoragePolicy::kReplicated);
+  EXPECT_EQ(f.dfs.file_policy("/ckpt"), StoragePolicy::kErasureCoded);
+  EXPECT_EQ(f.dfs.ec_file_names(), std::vector<std::string>{"/ckpt"});
+}
+
 }  // namespace
 }  // namespace hpbdc::sim

@@ -40,8 +40,9 @@ struct Cluster {
   sim::Dfs dfs;
   StreamRuntime rt;
 
-  explicit Cluster(std::size_t nodes, StreamConfig sc = {})
-      : net(sim, star(nodes)), comm(sim, net), dfs(comm, sim::DfsConfig{}),
+  explicit Cluster(std::size_t nodes, StreamConfig sc = {},
+                   sim::DfsConfig dfc = {})
+      : net(sim, star(nodes)), comm(sim, net), dfs(comm, dfc),
         rt(comm, sc, &dfs) {}
 };
 
@@ -212,6 +213,33 @@ TEST(DstreamRuntime, KillMidWindowRecoversBitIdentical) {
   EXPECT_GE(c.rt.stats().epochs_completed, 1u);
   EXPECT_EQ(canonical_stream_bytes(r.rows()), want)
       << "exactly-once recovery must yield bit-identical committed output";
+}
+
+TEST(DstreamRuntime, EcCheckpointsRecoverBitIdenticalThroughOutage) {
+  StreamingOptions opts;
+  opts.rate = 48.0;
+  opts.window = 0.5;
+  opts.checkpoint_policy = sim::StoragePolicy::kErasureCoded;
+  const StreamJobSpec spec = lower_streaming(aggregate_plan(9, 256), opts);
+  const Bytes want = canonical_stream_bytes(reference_streaming(spec));
+
+  // RS(3, 2) over 6 nodes: the killed node costs each stripe at most one
+  // shard, so the recovery read during the outage degrades, never stalls.
+  sim::DfsConfig dfc;
+  dfc.ec_data_shards = 3;
+  dfc.ec_parity_shards = 2;
+  Cluster c(6, {}, dfc);
+  c.rt.kill_node_at(1, 1.3);
+  c.rt.recover_node_at(1, 3.5);
+  const StreamResult r = run_to_completion(c, spec);
+  ASSERT_TRUE(r.ok);
+  EXPECT_GE(c.rt.stats().recoveries, 1u);
+  EXPECT_EQ(canonical_stream_bytes(r.rows()), want)
+      << "EC checkpoint recovery must stay exactly-once";
+  const auto& ds = c.dfs.stats();
+  EXPECT_GT(ds.ec_blocks_written, 0u) << "checkpoints should stripe, not copy";
+  EXPECT_EQ(ds.blocks_written, ds.ec_blocks_written)
+      << "every checkpoint block should use the configured EC policy";
 }
 
 TEST(DstreamRuntime, SeededRestoreBugIsObservable) {

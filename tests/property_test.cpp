@@ -4,7 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
+#include <set>
 
 #include "common/rng.hpp"
 #include "common/serialize.hpp"
@@ -13,8 +15,10 @@
 #include "dataflow/shuffle.hpp"
 #include "exec/parallel.hpp"
 #include "exec/thread_pool.hpp"
+#include "sim/dfs.hpp"
 #include "storage/compression.hpp"
 #include "storage/dedup.hpp"
+#include "storage/hash_ring.hpp"
 #include "storage/reed_solomon.hpp"
 
 namespace hpbdc {
@@ -242,6 +246,118 @@ TEST_P(Seeded, BinarySafeStringKeysSurviveReduceByKey) {
     got[k] = v;
   }
   EXPECT_EQ(got, expect);
+}
+
+// ---- EC placement / consistent-hash ring ----------------------------------------
+
+// Anti-affinity is an INVARIANT of the EC storage path, not a property of
+// the initial placement only: after any random sequence of node fails,
+// recoveries, and repair passes, no node may hold live shards of two
+// different slots of one stripe. ~200 randomized steps per seed.
+TEST_P(Seeded, EcPlacementAntiAffinitySurvivesFailRecoverRepair) {
+  Rng rng(GetParam() * 977 + 5);
+  sim::Simulator sim;
+  sim::NetworkConfig nc;
+  nc.nodes = 16;
+  nc.topology = sim::Topology::kFatTree;
+  nc.hosts_per_rack = 4;
+  nc.racks_per_pod = 2;
+  sim::Network net(sim, nc);
+  sim::Comm comm(sim, net);
+  sim::DfsConfig cfg;
+  cfg.ec_data_shards = 4;
+  cfg.ec_parity_shards = 2;
+  cfg.block_size = 1 << 20;
+  sim::Dfs dfs(comm, cfg);
+  for (int i = 0; i < 6; ++i) {
+    dfs.write(rng.next_below(16), "/ec" + std::to_string(i), (3u << 20) - 17,
+              sim::StoragePolicy::kErasureCoded, [](bool ok) { ASSERT_TRUE(ok); });
+  }
+  sim.run();
+
+  auto check_anti_affinity = [&dfs](const char* when) {
+    for (const auto& name : dfs.ec_file_names()) {
+      for (std::size_t b = 0; b < dfs.block_count(name); ++b) {
+        std::set<std::size_t> live;
+        for (const auto& holders : dfs.stripe_locations(name, b)) {
+          for (auto n : holders) {
+            if (dfs.node_down(n)) continue;
+            EXPECT_TRUE(live.insert(n).second)
+                << when << ": node " << n << " holds two live shards of "
+                << name << " block " << b;
+          }
+        }
+      }
+    }
+  };
+  check_anti_affinity("initial placement");
+
+  std::vector<std::size_t> down;
+  for (int step = 0; step < 200; ++step) {
+    const auto roll = rng.next_below(100);
+    if (roll < 35 && down.size() < 3) {
+      std::size_t n = rng.next_below(16);
+      while (std::find(down.begin(), down.end(), n) != down.end()) {
+        n = rng.next_below(16);
+      }
+      dfs.fail_node(n);
+      down.push_back(n);
+    } else if (roll < 65 && !down.empty()) {
+      const std::size_t i = rng.next_below(down.size());
+      dfs.recover_node(down[i]);
+      down.erase(down.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      dfs.re_replicate([] {});
+    }
+    sim.run();
+    check_anti_affinity("after step");
+  }
+}
+
+// Consistent-hash rebalance bound, stated exactly: removing a node changes
+// a key's lookup_n replica set iff the removed node WAS in that set. As a
+// corollary the fraction of keys whose owner moves is the fraction the node
+// owned — about 1/n with vnode smoothing, never a global reshuffle.
+TEST_P(Seeded, HashRingRemovalMovesOnlyVictimReplicaSets) {
+  Rng rng(GetParam() * 31 + 7);
+  storage::HashRing ring(64);
+  const std::size_t n = 8 + rng.next_below(8);
+  for (std::size_t i = 0; i < n; ++i) ring.add_node(i);
+
+  constexpr std::size_t kKeys = 500, r = 3;
+  std::vector<std::string> keys;
+  std::vector<std::vector<std::uint64_t>> before;
+  for (std::size_t i = 0; i < kKeys; ++i) {
+    keys.push_back("key-" + std::to_string(rng()));
+    before.push_back(ring.lookup_n(keys.back(), r));
+  }
+  const std::uint64_t victim = rng.next_below(n);
+  ring.remove_node(victim);
+
+  std::size_t owners_moved = 0, owned_by_victim = 0;
+  for (std::size_t i = 0; i < kKeys; ++i) {
+    const auto after = ring.lookup_n(keys[i], r);
+    const bool had_victim =
+        std::find(before[i].begin(), before[i].end(), victim) != before[i].end();
+    if (!had_victim) {
+      EXPECT_EQ(after, before[i]) << keys[i];
+    } else {
+      EXPECT_NE(after, before[i]) << keys[i];
+      // Survivors keep their relative ring order; only the victim's slot is
+      // refilled from further clockwise.
+      std::vector<std::uint64_t> kept;
+      for (auto node : before[i]) {
+        if (node != victim) kept.push_back(node);
+      }
+      for (std::size_t j = 0; j < kept.size(); ++j) EXPECT_EQ(after[j], kept[j]);
+    }
+    owned_by_victim += before[i][0] == victim;
+    owners_moved += after[0] != before[i][0];
+  }
+  EXPECT_EQ(owners_moved, owned_by_victim);
+  // Vnode smoothing keeps the victim's share near 1/n; allow wide slack
+  // (3x expectation + constant) so the bound never flakes across seeds.
+  EXPECT_LE(owners_moved, 3 * kKeys / n + 25);
 }
 
 }  // namespace

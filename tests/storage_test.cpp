@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <bit>
 #include <map>
 #include <set>
 
@@ -199,6 +200,96 @@ TEST(ReedSolomon, ZeroParityIsPassthrough) {
   ReedSolomon rs(3, 0);
   std::vector<Shard> data(3, Shard(8, 7));
   EXPECT_TRUE(rs.encode(data).empty());
+}
+
+// Every k-subset of the k+m shards must reconstruct the data exactly — the
+// MDS property itself, not just "survives m erasures". Exhaustive at (4,2).
+TEST(ReedSolomon, EveryKSubsetReconstructsExhaustive42) {
+  constexpr std::size_t k = 4, m = 2, total = k + m;
+  ReedSolomon rs(k, m);
+  Rng rng(42);
+  std::vector<Shard> data(k, Shard(97));
+  for (auto& s : data) {
+    for (auto& b : s) b = static_cast<std::uint8_t>(rng());
+  }
+  const auto parity = rs.encode(data);
+  std::size_t subsets = 0;
+  for (std::uint32_t bits = 0; bits < (1u << total); ++bits) {
+    if (std::popcount(bits) != k) continue;
+    ++subsets;
+    std::vector<std::optional<Shard>> shards(total);
+    for (std::size_t i = 0; i < total; ++i) {
+      if (bits & (1u << i)) shards[i] = i < k ? data[i] : parity[i - k];
+    }
+    EXPECT_EQ(rs.decode(shards), data) << "survivor set 0x" << std::hex << bits;
+  }
+  EXPECT_EQ(subsets, 15u);  // C(6, 4)
+}
+
+// Sampled at (8,3): C(11,8) = 165 subsets is feasible but slow under
+// sanitizers; 40 seeded draws cover the space well beyond the patterns the
+// DFS repair path exercises.
+TEST(ReedSolomon, EveryKSubsetReconstructsSampled83) {
+  constexpr std::size_t k = 8, m = 3, total = k + m;
+  ReedSolomon rs(k, m);
+  Rng rng(83);
+  std::vector<Shard> data(k, Shard(61));
+  for (auto& s : data) {
+    for (auto& b : s) b = static_cast<std::uint8_t>(rng());
+  }
+  const auto parity = rs.encode(data);
+  for (int iter = 0; iter < 40; ++iter) {
+    std::vector<std::size_t> idx(total);
+    for (std::size_t i = 0; i < total; ++i) idx[i] = i;
+    rng.shuffle(idx);
+    std::vector<std::optional<Shard>> shards(total);
+    for (std::size_t i = 0; i < k; ++i) {
+      const std::size_t s = idx[i];
+      shards[s] = s < k ? data[s] : parity[s - k];
+    }
+    EXPECT_EQ(rs.decode(shards), data) << "iteration " << iter;
+  }
+}
+
+// Degenerate block shapes the DFS write path can produce: an empty blob and
+// blob sizes not divisible by k (split pads, join truncates).
+TEST(ReedSolomon, ZeroLengthAndNonMultipleBlocks) {
+  const auto empty = ReedSolomon::split({}, 4);
+  EXPECT_EQ(empty.size(), 4u);
+  for (const auto& s : empty) EXPECT_TRUE(s.empty());
+  EXPECT_TRUE(ReedSolomon::join(empty, 0).empty());
+
+  ReedSolomon rs(4, 2);
+  Rng rng(7);
+  for (std::size_t n : {1u, 3u, 5u, 7u, 1023u}) {
+    std::vector<std::uint8_t> blob(n);
+    for (auto& b : blob) b = static_cast<std::uint8_t>(rng());
+    auto shards = rs.split(blob, 4);
+    const std::size_t want = (n + 3) / 4;
+    for (const auto& s : shards) EXPECT_EQ(s.size(), want) << n;
+    const auto parity = rs.encode(shards);
+    // Knock out two data shards, reconstruct, reassemble.
+    std::vector<std::optional<Shard>> avail(6);
+    avail[2] = shards[2];
+    avail[3] = shards[3];
+    avail[4] = parity[0];
+    avail[5] = parity[1];
+    EXPECT_EQ(ReedSolomon::join(rs.decode(avail), n), blob) << n;
+  }
+}
+
+// GF(256) property sweep beyond the axioms above: division inverts
+// multiplication and inversion is an involution, across seeded draws.
+TEST(GF256, DivisionAndInvolutionSweep) {
+  Rng rng(0x6F);
+  for (int i = 0; i < 4000; ++i) {
+    const auto a = static_cast<std::uint8_t>(rng());
+    auto b = static_cast<std::uint8_t>(rng());
+    while (b == 0) b = static_cast<std::uint8_t>(rng());
+    EXPECT_EQ(GF256::div(GF256::mul(a, b), b), a);
+    EXPECT_EQ(GF256::mul(GF256::div(a, b), b), a);
+    EXPECT_EQ(GF256::inv(GF256::inv(b)), b);
+  }
 }
 
 // ---- Chunkers ----------------------------------------------------------------------
