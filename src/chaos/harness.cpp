@@ -6,6 +6,8 @@
 
 #include "dataflow/context.hpp"
 #include "obs/metrics.hpp"
+#include "plan/cost.hpp"
+#include "plan/lower.hpp"
 #include "sim/comm.hpp"
 #include "sim/dfs.hpp"
 #include "sim/network.hpp"
@@ -38,6 +40,7 @@ std::string format_replay(const ChaosConfig& cfg) {
   if (cfg.transport != dist::TransportKind::kPull) out += ",tp=1";
   if (cfg.ec_checkpoints) out += ",ec=1";
   if (cfg.inject_ec_placement_bug) out += ",ecbug=1";
+  if (cfg.cost_based) out += ",cb=1";
   return out;
 }
 
@@ -84,6 +87,8 @@ ChaosConfig parse_replay(const std::string& spec) {
       cfg.ec_checkpoints = num != 0;
     } else if (key == "ecbug") {
       cfg.inject_ec_placement_bug = num != 0;
+    } else if (key == "cb") {
+      cfg.cost_based = num != 0;
     } else {
       throw std::invalid_argument("chaos replay: unknown key '" + key + "'");
     }
@@ -238,15 +243,23 @@ ChaosOutcome run_chaos_once(const ChaosConfig& cfg, Executor& pool,
     fail("conservation: shuffle moved more records than entered it");
   }
 
-  // ---- optimizer under test: both engines execute the OPTIMIZED plan -----
+  // ---- optimizer under test: every backend executes the OPTIMIZED plan ---
   // Fault-free local run first: a mismatch here is an unsound rewrite,
   // isolated from any scheduling/recovery effect. A plain Context (no
-  // metrics) keeps the conservation counters above untouched.
-  const LogicalPlan plan = plan::optimize(raw, &out.opt_stats, plan_metrics);
+  // metrics) keeps the conservation counters above untouched. With
+  // cost_based set the plan under test additionally carries the stats
+  // layer's physical hints (plan::cost_optimize).
+  const LogicalPlan opt = plan::optimize(raw, &out.opt_stats, plan_metrics);
+  const LogicalPlan plan = cfg.cost_based ? plan::cost_optimize(raw) : opt;
   out.optimized = plan.describe();
   dataflow::Context opt_ctx(pool);
   if (canonical_bytes(plan::lower_local(plan, opt_ctx)) != expected) {
     fail("optimizer: optimized plan differs from the raw reference locally");
+  }
+  // Columnar backend oracle: the vectorized lowering of the plan under test
+  // must reproduce the row reference bit-for-bit on every run.
+  if (canonical_bytes(plan::lower_columnar(plan, pool)) != expected) {
+    fail("columnar: vectorized result differs from the row reference");
   }
 
   // ---- system under test: dist runtime under the fault schedule ----------

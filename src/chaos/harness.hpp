@@ -4,9 +4,13 @@
 // dist runtime under fire, and checks a differential oracle against the
 // fault-free shared-memory execution. Every run also exercises the plan
 // optimizer (plan/optimizer.hpp): the UNOPTIMIZED plan on the shared-memory
-// engine is the trusted reference, and the OPTIMIZED plan executes on both
-// engines — locally fault-free (any mismatch is an unsound rewrite) and on
-// the dist runtime under faults (a mismatch is a rewrite or recovery bug).
+// engine is the trusted reference, and the OPTIMIZED plan executes on every
+// backend — locally fault-free (any mismatch is an unsound rewrite), on the
+// vectorized columnar backend (plan::lower_columnar; a mismatch is a
+// columnar kernel bug), and on the dist runtime under faults (a mismatch is
+// a rewrite or recovery bug). With cost_based set, the plan under test is
+// plan::cost_optimize's output instead, so the stats/cost layer's physical
+// hints (build side, skew salting, filter reorder) face the same oracles.
 // The checks, in order:
 //   * liveness — the job completes within a generous simulated horizon,
 //   * success  — the survivable fault schedule never aborts the job,
@@ -62,12 +66,18 @@ struct ChaosConfig {
   /// ec= replay round-trip catches and shrinks. Implies ec_checkpoints
   /// semantics only when ec_checkpoints is also set.
   bool inject_ec_placement_bug = false;
+  /// Run plan::cost_optimize instead of plan::optimize as the plan under
+  /// test: its stats-driven physical hints (join build side, skew-salt
+  /// fanout, selectivity-ordered filters) must be invisible to every
+  /// backend's result multiset.
+  bool cost_based = false;
 };
 
 /// One line, e.g. "pseed=3,fseed=9,nodes=5,rows=256,tasks=4,cluster=6,
 /// mask=0xffffffffffffffff,bug=0". Trailing ",tp=1" / ",ec=1" / ",ecbug=1"
-/// are appended ONLY for non-default configs (push transport, EC
-/// checkpoints, planted EC placement bug), so archived replay specs stay
+/// / ",cb=1" are appended ONLY for non-default configs (push transport, EC
+/// checkpoints, planted EC placement bug, cost-based plan), so archived
+/// replay specs stay
 /// byte-identical. parse_replay throws std::invalid_argument on malformed
 /// specs; format/parse round-trip exactly.
 std::string format_replay(const ChaosConfig& cfg);

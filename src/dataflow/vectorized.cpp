@@ -1,0 +1,25 @@
+#include "dataflow/vectorized.hpp"
+
+namespace hpbdc::dataflow::columnar {
+
+RowBlock from_rows(
+    const std::vector<std::pair<std::uint64_t, std::uint64_t>>& rows) {
+  RowBlock b;
+  b.reserve(rows.size());
+  for (const auto& r : rows) b.push(r.first, r.second);
+  return b;
+}
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>> to_rows(const RowBlock& b) {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> rows;
+  rows.reserve(b.size());
+  for (std::size_t i = 0; i < b.size(); ++i) rows.emplace_back(b.key[i], b.val[i]);
+  return rows;
+}
+
+void append(RowBlock& dst, const RowBlock& src) {
+  dst.key.insert(dst.key.end(), src.key.begin(), src.key.end());
+  dst.val.insert(dst.val.end(), src.val.begin(), src.val.end());
+}
+
+}  // namespace hpbdc::dataflow::columnar

@@ -34,26 +34,23 @@ std::vector<Bytes> replicate_rows(const std::vector<Row>& rows,
   return std::vector<Bytes>(ntasks, to_bytes(rows));
 }
 
-/// Source-row estimate of a source-rooted node; kNotSourceRooted when the
-/// node cannot be sized without running it.
-constexpr std::uint64_t kNotSourceRooted = ~0ULL;
-std::uint64_t source_rooted_rows(const PlanNode& nd) {
-  if (nd.op == OpKind::kSource) return nd.rows;
-  if (nd.op == OpKind::kFused && nd.steps.front().op == OpKind::kSource) {
-    return nd.steps.front().rows;
-  }
-  return kNotSourceRooted;
-}
+// ---- skew salting ---------------------------------------------------------
+// Cost-model hot keys turn a join's two input partitionings asymmetric: the
+// build parent replicates its hot-key rows to EVERY task while the probe
+// parent spreads its hot-key rows across tasks round-robin. Every hot probe
+// row lands in exactly one task and meets the full (replicated) set of hot
+// build rows for its key there, so each (build, probe) pair is emitted
+// exactly once — the join output multiset is unchanged, only the per-task
+// row balance improves.
 
-/// Marks the nodes that lower as broadcast (replicated-output) stages: the
-/// left side of every eligible join under `opts`.
-std::vector<bool> pick_broadcast_nodes(const LogicalPlan& plan,
-                                       const LowerDistOptions& opts) {
-  std::vector<bool> bcast(plan.nodes.size(), false);
-  if (opts.broadcast_join_rows == 0) return bcast;
-  // Consumer counts — a broadcast node must feed exactly one node (its
-  // join): other consumers would see replicated rows where they expect a
-  // hash partition.
+enum class SkewRole : std::uint8_t { kNone, kBuild, kProbe };
+
+struct SkewInfo {
+  SkewRole role = SkewRole::kNone;
+  std::vector<std::uint64_t> hot;  // the consumer join's hot_keys
+};
+
+std::vector<std::size_t> consumer_counts(const LogicalPlan& plan) {
   std::vector<std::size_t> consumers(plan.nodes.size(), 0);
   for (const PlanNode& nd : plan.nodes) {
     switch (nd.op) {
@@ -71,6 +68,86 @@ std::vector<bool> pick_broadcast_nodes(const LogicalPlan& plan,
         break;
     }
   }
+  return consumers;
+}
+
+/// Assign skew roles to the parents of every annotated join whose shape
+/// makes the rewrite sound: distinct parents, each feeding ONLY this join
+/// (another consumer — or a sink reader — would see the salted partitioning
+/// where it expects a plain hash partition), and neither broadcast (a
+/// broadcast build already replicates everything).
+std::vector<SkewInfo> pick_skew_roles(const LogicalPlan& plan,
+                                      const std::vector<bool>& bcast) {
+  std::vector<SkewInfo> out(plan.nodes.size());
+  const std::vector<std::size_t> consumers = consumer_counts(plan);
+  auto is_sink = [&](std::size_t id) {
+    return std::find(plan.sinks.begin(), plan.sinks.end(), id) !=
+           plan.sinks.end();
+  };
+  for (const PlanNode& nd : plan.nodes) {
+    if (nd.op != OpKind::kJoin || nd.salt_fanout == 0 || nd.hot_keys.empty()) {
+      continue;
+    }
+    const std::size_t l = nd.left, r = nd.right;
+    if (l == r) continue;  // self-join: one parent plays both roles
+    if (consumers[l] != 1 || consumers[r] != 1) continue;
+    if (is_sink(l) || is_sink(r)) continue;
+    if (bcast[l] || bcast[r]) continue;
+    const std::size_t build = nd.build_left ? l : r;
+    const std::size_t probe = nd.build_left ? r : l;
+    out[build] = {SkewRole::kBuild, nd.hot_keys};
+    out[probe] = {SkewRole::kProbe, nd.hot_keys};
+  }
+  return out;
+}
+
+/// partition_rows with hot-key handling per the node's skew role. The probe
+/// spread counter is deterministic: each task walks its own rows in order.
+std::vector<Bytes> partition_rows_skewed(std::vector<Row> rows,
+                                         std::size_t ntasks,
+                                         const SkewInfo& si) {
+  std::vector<std::vector<Row>> parts(ntasks);
+  std::uint64_t spread = 0;
+  auto hot = [&si](std::uint64_t k) {
+    return std::find(si.hot.begin(), si.hot.end(), k) != si.hot.end();
+  };
+  for (const Row& r : rows) {
+    if (hot(r.first)) {
+      if (si.role == SkewRole::kBuild) {
+        for (auto& p : parts) p.push_back(r);
+      } else {
+        parts[(hash_u64(r.first) + spread++) % ntasks].push_back(r);
+      }
+    } else {
+      parts[hash_u64(r.first) % ntasks].push_back(r);
+    }
+  }
+  std::vector<Bytes> out;
+  out.reserve(ntasks);
+  for (auto& p : parts) out.push_back(to_bytes(p));
+  return out;
+}
+
+/// Source-row estimate of a source-rooted node; kNotSourceRooted when the
+/// node cannot be sized without running it.
+constexpr std::uint64_t kNotSourceRooted = ~0ULL;
+std::uint64_t source_rooted_rows(const PlanNode& nd) {
+  if (nd.op == OpKind::kSource) return nd.rows;
+  if (nd.op == OpKind::kFused && nd.steps.front().op == OpKind::kSource) {
+    return nd.steps.front().rows;
+  }
+  return kNotSourceRooted;
+}
+
+/// Marks the nodes that lower as broadcast (replicated-output) stages: the
+/// left side of every eligible join under `opts`.
+std::vector<bool> pick_broadcast_nodes(const LogicalPlan& plan,
+                                       const LowerDistOptions& opts) {
+  std::vector<bool> bcast(plan.nodes.size(), false);
+  if (opts.broadcast_join_rows == 0) return bcast;
+  // A broadcast node must feed exactly one node (its join): other consumers
+  // would see replicated rows where they expect a hash partition.
+  const std::vector<std::size_t> consumers = consumer_counts(plan);
   for (const PlanNode& nd : plan.nodes) {
     if (nd.op != OpKind::kJoin) continue;
     const std::size_t l = nd.left;
@@ -121,7 +198,7 @@ std::vector<Row> lower_local(const LogicalPlan& plan, dataflow::Context& ctx) {
     const std::uint64_t salt = nd.salt;
     switch (nd.op) {
       case OpKind::kSource:
-        built[i] = DS::parallelize(ctx, source_rows(salt, nd.rows), kLocalParts);
+        built[i] = DS::parallelize(ctx, node_source_rows(nd), kLocalParts);
         break;
       case OpKind::kMap:
         built[i] = built[nd.left].map(
@@ -152,9 +229,8 @@ std::vector<Row> lower_local(const LogicalPlan& plan, dataflow::Context& ctx) {
         // disjoint partitions, so this equals the unfused node chain.
         const std::vector<NarrowStep> steps = nd.steps;
         DS head = steps.front().op == OpKind::kSource
-                      ? DS::parallelize(
-                            ctx, source_rows(steps.front().salt, steps.front().rows),
-                            kLocalParts)
+                      ? DS::parallelize(ctx, step_source_rows(steps.front()),
+                                        kLocalParts)
                       : built[nd.left];
         const std::size_t first = steps.front().op == OpKind::kSource ? 1 : 0;
         built[i] = head.map_partitions([steps, first](const std::vector<Row>& part) {
@@ -208,17 +284,23 @@ dist::JobSpec lower_dist(const LogicalPlan& plan, std::size_t ntasks,
   dist::JobSpec job;
   job.name = "plan";
   const std::vector<bool> bcast = pick_broadcast_nodes(plan, opts);
+  const std::vector<SkewInfo> skew = pick_skew_roles(plan, bcast);
   for (std::size_t i = 0; i < plan.nodes.size(); ++i) {
     const PlanNode& nd = plan.nodes[i];
     const std::uint64_t salt = nd.salt;
     const bool combine = nd.combine_output;
     const bool replicate = bcast[i];
+    const SkewInfo si = skew[i];
     // Every stage ends the same way: optional map-side combine, then
     // hash-partition by key — or, for a broadcast build side, replicate the
-    // full row set to every child.
-    auto finalize = [combine, replicate, ntasks](std::vector<Row> rows) {
+    // full row set to every child, or, for a skew-salted join input, the
+    // hot-key-aware partitioning.
+    auto finalize = [combine, replicate, ntasks, si](std::vector<Row> rows) {
       if (combine) rows = combine_rows(std::move(rows));
       if (replicate) return replicate_rows(rows, ntasks);
+      if (si.role != SkewRole::kNone) {
+        return partition_rows_skewed(std::move(rows), ntasks, si);
+      }
       return partition_rows(std::move(rows), ntasks);
     };
     dist::StageSpec st;
@@ -228,19 +310,19 @@ dist::JobSpec lower_dist(const LogicalPlan& plan, std::size_t ntasks,
     st.broadcast = replicate;
     switch (nd.op) {
       case OpKind::kSource: {
-        const std::uint64_t rows = nd.rows;
         // Task t owns the rows with index ≡ t (mod ntasks): disjoint slices
         // whose union is exactly the reference source.
-        st.run = [salt, rows, ntasks, finalize](
+        st.run = [src = nd, ntasks, finalize](
                      std::size_t task, const std::vector<std::vector<Bytes>>&) {
-          const auto all = source_rows(salt, rows);
+          const auto all = node_source_rows(src);
           std::vector<Row> mine;
           for (std::size_t j = task; j < all.size(); j += ntasks) {
             mine.push_back(all[j]);
           }
           return finalize(std::move(mine));
         };
-        st.input_bytes_per_task = std::max<std::uint64_t>(1, rows * 16 / ntasks);
+        st.input_bytes_per_task =
+            std::max<std::uint64_t>(1, nd.rows * 16 / ntasks);
         break;
       }
       case OpKind::kMap:
@@ -295,18 +377,17 @@ dist::JobSpec lower_dist(const LogicalPlan& plan, std::size_t ntasks,
         // dist runtime: each absorbed node was a full shuffle round-trip.
         const std::vector<NarrowStep> steps = nd.steps;
         if (steps.front().op == OpKind::kSource) {
-          const std::uint64_t rows = steps.front().rows;
-          const std::uint64_t ssalt = steps.front().salt;
-          st.run = [ssalt, rows, ntasks, steps, finalize](
+          st.run = [ntasks, steps, finalize](
                        std::size_t task, const std::vector<std::vector<Bytes>>&) {
-            const auto all = source_rows(ssalt, rows);
+            const auto all = step_source_rows(steps.front());
             std::vector<Row> mine;
             for (std::size_t j = task; j < all.size(); j += ntasks) {
               mine.push_back(all[j]);
             }
             return finalize(apply_steps(steps, 1, std::move(mine)));
           };
-          st.input_bytes_per_task = std::max<std::uint64_t>(1, rows * 16 / ntasks);
+          st.input_bytes_per_task =
+              std::max<std::uint64_t>(1, steps.front().rows * 16 / ntasks);
         } else {
           st.parents = {nd.left};
           st.run = [steps, finalize](std::size_t,

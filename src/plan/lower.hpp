@@ -1,10 +1,13 @@
 #pragma once
-// The two physical lowerings of a plan::LogicalPlan. Both consume raw and
-// optimized plans alike — fused nodes run their pipeline in one pass
-// (map_partitions locally, one dist stage remotely) and combine_output
-// inserts a per-partition/per-task map-side combine before the boundary —
-// so the chaos differential oracle can execute the optimized plan on both
-// engines and compare it bit-for-bit against the raw plan's rows.
+// The three physical lowerings of a plan::LogicalPlan: row-at-a-time on the
+// shared-memory dataflow engine (lower_local), staged on the distributed
+// runtime (lower_dist), and vectorized batch-at-a-time over column blocks
+// (lower_columnar). All consume raw, rule-optimized, and cost-optimized
+// plans alike — fused nodes run their pipeline in one pass (map_partitions
+// locally, one dist stage remotely, tight per-column loops columnar) and
+// combine_output inserts a per-partition/per-task map-side combine before
+// the boundary — so the chaos differential oracle can execute any plan on
+// every backend and compare it bit-for-bit against the raw reference.
 
 #include <cstddef>
 #include <cstdint>
@@ -12,12 +15,26 @@
 
 #include "dataflow/dataset.hpp"
 #include "dist/job.hpp"
+#include "exec/executor.hpp"
 #include "plan/plan.hpp"
 
 namespace hpbdc::plan {
 
 /// Execute on the shared-memory dataflow engine and collect the sink union.
 std::vector<Row> lower_local(const LogicalPlan& plan, dataflow::Context& ctx);
+
+/// Execute on the vectorized columnar backend: every node materializes as a
+/// column-major RowBlock, narrow ops run as tight in-place loops with
+/// chunked compaction, joins as a radix-partitioned hash join honoring the
+/// cost model's build_left/salt_fanout hints, and reduces as dense
+/// direct-index aggregation when key_upper_bounds() proves the domain
+/// small. Returns the sink union — the same row multiset as lower_local for
+/// every plan.
+std::vector<Row> lower_columnar(const LogicalPlan& plan, Executor& ex);
+
+/// Key-domain ceiling for the dense reduce accumulator; wider domains fall
+/// back to the sort-based grouped reduction.
+inline constexpr std::uint64_t kDenseReduceMaxDomain = 1u << 16;
 
 /// Physical choices for lower_dist beyond the plan itself.
 struct LowerDistOptions {

@@ -151,7 +151,10 @@ LogicalPlan optimize(const LogicalPlan& in, OptimizerStats* stats_out,
       // the sole consumer is a reduce, so a narrow consumer rules it out.
       if (pn.combine_output) continue;
       if (pn.op != OpKind::kFused) {
-        pn.steps = {NarrowStep{pn.op, pn.salt, pn.rows}};
+        // A source head carries its shape into the step so step_source_rows
+        // reproduces the node's rows exactly.
+        pn.steps = {NarrowStep{pn.op, pn.salt, pn.rows, pn.key_domain, pn.skew,
+                               pn.distinct_keys}};
         pn.op = OpKind::kFused;
       }
       if (g[id].op == OpKind::kFused) {
@@ -193,6 +196,7 @@ LogicalPlan optimize(const LogicalPlan& in, OptimizerStats* stats_out,
   LogicalPlan out;
   out.seed = in.seed;
   out.rows_per_source = in.rows_per_source;
+  out.stats_salt = in.stats_salt;
   std::vector<std::size_t> remap(n, kNone);
   for (std::size_t k = 0; k < order.size(); ++k) remap[order[k]] = k;
   for (const std::size_t id : order) {

@@ -58,16 +58,50 @@ std::string LogicalPlan::describe() const {
     }
     if (nd.checkpoint) out += '*';
     if (nd.combine_output) out += "+combine";
+    // Non-default source shapes and cost annotations render as suffixes so
+    // every historical describe() string stays byte-identical.
+    if (nd.key_domain != 0 || nd.skew != 0 || nd.distinct_keys) {
+      out += "{d" + std::to_string(nd.key_domain);
+      if (nd.distinct_keys) out += ",dk";
+      if (nd.skew != 0) out += ",sk" + std::to_string(nd.skew);
+      out += '}';
+    }
+    if (!nd.build_left) out += "+br";
+    if (nd.salt_fanout != 0) out += "+salt" + std::to_string(nd.salt_fanout);
   }
   return out;
 }
 
 std::vector<Row> source_rows(std::uint64_t salt, std::uint64_t n) {
+  return source_rows_ex(salt, n, 0, 0, false);
+}
+
+std::vector<Row> source_rows_ex(std::uint64_t salt, std::uint64_t n,
+                                std::uint64_t key_domain,
+                                std::uint64_t skew_permille,
+                                bool distinct_keys) {
+  const std::uint64_t domain = key_domain == 0 ? kKeyDomain : key_domain;
   std::vector<Row> out;
   out.reserve(n);
   Rng rng(salt);
+  if (distinct_keys) {
+    // Dimension-table shape: every key exactly once (cycling past n >
+    // domain), values still drawn so two dims with one salt differ.
+    for (std::uint64_t i = 0; i < n; ++i) {
+      out.emplace_back(i % domain, rng());
+    }
+    return out;
+  }
+  // The deterministic hot key every skewed row lands on. CMS-based hot-key
+  // detection in plan/stats discovers it — nothing downstream is told.
+  const std::uint64_t hot = mix64(salt ^ 0x5ca1ab1eULL) % domain;
   for (std::uint64_t i = 0; i < n; ++i) {
-    out.emplace_back(rng.next_below(kKeyDomain), rng());
+    std::uint64_t k = rng.next_below(domain);
+    const std::uint64_t v = rng();
+    // The skew draw comes after the historical (key, value) draws, so
+    // skew == 0 consumes exactly the legacy RNG stream.
+    if (skew_permille != 0 && rng.next_below(1000) < skew_permille) k = hot;
+    out.emplace_back(k, v);
   }
   return out;
 }
@@ -194,10 +228,30 @@ std::uint64_t node_fingerprint(const LogicalPlan& plan, std::size_t i,
   h = fold(h, nd.salt);
   h = fold(h, nd.rows);
   h = fold(h, nd.combine_output ? 1 : 0);
+  // Source shape and cost-model annotations. Defaults fold to the same
+  // stream as before these fields existed only where noted; the guard on
+  // the annotation block keeps all historical fingerprints stable.
+  if (nd.key_domain != 0 || nd.skew != 0 || nd.distinct_keys ||
+      !nd.build_left || nd.salt_fanout != 0 || !nd.hot_keys.empty()) {
+    h = fold(h, 0x73686170u);  // 'shap'
+    h = fold(h, nd.key_domain);
+    h = fold(h, nd.skew);
+    h = fold(h, nd.distinct_keys ? 1 : 0);
+    h = fold(h, nd.build_left ? 1 : 0);
+    h = fold(h, nd.salt_fanout);
+    h = fold(h, nd.hot_keys.size());
+    for (std::uint64_t k : nd.hot_keys) h = fold(h, k);
+  }
   for (const NarrowStep& s : nd.steps) {
     h = fold(h, static_cast<std::uint64_t>(s.op));
     h = fold(h, s.salt);
     h = fold(h, s.rows);
+    if (s.key_domain != 0 || s.skew != 0 || s.distinct_keys) {
+      h = fold(h, 0x73746570u);  // 'step'
+      h = fold(h, s.key_domain);
+      h = fold(h, s.skew);
+      h = fold(h, s.distinct_keys ? 1 : 0);
+    }
   }
   // Distinct sentinels for "no parent" keep map(x) and map(x, phantom)
   // shapes apart; parents precede children, so the recursion terminates.
@@ -226,7 +280,54 @@ std::uint64_t fingerprint(const LogicalPlan& plan) {
   std::sort(sinks.begin(), sinks.end());
   std::uint64_t h = fold(0x706c616eu, sinks.size());
   for (std::uint64_t s : sinks) h = fold(h, s);
+  // stats_salt marks a cost-optimized plan; 0 (never a valid salt) keeps
+  // every pre-cost fingerprint unchanged.
+  if (plan.stats_salt != 0) h = fold(h, fold(0x636f7374u, plan.stats_salt));
   return h;
+}
+
+std::vector<std::uint64_t> key_upper_bounds(const LogicalPlan& plan) {
+  std::vector<std::uint64_t> bound(plan.nodes.size(), kKeyDomain);
+  auto step_bound = [](const NarrowStep& s, std::uint64_t in) {
+    switch (s.op) {
+      case OpKind::kSource:
+        return s.key_domain == 0 ? kKeyDomain : s.key_domain;
+      case OpKind::kMap:
+      case OpKind::kFlatMap:
+        return kKeyDomain;  // key remix lands in the default domain
+      default:
+        return in;  // key-preserving
+    }
+  };
+  for (std::size_t i = 0; i < plan.nodes.size(); ++i) {
+    const PlanNode& nd = plan.nodes[i];
+    const std::uint64_t l =
+        nd.left == PlanNode::kNoParent ? kKeyDomain : bound[nd.left];
+    const std::uint64_t r =
+        nd.right == PlanNode::kNoParent ? kKeyDomain : bound[nd.right];
+    switch (nd.op) {
+      case OpKind::kSource:
+        bound[i] = nd.key_domain == 0 ? kKeyDomain : nd.key_domain;
+        break;
+      case OpKind::kMap:
+      case OpKind::kFlatMap:
+        bound[i] = kKeyDomain;
+        break;
+      case OpKind::kJoin:
+        bound[i] = std::min(l, r);  // inner join: surviving keys in both
+        break;
+      case OpKind::kFused: {
+        std::uint64_t b = l;
+        for (const NarrowStep& s : nd.steps) b = step_bound(s, b);
+        bound[i] = b;
+        break;
+      }
+      default:  // filter/filter_key/map_values/reduce/sort/distinct
+        bound[i] = l;
+        break;
+    }
+  }
+  return bound;
 }
 
 }  // namespace hpbdc::plan

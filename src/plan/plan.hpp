@@ -55,11 +55,15 @@ inline constexpr std::size_t kOpKindCount = 11;
 const char* op_name(OpKind k);
 
 /// One element of a kFused pipeline: a narrow op (or the source head) plus
-/// the salt it runs with. `rows` is meaningful only when op == kSource.
+/// the salt it runs with. `rows` and the source-shape fields are meaningful
+/// only when op == kSource.
 struct NarrowStep {
   OpKind op = OpKind::kMap;
   std::uint64_t salt = 0;
   std::uint64_t rows = 0;
+  std::uint64_t key_domain = 0;  // source head: 0 = kKeyDomain
+  std::uint64_t skew = 0;        // source head: hot-key permille
+  bool distinct_keys = false;    // source head: keys are 0..n-1 (dim table)
   friend bool operator==(const NarrowStep&, const NarrowStep&) = default;
 };
 
@@ -71,6 +75,18 @@ struct PlanNode {
   std::uint64_t salt = 0;         // per-node mixing constant
   std::uint64_t rows = 0;         // sources only: row count
   bool checkpoint = false;        // dist execution persists this stage
+  // ---- source shape (kSource only; result-determining, fingerprinted) ----
+  /// Key domain of the source (0 = the default kKeyDomain). BigBench-style
+  /// workloads use wide fact domains and narrow dimension domains.
+  std::uint64_t key_domain = 0;
+  /// Skew: this permille of the rows lands on one deterministic hot key
+  /// (0 = uniform). The CMS-driven skew salting in the cost model exists
+  /// because of sources like these.
+  std::uint64_t skew = 0;
+  /// Dimension-table shape: keys are exactly 0..n-1 (mod domain) instead of
+  /// uniform draws, so every key appears once — the classic star-schema
+  /// build side.
+  bool distinct_keys = false;
   /// kFused only: the pipelined steps, parent-first. steps[0] may be a
   /// kSource head, in which case the node has no parent.
   std::vector<NarrowStep> steps;
@@ -79,17 +95,40 @@ struct PlanNode {
   /// sets it solely when the single consumer is a kReduceByKey with the
   /// same commutative+associative combine.
   bool combine_output = false;
+  // ---- cost-model annotations (set by plan::cost_optimize) ---------------
+  // Physical hints only: every lowering produces the same row multiset with
+  // or without them. They are still folded into fingerprint() so the serve
+  // result cache never aliases plans optimized under different cost
+  // parameters (their JobResults differ in stages/spans even when rows
+  // agree).
+  /// kJoin: hash-join build side. true (default) builds from the left
+  /// parent, matching the historical local_join; the cost model flips it
+  /// when the right side is estimated smaller.
+  bool build_left = true;
+  /// kJoin: skew-salting fanout. 0 = off. When > 0 with a non-empty
+  /// hot_keys list, the dist lowering replicates hot build rows to every
+  /// task and spreads hot probe rows across tasks, and the columnar radix
+  /// join splits oversized partitions into this many probe sub-tasks.
+  std::uint32_t salt_fanout = 0;
+  /// kJoin: CMS-detected heavy-hitter keys on the probe side.
+  std::vector<std::uint64_t> hot_keys;
   friend bool operator==(const PlanNode&, const PlanNode&) = default;
 };
 
 struct LogicalPlan {
   std::uint64_t seed = 0;
   std::uint64_t rows_per_source = 0;
+  /// Non-zero marks the plan as cost-optimized: the stats salt the cost
+  /// model sampled under (plan::cost_optimize). Folded into fingerprint()
+  /// so differently-costed plans never alias in the serve result cache.
+  std::uint64_t stats_salt = 0;
   std::vector<PlanNode> nodes;     // parents always precede children
   std::vector<std::size_t> sinks;  // their union is the plan result
   /// One-line structure summary, e.g. "0:source 1:map(0) 2:join(0,1)".
-  /// Fused nodes render their pipeline ("0:fused[source+map+filter]") and a
-  /// combine_output flag renders as a "+combine" suffix.
+  /// Fused nodes render their pipeline ("0:fused[source+map+filter]"), a
+  /// combine_output flag renders as a "+combine" suffix, shaped sources as
+  /// a "{d..}" suffix, and cost annotations as "+br" (build right) /
+  /// "+saltN" (skew fanout).
   std::string describe() const;
   friend bool operator==(const LogicalPlan&, const LogicalPlan&) = default;
 };
@@ -99,6 +138,27 @@ struct LogicalPlan {
 // pipelines.
 
 std::vector<Row> source_rows(std::uint64_t salt, std::uint64_t n);
+
+/// Shaped source: `key_domain` widens/narrows the key space (0 =
+/// kKeyDomain), `skew_permille` routes that fraction of rows to one
+/// deterministic hot key, and `distinct_keys` emits keys 0..n-1 (mod
+/// domain) in order — the dimension-table shape. With default shape
+/// parameters this is bit-identical to source_rows (same RNG draw
+/// sequence).
+std::vector<Row> source_rows_ex(std::uint64_t salt, std::uint64_t n,
+                                std::uint64_t key_domain,
+                                std::uint64_t skew_permille,
+                                bool distinct_keys);
+
+/// The rows of a kSource node / fused source head, shape included.
+inline std::vector<Row> node_source_rows(const PlanNode& nd) {
+  return source_rows_ex(nd.salt, nd.rows, nd.key_domain, nd.skew,
+                        nd.distinct_keys);
+}
+inline std::vector<Row> step_source_rows(const NarrowStep& s) {
+  return source_rows_ex(s.salt, s.rows, s.key_domain, s.skew, s.distinct_keys);
+}
+
 Row map_row(const Row& r, std::uint64_t salt);
 Row map_value_row(const Row& r, std::uint64_t salt);  // keeps r.first
 bool filter_keep(const Row& r, std::uint64_t salt);
@@ -127,15 +187,26 @@ std::vector<Row> combine_rows(std::vector<Row> rows);
 /// and serialize — two runs agree iff these bytes are identical.
 Bytes canonical_bytes(std::vector<Row> rows);
 
+/// Strict static upper bound on the key values each node can emit (keys are
+/// always < the bound). Sources are bounded by their domain, key remixes by
+/// kKeyDomain, key-preserving ops by their parent, joins by the tighter
+/// parent. The columnar backend keys its dense aggregation and join layouts
+/// off this, and the stats layer seeds its propagation with it.
+std::vector<std::uint64_t> key_upper_bounds(const LogicalPlan& plan);
+
 /// Stable 64-bit structural fingerprint of a plan, the cache/admission key
 /// of the serve layer (src/serve). Independent of node NUMBERING — each
-/// node hashes from its operator kind, parameters (salt, rows, fused steps,
-/// combine_output), and its parents' hashes, and the plan folds the sink
-/// hashes in sorted order — so two topological orderings of the same DAG
-/// fingerprint identically, while any change to an op kind, parameter, or
-/// edge changes the value. The checkpoint flag and the seed/rows_per_source
-/// metadata are execution hints, not result-determining structure, and are
-/// excluded. Join parents stay ordered (join_rows is asymmetric).
+/// node hashes from its operator kind, parameters (salt, rows, source
+/// shape, fused steps, combine_output), and its parents' hashes, and the
+/// plan folds the sink hashes in sorted order — so two topological
+/// orderings of the same DAG fingerprint identically, while any change to
+/// an op kind, parameter, or edge changes the value. The cost-model
+/// parameters (stats_salt, build_left, salt_fanout, hot_keys) are folded in
+/// as well: they don't change result rows, but plans optimized under
+/// different cost parameters must never alias in the serve result cache.
+/// The checkpoint flag and the seed/rows_per_source metadata are execution
+/// hints, not result-determining structure, and are excluded. Join parents
+/// stay ordered (join_rows is asymmetric).
 std::uint64_t fingerprint(const LogicalPlan& plan);
 
 }  // namespace hpbdc::plan

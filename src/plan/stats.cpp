@@ -1,0 +1,210 @@
+#include "plan/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/hash.hpp"
+#include "common/sketch.hpp"
+
+namespace hpbdc::plan {
+
+namespace {
+
+/// Expected distinct keys after n uniform draws over a domain of d keys
+/// (coupon-collector coverage). Saturates at d, linear for n << d.
+double expected_distinct(double n, double d) {
+  if (d <= 0) return 0;
+  if (n <= 0) return 0;
+  return d * (1.0 - std::exp(-n / d));
+}
+
+void sort_hot(std::vector<HotKey>& hot, std::size_t cap) {
+  std::sort(hot.begin(), hot.end(), [](const HotKey& a, const HotKey& b) {
+    return a.count != b.count ? a.count > b.count : a.key < b.key;
+  });
+  if (hot.size() > cap) hot.resize(cap);
+}
+
+/// Sketch a source: HLL for NDV, CMS for heavy hitters, both over a prefix
+/// sample (prefixes of source_rows_ex are themselves exact: each row
+/// consumes a fixed number of RNG draws). The linear NDV scale-up
+/// overestimates for sparse domains, but the key_bound cap makes it exact
+/// in the saturated case — which every star-schema domain here is.
+NodeStats sketch_source(std::uint64_t salt, std::uint64_t rows,
+                        std::uint64_t key_domain, std::uint64_t skew,
+                        bool distinct_keys, std::uint64_t key_bound,
+                        const StatsOptions& opts) {
+  NodeStats st;
+  st.rows = static_cast<double>(rows);
+  st.key_bound = key_bound;
+  const std::uint64_t sample_n = std::min<std::uint64_t>(rows, opts.sample_rows);
+  if (sample_n == 0) return st;
+  const auto sample =
+      source_rows_ex(salt, sample_n, key_domain, skew, distinct_keys);
+  HyperLogLog hll(opts.hll_precision);
+  CountMinSketch cms(opts.cms_epsilon, opts.cms_delta);
+  for (const Row& r : sample) {
+    hll.add(hash_u64(r.first));
+    cms.add(hash_u64(r.first));
+  }
+  const double scale = static_cast<double>(rows) / static_cast<double>(sample_n);
+  st.ndv = std::min(static_cast<double>(key_bound), hll.estimate() * scale);
+  // Heavy hitters: every distinct sampled key whose CMS estimate clears the
+  // hot threshold. CMS only overestimates, so a truly hot key is never
+  // missed; a false positive only costs a wasted salt.
+  const auto threshold = static_cast<std::uint64_t>(
+      opts.hot_fraction * static_cast<double>(sample_n));
+  std::vector<std::uint64_t> keys;
+  keys.reserve(sample.size());
+  for (const Row& r : sample) keys.push_back(r.first);
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  for (std::uint64_t k : keys) {
+    const std::uint64_t est = cms.estimate(hash_u64(k));
+    if (est >= threshold && threshold > 0) {
+      st.hot.push_back(
+          {k, static_cast<std::uint64_t>(static_cast<double>(est) * scale)});
+    }
+  }
+  sort_hot(st.hot, opts.max_hot_keys);
+  return st;
+}
+
+/// Propagate stats through one narrow/wide unary operator.
+NodeStats apply_op(NodeStats in, OpKind op, std::uint64_t salt,
+                   const StatsOptions& opts) {
+  NodeStats out = std::move(in);
+  switch (op) {
+    case OpKind::kMap:
+    case OpKind::kFlatMap:
+      // Key remix into the default domain (flat_map emits 0..2 rows per
+      // input, expectation 1). Hot keys do not survive a remix.
+      out.key_bound = kKeyDomain;
+      out.ndv = expected_distinct(out.rows, static_cast<double>(kKeyDomain));
+      out.hot.clear();
+      break;
+    case OpKind::kFilter: {
+      // Salted hash of (key, value): an even coin per row, uniform across
+      // keys — counts halve everywhere.
+      out.rows *= 0.5;
+      for (HotKey& h : out.hot) h.count /= 2;
+      out.ndv = std::min(out.ndv, out.rows);
+      break;
+    }
+    case OpKind::kFilterKey: {
+      // The predicate reads ONLY the key, so hot keys are decided exactly;
+      // the uniform half of the key space still halves.
+      double hot_before = 0, hot_after = 0;
+      std::vector<HotKey> kept;
+      for (const HotKey& h : out.hot) {
+        hot_before += static_cast<double>(h.count);
+        if (filter_key_keep({h.key, 0}, salt)) {
+          hot_after += static_cast<double>(h.count);
+          kept.push_back(h);
+        }
+      }
+      out.hot = std::move(kept);
+      out.rows = std::max(0.0, (out.rows - hot_before) * 0.5 + hot_after);
+      out.ndv = std::min(out.ndv * 0.5, out.rows);
+      break;
+    }
+    case OpKind::kMapValues:
+    case OpKind::kSortBy:
+      break;  // key-preserving row-preserving
+    case OpKind::kDistinct:
+      // Values are salted 64-bit mixes, so (key, value) pairs are nearly
+      // all distinct already — treated as row-preserving.
+      break;
+    case OpKind::kReduceByKey:
+      out.rows = out.ndv;
+      out.hot.clear();  // one row per key: no key is hot anymore
+      break;
+    case OpKind::kSource:
+    case OpKind::kJoin:
+    case OpKind::kFused:
+      break;  // handled by the caller
+  }
+  (void)opts;
+  return out;
+}
+
+NodeStats join_stats(const NodeStats& l, const NodeStats& r,
+                     const StatsOptions& opts) {
+  NodeStats out;
+  out.key_bound = std::min(l.key_bound, r.key_bound);
+  const double max_ndv = std::max({l.ndv, r.ndv, 1.0});
+  out.rows = l.rows * r.rows / max_ndv;
+  out.ndv = std::min({l.ndv, r.ndv, out.rows});
+  // A hot key on one side fans out by the other side's average key
+  // multiplicity; hot on both sides multiplies.
+  const double l_mult = l.ndv > 0 ? std::max(1.0, l.rows / l.ndv) : 1.0;
+  const double r_mult = r.ndv > 0 ? std::max(1.0, r.rows / r.ndv) : 1.0;
+  auto count_on = [](const std::vector<HotKey>& hot, std::uint64_t k) {
+    for (const HotKey& h : hot) {
+      if (h.key == k) return h.count;
+    }
+    return std::uint64_t{0};
+  };
+  for (const HotKey& h : l.hot) {
+    const std::uint64_t rc = count_on(r.hot, h.key);
+    const double c = rc != 0 ? static_cast<double>(h.count) * static_cast<double>(rc)
+                             : static_cast<double>(h.count) * r_mult;
+    out.hot.push_back({h.key, static_cast<std::uint64_t>(c)});
+  }
+  for (const HotKey& h : r.hot) {
+    if (count_on(l.hot, h.key) != 0) continue;  // merged above
+    out.hot.push_back(
+        {h.key, static_cast<std::uint64_t>(static_cast<double>(h.count) * l_mult)});
+  }
+  sort_hot(out.hot, opts.max_hot_keys);
+  return out;
+}
+
+}  // namespace
+
+std::vector<NodeStats> collect_stats(const LogicalPlan& plan,
+                                     const StatsOptions& opts) {
+  const std::vector<std::uint64_t> bounds = key_upper_bounds(plan);
+  std::vector<NodeStats> stats(plan.nodes.size());
+  for (std::size_t i = 0; i < plan.nodes.size(); ++i) {
+    const PlanNode& nd = plan.nodes[i];
+    switch (nd.op) {
+      case OpKind::kSource:
+        stats[i] = sketch_source(nd.salt, nd.rows, nd.key_domain, nd.skew,
+                                 nd.distinct_keys,
+                                 nd.key_domain == 0 ? kKeyDomain : nd.key_domain,
+                                 opts);
+        break;
+      case OpKind::kJoin:
+        stats[i] = join_stats(stats[nd.left], stats[nd.right], opts);
+        break;
+      case OpKind::kFused: {
+        NodeStats cur;
+        std::size_t first = 0;
+        if (nd.steps.front().op == OpKind::kSource) {
+          const NarrowStep& s = nd.steps.front();
+          cur = sketch_source(s.salt, s.rows, s.key_domain, s.skew,
+                              s.distinct_keys,
+                              s.key_domain == 0 ? kKeyDomain : s.key_domain,
+                              opts);
+          first = 1;
+        } else {
+          cur = stats[nd.left];
+        }
+        for (std::size_t s = first; s < nd.steps.size(); ++s) {
+          cur = apply_op(std::move(cur), nd.steps[s].op, nd.steps[s].salt, opts);
+        }
+        stats[i] = std::move(cur);
+        break;
+      }
+      default:
+        stats[i] = apply_op(stats[nd.left], nd.op, nd.salt, opts);
+        break;
+    }
+    stats[i].key_bound = bounds[i];
+    stats[i].ndv = std::min(stats[i].ndv, static_cast<double>(bounds[i]));
+  }
+  return stats;
+}
+
+}  // namespace hpbdc::plan

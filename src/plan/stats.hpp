@@ -1,0 +1,63 @@
+#pragma once
+// Per-node table/key statistics for the cost model (plan/cost.hpp). Source
+// nodes are sketched at registration time — a HyperLogLog estimates the
+// distinct-key count and a count-min sketch surfaces heavy-hitter keys —
+// and the estimates propagate through the plan with the standard textbook
+// formulas (filters halve, joins multiply and divide by the larger NDV,
+// reduces collapse to one row per key). Everything here is ADVISORY: the
+// stats feed physical hints (join build side, skew-salt fanout, filter
+// order inside fused chains) that never change result multisets, so a bad
+// estimate costs performance, never correctness.
+
+#include <cstdint>
+#include <vector>
+
+#include "plan/plan.hpp"
+
+namespace hpbdc::plan {
+
+/// A CMS-detected heavy hitter: the key and its estimated row count
+/// (overestimate-only, per the CMS guarantee).
+struct HotKey {
+  std::uint64_t key = 0;
+  std::uint64_t count = 0;
+  friend bool operator==(const HotKey&, const HotKey&) = default;
+};
+
+struct NodeStats {
+  double rows = 0;  ///< estimated output row count
+  double ndv = 0;   ///< estimated distinct keys in the output
+  /// Static key bound from key_upper_bounds() — the sketches never estimate
+  /// above it.
+  std::uint64_t key_bound = kKeyDomain;
+  /// Heavy-hitter keys (descending count). Cleared by key remixes, carried
+  /// by key-preserving ops, exact-filtered by kFilterKey (the predicate
+  /// reads only the key, so hot keys can be evaluated precisely).
+  std::vector<HotKey> hot;
+};
+
+struct StatsOptions {
+  /// Salt folded into the sampling; recorded on cost-optimized plans as
+  /// LogicalPlan::stats_salt. Must be non-zero (0 means "not costed").
+  std::uint64_t stats_salt = 0x57a75ULL;
+  /// Per-source sketch cap: sources larger than this are sketched on a
+  /// prefix sample and scaled.
+  std::uint64_t sample_rows = 1 << 16;
+  int hll_precision = 12;
+  double cms_epsilon = 0.005;
+  double cms_delta = 0.01;
+  /// A key is "hot" when its CMS estimate is at least this fraction of the
+  /// sketched rows.
+  double hot_fraction = 0.05;
+  /// Cap on the hot list per node (largest counts win).
+  std::size_t max_hot_keys = 8;
+};
+
+/// Estimate rows/ndv/hot for every node. Sources are sketched (HLL + CMS
+/// over up to sample_rows rows); interior nodes use propagation rules only
+/// — no interior node is ever materialized, so this is cheap enough to run
+/// on every submitted plan.
+std::vector<NodeStats> collect_stats(const LogicalPlan& plan,
+                                     const StatsOptions& opts = {});
+
+}  // namespace hpbdc::plan

@@ -7,6 +7,7 @@
 
 #include "dstream/runtime.hpp"
 #include "plan/lower.hpp"
+#include "plan/cost.hpp"
 #include "plan/optimizer.hpp"
 
 namespace hpbdc::serve {
@@ -181,7 +182,8 @@ std::uint64_t JobService::submit(SubmitRequest req, DoneFn done) {
   job.priority = req.priority;
   job.submit_time = now;
   job.enqueue_time = now;
-  job.optimized = plan::optimize(req.plan);
+  job.optimized =
+      req.cost_based ? plan::cost_optimize(req.plan) : plan::optimize(req.plan);
   job.runtime = req.runtime;
   job.streaming = req.streaming;
   job.fp = plan::fingerprint(job.optimized);

@@ -88,6 +88,11 @@ struct SubmitRequest {
   /// (continuous output is not a memoizable function of the plan), and is
   /// DRF-charged per completed epoch rather than once at job end.
   std::optional<dstream::StreamingOptions> streaming;
+  /// Optimize with the stats-driven cost pass (plan::cost_optimize) instead
+  /// of the rule passes alone. The cost annotations fold into the plan
+  /// fingerprint (non-zero stats_salt), so cost-based and rule-only
+  /// submissions of one plan never alias in the result cache.
+  bool cost_based = false;
 };
 
 /// The exactly-once terminal event of a submission.

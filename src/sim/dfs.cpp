@@ -65,6 +65,18 @@ std::size_t Dfs::live_holder(const std::vector<std::size_t>& holders) const {
   return comm_.nranks();  // sentinel: none
 }
 
+std::size_t Dfs::live_holder_near(std::size_t client,
+                                  const std::vector<std::size_t>& holders) const {
+  const std::size_t crack = rack_of(client);
+  std::size_t first_live = comm_.nranks();
+  for (auto n : holders) {
+    if (down_[n]) continue;
+    if (rack_of(n) == crack) return n;
+    if (first_live == comm_.nranks()) first_live = n;
+  }
+  return first_live;
+}
+
 bool Dfs::block_readable(const Block& b) const {
   if (b.shards.empty()) {
     for (auto r : b.replicas) {
@@ -629,17 +641,36 @@ void Dfs::read_block_ec(std::size_t client, const std::string& name,
   const Block& b = files_.at(name).blocks[bi];
   const std::size_t k = cfg_.ec_data_shards;
 
-  // Survivors in slot order: data shards first (slots 0..k-1), so a healthy
-  // stripe reads pure data and pays no reconstruction.
-  std::vector<std::size_t> chosen;  // slots to fetch
-  for (std::size_t slot = 0; slot < b.shards.size() && chosen.size() < k; ++slot) {
-    if (live_holder(b.shards[slot]) != comm_.nranks()) chosen.push_back(slot);
+  // Locality-aware survivor choice: order live slots same-rack first (slot
+  // order within each class, so data still precedes parity among equals)
+  // and take the first k. On flat fabrics everything is one rack and this
+  // reduces to the historical data-shards-first slot order; on a fat tree a
+  // rack-local parity shard beats a data shard across the core — the decode
+  // below reconstructs from exactly the fetched shards either way.
+  std::vector<std::size_t> live_slots;
+  bool degraded = false;  // damage-based: some DATA slot has no live holder
+  for (std::size_t slot = 0; slot < b.shards.size(); ++slot) {
+    if (live_holder(b.shards[slot]) != comm_.nranks()) {
+      live_slots.push_back(slot);
+    } else if (slot < k) {
+      degraded = true;
+    }
   }
-  if (chosen.size() < k) {
+  if (live_slots.size() < k) {
     sim.schedule_after(0.0, [done_one] { done_one(false); });
     return;
   }
-  const bool degraded = chosen.back() >= k;  // some parity shard stood in
+  const std::size_t crack = rack_of(client);
+  std::stable_sort(live_slots.begin(), live_slots.end(),
+                   [this, &b, client, crack](std::size_t a, std::size_t c) {
+                     const bool ax =
+                         rack_of(live_holder_near(client, b.shards[a])) != crack;
+                     const bool cx =
+                         rack_of(live_holder_near(client, b.shards[c])) != crack;
+                     return ax != cx ? !ax : a < c;
+                   });
+  std::vector<std::size_t> chosen(live_slots.begin(),
+                                  live_slots.begin() + static_cast<std::ptrdiff_t>(k));
   ++stats_.blocks_read;
   stats_.bytes_read += b.size;
   if (degraded) {
@@ -669,7 +700,12 @@ void Dfs::read_block_ec(std::size_t client, const std::string& name,
     done_one(true);
   };
   for (auto slot : chosen) {
-    const std::size_t holder = live_holder(b.shards[slot]);
+    const std::size_t holder = live_holder_near(client, b.shards[slot]);
+    if (rack_of(holder) == crack) {
+      ++stats_.ec_shard_reads_same_rack;
+    } else {
+      ++stats_.ec_shard_reads_cross_rack;
+    }
     disks_[holder].access(sim, sbytes, [this, holder, client, sbytes, shard_done] {
       if (holder == client) {
         shard_done();  // local shard: no fabric transfer

@@ -105,9 +105,11 @@ struct DfsConfig {
 };
 
 /// Typed outcome of read_ex(). kOk and kDegraded both return data (degraded
-/// means at least one block was reconstructed from parity); kNoSuchFile and
-/// kUnavailable are errors — kUnavailable fires when some block has no live
-/// replica (replicated) or fewer than k live shards (EC).
+/// means at least one block had a DATA shard with no live holder, so parity
+/// had to stand in; a healthy block served partly from rack-local parity —
+/// the locality-aware choice — is still kOk); kNoSuchFile and kUnavailable
+/// are errors — kUnavailable fires when some block has no live replica
+/// (replicated) or fewer than k live shards (EC).
 enum class ReadStatus : std::uint8_t {
   kOk = 0,
   kDegraded,
@@ -133,7 +135,13 @@ struct DfsStats {
   std::uint64_t ec_blocks_written = 0;
   std::uint64_t shards_written = 0;
   std::uint64_t shards_lost = 0;       // injected shard losses
-  std::uint64_t degraded_reads = 0;    // blocks reconstructed from parity
+  std::uint64_t degraded_reads = 0;    // blocks with a lost data shard
+  // Locality of EC shard fetches: a fetch is same-rack when the chosen
+  // holder shares the client's rack (always true on flat fabrics, where
+  // everything is one logical rack). read_block_ec prefers same-rack
+  // survivors, so cross_rack counts only shards that HAD to cross the core.
+  std::uint64_t ec_shard_reads_same_rack = 0;
+  std::uint64_t ec_shard_reads_cross_rack = 0;
   std::uint64_t failed_reads = 0;      // typed kUnavailable/kNoSuchFile reads
   std::uint64_t shards_repaired = 0;
   std::uint64_t shards_trimmed = 0;    // over-repaired copies dropped
@@ -276,6 +284,10 @@ class Dfs {
   void drop_replica(const std::string& name, std::size_t block, std::size_t node);
   bool block_readable(const Block& b) const;
   std::size_t live_holder(const std::vector<std::size_t>& holders) const;
+  /// live_holder with locality: the first live holder in the client's rack
+  /// when one exists, else the first live holder anywhere.
+  std::size_t live_holder_near(std::size_t client,
+                               const std::vector<std::size_t>& holders) const;
   void start_write(std::size_t client, const std::string& name, DoneFn cb);
   template <typename StatePtr>
   void write_block_replicated(std::size_t client, const std::string& name,

@@ -105,6 +105,12 @@ TEST(ChaosReplay, FormatParseRoundTrip) {
   EXPECT_EQ(back.plan_seed, cfg.plan_seed);
   EXPECT_EQ(back.fault_mask, cfg.fault_mask);
   EXPECT_EQ(back.inject_lineage_bug, cfg.inject_lineage_bug);
+  // cb=1 (cost-based optimization) rides the same spec; defaults omit it.
+  EXPECT_EQ(spec.find("cb="), std::string::npos);
+  cfg.cost_based = true;
+  const ChaosConfig cb = parse_replay(format_replay(cfg));
+  EXPECT_TRUE(cb.cost_based);
+  EXPECT_EQ(format_replay(cb), format_replay(cfg));
 }
 
 TEST(ChaosReplay, RejectsMalformedSpecs) {
@@ -204,6 +210,22 @@ TEST(ChaosSmoke, FixedSeedBatch) {
   // OPTIMIZED plans against raw references, so the rules must actually fire.
   EXPECT_GT(total_rules, 0u) << "optimizer never rewrote a smoke plan";
   EXPECT_GT(total_stages_gone, 0u);
+}
+
+/// ISSUE acceptance: 25 fixed-seed differential runs with the COST-BASED
+/// optimizer (stats collection, build flips, skew salting) under faults,
+/// with the columnar oracle checked on every run — zero violations. The
+/// cost pass must also actually annotate something across the batch, or the
+/// campaign would be vacuously green.
+TEST(ChaosSmoke, CostBasedBatchHoldsAllThreeBackendsIdentical) {
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    ChaosConfig cfg = smoke_config(seed);
+    cfg.cost_based = true;
+    const auto out = run_chaos_once(cfg, pool());
+    ASSERT_TRUE(out.passed) << "seed " << seed << ": " << out.violation
+                            << "\nreplay: " << format_replay(cfg)
+                            << "\nplan: " << out.plan;
+  }
 }
 
 /// Full campaign, opt-in: HPBDC_CHAOS_RUNS=500 ctest -R Campaign.

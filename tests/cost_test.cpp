@@ -1,0 +1,338 @@
+// Tests for the statistics layer (plan/stats.hpp) and the cost pass
+// (plan/cost.hpp): sketch-driven source estimates, hot-key detection and
+// exact kFilterKey evaluation, build-side flips, skew-salt annotation,
+// measured filter reordering inside fused chains, cost-based star-join
+// ordering, and the fingerprint guarantees the serve result cache leans on
+// (cost parameters fold in; defaulted plans keep their historical value).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "dataflow/context.hpp"
+#include "exec/thread_pool.hpp"
+#include "plan/bigbench.hpp"
+#include "plan/cost.hpp"
+#include "plan/lower.hpp"
+#include "plan/optimizer.hpp"
+#include "plan/plan.hpp"
+#include "plan/stats.hpp"
+
+namespace hpbdc::plan {
+namespace {
+
+Executor& pool() {
+  static ThreadPool p(4);
+  return p;
+}
+
+Bytes local_bytes(const LogicalPlan& p) {
+  dataflow::Context ctx(pool());
+  return canonical_bytes(lower_local(p, ctx));
+}
+
+PlanNode node(OpKind op, std::size_t left = PlanNode::kNoParent,
+              std::size_t right = PlanNode::kNoParent) {
+  PlanNode nd;
+  nd.op = op;
+  nd.left = left;
+  nd.right = right;
+  nd.salt = 0x5eedULL * (left + 3) + static_cast<std::uint64_t>(op);
+  return nd;
+}
+
+LogicalPlan chain(std::vector<PlanNode> nodes, std::vector<std::size_t> sinks) {
+  LogicalPlan p;
+  p.seed = 1;
+  p.rows_per_source = 64;
+  for (PlanNode& nd : nodes) {
+    if (nd.op == OpKind::kSource) nd.rows = 64;
+  }
+  p.nodes = std::move(nodes);
+  p.sinks = std::move(sinks);
+  return p;
+}
+
+LogicalPlan source_only(std::uint64_t rows, std::uint64_t domain,
+                        std::uint64_t skew = 0, bool distinct = false) {
+  LogicalPlan p = chain({node(OpKind::kSource)}, {0});
+  p.nodes[0].rows = rows;
+  p.nodes[0].key_domain = domain;
+  p.nodes[0].skew = skew;
+  p.nodes[0].distinct_keys = distinct;
+  return p;
+}
+
+std::uint64_t hot_key_of(const PlanNode& src) {
+  return mix64(src.salt ^ 0x5ca1ab1eULL) % src.key_domain;
+}
+
+// ---- collect_stats ---------------------------------------------------------------
+
+TEST(PlanStats, SourceNdvEstimateTracksTrueDistinctCount) {
+  const LogicalPlan p = source_only(50000, 4096);
+  const auto stats = collect_stats(p);
+  std::set<std::uint64_t> keys;
+  for (const Row& r : node_source_rows(p.nodes[0])) keys.insert(r.first);
+  EXPECT_NEAR(stats[0].rows, 50000.0, 1.0);
+  EXPECT_NEAR(stats[0].ndv, static_cast<double>(keys.size()),
+              0.15 * static_cast<double>(keys.size()));
+  EXPECT_LE(stats[0].ndv, 4096.0) << "NDV must respect the static key bound";
+  EXPECT_TRUE(stats[0].hot.empty()) << "uniform source has no 5% heavy hitter";
+}
+
+TEST(PlanStats, SkewedSourceHotKeyIsDetectedWithOverestimateOnlyCount) {
+  const LogicalPlan p = source_only(40000, 4096, /*skew=*/300);
+  const auto stats = collect_stats(p);
+  ASSERT_FALSE(stats[0].hot.empty());
+  const auto& h = stats[0].hot.front();
+  EXPECT_EQ(h.key, hot_key_of(p.nodes[0]));
+  // ~30% of rows divert to the hot key; the CMS never undercounts, and the
+  // sketch-scale slack stays well under 2x.
+  EXPECT_GE(h.count, 40000ull * 3 / 20);
+  EXPECT_LE(h.count, 40000ull * 3 / 5);
+}
+
+TEST(PlanStats, FilterKeyEvaluatesHotKeysExactly) {
+  LogicalPlan p = chain({node(OpKind::kSource), node(OpKind::kFilterKey, 0)},
+                        {1});
+  p.nodes[0].rows = 40000;
+  p.nodes[0].key_domain = 4096;
+  p.nodes[0].skew = 300;
+  const auto stats = collect_stats(p);
+  ASSERT_FALSE(stats[0].hot.empty());
+  const bool keeps =
+      filter_key_keep({stats[0].hot.front().key, 0}, p.nodes[1].salt);
+  EXPECT_EQ(!stats[1].hot.empty(), keeps)
+      << "the key-only predicate must be applied exactly to hot keys";
+  for (const HotKey& h : stats[1].hot) {
+    EXPECT_TRUE(filter_key_keep({h.key, 0}, p.nodes[1].salt));
+  }
+}
+
+TEST(PlanStats, PropagationFollowsTextbookShapes) {
+  LogicalPlan p = chain({node(OpKind::kSource),          // 0
+                         node(OpKind::kFilter, 0),      // 1: x0.5 rows
+                         node(OpKind::kMap, 1),         // 2: remix, hot cleared
+                         node(OpKind::kReduceByKey, 2)},  // 3: rows = ndv
+                        {3});
+  p.nodes[0].rows = 10000;
+  p.nodes[0].key_domain = 256;
+  p.nodes[0].skew = 400;
+  const auto stats = collect_stats(p);
+  EXPECT_NEAR(stats[1].rows, stats[0].rows * 0.5, 1e-9);
+  EXPECT_TRUE(stats[2].hot.empty()) << "kMap remixes keys; hot list must clear";
+  EXPECT_LE(stats[2].ndv, static_cast<double>(kKeyDomain));
+  EXPECT_NEAR(stats[3].rows, stats[2].ndv, 1e-9);
+}
+
+// ---- cost_optimize annotations ---------------------------------------------------
+
+TEST(PlanCost, BuildSideFlipsToSmallerInput) {
+  LogicalPlan p = chain({node(OpKind::kSource),      // 0: big
+                         node(OpKind::kSource),      // 1: small
+                         node(OpKind::kJoin, 0, 1),  // 2
+                         node(OpKind::kReduceByKey, 2)},
+                        {3});
+  p.nodes[0].rows = 20000;
+  p.nodes[0].key_domain = 256;
+  p.nodes[1].rows = 256;
+  p.nodes[1].key_domain = 256;
+  p.nodes[1].distinct_keys = true;
+  CostReport rep;
+  const LogicalPlan out = cost_optimize(p, {}, &rep);
+  EXPECT_EQ(rep.joins_flipped, 1u);
+  bool saw_join = false;
+  for (const PlanNode& nd : out.nodes) {
+    if (nd.op == OpKind::kJoin) {
+      saw_join = true;
+      EXPECT_FALSE(nd.build_left) << "build side must move to the small right";
+    }
+  }
+  ASSERT_TRUE(saw_join);
+  EXPECT_EQ(local_bytes(out), local_bytes(p)) << "hints must be physical-only";
+}
+
+TEST(PlanCost, SkewedProbeGetsSaltedWithItsHotKey) {
+  LogicalPlan p = chain({node(OpKind::kSource),      // 0: dim (build)
+                         node(OpKind::kSource),      // 1: skewed fact (probe)
+                         node(OpKind::kJoin, 0, 1),  // 2
+                         node(OpKind::kReduceByKey, 2)},
+                        {3});
+  p.nodes[0].rows = 512;
+  p.nodes[0].key_domain = 512;
+  p.nodes[0].distinct_keys = true;
+  p.nodes[1].rows = 30000;
+  p.nodes[1].key_domain = 512;
+  p.nodes[1].skew = 300;
+  CostReport rep;
+  const LogicalPlan out = cost_optimize(p, {}, &rep);
+  EXPECT_EQ(rep.joins_salted, 1u);
+  for (const PlanNode& nd : out.nodes) {
+    if (nd.op != OpKind::kJoin) continue;
+    EXPECT_GE(nd.salt_fanout, 2u);
+    EXPECT_LE(nd.salt_fanout, 8u);
+    ASSERT_FALSE(nd.hot_keys.empty());
+    EXPECT_TRUE(std::count(nd.hot_keys.begin(), nd.hot_keys.end(),
+                           hot_key_of(p.nodes[1])) > 0);
+  }
+  EXPECT_EQ(local_bytes(out), local_bytes(p));
+}
+
+TEST(PlanCost, UniformJoinIsNotSalted) {
+  LogicalPlan p = chain({node(OpKind::kSource), node(OpKind::kSource),
+                         node(OpKind::kJoin, 0, 1)},
+                        {2});
+  p.nodes[0].rows = 4000;
+  p.nodes[0].key_domain = 256;
+  p.nodes[1].rows = 4000;
+  p.nodes[1].key_domain = 256;
+  CostReport rep;
+  cost_optimize(p, {}, &rep);
+  EXPECT_EQ(rep.joins_salted, 0u);
+}
+
+TEST(PlanCost, FusedFiltersReorderMostSelectiveFirst) {
+  // Two commuting key-filters with measurably different pass rates (over a
+  // 16-key domain the per-salt rate is a multiple of 1/16, so salts with a
+  // wide selectivity gap exist); after the rule passes fuse them, the cost
+  // pass must put the stingier one first.
+  LogicalPlan p = chain({node(OpKind::kSource), node(OpKind::kFilterKey, 0),
+                         node(OpKind::kFilterKey, 1)},
+                        {2});
+  p.nodes[0].rows = 4096;
+  p.nodes[0].key_domain = 16;
+  const auto pass_rate = [](std::uint64_t salt) {
+    std::size_t kept = 0;
+    for (std::uint64_t k = 0; k < 16; ++k) kept += filter_key_keep({k, 0}, salt);
+    return static_cast<double>(kept) / 16.0;
+  };
+  std::uint64_t loose = 0, tight = 0;
+  for (std::uint64_t s = 1; s < 256 && (loose == 0 || tight == 0); ++s) {
+    const double rate = pass_rate(s);
+    if (rate > 0.65 && loose == 0) loose = s;
+    if (rate < 0.4 && rate > 0.05 && tight == 0) tight = s;
+  }
+  ASSERT_NE(loose, 0u);
+  ASSERT_NE(tight, 0u);
+  p.nodes[1].salt = loose;  // as written: loose filter first
+  p.nodes[2].salt = tight;
+  CostReport rep;
+  const LogicalPlan out = cost_optimize(p, {}, &rep);
+  EXPECT_GE(rep.filters_reordered, 1u);
+  bool saw_fused = false;
+  for (const PlanNode& nd : out.nodes) {
+    if (nd.op != OpKind::kFused) continue;
+    saw_fused = true;
+    std::vector<std::uint64_t> filter_salts;
+    for (const NarrowStep& s : nd.steps) {
+      if (s.op == OpKind::kFilterKey) filter_salts.push_back(s.salt);
+    }
+    ASSERT_EQ(filter_salts.size(), 2u);
+    EXPECT_EQ(filter_salts[0], tight) << "most selective filter must run first";
+    EXPECT_EQ(filter_salts[1], loose);
+  }
+  ASSERT_TRUE(saw_fused);
+  EXPECT_EQ(local_bytes(out), local_bytes(p));
+}
+
+TEST(PlanCost, CostOptimizedPlansCarryTheStatsSalt) {
+  const LogicalPlan raw = source_only(1000, 128);
+  EXPECT_EQ(optimize(raw).stats_salt, 0u);
+  const CostOptions opts;
+  EXPECT_EQ(cost_optimize(raw).stats_salt, opts.stats.stats_salt);
+}
+
+// ---- BigBench join ordering ------------------------------------------------------
+
+TEST(BigBench, OrderStarDimsPicksSmallestIntermediatesFirst) {
+  const StarSpec spec = sales_star(1);
+  const auto order = order_star_dims(spec);
+  ASSERT_EQ(order.size(), spec.dims.size());
+  std::set<std::size_t> uniq(order.begin(), order.end());
+  EXPECT_EQ(uniq.size(), spec.dims.size()) << "must be a permutation";
+  // sales_star declares its dims widest-first, and its filtered narrow dim
+  // shrinks the fact pipeline the most — a cost-based order must not keep
+  // the naive widest-first sequence.
+  EXPECT_NE(order, naive_order(spec));
+  EXPECT_EQ(order.front(), spec.dims.size() - 1)
+      << "the filtered narrowest dim joins first";
+}
+
+TEST(BigBench, StarQueryOrdersAgreePerOrderAcrossBackends) {
+  StarSpec spec = clickstream_star(1);
+  spec.fact_rows = 6000;  // keep the test-sized query quick
+  for (const auto& order : {naive_order(spec), order_star_dims(spec)}) {
+    const LogicalPlan q = star_query(spec, order);
+    const Bytes ref = local_bytes(q);
+    EXPECT_EQ(canonical_bytes(lower_columnar(q, pool())), ref);
+    EXPECT_EQ(canonical_bytes(lower_columnar(cost_optimize(q), pool())), ref);
+  }
+}
+
+// ---- fingerprint: the serve-cache non-aliasing guarantees (satellite) ------------
+
+TEST(PlanFingerprint, DefaultedShapeAndCostFieldsKeepHistoricalValue) {
+  // Two structurally identical plans built independently, all new fields at
+  // their defaults: the fingerprint must not see the new machinery at all.
+  const LogicalPlan a = chain({node(OpKind::kSource), node(OpKind::kMap, 0)}, {1});
+  const LogicalPlan b = chain({node(OpKind::kSource), node(OpKind::kMap, 0)}, {1});
+  EXPECT_EQ(fingerprint(a), fingerprint(b));
+}
+
+TEST(PlanFingerprint, EveryCostParameterChangesTheFingerprint) {
+  const LogicalPlan base = chain({node(OpKind::kSource), node(OpKind::kSource),
+                                  node(OpKind::kJoin, 0, 1)},
+                                 {2});
+  const std::uint64_t fp = fingerprint(base);
+  std::set<std::uint64_t> fps{fp};
+
+  LogicalPlan m = base;
+  m.stats_salt = 0x57a75;
+  fps.insert(fingerprint(m));
+
+  m = base;
+  m.nodes[2].build_left = false;
+  fps.insert(fingerprint(m));
+
+  m = base;
+  m.nodes[2].salt_fanout = 4;
+  fps.insert(fingerprint(m));
+
+  m = base;
+  m.nodes[2].salt_fanout = 4;
+  m.nodes[2].hot_keys = {17};
+  fps.insert(fingerprint(m));
+
+  m = base;
+  m.nodes[0].key_domain = 128;
+  fps.insert(fingerprint(m));
+
+  m = base;
+  m.nodes[0].key_domain = 128;
+  m.nodes[0].skew = 300;
+  fps.insert(fingerprint(m));
+
+  m = base;
+  m.nodes[0].key_domain = 128;
+  m.nodes[0].distinct_keys = true;
+  fps.insert(fingerprint(m));
+
+  EXPECT_EQ(fps.size(), 8u)
+      << "each cost/shape parameter must produce a distinct fingerprint";
+}
+
+TEST(PlanFingerprint, CostOptimizedNeverAliasesRuleOptimized) {
+  // The exact regression the serve result cache needs: one submitted plan,
+  // optimized two ways, must occupy two cache entries.
+  const StarSpec spec = clickstream_star(1);
+  const LogicalPlan q = star_query(spec, naive_order(spec));
+  EXPECT_NE(fingerprint(optimize(q)), fingerprint(cost_optimize(q)));
+}
+
+}  // namespace
+}  // namespace hpbdc::plan

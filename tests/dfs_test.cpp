@@ -516,6 +516,75 @@ TEST(DfsEc, RepairAfterRecoverTrimsOverRepairedShards) {
   }
 }
 
+// ISSUE-named regression: EC reads must satisfy their k shards from
+// same-rack holders before reaching across the fabric. For every client we
+// predict the cross-rack shard count from the stripe map (k minus the
+// same-rack holders, floored at zero) and check the counters match; at
+// least one client must beat the old data-slots-first selection, which
+// ignored racks entirely.
+TEST(DfsEc, LocalityAwareShardReadsPreferSameRackHolders) {
+  DfsFixture f;
+  bool ok = false;
+  f.dfs.write(1, "/ec", 64 * MiB, StoragePolicy::kErasureCoded,
+              [&](bool w) { ok = w; });
+  f.sim.run();
+  ASSERT_TRUE(ok);
+  const auto stripe = f.dfs.stripe_locations("/ec", 0);
+  const std::size_t k = f.dfs.ec_stripe_width() - 2;  // RS(4, 2)
+  bool beats_slot_order = false;
+  for (std::size_t client = 0; client < 16; ++client) {
+    std::size_t same_rack = 0, data_slot_cross = 0;
+    for (std::size_t slot = 0; slot < stripe.size(); ++slot) {
+      const bool same = f.dfs.rack_of(stripe[slot][0]) == f.dfs.rack_of(client);
+      same_rack += same;
+      if (slot < k && !same) ++data_slot_cross;  // what the old policy read
+    }
+    const auto before = f.dfs.stats();
+    ReadStatus status{};
+    f.dfs.read_ex(client, "/ec",
+                  [&](ReadStatus s, const std::vector<std::uint8_t>&) { status = s; });
+    f.sim.run();
+    EXPECT_EQ(status, ReadStatus::kOk);
+    const std::uint64_t same_reads =
+        f.dfs.stats().ec_shard_reads_same_rack - before.ec_shard_reads_same_rack;
+    const std::uint64_t cross_reads =
+        f.dfs.stats().ec_shard_reads_cross_rack - before.ec_shard_reads_cross_rack;
+    EXPECT_EQ(same_reads + cross_reads, k) << "client " << client;
+    EXPECT_EQ(same_reads, std::min(same_rack, k)) << "client " << client;
+    EXPECT_EQ(cross_reads, k - std::min(same_rack, k)) << "client " << client;
+    if (cross_reads < data_slot_cross) beats_slot_order = true;
+  }
+  EXPECT_TRUE(beats_slot_order)
+      << "no client read fewer cross-rack shards than slot-order selection";
+}
+
+TEST(DfsEc, LocalityHoldsOnDegradedReadsToo) {
+  DfsFixture f;
+  bool ok = false;
+  f.dfs.write(1, "/ec", 64 * MiB, StoragePolicy::kErasureCoded,
+              [&](bool w) { ok = w; });
+  f.sim.run();
+  ASSERT_TRUE(ok);
+  // Kill one data-shard holder: the read degrades, and the replacement
+  // shard should still be picked rack-first among the survivors.
+  const auto stripe = f.dfs.stripe_locations("/ec", 0);
+  f.dfs.fail_node(stripe[0][0]);
+  const std::size_t k = f.dfs.ec_stripe_width() - 2;
+  const std::size_t client = stripe[1][0];  // co-located with a survivor
+  std::size_t same_rack = 0;
+  for (std::size_t slot = 1; slot < stripe.size(); ++slot) {
+    same_rack += f.dfs.rack_of(stripe[slot][0]) == f.dfs.rack_of(client);
+  }
+  const auto before = f.dfs.stats();
+  ReadStatus status{};
+  f.dfs.read_ex(client, "/ec",
+                [&](ReadStatus s, const std::vector<std::uint8_t>&) { status = s; });
+  f.sim.run();
+  EXPECT_EQ(status, ReadStatus::kDegraded);
+  EXPECT_EQ(f.dfs.stats().ec_shard_reads_same_rack - before.ec_shard_reads_same_rack,
+            std::min(same_rack, k));
+}
+
 TEST(DfsEc, ShuffleSpillStaysReplicatedByDefault) {
   DfsFixture f;
   f.dfs.write(2, "/spill", 64 * MiB, [](bool) {});

@@ -179,6 +179,34 @@ TEST(JobService, CacheHitSkipsExecutorsAndIsTenfoldFaster) {
   EXPECT_EQ(svc.stats().cache_hits, 1u);
 }
 
+TEST(JobService, CostBasedAndRuleOnlySubmissionsNeverAliasInTheCache) {
+  // One plan, two optimization modes: the cost-based run folds its
+  // stats_salt into the fingerprint, so the second submission must MISS the
+  // cache (a hit would silently serve rows from a differently-optimized
+  // plan), while the row multisets still agree.
+  ServeCluster cl(5, 2);
+  JobService svc(cl.pool, ServeConfig{});
+  const auto p = chaos::make_plan(23, 5, 64);
+  Completion rule_only, cost_based;
+  svc.submit({0, p, 0, 0}, [&](const Completion& c) { rule_only = c; });
+  cl.sim.run();
+  ASSERT_EQ(rule_only.status, Status::kCompleted);
+  SubmitRequest req;
+  req.tenant = 0;
+  req.plan = p;
+  req.cost_based = true;
+  svc.submit(std::move(req), [&](const Completion& c) { cost_based = c; });
+  cl.sim.run();
+  ASSERT_EQ(cost_based.status, Status::kCompleted);
+  EXPECT_FALSE(cost_based.cache_hit);
+  EXPECT_EQ(cost_based.dist_submits, 1u);
+  EXPECT_NE(cost_based.fingerprint, rule_only.fingerprint);
+  EXPECT_EQ(plan::canonical_bytes(cost_based.rows),
+            plan::canonical_bytes(rule_only.rows));
+  EXPECT_EQ(svc.stats().cache_hits, 0u);
+  EXPECT_EQ(svc.stats().cache_misses, 2u);
+}
+
 TEST(JobService, TokenBucketShedsBurstsSynchronously) {
   ServeCluster cl(5, 2);
   ServeConfig cfg;

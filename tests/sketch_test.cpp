@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <map>
 #include <set>
 #include <string>
@@ -186,6 +187,47 @@ TEST(ReservoirSample, ApproximatelyUniform) {
 
 TEST(ReservoirSample, ZeroKThrows) {
   EXPECT_THROW(ReservoirSample<int>(0), std::invalid_argument);
+}
+
+// ---- accuracy-bound properties the cost model relies on --------------------------
+// plan/stats.cpp sizes its estimates around these two contracts: the HLL
+// tracks NDV within a few multiples of its theoretical standard error
+// across decades of cardinality, and the CMS never undercounts a key.
+
+TEST(HyperLogLog, RelativeErrorBoundHoldsFrom1e3To1e6Ndv) {
+  for (const std::uint64_t ndv : {1000ull, 10000ull, 100000ull, 1000000ull}) {
+    HyperLogLog hll(12);
+    for (std::uint64_t i = 0; i < ndv; ++i) {
+      hll.add(hash_u64(i * 0x9e3779b97f4a7c15ULL + ndv));
+    }
+    const double err =
+        std::abs(hll.estimate() - static_cast<double>(ndv)) /
+        static_cast<double>(ndv);
+    // 4x the theoretical standard error (~1.6% at precision 12) gives a
+    // deterministic-seed margin while still catching estimator regressions.
+    EXPECT_LE(err, 4 * hll.relative_error()) << "ndv " << ndv;
+  }
+}
+
+TEST(CountMinSketch, OverestimatesOnlyAndWithinEpsOfTotalOnSkewedStream) {
+  CountMinSketch cms(0.005, 0.01);
+  // Zipf-ish stream: key k appears ~50000/(k+1) times.
+  std::map<std::uint64_t, std::uint64_t> truth;
+  std::uint64_t total = 0;
+  for (std::uint64_t k = 0; k < 500; ++k) {
+    const std::uint64_t n = 50000 / (k + 1);
+    truth[k] = n;
+    total += n;
+    cms.add(hash_u64(k), n);
+  }
+  for (const auto& [k, n] : truth) {
+    const std::uint64_t est = cms.estimate(hash_u64(k));
+    EXPECT_GE(est, n) << "CMS must never undercount (key " << k << ")";
+    EXPECT_LE(est, n + static_cast<std::uint64_t>(2 * 0.005 * total))
+        << "key " << k;
+  }
+  EXPECT_EQ(cms.estimate(hash_u64(0xdeadULL)), 0u)
+      << "an absent key on a sparse sketch should read zero here";
 }
 
 }  // namespace
