@@ -17,9 +17,14 @@
 //   $ ./chaos_demo --runs=25 --ec-checkpoints  # erasure-coded checkpoints:
 //                                          # shard-loss + repair-race faults,
 //                                          # EC placement oracle armed
+//   $ ./chaos_demo --fleet --runs=25       # elastic-fleet oracle: chaos kills
+//                                          # + spot preemptions while the
+//                                          # FleetController resizes the pool;
+//                                          # exactly-once and slot accounting
+//                                          # must survive the churn
 //
-// --replay= accepts both spec flavors and dispatches on the prefix
-// ("pseed=" batch, "spseed=" streaming).
+// --replay= accepts all spec flavors and dispatches on the prefix
+// ("pseed=" batch, "spseed=" streaming, "flseed=" fleet).
 
 #include <chrono>
 #include <cstring>
@@ -32,6 +37,7 @@
 #include "chaos/linearizability.hpp"
 #include "chaos/streaming_oracle.hpp"
 #include "exec/thread_pool.hpp"
+#include "fleet/campaign.hpp"
 #include "obs/metrics.hpp"
 
 namespace {
@@ -116,6 +122,73 @@ int run_stream_campaign(std::uint64_t runs, std::uint64_t seed0, bool bug,
   return violations == 0 ? 0 : 1;
 }
 
+fleet::FleetCampaignConfig fleet_campaign_config(std::uint64_t seed) {
+  fleet::FleetCampaignConfig cfg;
+  cfg.seed = seed;
+  cfg.tenants = 4 + static_cast<std::size_t>(seed % 3);
+  cfg.jobs_per_tenant = 4 + static_cast<std::size_t>(seed % 2);
+  cfg.kills = 1 + static_cast<std::size_t>(seed % 2);
+  cfg.preemptions = 1 + static_cast<std::size_t>(seed % 3);
+  // Odd seeds squeeze the arrivals into a burst so queue pressure forces
+  // the controller to actually scale while the chaos schedule runs.
+  if (seed % 2 == 1) cfg.arrival_window = 1.5;
+  return cfg;
+}
+
+void print_fleet_outcome(const fleet::FleetCampaignOutcome& out) {
+  std::cout << "  violation: " << out.violation
+            << "\n  stats: submissions=" << out.submissions
+            << " completed=" << out.stats.completed
+            << " failed=" << out.stats.failed << " shed=" << out.stats.shed
+            << " lost=" << out.lost << " duplicates=" << out.duplicates
+            << " mismatches=" << out.mismatches
+            << "\n  fleet: ups=" << out.fleet.scale_ups
+            << " downs=" << out.fleet.scale_downs
+            << " preemptions=" << out.fleet.preemptions
+            << " slots_added=" << out.fleet.slots_added
+            << " slots_retired=" << out.fleet.slots_retired
+            << " node_seconds=" << out.fleet.node_seconds
+            << " makespan=" << out.makespan << "s\n";
+}
+
+/// Elastic-fleet campaign: every run drives chaos kills on the always-on
+/// floor plus spot preemptions while the controller grows and shrinks the
+/// slot pool; the oracle requires exactly-once completion callbacks,
+/// bit-identical results, balanced accounting (including slot arithmetic),
+/// and elasticity invariants. Returns the process exit code.
+int run_fleet_campaign(std::uint64_t runs, std::uint64_t seed0,
+                       const std::string& replay_out, Executor& pool) {
+  std::size_t violations = 0;
+  std::uint64_t preemptions = 0, scale_events = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::uint64_t seed = seed0; seed < seed0 + runs; ++seed) {
+    const fleet::FleetCampaignConfig cfg = fleet_campaign_config(seed);
+    const auto out = fleet::run_fleet_campaign_once(cfg, pool);
+    preemptions += out.fleet.preemptions;
+    scale_events += out.fleet.scale_ups + out.fleet.scale_downs;
+    if (out.passed) continue;
+    violations++;
+    std::cout << "VIOLATION at " << fleet::format_fleet_replay(cfg) << "\n";
+    print_fleet_outcome(out);
+    std::cout << "shrinking...\n";
+    const fleet::FleetShrinkResult sr = fleet::shrink_fleet(cfg, pool);
+    std::cout << "minimal repro after " << sr.runs << " runs:\n"
+              << "  --replay=" << sr.replay << "\n";
+    print_fleet_outcome(sr.outcome);
+    if (!replay_out.empty()) {
+      std::ofstream f(replay_out);
+      f << "--replay=" << sr.replay << "\n";
+    }
+    break;
+  }
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  std::cout << "fleet campaign: " << runs << " elastic runs in " << secs
+            << "s, " << preemptions << " spot preemptions, " << scale_events
+            << " scale events, " << violations << " violations\n";
+  return violations == 0 ? 0 : 1;
+}
+
 void print_outcome(const ChaosOutcome& out) {
   std::cout << "  plan: " << out.plan << "\n  optimized: " << out.optimized
             << " (rules=" << out.opt_stats.rules_applied()
@@ -134,7 +207,8 @@ void print_outcome(const ChaosOutcome& out) {
 
 int main(int argc, char** argv) {
   std::uint64_t runs = 100, seed0 = 1;
-  bool bug = false, streaming = false, transport_set = false, ec = false;
+  bool bug = false, streaming = false, fleet_mode = false, transport_set = false,
+       ec = false;
   dist::TransportKind transport = dist::TransportKind::kPull;
   std::string replay, replay_out;
   for (int i = 1; i < argc; ++i) {
@@ -147,6 +221,8 @@ int main(int argc, char** argv) {
       bug = true;
     } else if (a == "--streaming") {
       streaming = true;
+    } else if (a == "--fleet") {
+      fleet_mode = true;
     } else if (a == "--transport=push") {
       transport = dist::TransportKind::kPush;
       transport_set = true;
@@ -161,8 +237,8 @@ int main(int argc, char** argv) {
       replay_out = a.substr(13);
     } else {
       std::cerr << "usage: chaos_demo [--runs=N] [--seed=S] [--bug] "
-                   "[--streaming] [--transport=pull|push] [--ec-checkpoints] "
-                   "[--replay=SPEC] [--replay-out=FILE]\n";
+                   "[--streaming] [--fleet] [--transport=pull|push] "
+                   "[--ec-checkpoints] [--replay=SPEC] [--replay-out=FILE]\n";
       return 2;
     }
   }
@@ -172,6 +248,14 @@ int main(int argc, char** argv) {
   obs::MetricsRegistry plan_metrics;  // optimizer rule counters, whole campaign
 
   if (!replay.empty()) {
+    if (replay.rfind("flseed=", 0) == 0) {
+      const fleet::FleetCampaignConfig cfg = fleet::parse_fleet_replay(replay);
+      const auto out = fleet::run_fleet_campaign_once(cfg, pool);
+      std::cout << (out.passed ? "PASS " : "FAIL ")
+                << fleet::format_fleet_replay(cfg) << "\n";
+      print_fleet_outcome(out);
+      return out.passed ? 0 : 1;
+    }
     if (replay.rfind("spseed=", 0) == 0) {
       const StreamChaosConfig cfg = parse_stream_replay(replay);
       const auto out = run_stream_chaos_once(cfg);
@@ -185,6 +269,10 @@ int main(int argc, char** argv) {
     std::cout << (out.passed ? "PASS " : "FAIL ") << format_replay(cfg) << "\n";
     print_outcome(out);
     return out.passed ? 0 : 1;
+  }
+
+  if (fleet_mode) {
+    return run_fleet_campaign(runs, seed0, replay_out, pool);
   }
 
   if (streaming) {

@@ -33,7 +33,9 @@ AutoscaleResult run(const AutoscalerConfig& cfg, const std::vector<double>& load
 
   std::size_t running = reactive ? cfg.min_instances : static_n;
   std::deque<Booting> boot_queue;
-  double last_up = -1e18, last_down = -1e18;
+  TargetTracker tracker(cfg.capacity_per_instance, cfg.target_utilization,
+                        cfg.min_instances, cfg.max_instances,
+                        cfg.scale_up_cooldown, cfg.scale_down_cooldown);
   double offered_total = 0, dropped_total = 0, util_sum = 0;
 
   for (std::size_t p = 0; p < load.size(); ++p) {
@@ -60,19 +62,12 @@ AutoscaleResult run(const AutoscalerConfig& cfg, const std::vector<double>& load
     if (reactive) {
       // Target tracking: provision for load / (capacity * target), counting
       // capacity already booting so spikes don't trigger repeated orders.
-      const auto desired = std::clamp<std::size_t>(
-          static_cast<std::size_t>(std::ceil(
-              rps / (cfg.capacity_per_instance * cfg.target_utilization))),
-          cfg.min_instances, cfg.max_instances);
-      const std::size_t provisioned = running + booting;
-      if (desired > provisioned && t - last_up >= cfg.scale_up_cooldown) {
-        boot_queue.push_back(Booting{t + cfg.boot_time, desired - provisioned});
-        last_up = t;
+      const TargetTracker::Decision d = tracker.decide(t, rps, running, booting);
+      if (d.action == TargetTracker::Action::kUp) {
+        boot_queue.push_back(Booting{t + cfg.boot_time, d.order});
         ++res.scale_ups;
-      } else if (desired < running && booting == 0 &&
-                 t - last_down >= cfg.scale_down_cooldown) {
-        running = std::max(desired, cfg.min_instances);  // instant teardown
-        last_down = t;
+      } else if (d.action == TargetTracker::Action::kDown) {
+        running = d.desired;  // instant teardown
         ++res.scale_downs;
       }
     }
@@ -87,6 +82,51 @@ AutoscaleResult run(const AutoscalerConfig& cfg, const std::vector<double>& load
 }
 
 }  // namespace
+
+TargetTracker::TargetTracker(double capacity_per_instance,
+                             double target_utilization,
+                             std::size_t min_instances,
+                             std::size_t max_instances,
+                             double scale_up_cooldown,
+                             double scale_down_cooldown)
+    : capacity_per_instance_(capacity_per_instance),
+      target_utilization_(target_utilization),
+      min_instances_(min_instances),
+      max_instances_(max_instances),
+      up_cooldown_(scale_up_cooldown),
+      down_cooldown_(scale_down_cooldown) {
+  if (capacity_per_instance_ <= 0) {
+    throw std::invalid_argument("TargetTracker: capacity");
+  }
+  if (target_utilization_ <= 0 || target_utilization_ > 1) {
+    throw std::invalid_argument("TargetTracker: target utilization in (0,1]");
+  }
+  if (min_instances_ == 0 || min_instances_ > max_instances_) {
+    throw std::invalid_argument("TargetTracker: instance bounds");
+  }
+}
+
+TargetTracker::Decision TargetTracker::decide(double now, double load,
+                                              std::size_t running,
+                                              std::size_t booting) {
+  Decision d;
+  d.desired = std::clamp<std::size_t>(
+      static_cast<std::size_t>(
+          std::ceil(load / (capacity_per_instance_ * target_utilization_))),
+      min_instances_, max_instances_);
+  const std::size_t provisioned = running + booting;
+  if (d.desired > provisioned && now - last_up_ >= up_cooldown_) {
+    d.action = Action::kUp;
+    d.order = d.desired - provisioned;
+    last_up_ = now;
+  } else if (d.desired < running && booting == 0 &&
+             now - last_down_ >= down_cooldown_) {
+    d.action = Action::kDown;
+    // desired >= min by the clamp, so the teardown floor is already applied.
+    last_down_ = now;
+  }
+  return d;
+}
 
 AutoscaleResult simulate_autoscaler(const AutoscalerConfig& cfg,
                                     const std::vector<double>& load) {

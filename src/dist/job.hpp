@@ -58,10 +58,18 @@ struct JobSpec {
   /// Topologically ordered; every stage must be an ancestor of the final
   /// stage, whose output blocks are shipped to the driver as the result.
   std::vector<StageSpec> stages;
+  /// Non-empty = persist the final stage's concatenated output blocks to
+  /// the DFS under this name before the done callback fires, using
+  /// RuntimeOptions::sink_policy for durability. Requires a Dfs; without
+  /// one the sink is skipped (JobResult::sink_ok stays false).
+  std::string sink_file;
 };
 
 struct JobResult {
   bool ok = false;
+  /// Sink write durable in the DFS (meaningful only when the JobSpec named a
+  /// sink_file and the job succeeded; false otherwise).
+  bool sink_ok = false;
   sim::SimTime makespan = 0;
   /// output[t] = result-stage task t's blocks, in task order.
   std::vector<std::vector<Bytes>> output;

@@ -49,6 +49,10 @@ struct RuntimeOptions {
   /// spill stays replicated regardless (hot, short-lived); checkpoints are
   /// the cold, large artifacts erasure coding is built for.
   sim::StoragePolicy checkpoint_policy = sim::StoragePolicy::kReplicated;
+  /// Durability policy for the job's sink output (JobSpec::sink_file, when
+  /// set). Sink files are final artifacts — written once, read long after
+  /// the job — so they are the other natural kErasureCoded candidate.
+  sim::StoragePolicy sink_policy = sim::StoragePolicy::kReplicated;
 };
 
 }  // namespace hpbdc::dist

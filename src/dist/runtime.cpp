@@ -275,7 +275,8 @@ void DistRuntime::schedule() {
         task < dfs_->block_count(spec.input_file)) {
       for (auto r : dfs_->block_locations(spec.input_file, task)) {
         auto& e = execs_[r];
-        if (e.alive && !e.dead_to_driver && e.busy < cfg_.slots_per_node) {
+        if (e.alive && !e.dead_to_driver && !e.draining &&
+            e.busy < cfg_.slots_per_node) {
           stats_.locality_hits++;
           count(m_locality_hits_);
           return r;
@@ -290,11 +291,17 @@ void DistRuntime::schedule() {
     const std::size_t pref = transport_->preferred_node(stage, task);
     if (pref != kNone) {
       auto& e = execs_[pref];
-      if (e.alive && !e.dead_to_driver && e.busy < cfg_.slots_per_node) return pref;
+      if (e.alive && !e.dead_to_driver && !e.draining &&
+          e.busy < cfg_.slots_per_node) {
+        return pref;
+      }
     }
     for (std::size_t n = 0; n < execs_.size(); ++n) {
       auto& e = execs_[n];
-      if (!e.alive || e.dead_to_driver || e.busy >= cfg_.slots_per_node) continue;
+      if (!e.alive || e.dead_to_driver || e.draining ||
+          e.busy >= cfg_.slots_per_node) {
+        continue;
+      }
       const std::size_t free = cfg_.slots_per_node - e.busy;
       if (free > best_free) {
         best_free = free;
@@ -372,7 +379,7 @@ void DistRuntime::speculate() {
       std::size_t best = kNone, best_free = 0;
       for (std::size_t n = 0; n < execs_.size(); ++n) {
         auto& e = execs_[n];
-        if (n == a.node || !e.alive || e.dead_to_driver) continue;
+        if (n == a.node || !e.alive || e.dead_to_driver || e.draining) continue;
         if (e.busy >= cfg_.slots_per_node) continue;
         const std::size_t free = cfg_.slots_per_node - e.busy;
         if (free > best_free) {
@@ -847,7 +854,11 @@ void DistRuntime::kill_node(std::size_t node) {
   ExecState& ex = execs_[node];
   ex.alive = false;
   ex.busy = 0;
-  transport_->node_killed(node);  // published blocks + in-flight flow state
+  // transport_ is null until the first submit; a pool may fan a kill out to
+  // a slot (freshly added, or simply never used) with no job history.
+  if (transport_ != nullptr) {
+    transport_->node_killed(node);  // published blocks + in-flight flow state
+  }
   if (dfs_ != nullptr) dfs_->fail_node(node);
   // The driver only learns of the death through the heartbeat timeout.
 }
@@ -858,7 +869,7 @@ void DistRuntime::do_recover_node(std::size_t node) {
   ex.alive = true;
   ex.busy = 0;
   ex.last_heartbeat = sim().now();
-  transport_->node_recovered(node);  // rejoins with empty memory
+  if (transport_ != nullptr) transport_->node_recovered(node);  // empty memory
   if (dfs_ != nullptr) dfs_->recover_node(node);
   // dead_to_driver clears when the first heartbeat arrives (re-registration).
   if (active_) heartbeat_loop(node);
@@ -877,6 +888,18 @@ void DistRuntime::recover_node_at(std::size_t node, SimTime t) {
   sim().schedule_at(t, [this, node] {
     if (!execs_[node].alive) do_recover_node(node);
   });
+}
+
+void DistRuntime::set_node_draining(std::size_t node, bool draining) {
+  if (node >= execs_.size()) {
+    throw std::out_of_range("DistRuntime: bad node id");
+  }
+  if (node == cfg_.driver && draining) {
+    throw std::invalid_argument("DistRuntime: the driver node cannot drain");
+  }
+  execs_[node].draining = draining;
+  // Undraining frees capacity the scheduler may have been waiting for.
+  if (!draining && active_) schedule();
 }
 
 void DistRuntime::set_node_speed_at(std::size_t node, double speed, SimTime t) {
@@ -904,6 +927,31 @@ void DistRuntime::finish(bool ok) {
   trace_span(job_.name, "job", submit_time_, sim().now(), 0, 0);
   JobDoneFn cb = std::move(done_cb_);
   done_cb_ = nullptr;
+  // Sink output: persist the final stage's blocks to the DFS (under the
+  // job's sink_policy — kErasureCoded for cold final artifacts) BEFORE the
+  // done callback, so "job completed" implies "sink durable". The result is
+  // moved aside because the runtime may accept its next job while the write
+  // is in flight (active_ is already false; a JobSlotPool keeps this slot
+  // busy until the callback, so slot accounting stays exact).
+  if (ok && !job_.sink_file.empty() && dfs_ != nullptr) {
+    std::vector<std::uint8_t> content;
+    for (const auto& task_blocks : result_.output) {
+      for (const Bytes& b : task_blocks) {
+        for (const std::byte v : b) {
+          content.push_back(static_cast<std::uint8_t>(v));
+        }
+      }
+    }
+    auto res = std::make_shared<JobResult>(std::move(result_));
+    result_ = JobResult{};
+    stats_.sink_writes++;
+    dfs_->put(cfg_.driver, job_.sink_file, std::move(content), opts_.sink_policy,
+              [res, cb = std::move(cb)](bool wok) {
+                res->sink_ok = wok;
+                if (cb) cb(*res);
+              });
+    return;
+  }
   if (cb) cb(result_);
 }
 

@@ -89,6 +89,7 @@ struct DistStats {
   std::uint64_t executors_declared_dead = 0;
   std::uint64_t checkpoints_written = 0;
   std::uint64_t checkpoint_restores = 0;  // blocks re-read from a checkpoint
+  std::uint64_t sink_writes = 0;          // sink_file outputs persisted to the DFS
   // Invariant evidence for the chaos harness (src/chaos):
   std::uint64_t stale_events_ignored = 0;    // task events after job completion
   std::uint64_t max_failures_one_task = 0;   // high-water charged failures
@@ -121,6 +122,13 @@ class DistRuntime {
   /// Change a node's compute speed factor at time t (straggler injection;
   /// affects attempts whose compute starts after t).
   void set_node_speed_at(std::size_t node, double speed, sim::SimTime t);
+  /// Drain control (the fleet layer's graceful-shrink half): a draining
+  /// executor receives NO new task attempts — scheduling and speculation
+  /// skip it — while attempts already running there finish normally and its
+  /// shuffle outputs stay fetchable. Lineage recomputation covers whatever
+  /// a later power-off takes with it. Takes effect immediately; idempotent.
+  void set_node_draining(std::size_t node, bool draining);
+  bool node_draining(std::size_t node) const { return execs_.at(node).draining; }
   /// Test hook (chaos harness): disable lineage rollback of lost map
   /// outputs, the intentionally seeded bug the harness must catch. Affected
   /// jobs spin on fetch failures until the hard attempt cap aborts them.
@@ -151,6 +159,7 @@ class DistRuntime {
     bool alive = true;
     double speed = 1.0;
     bool dead_to_driver = false;     // driver's (possibly stale) view
+    bool draining = false;           // fleet shrink: no NEW attempts here
     std::size_t busy = 0;            // driver-side slot accounting
     sim::SimTime last_heartbeat = 0;
     sim::Disk disk;

@@ -7,15 +7,70 @@ namespace hpbdc::dist {
 
 JobSlotPool::JobSlotPool(sim::Comm& comm, DistConfig cfg, std::size_t slots,
                          sim::Dfs* dfs)
-    : comm_(comm), cfg_(cfg) {
+    : comm_(comm), cfg_(cfg), dfs_(dfs) {
   if (slots == 0) throw std::invalid_argument("JobSlotPool: zero slots");
   cfg_.node_mtbf = 0.0;  // per-slot injectors would fire independently
-  for (std::size_t i = 0; i < slots; ++i) {
-    DistConfig sc = cfg_;
-    std::uint64_t s = cfg_.seed ^ ((i + 1) * 0x9e3779b97f4a7c15ULL);
-    sc.seed = splitmix64(s);
-    slots_.push_back(std::make_unique<Slot>(comm, sc, dfs));
+  node_state_.assign(comm.nranks(), NodeState{});
+  for (std::size_t i = 0; i < slots; ++i) make_slot(i);
+}
+
+JobSlotPool::Slot& JobSlotPool::make_slot(std::size_t index) {
+  DistConfig sc = cfg_;
+  std::uint64_t s = cfg_.seed ^ ((index + 1) * 0x9e3779b97f4a7c15ULL);
+  sc.seed = splitmix64(s);
+  slots_.push_back(std::make_unique<Slot>(comm_, sc, dfs_));
+  ++active_;
+  Slot& slot = *slots_.back();
+  if (metrics_ != nullptr) slot.rt.bind_metrics(*metrics_);
+  return slot;
+}
+
+std::size_t JobSlotPool::add_slot() {
+  if (!retired_.empty()) {
+    const std::size_t i = retired_.back();
+    retired_.pop_back();
+    slots_[i]->retired = false;
+    ++active_;
+    return i;
   }
+  const std::size_t i = slots_.size();
+  Slot& slot = make_slot(i);
+  // A new runtime starts with every node healthy; bring it up to the pool's
+  // view. Current state applies at `now` (schedule_at refuses past times),
+  // and injected events still in the future are replayed so the new slot
+  // sees the same kills/recoveries/speed steps its siblings already have
+  // scheduled.
+  const sim::SimTime now = simulator().now();
+  for (std::size_t n = 0; n < node_state_.size(); ++n) {
+    const NodeState& ns = node_state_[n];
+    if (ns.dead) slot.rt.kill_node_at(n, now);
+    if (ns.speed != 1.0) slot.rt.set_node_speed_at(n, ns.speed, now);
+    if (ns.draining) slot.rt.set_node_draining(n, true);
+  }
+  for (const FaultEvent& ev : fault_log_) {
+    if (ev.t <= now) continue;
+    switch (ev.kind) {
+      case FaultEvent::Kind::kKill: slot.rt.kill_node_at(ev.node, ev.t); break;
+      case FaultEvent::Kind::kRecover: slot.rt.recover_node_at(ev.node, ev.t); break;
+      case FaultEvent::Kind::kSpeed:
+        slot.rt.set_node_speed_at(ev.node, ev.speed, ev.t);
+        break;
+    }
+  }
+  return i;
+}
+
+bool JobSlotPool::retire_idle_slot() {
+  if (active_ <= 1) return false;
+  for (std::size_t i = slots_.size(); i-- > 0;) {
+    Slot& slot = *slots_[i];
+    if (slot.retired || slot.busy) continue;
+    slot.retired = true;
+    retired_.push_back(i);
+    --active_;
+    return true;
+  }
+  return false;
 }
 
 void JobSlotPool::submit(JobSpec job, DistRuntime::JobDoneFn done) {
@@ -26,7 +81,7 @@ void JobSlotPool::submit(JobSpec job, const RuntimeOptions& opts,
                          DistRuntime::JobDoneFn done) {
   for (std::size_t i = 0; i < slots_.size(); ++i) {
     Slot& slot = *slots_[i];
-    if (slot.busy) continue;
+    if (slot.busy || slot.retired) continue;
     slot.busy = true;
     ++busy_;
     slot.rt.submit(std::move(job), opts,
@@ -42,7 +97,7 @@ void JobSlotPool::submit(JobSpec job, const RuntimeOptions& opts,
 
 std::size_t JobSlotPool::reserve_slot() {
   for (std::size_t i = 0; i < slots_.size(); ++i) {
-    if (slots_[i]->busy) continue;
+    if (slots_[i]->busy || slots_[i]->retired) continue;
     slots_[i]->busy = true;
     ++busy_;
     return i;
@@ -59,18 +114,30 @@ void JobSlotPool::release_slot(std::size_t i) {
 
 void JobSlotPool::kill_node_at(std::size_t node, sim::SimTime t) {
   for (auto& s : slots_) s->rt.kill_node_at(node, t);
+  fault_log_.push_back({FaultEvent::Kind::kKill, node, t, 1.0});
+  simulator().schedule_at(t, [this, node] { node_state_[node].dead = true; });
 }
 
 void JobSlotPool::recover_node_at(std::size_t node, sim::SimTime t) {
   for (auto& s : slots_) s->rt.recover_node_at(node, t);
+  fault_log_.push_back({FaultEvent::Kind::kRecover, node, t, 1.0});
+  simulator().schedule_at(t, [this, node] { node_state_[node].dead = false; });
 }
 
 void JobSlotPool::set_node_speed_at(std::size_t node, double speed,
                                     sim::SimTime t) {
   for (auto& s : slots_) s->rt.set_node_speed_at(node, speed, t);
+  fault_log_.push_back({FaultEvent::Kind::kSpeed, node, t, speed});
+  simulator().schedule_at(t, [this, node, speed] { node_state_[node].speed = speed; });
+}
+
+void JobSlotPool::set_node_draining(std::size_t node, bool draining) {
+  for (auto& s : slots_) s->rt.set_node_draining(node, draining);
+  node_state_.at(node).draining = draining;
 }
 
 void JobSlotPool::bind_metrics(obs::MetricsRegistry& reg) {
+  metrics_ = &reg;
   for (auto& s : slots_) s->rt.bind_metrics(reg);
 }
 
@@ -98,6 +165,7 @@ DistStats JobSlotPool::aggregate_stats() const {
     sum.executors_declared_dead += st.executors_declared_dead;
     sum.checkpoints_written += st.checkpoints_written;
     sum.checkpoint_restores += st.checkpoint_restores;
+    sum.sink_writes += st.sink_writes;
     sum.stale_events_ignored += st.stale_events_ignored;
     sum.max_failures_one_task =
         std::max(sum.max_failures_one_task, st.max_failures_one_task);

@@ -13,6 +13,16 @@
 // (`busy() == slots()`) is the backpressure signal the service propagates
 // upstream, and per-job completion callbacks free the slot before they fire
 // so a scheduler can dispatch the next queued job from inside the callback.
+//
+// The pool is ELASTIC: the fleet layer (src/fleet) grows it with add_slot()
+// and shrinks it with retire_idle_slot(). Slots are never erased or
+// reordered — submit callbacks capture slot indices — so a retired slot is
+// a tombstone that later add_slot() calls resurrect before constructing
+// anything new. Fault injection keeps fanning out to tombstones (their
+// runtimes' liveness views stay current for free), and a genuinely NEW slot
+// has the pool's fault history applied at creation: the current dead /
+// speed / draining state of every node immediately, plus any fan-out events
+// still scheduled in the future.
 
 #include <cstdint>
 #include <functional>
@@ -33,9 +43,22 @@ class JobSlotPool {
   JobSlotPool(sim::Comm& comm, DistConfig cfg, std::size_t slots,
               sim::Dfs* dfs = nullptr);
 
-  std::size_t slots() const noexcept { return slots_.size(); }
+  /// Slots in rotation (excludes retired tombstones).
+  std::size_t slots() const noexcept { return active_; }
   std::size_t busy() const noexcept { return busy_; }
-  bool saturated() const noexcept { return busy_ == slots_.size(); }
+  bool saturated() const noexcept { return busy_ == active_; }
+
+  /// Grow the pool by one slot and return its index. Resurrects the most
+  /// recently retired tombstone when one exists (its runtime's fault state
+  /// is already current — fan-out never stopped); otherwise constructs a
+  /// new runtime with the pool's fault history replayed onto it.
+  std::size_t add_slot();
+
+  /// Shrink the pool by one slot: tombstone the highest-indexed IDLE slot.
+  /// Returns false when every slot is busy or only one active slot remains
+  /// (the pool never shrinks to zero). Callers drain first — a retired slot
+  /// holds no job, so nothing is lost.
+  bool retire_idle_slot();
 
   /// Run `job` on a free slot; throws std::logic_error when saturated (check
   /// saturated() first — the serve layer queues instead of submitting). The
@@ -56,16 +79,25 @@ class JobSlotPool {
   void release_slot(std::size_t i);
 
   /// Fault injection, fanned out to every slot (and the shared DFS, which
-  /// tolerates the resulting duplicate fail/recover calls).
+  /// tolerates the resulting duplicate fail/recover calls). Events are also
+  /// logged so slots added later inherit them.
   void kill_node_at(std::size_t node, sim::SimTime t);
   void recover_node_at(std::size_t node, sim::SimTime t);
   void set_node_speed_at(std::size_t node, double speed, sim::SimTime t);
 
+  /// Drain control, fanned out to every slot immediately: a draining node
+  /// receives no NEW task attempts in any slot while running attempts
+  /// finish (see DistRuntime::set_node_draining). The fleet layer's
+  /// graceful half of removing a machine.
+  void set_node_draining(std::size_t node, bool draining);
+
   /// Shared-name metrics: counters accumulate across slots, gauges reflect
   /// the most recent writer (slots agree on liveness, so this is coherent).
+  /// Slots added later bind to the same registry automatically.
   void bind_metrics(obs::MetricsRegistry& reg);
 
-  /// Element-wise sum of every slot's DistStats.
+  /// Element-wise sum of every slot's DistStats (tombstones included —
+  /// their history happened).
   DistStats aggregate_stats() const;
 
   std::size_t live_executors() const { return slots_.front()->rt.live_executors(); }
@@ -78,14 +110,41 @@ class JobSlotPool {
   struct Slot {
     DistRuntime rt;
     bool busy = false;
+    bool retired = false;
     Slot(sim::Comm& comm, const DistConfig& cfg, sim::Dfs* dfs)
         : rt(comm, cfg, dfs) {}
   };
 
+  /// One injected fault, kept so add_slot can replay still-future events
+  /// onto a new runtime (past events are summarized by node_state_).
+  struct FaultEvent {
+    enum class Kind : std::uint8_t { kKill, kRecover, kSpeed } kind;
+    std::size_t node = 0;
+    sim::SimTime t = 0;
+    double speed = 1.0;
+  };
+
+  /// Pool-level mirror of each node's CURRENT fault state, maintained by
+  /// events scheduled alongside the per-slot fan-out. This is what a brand
+  /// new slot starts from.
+  struct NodeState {
+    bool dead = false;
+    double speed = 1.0;
+    bool draining = false;
+  };
+
+  Slot& make_slot(std::size_t index);
+
   sim::Comm& comm_;
   DistConfig cfg_;
+  sim::Dfs* dfs_;
   std::vector<std::unique_ptr<Slot>> slots_;
+  std::vector<std::size_t> retired_;  // tombstone indices, LIFO
+  std::size_t active_ = 0;
   std::size_t busy_ = 0;
+  std::vector<FaultEvent> fault_log_;
+  std::vector<NodeState> node_state_;
+  obs::MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace hpbdc::dist

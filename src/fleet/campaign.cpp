@@ -1,0 +1,347 @@
+#include "fleet/campaign.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "chaos/harness.hpp"
+#include "chaos/plan_gen.hpp"
+#include "common/rng.hpp"
+#include "common/serialize.hpp"
+#include "dataflow/context.hpp"
+#include "dist/slots.hpp"
+#include "plan/lower.hpp"
+#include "plan/plan.hpp"
+#include "sim/comm.hpp"
+#include "sim/dfs.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace hpbdc::fleet {
+
+namespace {
+
+std::uint64_t mix(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t s = a * 0x9e3779b97f4a7c15ULL + b;
+  return splitmix64(s);
+}
+
+}  // namespace
+
+FleetCampaignOutcome run_fleet_campaign_once(const FleetCampaignConfig& cfg,
+                                             Executor& pool) {
+  FleetCampaignOutcome out;
+  auto fail = [&out](const std::string& msg) {
+    if (out.passed) {
+      out.passed = false;
+      out.violation = msg;
+    }
+  };
+
+  // ---- trusted side: fault-free shared-memory reference per plan ---------
+  std::vector<plan::LogicalPlan> plans;
+  std::vector<Bytes> refs;
+  for (std::size_t p = 0; p < cfg.distinct_plans; ++p) {
+    plans.push_back(
+        chaos::make_plan(mix(cfg.seed, 0xA0 + p), cfg.plan_nodes, cfg.rows));
+    dataflow::Context ctx(pool);
+    refs.push_back(plan::canonical_bytes(plan::lower_local(plans.back(), ctx)));
+  }
+
+  // ---- system under test: service + slot pool + LIVE fleet controller ----
+  sim::Simulator sim;
+  sim::NetworkConfig nc;
+  nc.nodes = cfg.cluster_nodes;
+  nc.topology = sim::Topology::kStar;
+  nc.loss_seed = mix(cfg.seed, 1);
+  sim::Network net(sim, nc);
+  sim::Comm comm(sim, net);
+  sim::Dfs dfs(comm, sim::DfsConfig{});
+
+  dist::DistConfig dc;
+  dc.driver = 0;
+  dc.slots_per_node = 2;
+  dc.heartbeat_interval = 0.1;
+  dc.heartbeat_timeout = 0.5;
+  dc.heartbeat_jitter = 0.01;
+  dc.attempt_timeout = 10.0;
+  dc.max_task_attempts = 8;
+  dc.speculate = true;
+  dc.seed = mix(cfg.seed, 2);
+  const std::size_t initial_slots =
+      std::max<std::size_t>(1, cfg.initial_nodes * cfg.jobs_per_node);
+  dist::JobSlotPool slots(comm, dc, initial_slots, &dfs);
+
+  serve::ServeConfig sc;
+  sc.bucket_rate = 4.0;
+  sc.bucket_burst = 8.0;
+  sc.ntasks = 3;
+  sc.cache_capacity = 64;
+  serve::JobService svc(slots, sc);
+
+  FleetConfig fc;
+  fc.min_nodes = cfg.min_nodes;
+  fc.max_nodes = cfg.max_nodes;
+  fc.initial_nodes = cfg.initial_nodes;
+  fc.jobs_per_node = cfg.jobs_per_node;
+  fc.control_interval = 0.25;
+  fc.target_utilization = 0.7;
+  fc.scale_up_cooldown = 0.5;
+  fc.scale_down_cooldown = 2.0;
+  fc.provision_delay = 1.0;
+  fc.warm_activate_delay = 0.25;
+  fc.warm_target = 1;
+  fc.drain_grace = 1.0;
+  fc.spot_fraction = cfg.spot_fraction;
+  fc.preempt_seed = cfg.preemptions > 0 ? mix(cfg.seed, 7) : 0;
+  fc.preemptions = cfg.preemptions;
+  fc.preempt_horizon = cfg.arrival_window + 2.0;
+  FleetController ctrl(slots, svc, fc);
+
+  // Chaos kills land on the always-on floor (worker ids 1..min_nodes): those
+  // machines are active for the whole run, so the kill schedule composes
+  // with elasticity without racing the controller's own power state. The
+  // spot tail gets its faults from the controller's preemption schedule.
+  if (cfg.kills > 0 && cfg.min_nodes >= 1) {
+    for (const chaos::KillEvent& ev : chaos::make_kill_schedule(
+             mix(cfg.seed, 3), cfg.min_nodes + 1, 0, cfg.kills,
+             cfg.arrival_window + 2.0)) {
+      slots.kill_node_at(ev.node, ev.kill_time);
+      slots.recover_node_at(ev.node, ev.recover_time);
+    }
+  }
+
+  // ---- seed-derived open-loop workload -----------------------------------
+  struct Sub {
+    double at = 0;
+    serve::TenantId tenant = 0;
+    std::size_t plan = 0;
+    double deadline = 0;
+    int priority = 0;
+    serve::SloClass slo = serve::SloClass::kStandard;
+  };
+  Rng rng(mix(cfg.seed, 4));
+  std::vector<Sub> subs;
+  for (std::size_t t = 0; t < cfg.tenants; ++t) {
+    for (std::size_t j = 0; j < cfg.jobs_per_tenant; ++j) {
+      Sub s;
+      s.at = rng.next_double() * cfg.arrival_window;
+      s.tenant = static_cast<serve::TenantId>(t);
+      s.plan = static_cast<std::size_t>(rng.next_below(cfg.distinct_plans));
+      s.priority = static_cast<int>(rng.next_below(3));
+      // Tier mix ~25/50/25: every class exercises its admission bucket,
+      // watermark, and heap under elasticity.
+      const std::uint64_t c = rng.next_below(4);
+      s.slo = c == 0   ? serve::SloClass::kLatency
+              : c == 3 ? serve::SloClass::kBatch
+                       : serve::SloClass::kStandard;
+      if (rng.next_bool(cfg.deadline_fraction)) {
+        s.deadline = s.at + 0.05 + rng.next_double() * 2.0;
+      }
+      subs.push_back(s);
+    }
+  }
+  out.submissions = subs.size();
+
+  std::vector<std::size_t> fired(subs.size(), 0);
+  double last_finish = 0;
+  for (std::size_t i = 0; i < subs.size(); ++i) {
+    sim.schedule_at(subs[i].at, [&, i] {
+      serve::SubmitRequest req;
+      req.tenant = subs[i].tenant;
+      req.plan = plans[subs[i].plan];
+      req.deadline = subs[i].deadline;
+      req.priority = subs[i].priority;
+      req.slo = subs[i].slo;
+      svc.submit(std::move(req), [&, i](const serve::Completion& c) {
+        fired[i]++;
+        last_finish = std::max(last_finish, c.finish_time);
+        if (c.status == serve::Status::kCompleted &&
+            plan::canonical_bytes(c.rows) != refs[subs[i].plan]) {
+          out.mismatches++;
+        }
+      });
+    });
+  }
+
+  ctrl.start();
+  // Stop the control loop mid-horizon: long after the workload drains, long
+  // before the liveness watchdog — anything still keeping the simulator
+  // awake at the horizon is then a real leak, not the controller's ticks.
+  sim.schedule_at(cfg.horizon * 0.5, [&ctrl] { ctrl.stop(); });
+
+  sim.run_until(cfg.horizon);
+  out.makespan = last_finish;
+  if (!sim.idle()) fail("liveness: events still pending at the horizon");
+
+  // ---- oracle ------------------------------------------------------------
+  for (std::size_t f : fired) {
+    if (f == 0) out.lost++;
+    if (f > 1) out.duplicates++;
+  }
+  if (out.lost > 0) {
+    fail("exactly-once: " + std::to_string(out.lost) + " submissions lost");
+  }
+  if (out.duplicates > 0) {
+    fail("exactly-once: " + std::to_string(out.duplicates) +
+         " duplicate terminal callbacks");
+  }
+  if (out.mismatches > 0) {
+    fail("correctness: " + std::to_string(out.mismatches) +
+         " completed results differ from the reference");
+  }
+
+  out.stats = svc.stats();
+  out.dist_stats = slots.aggregate_stats();
+  out.fleet = ctrl.stats();
+  if (out.stats.submitted != subs.size()) {
+    fail("accounting: service submit count != workload size");
+  }
+  if (out.stats.completed + out.stats.failed + out.stats.shed !=
+      out.stats.submitted) {
+    fail("accounting: completed + failed + shed != submitted");
+  }
+  // Spot revocations may legitimately exhaust a retry budget, so kFailed is
+  // NOT a violation here (it is in the fixed-fleet serve campaign).
+  if (svc.queue_depth() != 0 || svc.running() != 0) {
+    fail("accounting: queue/running not drained at quiescence");
+  }
+  if (initial_slots + out.fleet.slots_added !=
+      slots.slots() + out.fleet.slots_retired) {
+    fail("elasticity: slot arithmetic does not balance");
+  }
+  if (out.fleet.ticks == 0) fail("elasticity: controller never ticked");
+  if (out.fleet.min_active < cfg.min_nodes) {
+    fail("elasticity: active nodes dipped below the floor");
+  }
+  const std::size_t max_nodes =
+      cfg.max_nodes == 0 ? cfg.cluster_nodes - 1 : cfg.max_nodes;
+  if (out.fleet.max_active > max_nodes) {
+    fail("elasticity: active nodes exceeded max_nodes");
+  }
+  return out;
+}
+
+std::string format_fleet_replay(const FleetCampaignConfig& cfg) {
+  std::ostringstream os;
+  os << "flseed=" << cfg.seed << ",tenants=" << cfg.tenants
+     << ",jobs=" << cfg.jobs_per_tenant << ",plans=" << cfg.distinct_plans
+     << ",pnodes=" << cfg.plan_nodes << ",rows=" << cfg.rows
+     << ",cluster=" << cfg.cluster_nodes << ",minn=" << cfg.min_nodes
+     << ",maxn=" << cfg.max_nodes << ",init=" << cfg.initial_nodes
+     << ",jpn=" << cfg.jobs_per_node << ",kills=" << cfg.kills
+     << ",preempt=" << cfg.preemptions << ",spot=" << cfg.spot_fraction
+     << ",window=" << cfg.arrival_window << ",dl=" << cfg.deadline_fraction;
+  return os.str();
+}
+
+FleetCampaignConfig parse_fleet_replay(const std::string& spec) {
+  FleetCampaignConfig cfg;
+  std::istringstream is(spec);
+  std::string kv;
+  while (std::getline(is, kv, ',')) {
+    const auto eq = kv.find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument("fleet replay: bad token '" + kv + "'");
+    }
+    const std::string k = kv.substr(0, eq);
+    const std::string v = kv.substr(eq + 1);
+    if (k == "flseed") cfg.seed = std::stoull(v);
+    else if (k == "tenants") cfg.tenants = std::stoull(v);
+    else if (k == "jobs") cfg.jobs_per_tenant = std::stoull(v);
+    else if (k == "plans") cfg.distinct_plans = std::stoull(v);
+    else if (k == "pnodes") cfg.plan_nodes = std::stoull(v);
+    else if (k == "rows") cfg.rows = std::stoull(v);
+    else if (k == "cluster") cfg.cluster_nodes = std::stoull(v);
+    else if (k == "minn") cfg.min_nodes = std::stoull(v);
+    else if (k == "maxn") cfg.max_nodes = std::stoull(v);
+    else if (k == "init") cfg.initial_nodes = std::stoull(v);
+    else if (k == "jpn") cfg.jobs_per_node = std::stoull(v);
+    else if (k == "kills") cfg.kills = std::stoull(v);
+    else if (k == "preempt") cfg.preemptions = std::stoull(v);
+    else if (k == "spot") cfg.spot_fraction = std::stod(v);
+    else if (k == "window") cfg.arrival_window = std::stod(v);
+    else if (k == "dl") cfg.deadline_fraction = std::stod(v);
+    else throw std::invalid_argument("fleet replay: unknown key '" + k + "'");
+  }
+  return cfg;
+}
+
+FleetShrinkResult shrink_fleet(const FleetCampaignConfig& cfg0, Executor& pool) {
+  FleetShrinkResult res;
+  res.config = cfg0;
+  res.outcome = run_fleet_campaign_once(cfg0, pool);
+  res.runs = 1;
+
+  auto attempt = [&res, &pool](FleetCampaignConfig c) {
+    ++res.runs;
+    FleetCampaignOutcome out = run_fleet_campaign_once(c, pool);
+    if (out.passed) return false;
+    res.config = c;
+    res.outcome = std::move(out);
+    return true;
+  };
+
+  bool progress = !res.outcome.passed;
+  while (progress) {
+    progress = false;
+    // Fault knobs first (a repro without faults is the most surprising kind),
+    // then workload size, then plan size.
+    {
+      FleetCampaignConfig c = res.config;
+      if (c.preemptions > 0) {
+        c.preemptions /= 2;
+        if (attempt(c)) { progress = true; continue; }
+      }
+    }
+    {
+      FleetCampaignConfig c = res.config;
+      if (c.kills > 0) {
+        c.kills /= 2;
+        if (attempt(c)) { progress = true; continue; }
+      }
+    }
+    {
+      FleetCampaignConfig c = res.config;
+      if (c.tenants > 1) {
+        c.tenants = (c.tenants + 1) / 2;
+        if (attempt(c)) { progress = true; continue; }
+      }
+    }
+    {
+      FleetCampaignConfig c = res.config;
+      if (c.jobs_per_tenant > 1) {
+        c.jobs_per_tenant = (c.jobs_per_tenant + 1) / 2;
+        if (attempt(c)) { progress = true; continue; }
+      }
+    }
+    {
+      FleetCampaignConfig c = res.config;
+      if (c.distinct_plans > 1) {
+        c.distinct_plans = (c.distinct_plans + 1) / 2;
+        if (attempt(c)) { progress = true; continue; }
+      }
+    }
+    {
+      FleetCampaignConfig c = res.config;
+      if (c.rows > 32) {
+        c.rows /= 2;
+        if (attempt(c)) { progress = true; continue; }
+      }
+    }
+    {
+      FleetCampaignConfig c = res.config;
+      if (c.plan_nodes > 2) {
+        c.plan_nodes = (c.plan_nodes + 1) / 2;
+        if (attempt(c)) { progress = true; continue; }
+      }
+    }
+  }
+  res.replay = format_fleet_replay(res.config);
+  return res;
+}
+
+}  // namespace hpbdc::fleet

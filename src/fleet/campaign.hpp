@@ -1,0 +1,96 @@
+#pragma once
+// Elasticity-aware chaos campaign: the serve-layer campaign (serve/campaign)
+// re-run with the fleet controller LIVE. One seed derives the tenant plans,
+// arrivals, SLO classes, priorities, deadlines, the executor-kill schedule
+// on the always-on floor, AND the spot-preemption schedule; the controller
+// grows and shrinks the slot pool underneath the service the whole time.
+// The oracle is the serve oracle made elasticity-aware:
+//
+//   exactly-once — every submission gets exactly one terminal callback even
+//                  when its executor slot was added mid-run, its node was
+//                  drained mid-job, or a spot revocation killed the machine
+//                  under it.
+//   correctness  — every kCompleted result is bit-identical to the
+//                  fault-free shared-memory reference of its plan.
+//   accounting   — service stats balance AND the pool's slot arithmetic
+//                  balances: initial + added - retired == final slots.
+//   elasticity   — the controller actually ran (ticks > 0), never held
+//                  fewer than min_nodes active, never more than max_nodes.
+//   liveness     — the run quiesces within the horizon (the controller's
+//                  stop() is scheduled mid-horizon; nothing may keep the
+//                  simulator awake after the work drains).
+//
+// Unlike the fixed-fleet serve campaign, FAILED jobs are tolerated (a spot
+// revocation storm can exhaust a job's retry budget — that is the contract
+// of spot capacity); lost/duplicate callbacks and bit-differences are not.
+//
+// A failing seed shrinks to a minimal config and prints a one-line
+// `flseed=...` replay spec; chaos_demo --fleet accepts it back.
+
+#include <cstdint>
+#include <string>
+
+#include "dist/runtime.hpp"
+#include "fleet/fleet.hpp"
+#include "serve/service.hpp"
+
+namespace hpbdc {
+class Executor;
+}
+
+namespace hpbdc::fleet {
+
+struct FleetCampaignConfig {
+  std::uint64_t seed = 1;
+  std::size_t tenants = 6;
+  std::size_t jobs_per_tenant = 5;
+  std::size_t distinct_plans = 3;
+  std::size_t plan_nodes = 4;
+  std::uint64_t rows = 96;         // rows per source node
+  std::size_t cluster_nodes = 10;  // node 0 hosts the drivers
+  std::size_t min_nodes = 2;       // always-on floor (chaos kills land here)
+  std::size_t max_nodes = 0;       // 0 = every worker
+  std::size_t initial_nodes = 2;
+  std::size_t jobs_per_node = 2;   // slot pool capacity unit
+  std::size_t kills = 1;           // kill/recover pairs on the floor
+  std::size_t preemptions = 2;     // spot revocations
+  double spot_fraction = 0.5;      // of max_nodes, the high-id tail
+  double arrival_window = 8.0;
+  double deadline_fraction = 0.15;
+  double horizon = 600.0;          // liveness watchdog (simulated seconds)
+};
+
+struct FleetCampaignOutcome {
+  bool passed = true;
+  std::string violation;  // first failed check; empty when passed
+  std::size_t submissions = 0;
+  std::size_t duplicates = 0;
+  std::size_t lost = 0;
+  std::size_t mismatches = 0;
+  serve::ServeStats stats;
+  dist::DistStats dist_stats;
+  FleetStats fleet;
+  double makespan = 0;
+};
+
+/// One full elastic run. `pool` executes the fault-free shared-memory
+/// reference for each distinct plan; everything else is seed-deterministic.
+FleetCampaignOutcome run_fleet_campaign_once(const FleetCampaignConfig& cfg,
+                                             Executor& pool);
+
+/// One-line replay spec ("flseed=..."); round-trips through parse.
+std::string format_fleet_replay(const FleetCampaignConfig& cfg);
+FleetCampaignConfig parse_fleet_replay(const std::string& spec);
+
+struct FleetShrinkResult {
+  FleetCampaignConfig config;      // minimal still-failing config
+  FleetCampaignOutcome outcome;    // its outcome
+  std::size_t runs = 0;            // campaign runs the search consumed
+  std::string replay;              // format_fleet_replay(config)
+};
+
+/// Greedy shrink of a failing config: repeatedly halve workload and fault
+/// knobs, keeping any reduction that still fails, until a fixpoint.
+FleetShrinkResult shrink_fleet(const FleetCampaignConfig& cfg, Executor& pool);
+
+}  // namespace hpbdc::fleet

@@ -1,6 +1,7 @@
 #include "serve/service.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <limits>
 #include <stdexcept>
 #include <utility>
@@ -13,6 +14,8 @@
 namespace hpbdc::serve {
 
 namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
 
 /// Source rows the job will materialize (the DRF memory-resource estimate).
 std::uint64_t source_rows_of(const plan::LogicalPlan& p) {
@@ -27,6 +30,13 @@ std::uint64_t source_rows_of(const plan::LogicalPlan& p) {
   return rows;
 }
 
+std::uint64_t wall_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
 }  // namespace
 
 const char* reject_name(Reject r) {
@@ -36,6 +46,15 @@ const char* reject_name(Reject r) {
     case Reject::kGlobalQueueFull: return "global_queue_full";
     case Reject::kBackpressure: return "backpressure";
     case Reject::kDeadlineExpired: return "deadline_expired";
+  }
+  return "invalid";
+}
+
+const char* slo_name(SloClass c) {
+  switch (c) {
+    case SloClass::kLatency: return "latency";
+    case SloClass::kStandard: return "standard";
+    case SloClass::kBatch: return "batch";
   }
   return "invalid";
 }
@@ -54,6 +73,13 @@ JobService::JobService(dist::JobSlotPool& pool, ServeConfig cfg,
   if (cfg_.ntasks == 0) throw std::invalid_argument("JobService: zero ntasks");
   if (cfg_.max_dist_submits == 0) {
     throw std::invalid_argument("JobService: need >= 1 dist submit");
+  }
+  for (std::size_t c = 0; c < kSloClassCount; ++c) {
+    const SloClassConfig& sc = cfg_.slo[c];
+    if (sc.rate_mult <= 0 || sc.burst_mult <= 0 || sc.drf_weight <= 0 ||
+        sc.shed_watermark_mult <= 0) {
+      throw std::invalid_argument("JobService: SLO class multipliers must be > 0");
+    }
   }
 }
 
@@ -81,15 +107,24 @@ void JobService::bind_metrics(obs::MetricsRegistry& reg) {
 }
 
 bool JobService::backpressured() const noexcept {
-  return pool_.saturated() && queued_ >= cfg_.backpressure_watermark;
+  return pool_.saturated() &&
+         static_cast<double>(queued_) >=
+             static_cast<double>(cfg_.backpressure_watermark);
+}
+
+void JobService::notify_capacity_changed() {
+  update_gauges();
+  dispatch();
 }
 
 JobService::TenantState& JobService::tenant_state(TenantId t) {
   TenantState& ts = tenants_[t];
   if (!ts.seen) {
     ts.seen = true;
-    ts.tokens = cfg_.bucket_burst;
-    ts.last_refill = sim().now();
+    for (std::size_t c = 0; c < kSloClassCount; ++c) {
+      ts.tokens[c] = cfg_.bucket_burst * cfg_.slo[c].burst_mult;
+      ts.last_refill[c] = sim().now();
+    }
     if (metrics_ != nullptr) {
       ts.latency = &metrics_->histogram("serve.latency.tenant" + std::to_string(t));
     }
@@ -97,10 +132,45 @@ JobService::TenantState& JobService::tenant_state(TenantId t) {
   return ts;
 }
 
-void JobService::refill_bucket(TenantState& ts, double now) {
-  ts.tokens = std::min(cfg_.bucket_burst,
-                       ts.tokens + (now - ts.last_refill) * cfg_.bucket_rate);
-  ts.last_refill = now;
+void JobService::refill_bucket(TenantState& ts, SloClass c, double now) {
+  const std::size_t ci = static_cast<std::size_t>(c);
+  const double rate = cfg_.bucket_rate * cfg_.slo[ci].rate_mult;
+  const double burst = cfg_.bucket_burst * cfg_.slo[ci].burst_mult;
+  ts.tokens[ci] =
+      std::min(burst, ts.tokens[ci] + (now - ts.last_refill[ci]) * rate);
+  ts.last_refill[ci] = now;
+}
+
+JobService::HeapKey JobService::head_key(TenantId t,
+                                         const PendingJob& head) const {
+  const std::size_t ci = static_cast<std::size_t>(head.slo);
+  HeapKey k;
+  // Time-invariant within the class: the dispatch-time score is
+  //   key - aging_eff(class) * now
+  // and `now` is common to every entry of one class heap.
+  k.key = burden(t) / cfg_.slo[ci].drf_weight +
+          aging_eff(head.slo) * head.enqueue_time -
+          cfg_.priority_weight * cfg_.slo[ci].priority_mult *
+              static_cast<double>(head.priority);
+  k.deadline = head.deadline > 0 ? head.deadline : kInf;
+  k.id = head.id;
+  return k;
+}
+
+void JobService::reindex(TenantId t, SloClass c) {
+  const std::size_t ci = static_cast<std::size_t>(c);
+  auto it = tenants_.find(t);
+  if (it == tenants_.end() || it->second.queue[ci].empty()) {
+    heap_[ci].erase(t);
+    return;
+  }
+  heap_[ci].upsert(t, head_key(t, it->second.queue[ci].front()));
+}
+
+void JobService::reindex_all_classes(TenantId t) {
+  for (std::size_t c = 0; c < kSloClassCount; ++c) {
+    reindex(t, static_cast<SloClass>(c));
+  }
 }
 
 void JobService::update_gauges() {
@@ -111,10 +181,12 @@ void JobService::update_gauges() {
   if (g_backpressure_ != nullptr) g_backpressure_->set(backpressured() ? 1 : 0);
 }
 
-void JobService::shed(std::uint64_t id, TenantId tenant, double submit_time,
-                      std::uint64_t fp, Reject why, DoneFn& done) {
+void JobService::shed(std::uint64_t id, TenantId tenant, SloClass slo,
+                      double submit_time, std::uint64_t fp, Reject why,
+                      DoneFn& done) {
   stats_.shed++;
   stats_.shed_by[static_cast<std::size_t>(why)]++;
+  stats_.shed_by_slo[static_cast<std::size_t>(slo)]++;
   count(m_shed_);
   count(m_shed_by_[static_cast<std::size_t>(why)]);
   Completion c;
@@ -122,6 +194,7 @@ void JobService::shed(std::uint64_t id, TenantId tenant, double submit_time,
   c.tenant = tenant;
   c.status = Status::kRejected;
   c.reject = why;
+  c.slo = slo;
   c.submit_time = submit_time;
   c.finish_time = sim().now();
   c.fingerprint = fp;
@@ -135,6 +208,7 @@ void JobService::finish(PendingJob& job, Status status, bool cache_hit,
   c.tenant = job.tenant;
   c.status = status;
   c.cache_hit = cache_hit;
+  c.slo = job.slo;
   c.submit_time = job.submit_time;
   c.finish_time = sim().now();
   c.fingerprint = job.fp;
@@ -143,6 +217,7 @@ void JobService::finish(PendingJob& job, Status status, bool cache_hit,
   c.rows = std::move(rows);
   if (status == Status::kCompleted) {
     stats_.completed++;
+    stats_.completed_by_slo[static_cast<std::size_t>(job.slo)]++;
     count(m_completed_);
     if (h_latency_ != nullptr) h_latency_->record(c.latency());
     TenantState& ts = tenant_state(job.tenant);
@@ -161,17 +236,50 @@ std::uint64_t JobService::submit(SubmitRequest req, DoneFn done) {
   }
   const double now = sim().now();
   const std::uint64_t id = next_id_++;
+  const std::size_t ci = static_cast<std::size_t>(req.slo);
   stats_.submitted++;
   count(m_submitted_);
 
-  // 1. Per-tenant token bucket.
+  // 1. Per-(tenant, class) token bucket.
   TenantState& ts = tenant_state(req.tenant);
-  refill_bucket(ts, now);
-  if (ts.tokens < 1.0) {
-    shed(id, req.tenant, now, 0, Reject::kRateLimited, done);
+  refill_bucket(ts, req.slo, now);
+  if (ts.tokens[ci] < 1.0) {
+    shed(id, req.tenant, req.slo, now, 0, Reject::kRateLimited, done);
     return id;
   }
-  ts.tokens -= 1.0;
+  ts.tokens[ci] -= 1.0;
+
+  // Class-scaled backpressure: the pool is saturated and the queue crossed
+  // this class's watermark. Batch crosses first (0.5x), latency last (1.5x)
+  // — the shed order of an overloaded multi-tier front door.
+  const auto class_backpressured = [&] {
+    return pool_.saturated() &&
+           static_cast<double>(queued_) >=
+               static_cast<double>(cfg_.backpressure_watermark) *
+                   cfg_.slo[ci].shed_watermark_mult;
+  };
+
+  // With the result cache disabled there is nothing to gain from optimizing
+  // a request that is about to be shed — and at bench scale (a million
+  // submissions against an overloaded service) the optimizer would dominate
+  // the run. Sheds taken here report fingerprint 0, exactly like the
+  // rate-limit shed above. With the cache ON the optimizer must run first
+  // (the cache can absorb a submission that queue bounds would shed), so
+  // the classless ordering is preserved.
+  if (cfg_.cache_capacity == 0) {
+    if (class_backpressured()) {
+      shed(id, req.tenant, req.slo, now, 0, Reject::kBackpressure, done);
+      return id;
+    }
+    if (ts.queue[ci].size() >= cfg_.tenant_queue_cap) {
+      shed(id, req.tenant, req.slo, now, 0, Reject::kTenantQueueFull, done);
+      return id;
+    }
+    if (queued_ >= cfg_.global_queue_cap) {
+      shed(id, req.tenant, req.slo, now, 0, Reject::kGlobalQueueFull, done);
+      return id;
+    }
+  }
 
   // 2. Optimize once; everything downstream (cache key, scheduling demand,
   // execution) works on the optimized plan.
@@ -180,6 +288,7 @@ std::uint64_t JobService::submit(SubmitRequest req, DoneFn done) {
   job.tenant = req.tenant;
   job.deadline = req.deadline;
   job.priority = req.priority;
+  job.slo = req.slo;
   job.submit_time = now;
   job.enqueue_time = now;
   job.optimized =
@@ -223,74 +332,89 @@ std::uint64_t JobService::submit(SubmitRequest req, DoneFn done) {
   }
 
   // 4. Load shedding: backpressure first (overload), then queue bounds.
-  if (backpressured()) {
-    shed(id, req.tenant, now, job.fp, Reject::kBackpressure, job.done);
-    return id;
-  }
-  if (ts.queue.size() >= cfg_.tenant_queue_cap) {
-    shed(id, req.tenant, now, job.fp, Reject::kTenantQueueFull, job.done);
-    return id;
-  }
-  if (queued_ >= cfg_.global_queue_cap) {
-    shed(id, req.tenant, now, job.fp, Reject::kGlobalQueueFull, job.done);
-    return id;
+  if (cfg_.cache_capacity > 0) {
+    if (class_backpressured()) {
+      shed(id, req.tenant, req.slo, now, job.fp, Reject::kBackpressure, job.done);
+      return id;
+    }
+    if (ts.queue[ci].size() >= cfg_.tenant_queue_cap) {
+      shed(id, req.tenant, req.slo, now, job.fp, Reject::kTenantQueueFull,
+           job.done);
+      return id;
+    }
+    if (queued_ >= cfg_.global_queue_cap) {
+      shed(id, req.tenant, req.slo, now, job.fp, Reject::kGlobalQueueFull,
+           job.done);
+      return id;
+    }
   }
 
   // 5. Admit and try to dispatch immediately.
   stats_.admitted++;
   count(m_admitted_);
-  ts.queue.push_back(std::move(job));
+  ts.queue[ci].push_back(std::move(job));
   queued_++;
   stats_.max_queue_depth = std::max(stats_.max_queue_depth, queued_);
+  if (ts.queue[ci].size() == 1) reindex(req.tenant, req.slo);  // new head
   update_gauges();
   dispatch();
   return id;
 }
 
 void JobService::dispatch() {
+  // (tenant, class) entries whose head is a streaming job while the stream
+  // backend is busy: popped for the duration of this sweep so batch work
+  // behind OTHER tenants still dispatches, then re-derived at the end.
+  std::vector<std::pair<TenantId, SloClass>> parked;
   while (!pool_.saturated()) {
     const double now = sim().now();
-    // Head-of-queue jobs compete on dominant share minus priority/aging
-    // credit; earliest deadline breaks ties, then lowest id (stable).
-    constexpr double kInf = std::numeric_limits<double>::infinity();
-    TenantState* best_ts = nullptr;
+    const std::uint64_t t0 = wall_ns();
+    // Compare only the per-class heap tops: within a class the heap order
+    // IS the score order (the aging term is a class-wide constant shift).
+    std::size_t best_class = kSloClassCount;
     double best_score = kInf, best_deadline = kInf;
     std::uint64_t best_id = 0;
-    for (auto& [tid, ts] : tenants_) {
-      if (ts.queue.empty()) continue;
-      const PendingJob& head = ts.queue.front();
-      // The streaming backend runs one job at a time; a streaming head waits
-      // (without blocking the tenant's batch competitors elsewhere) until the
-      // previous stream finishes and frees both the backend and its slot.
-      if (head.streaming.has_value() && streams_->busy()) continue;
-      const double burden = drf_.dominant_share(tid) +
-                            cfg_.usage_weight * usage_.usage(tid);
-      const double score =
-          cluster::aged_priority(burden, now - head.enqueue_time,
-                                 cfg_.aging_rate) -
-          cfg_.priority_weight * static_cast<double>(head.priority);
-      const double dl = head.deadline > 0 ? head.deadline : kInf;
-      if (best_ts == nullptr || score < best_score ||
+    for (std::size_t c = 0; c < kSloClassCount; ++c) {
+      if (heap_[c].empty()) continue;
+      const HeapKey& k = heap_[c].top_key();
+      const double score = k.key - aging_eff(static_cast<SloClass>(c)) * now;
+      if (best_class == kSloClassCount || score < best_score ||
           (score == best_score &&
-           (dl < best_deadline || (dl == best_deadline && head.id < best_id)))) {
-        best_ts = &ts;
+           (k.deadline < best_deadline ||
+            (k.deadline == best_deadline && k.id < best_id)))) {
+        best_class = c;
         best_score = score;
-        best_deadline = dl;
-        best_id = head.id;
+        best_deadline = k.deadline;
+        best_id = k.id;
       }
     }
-    if (best_ts == nullptr) break;
-    PendingJob job = std::move(best_ts->queue.front());
-    best_ts->queue.pop_front();
+    stats_.decisions++;
+    stats_.decision_ns += wall_ns() - t0;
+    if (best_class == kSloClassCount) break;
+    const TenantId tid = heap_[best_class].top_id();
+    TenantState& ts = tenants_.at(tid);
+    auto& queue = ts.queue[best_class];
+    // The streaming backend runs one job at a time; a streaming head waits
+    // (without blocking other tenants' batch competitors) until the previous
+    // stream finishes and frees both the backend and its slot.
+    if (queue.front().streaming.has_value() && streams_->busy()) {
+      heap_[best_class].pop();
+      parked.emplace_back(tid, static_cast<SloClass>(best_class));
+      continue;
+    }
+    PendingJob job = std::move(queue.front());
+    queue.pop_front();
     queued_--;
+    reindex(tid, static_cast<SloClass>(best_class));
     if (job.deadline > 0 && now > job.deadline) {
       // Too late to be useful: shed instead of burning an executor on it.
-      shed(job.id, job.tenant, job.submit_time, job.fp,
+      shed(job.id, job.tenant, job.slo, job.submit_time, job.fp,
            Reject::kDeadlineExpired, job.done);
       continue;
     }
     launch(std::move(job));
   }
+  for (const auto& [tid, c] : parked) reindex(tid, c);
   update_gauges();
 }
 
@@ -300,6 +424,7 @@ void JobService::launch(PendingJob job) {
     return;
   }
   drf_.acquire(job.tenant, job.demand);
+  reindex_all_classes(job.tenant);  // burden went up
   running_++;
   stats_.max_running = std::max(stats_.max_running, running_);
   job.launch_time = sim().now();
@@ -316,6 +441,7 @@ void JobService::launch_streaming(PendingJob job) {
   // completed epoch — a long-lived stream steadily loses scheduling priority
   // to its tenant's batch jobs instead of looking free until it ends.
   drf_.acquire(job.tenant, job.demand);
+  reindex_all_classes(job.tenant);
   running_++;
   stats_.max_running = std::max(stats_.max_running, running_);
   stats_.streaming_launched++;
@@ -331,6 +457,7 @@ void JobService::launch_streaming(PendingJob job) {
         usage_.charge(sp->tenant,
                       sp->demand_share * (sim().now() - sp->launch_time));
         drf_.release(sp->tenant, sp->demand);
+        reindex_all_classes(sp->tenant);
         running_--;
         pool_.release_slot(slot);
         std::vector<plan::Row> rows;
@@ -351,6 +478,7 @@ void JobService::launch_streaming(PendingJob job) {
         const double now = sim().now();
         usage_.charge(sp->tenant,
                       sp->demand_share * (now - sp->launch_time));
+        reindex_all_classes(sp->tenant);
         sp->launch_time = now;
         sp->epochs++;
         stats_.streaming_epochs++;
@@ -369,6 +497,7 @@ void JobService::on_job_done(const std::shared_ptr<PendingJob>& job,
   if (res.ok) {
     std::vector<plan::Row> rows = plan::rows_from_result(res);
     if (cfg_.cache_capacity > 0) cache_.put(job->fp, rows);
+    reindex_all_classes(job->tenant);
     finish(*job, Status::kCompleted, false, std::move(rows));
   } else if (job->dist_submits < cfg_.max_dist_submits) {
     // Runtime-level failure (e.g. attempt budget burned by a node death):
@@ -378,10 +507,15 @@ void JobService::on_job_done(const std::shared_ptr<PendingJob>& job,
     // service, not the caller.
     stats_.dist_retries++;
     count(m_retries_);
-    tenant_state(job->tenant).queue.push_front(std::move(*job));
+    const TenantId tid = job->tenant;
+    const SloClass slo = job->slo;
+    tenant_state(tid).queue[static_cast<std::size_t>(slo)].push_front(
+        std::move(*job));
     queued_++;
     stats_.max_queue_depth = std::max(stats_.max_queue_depth, queued_);
+    reindex_all_classes(tid);  // burden dropped AND the head changed
   } else {
+    reindex_all_classes(job->tenant);
     finish(*job, Status::kFailed, false, {});
   }
   update_gauges();

@@ -7,6 +7,7 @@
 #include <map>
 
 #include "cluster/batch_scheduler.hpp"
+#include "cluster/indexed_heap.hpp"
 #include "cluster/migration.hpp"
 #include "cluster/placement.hpp"
 #include "cluster/vm.hpp"
@@ -437,6 +438,57 @@ TEST(TraceGen, DeterministicForSeed) {
     EXPECT_DOUBLE_EQ(ja[i].arrival, jb[i].arrival);
     EXPECT_DOUBLE_EQ(ja[i].runtime, jb[i].runtime);
   }
+}
+
+// ---- IndexedHeap -----------------------------------------------------------------
+
+TEST(IndexedHeap, OrdersByKeyAndPopsInOrder) {
+  IndexedHeap<int, double> h;
+  h.push(1, 3.0);
+  h.push(2, 1.0);
+  h.push(3, 2.0);
+  EXPECT_EQ(h.size(), 3u);
+  EXPECT_EQ(h.top_id(), 2);
+  EXPECT_EQ(h.pop(), 2);
+  EXPECT_EQ(h.pop(), 3);
+  EXPECT_EQ(h.pop(), 1);
+  EXPECT_TRUE(h.empty());
+}
+
+TEST(IndexedHeap, UpdateReordersInPlace) {
+  IndexedHeap<int, double> h;
+  for (int i = 0; i < 8; ++i) h.push(i, static_cast<double>(i));
+  EXPECT_EQ(h.top_id(), 0);
+  h.update(7, -1.0);  // decrease-key
+  EXPECT_EQ(h.top_id(), 7);
+  h.update(7, 100.0);  // increase-key
+  EXPECT_EQ(h.top_id(), 0);
+  h.upsert(0, 50.0);  // upsert on present id = update
+  EXPECT_EQ(h.top_id(), 1);
+  h.upsert(99, -5.0);  // upsert on absent id = push
+  EXPECT_EQ(h.top_id(), 99);
+}
+
+TEST(IndexedHeap, EraseMiddleKeepsInvariant) {
+  IndexedHeap<int, double> h;
+  for (int i = 0; i < 10; ++i) h.push(i, static_cast<double>((i * 7) % 10));
+  EXPECT_TRUE(h.erase(4));
+  EXPECT_FALSE(h.erase(4));  // already gone
+  EXPECT_FALSE(h.contains(4));
+  double prev = -1;
+  while (!h.empty()) {
+    const double k = h.top_key();
+    EXPECT_GE(k, prev);
+    prev = k;
+    h.pop();
+  }
+}
+
+TEST(IndexedHeap, RejectsDuplicatePushAndAbsentUpdate) {
+  IndexedHeap<int, double> h;
+  h.push(1, 1.0);
+  EXPECT_THROW(h.push(1, 2.0), std::logic_error);
+  EXPECT_THROW(h.update(2, 1.0), std::logic_error);
 }
 
 }  // namespace

@@ -446,6 +446,63 @@ TEST(DistRuntime, CheckpointChargesSimulatedNotRealBytes) {
   EXPECT_EQ(ckpt_files, 2u);
 }
 
+TEST(DistRuntime, SinkFilePersistsErasureCodedAndReadsBackBitIdentical) {
+  Rng rng(11);
+  algos::TextGenConfig tc;
+  tc.vocabulary = 200;
+  const auto lines = algos::generate_text(tc, 300, rng);
+  auto parts = std::make_shared<std::vector<std::vector<std::string>>>(
+      partition_lines(lines, 6));
+
+  DistConfig dc;
+  dc.seed = 9;
+  Cluster cl(star(8), dc);
+  JobSpec job = wordcount_job(parts, 4);
+  job.sink_file = "/job/wc.out";
+  RuntimeOptions opts;
+  opts.sink_policy = sim::StoragePolicy::kErasureCoded;
+  JobResult res;
+  cl.rt.submit(std::move(job), opts, [&res](const JobResult& r) { res = r; });
+  cl.sim.run();
+  ASSERT_TRUE(res.ok);
+  EXPECT_TRUE(res.sink_ok);  // sink landed BEFORE the done callback fired
+  EXPECT_EQ(cl.rt.stats().sink_writes, 1u);
+  ASSERT_TRUE(cl.dfs.exists("/job/wc.out"));
+  EXPECT_EQ(cl.dfs.file_policy("/job/wc.out"),
+            sim::StoragePolicy::kErasureCoded);
+
+  std::vector<std::uint8_t> expect;
+  for (const auto& task_blocks : res.output) {
+    for (const Bytes& b : task_blocks) {
+      for (const std::byte v : b) expect.push_back(static_cast<std::uint8_t>(v));
+    }
+  }
+  sim::ReadStatus status{};
+  std::vector<std::uint8_t> got;
+  cl.dfs.read_ex(0, "/job/wc.out",
+                 [&](sim::ReadStatus s, const std::vector<std::uint8_t>& d) {
+                   status = s;
+                   got = d;
+                 });
+  cl.sim.run();
+  EXPECT_EQ(status, sim::ReadStatus::kOk);
+  EXPECT_EQ(got, expect);
+
+  // Lose a data shard: the EC read degrades but stays bit-identical — the
+  // point of choosing kErasureCoded for cold job artifacts.
+  ASSERT_TRUE(cl.dfs.lose_shard("/job/wc.out", 0, 0));
+  status = sim::ReadStatus::kUnavailable;
+  got.clear();
+  cl.dfs.read_ex(0, "/job/wc.out",
+                 [&](sim::ReadStatus s, const std::vector<std::uint8_t>& d) {
+                   status = s;
+                   got = d;
+                 });
+  cl.sim.run();
+  EXPECT_EQ(status, sim::ReadStatus::kDegraded);
+  EXPECT_EQ(got, expect);
+}
+
 TEST(DistRuntime, RejectsBadJobs) {
   DistConfig dc;
   Cluster cl(star(4), dc);

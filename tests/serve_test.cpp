@@ -286,6 +286,95 @@ TEST(JobService, BackpressureShedsAndSignalsUpstream) {
   EXPECT_EQ(svc.stats().completed, 3u);
 }
 
+TEST(JobService, SloClassesShedInOrderUnderOverload) {
+  ServeCluster cl(5, 1);
+  ServeConfig cfg;
+  cfg.bucket_rate = 1000;
+  cfg.bucket_burst = 1000;
+  cfg.tenant_queue_cap = 100;
+  cfg.global_queue_cap = 100;
+  cfg.backpressure_watermark = 4;  // batch sheds at 2, standard 4, latency 6
+  cfg.cache_capacity = 0;
+  JobService svc(cl.pool, cfg);
+  std::uint64_t sheds[kSloClassCount] = {};
+  auto submit = [&](SloClass c, std::uint64_t s) {
+    SubmitRequest req;
+    req.tenant = 0;
+    req.plan = chaos::make_plan(700 + s, 3, 32);
+    req.slo = c;
+    return svc.submit(std::move(req), [&sheds](const Completion& done) {
+      if (done.status == Status::kRejected &&
+          done.reject == Reject::kBackpressure) {
+        sheds[static_cast<std::size_t>(done.slo)]++;
+      }
+    });
+  };
+  // One running + two queued: the pool is saturated and the queue sits at
+  // the BATCH watermark (0.5 x 4) but below the standard one.
+  for (std::uint64_t i = 0; i < 3; ++i) submit(SloClass::kStandard, i);
+  EXPECT_FALSE(svc.backpressured());
+  submit(SloClass::kBatch, 10);
+  EXPECT_EQ(sheds[static_cast<std::size_t>(SloClass::kBatch)], 1u);
+  // Standard still admits until the queue reaches 4...
+  submit(SloClass::kStandard, 11);
+  submit(SloClass::kStandard, 12);
+  EXPECT_EQ(svc.queue_depth(), 4u);
+  EXPECT_TRUE(svc.backpressured());
+  submit(SloClass::kStandard, 13);
+  EXPECT_EQ(sheds[static_cast<std::size_t>(SloClass::kStandard)], 1u);
+  // ...while latency work rides through to 1.5 x the watermark.
+  submit(SloClass::kLatency, 20);
+  submit(SloClass::kLatency, 21);
+  EXPECT_EQ(sheds[static_cast<std::size_t>(SloClass::kLatency)], 0u);
+  EXPECT_EQ(svc.queue_depth(), 6u);
+  submit(SloClass::kLatency, 22);
+  EXPECT_EQ(sheds[static_cast<std::size_t>(SloClass::kLatency)], 1u);
+  const auto& st = svc.stats();
+  EXPECT_EQ(st.shed_by_slo[static_cast<std::size_t>(SloClass::kBatch)], 1u);
+  EXPECT_EQ(st.shed_by_slo[static_cast<std::size_t>(SloClass::kStandard)], 1u);
+  EXPECT_EQ(st.shed_by_slo[static_cast<std::size_t>(SloClass::kLatency)], 1u);
+  cl.sim.run();
+  EXPECT_EQ(st.completed + st.failed + st.shed, st.submitted);
+}
+
+TEST(JobService, BackpressureWatermarkTracksShrinkingPool) {
+  ServeCluster cl(5, 2);
+  ServeConfig cfg;
+  cfg.bucket_rate = 1000;
+  cfg.bucket_burst = 1000;
+  cfg.tenant_queue_cap = 100;
+  cfg.global_queue_cap = 100;
+  cfg.backpressure_watermark = 1;
+  cfg.cache_capacity = 0;
+  JobService svc(cl.pool, cfg);
+  std::size_t bp_sheds = 0, completed = 0;
+  auto done = [&](const Completion& c) {
+    if (c.status == Status::kCompleted) completed++;
+    if (c.status == Status::kRejected && c.reject == Reject::kBackpressure) {
+      bp_sheds++;
+    }
+  };
+  svc.submit({0, chaos::make_plan(800, 3, 32), 0, 0}, done);
+  // One of two slots busy: no saturation, no backpressure.
+  EXPECT_FALSE(svc.backpressured());
+  // The fleet shrinks the pool underneath the service mid-run: the idle
+  // slot retires and saturation/backpressure must track the LIVE size.
+  ASSERT_TRUE(cl.pool.retire_idle_slot());
+  ASSERT_TRUE(cl.pool.saturated());
+  svc.submit({0, chaos::make_plan(801, 3, 32), 0, 0}, done);  // queues
+  EXPECT_TRUE(svc.backpressured());
+  svc.submit({0, chaos::make_plan(802, 3, 32), 0, 0}, done);  // shed
+  EXPECT_EQ(bp_sheds, 1u);
+  // Growth lifts the pressure: a new slot plus the capacity poke dispatches
+  // the queued job immediately.
+  cl.pool.add_slot();
+  svc.notify_capacity_changed();
+  EXPECT_EQ(svc.queue_depth(), 0u);
+  EXPECT_FALSE(svc.backpressured());
+  cl.sim.run();
+  EXPECT_EQ(completed, 2u);
+}
+
 TEST(JobService, ExpiredDeadlineIsShedAtDispatch) {
   ServeCluster cl(5, 1);
   ServeConfig cfg;
